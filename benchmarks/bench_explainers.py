@@ -1,0 +1,81 @@
+"""Micro-benchmarks: the cost of one explanation, per method.
+
+These are the numbers a user planning an interactive debugging session
+cares about: how long does explaining one record take for each method at a
+given perturbation budget?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.mojito import MojitoCopyExplainer, MojitoDropExplainer
+from repro.core.landmark import LandmarkExplainer
+from repro.data.records import NON_MATCH
+from repro.explainers.lime_text import LimeConfig
+
+N_SAMPLES = 64
+
+
+@pytest.fixture(scope="module")
+def bundle(suite):
+    return suite.bundles["S-IA"]  # the widest schema (7 attributes)
+
+
+@pytest.fixture(scope="module")
+def record(bundle):
+    return bundle.dataset.by_label(NON_MATCH)[0]
+
+
+def test_bench_landmark_single_explanation(benchmark, bundle, record):
+    explainer = LandmarkExplainer(
+        bundle.matcher, lime_config=LimeConfig(n_samples=N_SAMPLES, seed=0)
+    )
+    dual = benchmark(lambda: explainer.explain(record, "single"))
+    assert len(dual.combined()) > 0
+
+
+def test_bench_landmark_double_explanation(benchmark, bundle, record):
+    explainer = LandmarkExplainer(
+        bundle.matcher, lime_config=LimeConfig(n_samples=N_SAMPLES, seed=0)
+    )
+    dual = benchmark(lambda: explainer.explain(record, "double"))
+    assert dual.left_landmark.instance.n_injected > 0
+
+
+def test_bench_mojito_drop_explanation(benchmark, bundle, record):
+    explainer = MojitoDropExplainer(
+        bundle.matcher, LimeConfig(n_samples=N_SAMPLES, seed=0)
+    )
+    explanation = benchmark(lambda: explainer.explain(record))
+    assert len(explanation.token_weights) > 0
+
+
+def test_bench_mojito_copy_explanation(benchmark, bundle, record):
+    explainer = MojitoCopyExplainer(
+        bundle.matcher, LimeConfig(n_samples=N_SAMPLES, seed=0)
+    )
+    explanation = benchmark(lambda: explainer.explain(record))
+    assert explanation.explanation.feature_names == record.schema.attributes
+
+
+def test_bench_matcher_prediction_throughput(benchmark, bundle):
+    pairs = bundle.dataset.pairs[:200]
+
+    def predict():
+        bundle.matcher.extractor.clear_cache()
+        return bundle.matcher.predict_proba(pairs)
+
+    probabilities = benchmark(predict)
+    assert probabilities.shape == (200,)
+
+
+def test_bench_matcher_training(benchmark, bundle):
+    from repro.matchers.logistic import LogisticRegressionMatcher
+
+    matcher = benchmark.pedantic(
+        lambda: LogisticRegressionMatcher().fit(bundle.dataset),
+        rounds=2,
+        iterations=1,
+    )
+    assert matcher.coef_ is not None

@@ -1,0 +1,72 @@
+"""Extension bench: explanation stability (self-agreement across seeds).
+
+Not a paper table — a standard complementary XAI metric (see
+``repro.evaluation.stability``): how well does a method's token ranking
+agree with itself across independently seeded runs at a fixed perturbation
+budget?  Landmark explanations perturb fewer tokens per fit than
+whole-pair LIME, so at equal budget they should be at least as stable.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mojito import MojitoDropExplainer
+from repro.core.landmark import LandmarkExplainer
+from repro.data.records import MATCH
+from repro.evaluation.stability import stability_eval
+from repro.evaluation.tables import render_table
+from repro.explainers.lime_text import LimeConfig
+
+N_SAMPLES = 64
+N_RECORDS = 4
+N_RUNS = 3
+
+
+def _single_factory(matcher):
+    def explain(pair, seed):
+        explainer = LandmarkExplainer(
+            matcher, lime_config=LimeConfig(n_samples=N_SAMPLES, seed=seed), seed=seed
+        )
+        return explainer.explain(pair, "single").combined()
+
+    return explain
+
+
+def _lime_factory(matcher):
+    def explain(pair, seed):
+        explainer = MojitoDropExplainer(
+            matcher, LimeConfig(n_samples=N_SAMPLES, seed=seed), seed=seed
+        )
+        return explainer.explain(pair).token_weights
+
+    return explain
+
+
+def test_bench_stability(benchmark, suite, output_dir):
+    bundle = suite.bundles["S-FZ"]
+    pairs = bundle.dataset.by_label(MATCH).pairs[:N_RECORDS]
+
+    def run():
+        return {
+            "single": stability_eval(
+                pairs, _single_factory(bundle.matcher), n_runs=N_RUNS
+            ),
+            "lime": stability_eval(
+                pairs, _lime_factory(bundle.matcher), n_runs=N_RUNS
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = "Extension: explanation stability (S-FZ, match records)\n" + render_table(
+        ["Method", "Mean Spearman", "Records", "Runs"],
+        [
+            [name, result.mean_correlation, len(result.per_record), result.n_runs]
+            for name, result in results.items()
+        ],
+    )
+    (output_dir / "stability.txt").write_text(table + "\n", encoding="utf-8")
+    print("\n" + table)
+
+    assert results["single"].mean_correlation > 0.2
+    # Same budget, fewer perturbable tokens per fit: landmark should not be
+    # substantially less stable than whole-pair LIME.
+    assert results["single"].mean_correlation > results["lime"].mean_correlation - 0.2

@@ -1,0 +1,42 @@
+"""Table 1: the Magellan benchmark inventory.
+
+Benchmarks dataset materialization and regenerates Table 1 (nominal sizes
+and match rates next to the measured values of the synthetic stand-ins).
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic.magellan import (
+    DATASET_CODES,
+    DATASET_SPECS,
+    load_benchmark,
+    load_dataset,
+    table1_rows,
+)
+from repro.evaluation.tables import format_table1
+
+SIZE_CAP = 500
+
+
+def test_bench_table1_generation(benchmark, output_dir):
+    """Measure materializing the whole (capped) benchmark; emit Table 1."""
+    datasets = benchmark.pedantic(
+        lambda: load_benchmark(size_cap=SIZE_CAP), rounds=1, iterations=1
+    )
+    rows = table1_rows(datasets)
+    table = format_table1(rows)
+    (output_dir / "table1.txt").write_text(table + "\n", encoding="utf-8")
+    print("\n" + table)
+
+    # Shape checks: every dataset is present with its spec'd match rate.
+    assert set(datasets) == set(DATASET_CODES)
+    for code, dataset in datasets.items():
+        spec = DATASET_SPECS[code]
+        assert len(dataset) == min(spec.size, SIZE_CAP)
+        assert abs(dataset.match_rate - spec.match_rate) < 0.03
+
+
+def test_bench_single_dataset_generation(benchmark):
+    """Throughput of one mid-size dataset (S-WA at 500 pairs)."""
+    dataset = benchmark(lambda: load_dataset("S-WA", size_cap=500))
+    assert len(dataset) == 500

@@ -1,0 +1,90 @@
+"""Table 2: token-based reliability (accuracy + MAE) for every method.
+
+The explanations are precomputed by the session ``suite`` fixture; this
+bench measures the token-removal evaluation itself (the protocol of
+Sec. 4.2.1: remove 25% of tokens, compare the model's probability with the
+surrogate's estimate) and regenerates both halves of Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BENCH
+from repro.data.records import MATCH, NON_MATCH
+from repro.evaluation.runner import BenchmarkResult, DatasetResult, MethodMetrics
+from repro.evaluation.tables import format_table2
+from repro.evaluation.token_eval import token_removal_eval
+
+
+def _run_token_eval(suite):
+    """Token-removal evaluation for every (dataset, label, method) cell."""
+    results: dict[str, dict] = {}
+    for code, bundle in suite.bundles.items():
+        cells = {}
+        for (label, method), explained in bundle.explained.items():
+            cells[(label, method)] = token_removal_eval(
+                explained,
+                bundle.matcher,
+                fraction=suite.config.removal_fraction,
+                threshold=suite.config.threshold,
+                seed=suite.config.seed,
+            )
+        results[code] = cells
+    return results
+
+
+def _as_benchmark_result(suite, token_results) -> BenchmarkResult:
+    result = BenchmarkResult(config=BENCH)
+    for code, bundle in suite.bundles.items():
+        dataset_result = DatasetResult(
+            code=code,
+            n_pairs=len(bundle.dataset),
+            matcher_quality=None,  # type: ignore[arg-type]  # not rendered here
+        )
+        for (label, method), token in token_results[code].items():
+            dataset_result.metrics[(label, method)] = MethodMetrics(
+                method=method,
+                label=label,
+                token_accuracy=token.accuracy,
+                token_mae=token.mae,
+                kendall=float("nan"),
+                interest=float("nan"),
+                n_records=token.n_trials,
+            )
+        result.datasets[code] = dataset_result
+    return result
+
+
+def test_bench_table2_token_eval(benchmark, suite, output_dir):
+    token_results = benchmark.pedantic(
+        lambda: _run_token_eval(suite), rounds=3, iterations=1
+    )
+    result = _as_benchmark_result(suite, token_results)
+    table = "\n\n".join(
+        (format_table2(result, MATCH), format_table2(result, NON_MATCH))
+    )
+    (output_dir / "table2.txt").write_text(table + "\n", encoding="utf-8")
+    print("\n" + table)
+
+    # --- Shape assertions (paper Sec. 4.2.1) -------------------------------
+    def mean_over_datasets(label, method, field):
+        values = [
+            getattr(token_results[code][(label, method)], field)
+            for code in suite.bundles
+        ]
+        return float(np.mean(values))
+
+    # Matching label: Single beats plain LIME on accuracy.
+    assert mean_over_datasets(MATCH, "single", "accuracy") > mean_over_datasets(
+        MATCH, "lime", "accuracy"
+    )
+    # Non-matching label: Mojito Copy collapses — worst MAE by a margin and
+    # low accuracy (its atomically-copied attributes give every token the
+    # same, large weight).
+    copy_mae = mean_over_datasets(NON_MATCH, "mojito_copy", "mae")
+    for method in ("single", "double", "lime"):
+        assert copy_mae > mean_over_datasets(NON_MATCH, method, "mae")
+    assert mean_over_datasets(NON_MATCH, "mojito_copy", "accuracy") < 0.5
+    # Single stays a reliable surrogate on non-match records too.
+    assert mean_over_datasets(NON_MATCH, "single", "accuracy") > 0.7

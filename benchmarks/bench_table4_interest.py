@@ -1,0 +1,92 @@
+"""Table 4: "interest" of the explanations (label-flip rate).
+
+Measures the interest evaluation — remove the label-aligned tokens (all
+positive for match records, all negative for non-match records) and check
+whether the model's class flips — and regenerates Tables 4a/4b, at the
+paper's 0.5 threshold and at the 0.4 threshold the paper discusses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BENCH
+from repro.data.records import MATCH, NON_MATCH
+from repro.evaluation.interest_eval import interest_eval
+from repro.evaluation.runner import BenchmarkResult, DatasetResult, MethodMetrics
+from repro.evaluation.tables import format_table4
+
+
+def _run_interest_eval(suite, threshold):
+    results: dict[str, dict] = {}
+    for code, bundle in suite.bundles.items():
+        cells = {}
+        for (label, method), explained in bundle.explained.items():
+            cells[(label, method)] = interest_eval(
+                explained, bundle.matcher, threshold=threshold
+            )
+        results[code] = cells
+    return results
+
+
+def _as_benchmark_result(suite, interest_results) -> BenchmarkResult:
+    result = BenchmarkResult(config=BENCH)
+    for code, bundle in suite.bundles.items():
+        dataset_result = DatasetResult(
+            code=code, n_pairs=len(bundle.dataset), matcher_quality=None,  # type: ignore[arg-type]
+        )
+        for (label, method), interest in interest_results[code].items():
+            dataset_result.metrics[(label, method)] = MethodMetrics(
+                method=method,
+                label=label,
+                token_accuracy=float("nan"),
+                token_mae=float("nan"),
+                kendall=float("nan"),
+                interest=interest.interest,
+                n_records=interest.n_records,
+            )
+        result.datasets[code] = dataset_result
+    return result
+
+
+def test_bench_table4_interest_eval(benchmark, suite, output_dir):
+    interest_results = benchmark.pedantic(
+        lambda: _run_interest_eval(suite, threshold=0.5), rounds=2, iterations=1
+    )
+    result = _as_benchmark_result(suite, interest_results)
+    sections = [format_table4(result, MATCH), format_table4(result, NON_MATCH)]
+
+    # The paper notes interest improves at a 0.4 decision threshold;
+    # regenerate the non-match half there as well (not benchmarked).
+    at_04 = _as_benchmark_result(suite, _run_interest_eval(suite, threshold=0.4))
+    sections.append(
+        format_table4(at_04, NON_MATCH).replace(
+            "Table 4", "Table 4 @ threshold 0.4"
+        )
+    )
+    table = "\n\n".join(sections)
+    (output_dir / "table4.txt").write_text(table + "\n", encoding="utf-8")
+    print("\n" + table)
+
+    # --- Shape assertions (paper Sec. 4.3) ---------------------------------
+    def mean_interest(label, method):
+        return float(
+            np.mean(
+                [
+                    interest_results[code][(label, method)].interest
+                    for code in suite.bundles
+                ]
+            )
+        )
+
+    # Matching label: removing all positive tokens flips most records for
+    # every token-level method.
+    for method in ("single", "double", "lime"):
+        assert mean_interest(MATCH, method) > 0.5
+    # Non-matching label: the paper's signature result — double-entity
+    # injection dominates, Mojito Copy is near zero.
+    double = mean_interest(NON_MATCH, "double")
+    assert double > mean_interest(NON_MATCH, "single")
+    assert double > mean_interest(NON_MATCH, "lime")
+    assert double > mean_interest(NON_MATCH, "mojito_copy") + 0.3
+    assert mean_interest(NON_MATCH, "mojito_copy") < 0.2

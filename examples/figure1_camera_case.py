@@ -1,0 +1,95 @@
+"""The paper's Figure 1 / Examples 1.1-1.2, end to end.
+
+The record: a Sony digital camera on the left, a Nikon leather case on the
+right — obviously non-matching to a human, and classified non-matching by
+the model.  The question the paper asks: *which tokens explain that
+decision, and which tokens would have made it a match?*
+
+The script trains a Logistic Regression matcher on an electronics catalog
+(the Amazon-Google stand-in schema: title / manufacturer / price), builds
+the Figure 1 record, and prints the two landmark explanations the paper
+walks through in Example 1.2 — for each landmark, the top-3 tokens whose
+presence in the *other* entity would push the record toward the matching
+class.
+"""
+
+from repro import (
+    GENERATION_DOUBLE,
+    LandmarkExplainer,
+    LimeConfig,
+    LogisticRegressionMatcher,
+    RecordPair,
+    load_dataset,
+)
+
+
+def build_figure1_record(schema) -> RecordPair:
+    """The record of Figure 1, mapped onto the S-AG product schema."""
+    return RecordPair(
+        schema=schema,
+        left={
+            "title": (
+                "sony alpha digital slr camera with lens kit dslra200w "
+                "10.2 megapixels"
+            ),
+            "manufacturer": "sony",
+            "price": "849.99",
+        },
+        right={
+            "title": "nikon digital camera leather case 5811 leather black",
+            "manufacturer": "nikon",
+            "price": "7.99",
+        },
+        label=0,
+        pair_id=0,
+    )
+
+
+def main() -> None:
+    dataset = load_dataset("S-AG", seed=0, size_cap=2000)
+    matcher = LogisticRegressionMatcher().fit(dataset)
+    record = build_figure1_record(dataset.schema)
+
+    print("Figure 1 record:")
+    print(record.describe(max_width=60))
+    probability = matcher.predict_one(record)
+    print(f"\nEM model match probability: {probability:.3f} "
+          f"(classified {'match' if probability >= 0.5 else 'non-match'})")
+
+    explainer = LandmarkExplainer(
+        matcher, lime_config=LimeConfig(n_samples=256, seed=0), seed=0
+    )
+    dual = explainer.explain(record, GENERATION_DOUBLE)
+
+    print("\nExample 1.2 — explanation with the LEFT entity as landmark")
+    print("(tokens of the right entity + injected left tokens; positive")
+    print(" weight = would push the pair toward matching):")
+    for word, attribute, weight, injected in dual.left_landmark.top_tokens(3):
+        origin = "injected from landmark" if injected else "right entity"
+        print(f"  {weight:+.4f}  {word:<12} [{attribute}, {origin}]")
+
+    print("\nExample 1.2 — explanation with the RIGHT entity as landmark:")
+    for word, attribute, weight, injected in dual.right_landmark.top_tokens(3):
+        origin = "injected from landmark" if injected else "left entity"
+        print(f"  {weight:+.4f}  {word:<12} [{attribute}, {origin}]")
+
+    left_words = [
+        word for word, *_ in dual.left_landmark.top_tokens(3, sign="positive")
+    ]
+    right_words = [
+        word for word, *_ in dual.right_landmark.top_tokens(3, sign="positive")
+    ]
+    print(
+        "\nReading: if the right entity were described by "
+        f"{', '.join(left_words) or '(nothing)'} the model would lean "
+        "toward match;\nwith the right entity as the landmark the "
+        f"equivalent tokens are {', '.join(right_words) or '(nothing)'}.\n"
+        "This is the paper's notion of an *interesting* non-match "
+        "explanation: not\nwhy the entities differ (there are countless "
+        "reasons), but what would\nhave to change for the model to call "
+        "them the same."
+    )
+
+
+if __name__ == "__main__":
+    main()

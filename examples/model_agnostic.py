@@ -1,0 +1,63 @@
+"""Model-agnosticism: the same record explained under three matchers.
+
+Landmark Explanation only requires ``predict_proba`` — the paper couples it
+with LIME precisely because post-hoc perturbation explainers are
+model-agnostic.  This example explains one non-match record of the
+Fodors-Zagats stand-in under:
+
+* the paper's Logistic Regression,
+* a numpy MLP over similarity features,
+* gradient-boosted stumps (non-differentiable, tree-based),
+* a token-embedding network (the DeepMatcher-style stand-in), and
+* an intrinsically interpretable rule-based matcher,
+
+and prints the top tokens each model's explanation agrees or disagrees on.
+"""
+
+from repro import (
+    EmbeddingMatcher,
+    GENERATION_DOUBLE,
+    GradientBoostedStumpsMatcher,
+    LandmarkExplainer,
+    LimeConfig,
+    LogisticRegressionMatcher,
+    MLPMatcher,
+    RuleBasedMatcher,
+    evaluate_matcher,
+    load_dataset,
+)
+
+
+def main() -> None:
+    dataset = load_dataset("S-FZ", seed=0, size_cap=900)
+    record = next(pair for pair in dataset if not pair.is_match)
+    print(record.describe(max_width=44))
+
+    matchers = {
+        "logistic regression": LogisticRegressionMatcher(),
+        "mlp (numpy)": MLPMatcher(hidden_sizes=(24,), epochs=200, seed=0),
+        "boosted stumps": GradientBoostedStumpsMatcher(n_stumps=60),
+        "token embeddings": EmbeddingMatcher(epochs=100, seed=0),
+        "rule-based": RuleBasedMatcher(),
+    }
+
+    for name, matcher in matchers.items():
+        matcher.fit(dataset)
+        quality = evaluate_matcher(matcher, dataset)
+        explainer = LandmarkExplainer(
+            matcher, lime_config=LimeConfig(n_samples=128, seed=0), seed=0
+        )
+        dual = explainer.explain(record, GENERATION_DOUBLE)
+        print("\n" + "=" * 72)
+        print(
+            f"{name}: f1={quality.f1:.3f}, "
+            f"p(match)={matcher.predict_one(record):.3f}"
+        )
+        print("top tokens (left entity as landmark):")
+        for word, attribute, weight, injected in dual.left_landmark.top_tokens(4):
+            origin = "injected" if injected else "own"
+            print(f"  {weight:+.4f}  {word:<16} [{attribute}, {origin}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""A reviewer workflow: explain, persist, report, propose a fix.
+
+The paper's business motivation is human review: an analyst sees a model
+decision, wants to know why, and wants artifacts to attach to a ticket.
+This example plays that workflow end to end for one borderline record:
+
+1. explain it (dual landmark explanation),
+2. persist the explanation as JSON (re-loadable without the model),
+3. render the reviewer-facing HTML and markdown reports,
+4. propose the minimal counterfactual edit set that would flip the model.
+
+Artifacts land in ``review_artifacts/`` next to this script.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    LandmarkExplainer,
+    LimeConfig,
+    LogisticRegressionMatcher,
+    greedy_counterfactual,
+    load_dataset,
+)
+from repro.core.report import save_html, to_markdown
+from repro.core.serialize import load_explanation, save_explanation
+
+ARTIFACT_DIR = Path(__file__).parent / "review_artifacts"
+
+
+def main() -> None:
+    dataset = load_dataset("S-WA", seed=0, size_cap=1500)
+    matcher = LogisticRegressionMatcher().fit(dataset)
+    probabilities = matcher.predict_proba(dataset.pairs)
+    borderline = int(np.argmin(np.abs(probabilities - 0.5)))
+    pair = dataset[borderline]
+    print(f"reviewing pair #{pair.pair_id} "
+          f"(p={probabilities[borderline]:.3f}, gold="
+          f"{'match' if pair.is_match else 'non-match'})")
+    print(pair.describe(max_width=44))
+
+    # 1. explain
+    explainer = LandmarkExplainer(
+        matcher, lime_config=LimeConfig(n_samples=192, seed=0), seed=0
+    )
+    dual = explainer.explain(pair)
+
+    # 2. persist + reload (what a ticket system would store)
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    json_path = ARTIFACT_DIR / f"pair_{pair.pair_id}.json"
+    save_explanation(dual, json_path)
+    restored = load_explanation(json_path)
+    print(f"\nsaved + reloaded explanation: {json_path} "
+          f"({json_path.stat().st_size} bytes)")
+
+    # 3. reviewer-facing reports
+    html_path = save_html(restored, ARTIFACT_DIR / f"pair_{pair.pair_id}.html")
+    markdown_path = ARTIFACT_DIR / f"pair_{pair.pair_id}.md"
+    markdown_path.write_text(to_markdown(restored) + "\n", encoding="utf-8")
+    print(f"reports: {html_path.name}, {markdown_path.name}")
+    print("\n" + restored.render(k=3))
+
+    # 4. the proposed fix
+    counterfactual = greedy_counterfactual(
+        restored.left_landmark, matcher, max_edits=8
+    )
+    print("\nproposed counterfactual:")
+    print(counterfactual.render())
+
+
+if __name__ == "__main__":
+    main()

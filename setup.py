@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that legacy
+editable installs (``pip install -e . --no-use-pep517``) work in offline
+environments that lack the ``wheel`` package required by PEP 660 editable
+builds on older setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""Landmark Explanation: explaining entity matching models with landmarks.
+
+A from-scratch reproduction of *"Using Landmarks for Explaining Entity
+Matching Models"* (Baraldi, Del Buono, Paganelli, Guerra — EDBT 2021).
+
+Quickstart::
+
+    from repro import (
+        LandmarkExplainer, LogisticRegressionMatcher, load_dataset,
+    )
+
+    dataset = load_dataset("S-BR", size_cap=500)
+    matcher = LogisticRegressionMatcher().fit(dataset)
+    explainer = LandmarkExplainer(matcher)
+    dual = explainer.explain(dataset[0])
+    print(dual.render())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table.
+"""
+
+from repro.baselines import MojitoCopyExplainer, MojitoDropExplainer
+from repro.blocking import BlockingReport, InvertedIndexBlocker
+from repro.config import ALL_METHODS, BENCH, FAST, PAPER, ExperimentConfig, get_preset
+from repro.core import (
+    Counterfactual,
+    DualExplanation,
+    GENERATION_AUTO,
+    GENERATION_DOUBLE,
+    GENERATION_SINGLE,
+    GlobalSummary,
+    LandmarkExplainer,
+    LandmarkExplanation,
+    PairTokenWeights,
+    greedy_counterfactual,
+    summarize_explanations,
+)
+from repro.data import EMDataset, PairSchema, RecordPair, read_csv, write_csv
+from repro.data.splits import sample_per_label, train_test_split
+from repro.data.synthetic import DATASET_CODES, load_benchmark, load_dataset, make_dirty
+from repro.evaluation import ExperimentRunner
+from repro.exceptions import ReproError
+from repro.explainers import (
+    AnchorExplanation,
+    AnchorsTextExplainer,
+    Explanation,
+    KernelShapExplainer,
+    LimeConfig,
+    LimeTextExplainer,
+    anchor_for_landmark,
+)
+from repro.matchers import (
+    EmbeddingMatcher,
+    EntityMatcher,
+    GradientBoostedStumpsMatcher,
+    LogisticRegressionMatcher,
+    MLPMatcher,
+    PlattCalibrator,
+    RuleBasedMatcher,
+    evaluate_matcher,
+    tune_threshold,
+)
+from repro.text import Tokenizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_METHODS",
+    "AnchorExplanation",
+    "AnchorsTextExplainer",
+    "BENCH",
+    "BlockingReport",
+    "Counterfactual",
+    "DATASET_CODES",
+    "DualExplanation",
+    "EMDataset",
+    "EmbeddingMatcher",
+    "EntityMatcher",
+    "GradientBoostedStumpsMatcher",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "Explanation",
+    "FAST",
+    "GENERATION_AUTO",
+    "GENERATION_DOUBLE",
+    "GENERATION_SINGLE",
+    "GlobalSummary",
+    "InvertedIndexBlocker",
+    "KernelShapExplainer",
+    "LandmarkExplainer",
+    "LandmarkExplanation",
+    "LimeConfig",
+    "LimeTextExplainer",
+    "LogisticRegressionMatcher",
+    "MLPMatcher",
+    "MojitoCopyExplainer",
+    "MojitoDropExplainer",
+    "PAPER",
+    "PairSchema",
+    "PlattCalibrator",
+    "PairTokenWeights",
+    "RecordPair",
+    "ReproError",
+    "RuleBasedMatcher",
+    "Tokenizer",
+    "anchor_for_landmark",
+    "evaluate_matcher",
+    "get_preset",
+    "greedy_counterfactual",
+    "load_benchmark",
+    "load_dataset",
+    "make_dirty",
+    "read_csv",
+    "sample_per_label",
+    "summarize_explanations",
+    "train_test_split",
+    "tune_threshold",
+    "write_csv",
+    "__version__",
+]

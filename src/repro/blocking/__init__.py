@@ -1,0 +1,16 @@
+"""Blocking: candidate generation for end-to-end entity matching.
+
+The pair-structured datasets the paper evaluates on are the *output* of a
+blocking stage: real EM pipelines never score the full cross product of
+two tables.  This package provides that upstream substrate so the library
+supports the whole workflow (block → match → explain):
+
+* :class:`~repro.blocking.index.InvertedIndexBlocker` — token-based
+  blocking over chosen attributes with a minimum-shared-tokens predicate;
+* :class:`~repro.blocking.index.BlockingReport` — reduction ratio and
+  pair-completeness against a gold matching.
+"""
+
+from repro.blocking.index import BlockingReport, InvertedIndexBlocker
+
+__all__ = ["BlockingReport", "InvertedIndexBlocker"]

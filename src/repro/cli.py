@@ -1,0 +1,402 @@
+"""The ``repro-em`` command line.
+
+Sub-commands:
+
+* ``datasets`` — print Table 1 (nominal, or measured with ``--materialize``)
+  and optionally export the synthetic CSVs.
+* ``train`` — train a matcher on one dataset and print its quality report.
+* ``explain`` — explain one record of a dataset with Landmark Explanation
+  (and optionally the baselines) and print the rendered explanations.
+* ``experiment`` — run the full evaluation protocol and print Tables 2-4
+  (``--preset fast`` by default; ``--preset paper`` reproduces the paper's
+  sample sizes).
+* ``summarize`` — aggregate explanations over many records into a global
+  model summary (the paper's future-work direction).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from pathlib import Path
+
+from repro.config import get_preset
+from repro.data.io import write_csv
+from repro.data.splits import sample_per_label
+from repro.data.synthetic.magellan import (
+    DATASET_CODES,
+    load_benchmark,
+    load_dataset,
+    table1_rows,
+)
+from repro.core.landmark import LandmarkExplainer
+from repro.core.summarize import summarize_explanations
+from repro.baselines.mojito import MojitoCopyExplainer, MojitoDropExplainer
+from repro.evaluation.runner import ExperimentRunner
+from repro.evaluation.tables import format_all_tables, format_table1
+from repro.exceptions import ExplanationError, ReproError
+from repro.explainers.lime_text import LimeConfig
+from repro.matchers.evaluate import evaluate_matcher
+from repro.matchers.boosting import GradientBoostedStumpsMatcher
+from repro.matchers.embedding import EmbeddingMatcher
+from repro.matchers.logistic import LogisticRegressionMatcher
+from repro.matchers.neural import MLPMatcher
+from repro.matchers.rules import RuleBasedMatcher
+
+_MATCHERS = {
+    "logistic": LogisticRegressionMatcher,
+    "mlp": MLPMatcher,
+    "rules": RuleBasedMatcher,
+    "boosted": GradientBoostedStumpsMatcher,
+    "embedding": EmbeddingMatcher,
+}
+
+
+def _add_common_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="S-BR", choices=DATASET_CODES, help="benchmark code"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--size-cap", type=int, default=None, help="cap the generated dataset size"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-em",
+        description="Landmark Explanation (EDBT 2021) reproduction toolkit",
+    )
+    parser.add_argument("--verbose", action="store_true", help="log progress")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser("datasets", help="print/export Table 1")
+    datasets.add_argument("--materialize", action="store_true")
+    datasets.add_argument("--export-dir", type=Path, default=None)
+    datasets.add_argument("--seed", type=int, default=0)
+    datasets.add_argument("--size-cap", type=int, default=None)
+
+    train = subparsers.add_parser("train", help="train and evaluate a matcher")
+    _add_common_dataset_arguments(train)
+    train.add_argument("--matcher", default="logistic", choices=sorted(_MATCHERS))
+    train.add_argument("--threshold", type=float, default=0.5)
+
+    explain = subparsers.add_parser("explain", help="explain one record")
+    _add_common_dataset_arguments(explain)
+    explain.add_argument("--record", type=int, default=0, help="record index")
+    explain.add_argument(
+        "--generation", default="auto", choices=("auto", "single", "double")
+    )
+    explain.add_argument("--samples", type=int, default=256)
+    explain.add_argument("--top", type=int, default=5)
+    explain.add_argument(
+        "--explainer", default="lime", choices=("lime", "shap"),
+        help="generic explainer to couple with the landmark pipeline",
+    )
+    explain.add_argument(
+        "--baselines", action="store_true", help="also run LIME drop / Mojito copy"
+    )
+
+    experiment = subparsers.add_parser("experiment", help="run Tables 2-4")
+    experiment.add_argument(
+        "--preset", default="fast", choices=("fast", "paper", "bench")
+    )
+    experiment.add_argument(
+        "--datasets", nargs="*", default=None, choices=DATASET_CODES, metavar="CODE"
+    )
+    experiment.add_argument("--output", type=Path, default=None)
+    experiment.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (datasets run in parallel)",
+    )
+
+    selftest = subparsers.add_parser(
+        "selftest", help="end-to-end installation check (~10 s)"
+    )
+    selftest.add_argument("--seed", type=int, default=0)
+
+    summarize = subparsers.add_parser(
+        "summarize", help="global explanation summary over many records"
+    )
+    _add_common_dataset_arguments(summarize)
+    summarize.add_argument("--per-label", type=int, default=10)
+    summarize.add_argument("--samples", type=int, default=128)
+    summarize.add_argument("--top", type=int, default=15)
+
+    counterfactual = subparsers.add_parser(
+        "counterfactual", help="minimal token edits that flip a prediction"
+    )
+    _add_common_dataset_arguments(counterfactual)
+    counterfactual.add_argument("--record", type=int, default=0)
+    counterfactual.add_argument(
+        "--landmark", default="left", choices=("left", "right")
+    )
+    counterfactual.add_argument("--samples", type=int, default=128)
+    counterfactual.add_argument("--max-edits", type=int, default=10)
+
+    report = subparsers.add_parser(
+        "report", help="write an HTML / markdown explanation report"
+    )
+    _add_common_dataset_arguments(report)
+    report.add_argument("--record", type=int, default=0)
+    report.add_argument("--samples", type=int, default=128)
+    report.add_argument(
+        "--format", default="html", choices=("html", "markdown")
+    )
+    report.add_argument("--output", type=Path, required=True)
+
+    profile = subparsers.add_parser(
+        "profile", help="token-overlap profile of a benchmark dataset"
+    )
+    _add_common_dataset_arguments(profile)
+
+    compare = subparsers.add_parser(
+        "compare", help="diff two saved experiment runs (JSON)"
+    )
+    compare.add_argument("baseline", type=Path)
+    compare.add_argument("candidate", type=Path)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Sub-command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    materialized = None
+    if args.materialize or args.export_dir:
+        materialized = load_benchmark(seed=args.seed, size_cap=args.size_cap)
+    print(format_table1(table1_rows(materialized)))
+    if args.export_dir:
+        args.export_dir.mkdir(parents=True, exist_ok=True)
+        assert materialized is not None
+        for code, dataset in materialized.items():
+            path = args.export_dir / f"{code}.csv"
+            write_csv(dataset, path)
+            print(f"wrote {path} ({len(dataset)} pairs)")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
+    matcher = _MATCHERS[args.matcher]()
+    matcher.fit(dataset)
+    quality = evaluate_matcher(matcher, dataset, threshold=args.threshold)
+    print(f"{args.matcher} matcher on {args.dataset} ({len(dataset)} pairs)")
+    print(quality.report())
+    ranking = getattr(matcher, "attribute_ranking", None)
+    if callable(ranking):
+        print("attribute ranking:", " > ".join(ranking()))
+    describe = getattr(matcher, "describe", None)
+    if callable(describe):
+        print(describe())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
+    if not 0 <= args.record < len(dataset):
+        print(f"record index {args.record} out of range 0..{len(dataset) - 1}")
+        return 2
+    pair = dataset[args.record]
+    matcher = LogisticRegressionMatcher().fit(dataset)
+    lime_config = LimeConfig(n_samples=args.samples, seed=args.seed)
+    print(pair.describe())
+    print(f"model match probability: {matcher.predict_one(pair):.3f}")
+    if args.explainer == "shap":
+        from repro.explainers.kernel_shap import KernelShapExplainer
+
+        explainer = LandmarkExplainer(
+            matcher,
+            explainer=KernelShapExplainer(n_samples=args.samples, seed=args.seed),
+            seed=args.seed,
+        )
+    else:
+        explainer = LandmarkExplainer(
+            matcher, lime_config=lime_config, seed=args.seed
+        )
+    dual = explainer.explain(pair, generation=args.generation)
+    print(dual.render(args.top))
+    if args.baselines:
+        drop = MojitoDropExplainer(matcher, lime_config=lime_config, seed=args.seed)
+        print(drop.explain(pair).render(args.top))
+        copy = MojitoCopyExplainer(matcher, lime_config=lime_config, seed=args.seed)
+        print(copy.explain(pair).render(args.top))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = get_preset(args.preset)
+    runner = ExperimentRunner(config)
+    result = runner.run(args.datasets, n_jobs=args.jobs)
+    report = format_all_tables(result)
+    print(report)
+    if args.output:
+        args.output.write_text(report + "\n", encoding="utf-8")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
+    matcher = LogisticRegressionMatcher().fit(dataset)
+    explainer = LandmarkExplainer(
+        matcher,
+        lime_config=LimeConfig(n_samples=args.samples, seed=args.seed),
+        seed=args.seed,
+    )
+    sample = sample_per_label(dataset, args.per_label, seed=args.seed)
+    explanations = []
+    for pair in sample:
+        try:
+            explanations.append(explainer.explain(pair))
+        except ExplanationError:
+            continue
+    summary = summarize_explanations(explanations)
+    print(summary.render(args.top))
+    return 0
+
+
+def _cmd_counterfactual(args: argparse.Namespace) -> int:
+    from repro.core.counterfactual import greedy_counterfactual
+
+    dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
+    if not 0 <= args.record < len(dataset):
+        print(f"record index {args.record} out of range 0..{len(dataset) - 1}")
+        return 2
+    pair = dataset[args.record]
+    matcher = LogisticRegressionMatcher().fit(dataset)
+    explainer = LandmarkExplainer(
+        matcher,
+        lime_config=LimeConfig(n_samples=args.samples, seed=args.seed),
+        seed=args.seed,
+    )
+    print(pair.describe())
+    landmark = explainer.explain_landmark(pair, args.landmark)
+    counterfactual = greedy_counterfactual(
+        landmark, matcher, max_edits=args.max_edits
+    )
+    print(counterfactual.render())
+    return 0 if counterfactual.flipped else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import save_html, to_markdown
+
+    dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
+    if not 0 <= args.record < len(dataset):
+        print(f"record index {args.record} out of range 0..{len(dataset) - 1}")
+        return 2
+    pair = dataset[args.record]
+    matcher = LogisticRegressionMatcher().fit(dataset)
+    explainer = LandmarkExplainer(
+        matcher,
+        lime_config=LimeConfig(n_samples=args.samples, seed=args.seed),
+        seed=args.seed,
+    )
+    dual = explainer.explain(pair)
+    if args.format == "html":
+        save_html(dual, args.output)
+    else:
+        args.output.write_text(to_markdown(dual) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.data.profiling import profile_dataset
+
+    dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
+    profile = profile_dataset(dataset)
+    print(profile.render())
+    print("attributes by class separation:",
+          " > ".join(profile.ranking_by_separation()))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.evaluation.persistence import compare_results, load_result
+
+    baseline = load_result(args.baseline)
+    candidate = load_result(args.candidate)
+    print(compare_results(baseline, candidate))
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    """A fast end-to-end exercise of every major subsystem."""
+    from repro.core.counterfactual import greedy_counterfactual
+    from repro.core.serialize import dual_from_dict, dual_to_dict
+    from repro.data.records import NON_MATCH
+
+    checks: list[tuple[str, bool]] = []
+
+    dataset = load_dataset("S-BR", seed=args.seed, size_cap=200)
+    checks.append(("dataset generation", len(dataset) == 200))
+
+    matcher = LogisticRegressionMatcher().fit(dataset)
+    quality = evaluate_matcher(matcher, dataset)
+    checks.append(("matcher training (f1 > 0.7)", quality.f1 > 0.7))
+
+    explainer = LandmarkExplainer(
+        matcher, lime_config=LimeConfig(n_samples=48, seed=args.seed),
+        seed=args.seed,
+    )
+    non_match = next(p for p in dataset if p.label == NON_MATCH)
+    dual = explainer.explain(non_match)
+    checks.append(("dual explanation", len(dual.combined()) > 0))
+    checks.append(
+        ("double generation on non-match", dual.generation == "double")
+    )
+
+    restored = dual_from_dict(dual_to_dict(dual))
+    checks.append(
+        ("explanation serialization", restored.generation == dual.generation)
+    )
+
+    counterfactual = greedy_counterfactual(
+        dual.left_landmark, matcher, max_edits=10
+    )
+    checks.append(("counterfactual search ran", counterfactual.n_edits >= 1))
+
+    ok = True
+    for name, passed in checks:
+        print(f"  [{'ok' if passed else 'FAIL'}] {name}")
+        ok = ok and passed
+    print("selftest", "passed" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "train": _cmd_train,
+    "explain": _cmd_explain,
+    "experiment": _cmd_experiment,
+    "summarize": _cmd_summarize,
+    "counterfactual": _cmd_counterfactual,
+    "report": _cmd_report,
+    "profile": _cmd_profile,
+    "compare": _cmd_compare,
+    "selftest": _cmd_selftest,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-em`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        logging.basicConfig(
+            level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+        )
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Landmark Explanation — the paper's primary contribution.
+
+The pipeline (Figure 2, bottom row):
+
+1. :class:`~repro.core.generation.LandmarkGenerator` picks one entity of the
+   record as the **landmark** (kept frozen) and prepares the token list of
+   the **varying entity** — either its own tokens (*single-entity*
+   generation) or its tokens plus the landmark's injected tokens
+   (*double-entity* generation, for non-match records).
+2. The generic perturbation explainer (:mod:`repro.explainers`) samples
+   binary masks over those tokens.
+3. :class:`~repro.core.reconstruction.PairReconstructor` rebuilds a full
+   record pair from every mask (*pair reconstruction*) and
+   :class:`~repro.core.reconstruction.DatasetReconstructor` labels it with
+   the black-box matcher (*dataset reconstruction*).
+4. The surrogate coefficients come back as a
+   :class:`~repro.core.explanation.LandmarkExplanation`; doing this once per
+   landmark side yields the paper's dual
+   :class:`~repro.core.explanation.DualExplanation`.
+
+:class:`~repro.core.landmark.LandmarkExplainer` is the public entry point.
+"""
+
+from repro.core.counterfactual import (
+    Counterfactual,
+    TokenEdit,
+    greedy_counterfactual,
+)
+from repro.core.explanation import (
+    DualExplanation,
+    LandmarkExplanation,
+    PairTokenWeights,
+)
+from repro.core.generation import (
+    GENERATION_DOUBLE,
+    GENERATION_SINGLE,
+    GeneratedInstance,
+    LandmarkGenerator,
+)
+from repro.core.landmark import GENERATION_AUTO, LandmarkExplainer
+from repro.core.reconstruction import DatasetReconstructor, PairReconstructor
+from repro.core.report import save_html, to_html, to_markdown
+from repro.core.serialize import (
+    dual_from_dict,
+    dual_to_dict,
+    load_explanation,
+    save_explanation,
+)
+from repro.core.summarize import GlobalSummary, summarize_explanations
+
+__all__ = [
+    "Counterfactual",
+    "DatasetReconstructor",
+    "DualExplanation",
+    "GENERATION_AUTO",
+    "GENERATION_DOUBLE",
+    "GENERATION_SINGLE",
+    "GeneratedInstance",
+    "GlobalSummary",
+    "LandmarkExplainer",
+    "LandmarkExplanation",
+    "LandmarkGenerator",
+    "PairReconstructor",
+    "PairTokenWeights",
+    "TokenEdit",
+    "dual_from_dict",
+    "dual_to_dict",
+    "greedy_counterfactual",
+    "load_explanation",
+    "save_explanation",
+    "save_html",
+    "summarize_explanations",
+    "to_html",
+    "to_markdown",
+]

@@ -1,0 +1,77 @@
+"""Pair reconstruction and dataset reconstruction.
+
+*Pair reconstruction* turns a perturbation mask back into a well-formed
+record pair: the surviving tokens of the varying entity are regrouped into
+attribute values (the tokenizer's prefixes say where every token belongs)
+and re-joined with the untouched landmark entity.
+
+*Dataset reconstruction* labels every rebuilt pair with the black-box EM
+model, producing the (mask, probability) training set of the surrogate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.generation import GeneratedInstance
+from repro.data.records import RecordPair
+from repro.matchers.base import EntityMatcher
+from repro.text.tokenize import Tokenizer
+
+
+class PairReconstructor:
+    """Rebuilds record pairs from perturbation masks."""
+
+    def __init__(self, tokenizer: Tokenizer | None = None) -> None:
+        self.tokenizer = tokenizer or Tokenizer()
+
+    def rebuild(
+        self, instance: GeneratedInstance, mask: Sequence[int] | np.ndarray
+    ) -> RecordPair:
+        """The record pair corresponding to one perturbation mask.
+
+        Mask bit *i* keeps token *i* of the varying entity; the landmark
+        entity is copied through unchanged.  Attributes whose tokens were
+        all dropped become empty strings (the schema is always complete).
+        """
+        if len(mask) != len(instance.tokens):
+            raise ValueError(
+                f"mask length {len(mask)} != token count {len(instance.tokens)}"
+            )
+        kept = [
+            token
+            for token, bit in zip(instance.tokens, mask)
+            if bit
+        ]
+        partial_values = self.tokenizer.detokenize(kept)
+        varying_entity = instance.pair.schema.conform(partial_values)
+        return instance.pair.with_side(instance.varying_side, varying_entity)
+
+    def rebuild_many(
+        self, instance: GeneratedInstance, masks: np.ndarray
+    ) -> list[RecordPair]:
+        """Rebuild one pair per mask row."""
+        return [self.rebuild(instance, row) for row in masks]
+
+
+class DatasetReconstructor:
+    """Adapts (matcher, reconstructor) into the explainer's mask-predict fn."""
+
+    def __init__(
+        self,
+        matcher: EntityMatcher,
+        reconstructor: PairReconstructor | None = None,
+    ) -> None:
+        self.matcher = matcher
+        self.reconstructor = reconstructor or PairReconstructor()
+
+    def predict_masks_fn(self, instance: GeneratedInstance):
+        """A ``masks → probabilities`` closure for one generated instance."""
+
+        def predict_masks(masks: np.ndarray) -> np.ndarray:
+            pairs = self.reconstructor.rebuild_many(instance, masks)
+            return self.matcher.predict_proba(pairs)
+
+        return predict_masks

@@ -1,0 +1,161 @@
+"""Rendering explanations for humans: markdown and standalone HTML.
+
+The paper motivates Landmark Explanation with user-facing scenarios
+(confidence, debugging); this module turns a
+:class:`~repro.core.explanation.DualExplanation` into review-ready
+artifacts:
+
+* :func:`to_markdown` — a compact report for issue trackers / notebooks;
+* :func:`to_html` — a self-contained HTML page where every token of the
+  record is colour-coded by its weight (green = pushes toward match,
+  red = pushes away), one panel per landmark side.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.core.explanation import DualExplanation
+from repro.data.records import LABEL_NAMES
+
+
+def _weight_color(weight: float, max_abs: float) -> str:
+    """Green-to-red background with intensity proportional to |weight|."""
+    if max_abs <= 0.0:
+        return "#f0f0f0"
+    intensity = min(1.0, abs(weight) / max_abs)
+    alpha = 0.15 + 0.6 * intensity
+    if weight >= 0:
+        return f"rgba(46, 160, 67, {alpha:.2f})"
+    return f"rgba(218, 54, 51, {alpha:.2f})"
+
+
+def to_markdown(dual: DualExplanation, k: int = 5) -> str:
+    """A compact markdown report of a dual explanation."""
+    pair = dual.pair
+    lines = [
+        f"## Explanation for pair #{pair.pair_id} "
+        f"({LABEL_NAMES[pair.label]}, generation: {dual.generation})",
+        "",
+        "| attribute | left | right |",
+        "|---|---|---|",
+    ]
+    for attribute in pair.schema.attributes:
+        lines.append(
+            f"| {attribute} | {pair.left[attribute]} | {pair.right[attribute]} |"
+        )
+    for side in dual.sides():
+        lines.append("")
+        lines.append(
+            f"### Landmark: {side.landmark_side} "
+            f"(model p={side.explanation.model_probability:.3f}, "
+            f"R²={side.explanation.score:.3f})"
+        )
+        lines.append("")
+        lines.append("| token | attribute | origin | weight |")
+        lines.append("|---|---|---|---|")
+        for word, attribute, weight, injected in side.top_tokens(k):
+            origin = "injected" if injected else "own"
+            lines.append(f"| {word} | {attribute} | {origin} | {weight:+.4f} |")
+    return "\n".join(lines)
+
+
+_HTML_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Landmark explanation — pair #{pair_id}</title>
+<style>
+  body {{ font-family: system-ui, sans-serif; margin: 2rem; color: #1f2328; }}
+  h1 {{ font-size: 1.3rem; }}
+  h2 {{ font-size: 1.05rem; margin-top: 1.6rem; }}
+  table {{ border-collapse: collapse; margin: 0.6rem 0; }}
+  td, th {{ border: 1px solid #d0d7de; padding: 0.3rem 0.6rem;
+            text-align: left; vertical-align: top; }}
+  .token {{ padding: 0.08rem 0.25rem; border-radius: 0.25rem;
+            margin-right: 0.15rem; display: inline-block; }}
+  .meta {{ color: #57606a; font-size: 0.9rem; }}
+  .legend span {{ margin-right: 1rem; }}
+</style>
+</head>
+<body>
+<h1>Landmark explanation — pair #{pair_id} ({label})</h1>
+<p class="meta">generation: {generation} · decision threshold 0.5 ·
+green pushes toward <em>match</em>, red pushes away</p>
+{panels}
+</body>
+</html>
+"""
+
+_PANEL_TEMPLATE = """<h2>Landmark: {landmark} (frozen) — perturbed side: {varying}</h2>
+<p class="meta">model p = {model_p:.3f} · surrogate R² = {score:.3f}
+ · {n_injected} injected tokens</p>
+<table>
+<tr><th>attribute</th><th>{landmark} (landmark)</th><th>{varying} (weighted)</th></tr>
+{rows}
+</table>
+"""
+
+
+def _panel(side) -> str:
+    pair = side.pair
+    weights = {
+        (token.attribute, token.position): (float(weight), injected)
+        for token, injected, weight in zip(
+            side.instance.tokens,
+            side.instance.injected,
+            side.explanation.weights,
+        )
+    }
+    max_abs = max((abs(w) for w, _ in weights.values()), default=0.0)
+    rows = []
+    for attribute in pair.schema.attributes:
+        landmark_value = html.escape(pair.entity(side.landmark_side)[attribute])
+        spans = []
+        for token, injected, weight in zip(
+            side.instance.tokens, side.instance.injected, side.explanation.weights
+        ):
+            if token.attribute != attribute:
+                continue
+            color = _weight_color(float(weight), max_abs)
+            title = (
+                f"{'injected, ' if injected else ''}weight {float(weight):+.4f}"
+            )
+            style = f"background:{color};"
+            if injected:
+                style += " border: 1px dashed #57606a;"
+            spans.append(
+                f'<span class="token" style="{style}" title="{title}">'
+                f"{html.escape(token.word)}</span>"
+            )
+        rows.append(
+            f"<tr><td>{html.escape(attribute)}</td>"
+            f"<td>{landmark_value}</td><td>{''.join(spans)}</td></tr>"
+        )
+    return _PANEL_TEMPLATE.format(
+        landmark=side.landmark_side,
+        varying=side.varying_side,
+        model_p=side.explanation.model_probability,
+        score=side.explanation.score,
+        n_injected=side.instance.n_injected,
+        rows="\n".join(rows),
+    )
+
+
+def to_html(dual: DualExplanation) -> str:
+    """A self-contained HTML page with colour-coded tokens."""
+    panels = "\n".join(_panel(side) for side in dual.sides())
+    return _HTML_TEMPLATE.format(
+        pair_id=dual.pair.pair_id,
+        label=LABEL_NAMES[dual.pair.label],
+        generation=dual.generation,
+        panels=panels,
+    )
+
+
+def save_html(dual: DualExplanation, path: str | Path) -> Path:
+    """Write :func:`to_html` output to *path* and return it."""
+    path = Path(path)
+    path.write_text(to_html(dual), encoding="utf-8")
+    return path

@@ -1,0 +1,147 @@
+"""JSON serialization of dual explanations.
+
+Explanations are review artifacts: they get attached to data-quality
+tickets, diffed across model versions, and rendered later by someone who
+cannot re-run the model.  This module round-trips a
+:class:`~repro.core.explanation.DualExplanation` through plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.explanation import DualExplanation, LandmarkExplanation
+from repro.core.generation import GeneratedInstance
+from repro.data.records import RecordPair
+from repro.data.schema import PairSchema
+from repro.exceptions import ExplanationError
+from repro.explainers.base import Explanation
+from repro.text.tokenize import PrefixedToken
+
+FORMAT_VERSION = 1
+
+
+def _pair_to_dict(pair: RecordPair) -> dict:
+    return {
+        "attributes": list(pair.schema.attributes),
+        "left": dict(pair.left),
+        "right": dict(pair.right),
+        "label": pair.label,
+        "pair_id": pair.pair_id,
+    }
+
+
+def _pair_from_dict(payload: dict) -> RecordPair:
+    schema = PairSchema(tuple(payload["attributes"]))
+    return RecordPair(
+        schema=schema,
+        left=payload["left"],
+        right=payload["right"],
+        label=payload["label"],
+        pair_id=payload["pair_id"],
+    )
+
+
+def _side_to_dict(side: LandmarkExplanation) -> dict:
+    explanation = side.explanation
+    return {
+        "landmark_side": side.landmark_side,
+        "generation": side.generation,
+        "tokens": [
+            {"attribute": token.attribute, "position": token.position,
+             "word": token.word}
+            for token in side.instance.tokens
+        ],
+        "injected": list(side.instance.injected),
+        "explanation": {
+            "weights": [float(weight) for weight in explanation.weights],
+            "intercept": explanation.intercept,
+            "score": explanation.score,
+            "model_probability": explanation.model_probability,
+            "surrogate_probability": explanation.surrogate_probability,
+            "n_samples": explanation.n_samples,
+            "metadata": _jsonable(explanation.metadata),
+        },
+    }
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars/arrays so json.dumps accepts them."""
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _side_from_dict(payload: dict, pair: RecordPair) -> LandmarkExplanation:
+    tokens = tuple(
+        PrefixedToken(entry["attribute"], entry["position"], entry["word"])
+        for entry in payload["tokens"]
+    )
+    instance = GeneratedInstance(
+        pair=pair,
+        landmark_side=payload["landmark_side"],
+        generation=payload["generation"],
+        tokens=tokens,
+        injected=tuple(bool(flag) for flag in payload["injected"]),
+    )
+    explanation_payload = payload["explanation"]
+    explanation = Explanation(
+        feature_names=instance.feature_names,
+        weights=np.array(explanation_payload["weights"], dtype=np.float64),
+        intercept=explanation_payload["intercept"],
+        score=explanation_payload["score"],
+        model_probability=explanation_payload["model_probability"],
+        surrogate_probability=explanation_payload["surrogate_probability"],
+        n_samples=explanation_payload["n_samples"],
+        metadata=dict(explanation_payload.get("metadata", {})),
+    )
+    return LandmarkExplanation(instance=instance, explanation=explanation)
+
+
+def dual_to_dict(dual: DualExplanation) -> dict:
+    """A JSON-serializable view of a dual explanation."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "pair": _pair_to_dict(dual.pair),
+        "left_landmark": _side_to_dict(dual.left_landmark),
+        "right_landmark": _side_to_dict(dual.right_landmark),
+    }
+
+
+def dual_from_dict(payload: dict) -> DualExplanation:
+    """Rebuild a :class:`DualExplanation` written by :func:`dual_to_dict`."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ExplanationError(
+            f"unsupported explanation format version {version!r}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    pair = _pair_from_dict(payload["pair"])
+    return DualExplanation(
+        pair=pair,
+        left_landmark=_side_from_dict(payload["left_landmark"], pair),
+        right_landmark=_side_from_dict(payload["right_landmark"], pair),
+    )
+
+
+def save_explanation(dual: DualExplanation, path: str | Path) -> None:
+    """Write a dual explanation to *path* as JSON."""
+    Path(path).write_text(
+        json.dumps(dual_to_dict(dual), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+
+
+def load_explanation(path: str | Path) -> DualExplanation:
+    """Read a dual explanation previously written by :func:`save_explanation`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return dual_from_dict(payload)

@@ -1,0 +1,110 @@
+"""Global explanation summaries (the paper's stated future work).
+
+"Future work includes the study of techniques for summarizing the
+explanations to facilitate the interpretation of the EM model as a whole."
+This module implements a straightforward such technique: aggregate many
+local (dual) explanations into global per-word and per-attribute impact
+statistics.
+
+For every word we track how often it appeared, its mean signed weight and
+its mean absolute weight; attributes aggregate the same over their tokens.
+The result answers questions like "which words does the model treat as
+match evidence across the whole dataset?".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.explanation import DualExplanation
+
+
+@dataclass
+class _Accumulator:
+    count: int = 0
+    total_weight: float = 0.0
+    total_abs_weight: float = 0.0
+
+    def add(self, weight: float) -> None:
+        self.count += 1
+        self.total_weight += weight
+        self.total_abs_weight += abs(weight)
+
+    @property
+    def mean_weight(self) -> float:
+        return self.total_weight / self.count if self.count else 0.0
+
+    @property
+    def mean_abs_weight(self) -> float:
+        return self.total_abs_weight / self.count if self.count else 0.0
+
+
+@dataclass
+class GlobalSummary:
+    """Aggregated impact of words and attributes across many explanations."""
+
+    n_explanations: int = 0
+    words: dict[str, _Accumulator] = field(default_factory=dict)
+    attributes: dict[str, _Accumulator] = field(default_factory=dict)
+
+    def add(self, dual: DualExplanation) -> None:
+        """Fold one dual explanation into the summary (original tokens only)."""
+        self.n_explanations += 1
+        for entry in dual.combined().entries:
+            self.words.setdefault(entry.word, _Accumulator()).add(entry.weight)
+            self.attributes.setdefault(entry.attribute, _Accumulator()).add(
+                entry.weight
+            )
+
+    def top_words(
+        self, k: int = 20, min_count: int = 2, sign: str | None = None
+    ) -> list[tuple[str, float, int]]:
+        """(word, mean weight, count), strongest mean |weight| first.
+
+        ``sign`` filters to words whose *mean* weight is positive (global
+        match evidence) or negative (global mismatch evidence).
+        """
+        rows = [
+            (word, acc.mean_weight, acc.count)
+            for word, acc in self.words.items()
+            if acc.count >= min_count
+        ]
+        if sign == "positive":
+            rows = [row for row in rows if row[1] > 0]
+        elif sign == "negative":
+            rows = [row for row in rows if row[1] < 0]
+        elif sign is not None:
+            raise ValueError(f"sign must be 'positive', 'negative' or None: {sign!r}")
+        rows.sort(key=lambda row: -abs(row[1]))
+        return rows[:k]
+
+    def attribute_report(self) -> list[tuple[str, float, int]]:
+        """(attribute, mean |weight|, token count), heaviest first."""
+        rows = [
+            (attribute, acc.mean_abs_weight, acc.count)
+            for attribute, acc in self.attributes.items()
+        ]
+        rows.sort(key=lambda row: -row[1])
+        return rows
+
+    def render(self, k: int = 15) -> str:
+        """Readable global report."""
+        lines = [f"global summary over {self.n_explanations} explanations"]
+        lines.append("attributes by mean |weight|:")
+        for attribute, weight, count in self.attribute_report():
+            lines.append(f"  {attribute:<20} {weight:+.4f}  (n={count})")
+        lines.append(f"top {k} words by mean |weight|:")
+        for word, weight, count in self.top_words(k):
+            lines.append(f"  {word:<24} {weight:+.4f}  (n={count})")
+        return "\n".join(lines)
+
+
+def summarize_explanations(
+    explanations: Iterable[DualExplanation] | Sequence[DualExplanation],
+) -> GlobalSummary:
+    """Aggregate an iterable of dual explanations into a global summary."""
+    summary = GlobalSummary()
+    for dual in explanations:
+        summary.add(dual)
+    return summary

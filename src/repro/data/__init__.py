@@ -1,0 +1,37 @@
+"""EM data substrate: schemas, record pairs, datasets, io and splits.
+
+Entity matching data has an unusual shape for machine learning: every row
+describes *two* entities through paired columns (``left_name`` /
+``right_name``, ``left_price`` / ``right_price``, ...), plus a binary label
+telling whether the two sides refer to the same real-world entity.  This
+package gives that shape a first-class representation:
+
+* :class:`~repro.data.schema.PairSchema` — the shared attribute list and the
+  left/right column naming convention.
+* :class:`~repro.data.records.RecordPair` — one labelled pair of entities.
+* :class:`~repro.data.records.EMDataset` — a named collection of pairs with
+  label statistics, filtering, sampling and splitting.
+* :mod:`repro.data.io` — CSV round-tripping in the Magellan flat layout.
+* :mod:`repro.data.synthetic` — deterministic generators reproducing the
+  twelve Magellan benchmark datasets of the paper's Table 1.
+"""
+
+from repro.data.records import EMDataset, RecordPair
+from repro.data.schema import LEFT_PREFIX, RIGHT_PREFIX, PairSchema
+from repro.data.io import read_csv, write_csv
+from repro.data.profiling import DatasetProfile, profile_dataset
+from repro.data.splits import sample_per_label, train_test_split
+
+__all__ = [
+    "DatasetProfile",
+    "EMDataset",
+    "LEFT_PREFIX",
+    "PairSchema",
+    "RIGHT_PREFIX",
+    "RecordPair",
+    "profile_dataset",
+    "read_csv",
+    "sample_per_label",
+    "train_test_split",
+    "write_csv",
+]

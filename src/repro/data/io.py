@@ -1,0 +1,83 @@
+"""CSV round-tripping in the Magellan flat layout.
+
+The layout is one row per pair with columns::
+
+    pair_id, label, left_<attr1>, ..., left_<attrN>, right_<attr1>, ..., right_<attrN>
+
+which is what the DeepMatcher / Magellan dataset releases use (modulo the
+``ltable_`` / ``rtable_`` spelling — we standardize on ``left_`` /
+``right_``, mirroring the paper's Figure 1).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.records import EMDataset, RecordPair
+from repro.data.schema import PairSchema
+from repro.exceptions import DatasetError
+
+
+def write_csv(dataset: EMDataset, path: str | Path) -> None:
+    """Write *dataset* to *path* in the flat layout."""
+    path = Path(path)
+    columns = ["pair_id", "label", *dataset.schema.flat_columns()]
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for pair in dataset:
+            row = {"pair_id": pair.pair_id, "label": pair.label}
+            row.update(pair.flat())
+            writer.writerow(row)
+
+
+def read_csv(path: str | Path, name: str | None = None) -> EMDataset:
+    """Read an EM dataset from a flat-layout CSV file.
+
+    The schema is inferred from the header; ``label`` is required,
+    ``pair_id`` is optional (row order is used when absent).
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DatasetError(f"{path}: empty CSV file")
+        if "label" not in reader.fieldnames:
+            raise DatasetError(f"{path}: missing required 'label' column")
+        schema = PairSchema.from_flat_columns(reader.fieldnames)
+        pairs: list[RecordPair] = []
+        for row_index, row in enumerate(reader):
+            try:
+                label = int(row["label"])
+            except (TypeError, ValueError) as exc:
+                raise DatasetError(
+                    f"{path}: row {row_index}: bad label {row.get('label')!r}"
+                ) from exc
+            pair_id = row_index
+            if "pair_id" in row and row["pair_id"] not in (None, ""):
+                try:
+                    pair_id = int(row["pair_id"])
+                except ValueError as exc:
+                    raise DatasetError(
+                        f"{path}: row {row_index}: bad pair_id "
+                        f"{row['pair_id']!r}"
+                    ) from exc
+            left = {
+                attribute: row.get(schema.left_column(attribute)) or ""
+                for attribute in schema.attributes
+            }
+            right = {
+                attribute: row.get(schema.right_column(attribute)) or ""
+                for attribute in schema.attributes
+            }
+            pairs.append(
+                RecordPair(
+                    schema=schema,
+                    left=left,
+                    right=right,
+                    label=label,
+                    pair_id=pair_id,
+                )
+            )
+    return EMDataset(name=name or path.stem, schema=schema, pairs=pairs)

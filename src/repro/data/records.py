@@ -1,0 +1,189 @@
+"""Record pairs and datasets.
+
+A :class:`RecordPair` is one labelled row of an EM dataset: two entities
+described by the same schema plus a match / non-match label.  An
+:class:`EMDataset` is an ordered, named collection of pairs that knows its
+label statistics and supports the filtering / sampling operations the
+paper's experimental setup needs ("we sampled 100 records per label").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+
+import numpy as np
+
+from repro.data.schema import PairSchema
+from repro.exceptions import DatasetError, SchemaError
+
+MATCH = 1
+NON_MATCH = 0
+
+#: Human-readable names for the two classes, indexed by label.
+LABEL_NAMES = ("non-match", "match")
+
+
+def _frozen_entity(
+    schema: PairSchema, entity: Mapping[str, object]
+) -> Mapping[str, str]:
+    """Validate *entity* against *schema* and freeze it as a read-only map."""
+    schema.validate_entity(entity)
+    normalized = {
+        attribute: "" if entity[attribute] is None else str(entity[attribute])
+        for attribute in schema.attributes
+    }
+    return MappingProxyType(normalized)
+
+
+@dataclass(frozen=True)
+class RecordPair:
+    """One labelled pair of entities sharing a :class:`PairSchema`.
+
+    Entities are stored as read-only mappings in schema attribute order, so
+    tokenization and feature extraction are deterministic.
+    """
+
+    schema: PairSchema
+    left: Mapping[str, str]
+    right: Mapping[str, str]
+    label: int = NON_MATCH
+    pair_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.label not in (MATCH, NON_MATCH):
+            raise SchemaError(f"label must be 0 or 1, got {self.label!r}")
+        object.__setattr__(self, "left", _frozen_entity(self.schema, self.left))
+        object.__setattr__(self, "right", _frozen_entity(self.schema, self.right))
+
+    @property
+    def is_match(self) -> bool:
+        return self.label == MATCH
+
+    def entity(self, side: str) -> Mapping[str, str]:
+        """Return the entity for ``side in {"left", "right"}``."""
+        if side == "left":
+            return self.left
+        if side == "right":
+            return self.right
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+
+    def with_left(self, left: Mapping[str, object]) -> "RecordPair":
+        """A copy of this pair with the left entity replaced."""
+        return replace(self, left=self.schema.conform(left))
+
+    def with_right(self, right: Mapping[str, object]) -> "RecordPair":
+        """A copy of this pair with the right entity replaced."""
+        return replace(self, right=self.schema.conform(right))
+
+    def with_side(self, side: str, entity: Mapping[str, object]) -> "RecordPair":
+        """A copy with one side replaced, chosen by name."""
+        if side == "left":
+            return self.with_left(entity)
+        if side == "right":
+            return self.with_right(entity)
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+
+    def swapped(self) -> "RecordPair":
+        """The same pair with left and right exchanged (label unchanged)."""
+        return replace(self, left=dict(self.right), right=dict(self.left))
+
+    def flat(self) -> dict[str, str]:
+        """The flat CSV representation: ``left_*`` then ``right_*`` columns."""
+        row: dict[str, str] = {}
+        for attribute in self.schema.attributes:
+            row[self.schema.left_column(attribute)] = self.left[attribute]
+        for attribute in self.schema.attributes:
+            row[self.schema.right_column(attribute)] = self.right[attribute]
+        return row
+
+    def describe(self, max_width: int = 40) -> str:
+        """A compact multi-line rendering for logs and examples."""
+        lines = [f"pair #{self.pair_id} [{LABEL_NAMES[self.label]}]"]
+        for attribute in self.schema.attributes:
+            left = self.left[attribute][:max_width]
+            right = self.right[attribute][:max_width]
+            lines.append(f"  {attribute:>12}: {left!r:{max_width + 2}} | {right!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class EMDataset:
+    """A named, ordered collection of :class:`RecordPair` rows."""
+
+    name: str
+    schema: PairSchema
+    pairs: list[RecordPair] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for index, pair in enumerate(self.pairs):
+            if pair.schema.attributes != self.schema.attributes:
+                raise DatasetError(
+                    f"pair at index {index} has schema {pair.schema.attributes}, "
+                    f"dataset expects {self.schema.attributes}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[RecordPair]:
+        return iter(self.pairs)
+
+    def __getitem__(self, index: int) -> RecordPair:
+        return self.pairs[index]
+
+    def append(self, pair: RecordPair) -> None:
+        """Add one pair, enforcing the dataset schema."""
+        if pair.schema.attributes != self.schema.attributes:
+            raise DatasetError(
+                f"pair schema {pair.schema.attributes} does not match "
+                f"dataset schema {self.schema.attributes}"
+            )
+        self.pairs.append(pair)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Labels as an int array aligned with the pair order."""
+        return np.array([pair.label for pair in self.pairs], dtype=np.int64)
+
+    @property
+    def match_count(self) -> int:
+        return int(self.labels.sum()) if self.pairs else 0
+
+    @property
+    def match_rate(self) -> float:
+        """Fraction of matching pairs (the paper's "% Match" / 100)."""
+        if not self.pairs:
+            return 0.0
+        return self.match_count / len(self.pairs)
+
+    def filter(self, predicate: Callable[[RecordPair], bool]) -> "EMDataset":
+        """A new dataset holding the pairs for which *predicate* is true."""
+        return EMDataset(
+            name=self.name,
+            schema=self.schema,
+            pairs=[pair for pair in self.pairs if predicate(pair)],
+        )
+
+    def by_label(self, label: int) -> "EMDataset":
+        """The subset of pairs carrying *label*."""
+        return self.filter(lambda pair: pair.label == label)
+
+    def subset(self, indices: Iterable[int], name: str | None = None) -> "EMDataset":
+        """A new dataset from a sequence of row indices."""
+        return EMDataset(
+            name=name or self.name,
+            schema=self.schema,
+            pairs=[self.pairs[index] for index in indices],
+        )
+
+    def summary(self) -> dict[str, object]:
+        """Dataset statistics in the shape of the paper's Table 1."""
+        return {
+            "name": self.name,
+            "size": len(self),
+            "match_count": self.match_count,
+            "match_percent": round(100.0 * self.match_rate, 2),
+            "attributes": list(self.schema.attributes),
+        }

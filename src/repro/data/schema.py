@@ -1,0 +1,138 @@
+"""Pair schemas: the shared attribute list of an EM dataset.
+
+In the Magellan benchmark every dataset describes both entities with the
+*same* attributes; the flat CSV layout prefixes them with ``left_`` and
+``right_``.  :class:`PairSchema` owns that convention so the rest of the
+library never hard-codes column names.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchemaError
+
+LEFT_PREFIX = "left_"
+RIGHT_PREFIX = "right_"
+
+#: Column names that are metadata, not entity attributes.
+RESERVED_COLUMNS = frozenset({"label", "id", "pair_id"})
+
+
+@dataclass(frozen=True)
+class PairSchema:
+    """The attribute list shared by the two entities of every record pair.
+
+    Attributes are ordered; the order is meaningful (it is the column order
+    of the flat CSV layout and the iteration order of the tokenizer).
+    """
+
+    attributes: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError("a PairSchema needs at least one attribute")
+        seen: set[str] = set()
+        for attribute in self.attributes:
+            if not attribute:
+                raise SchemaError("empty attribute name")
+            if attribute in RESERVED_COLUMNS:
+                raise SchemaError(f"attribute name {attribute!r} is reserved")
+            if "#" in attribute:
+                raise SchemaError(
+                    f"attribute name {attribute!r} contains '#', which is "
+                    "reserved by the tokenizer"
+                )
+            if attribute.startswith((LEFT_PREFIX, RIGHT_PREFIX)):
+                raise SchemaError(
+                    f"attribute name {attribute!r} must not carry a side "
+                    "prefix; PairSchema adds prefixes itself"
+                )
+            if attribute in seen:
+                raise SchemaError(f"duplicate attribute name {attribute!r}")
+            seen.add(attribute)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def _require(self, attribute: str) -> None:
+        if attribute not in self.attributes:
+            raise SchemaError(f"unknown attribute {attribute!r}")
+
+    def left_column(self, attribute: str) -> str:
+        """Flat-CSV column name for *attribute* of the left entity."""
+        self._require(attribute)
+        return LEFT_PREFIX + attribute
+
+    def right_column(self, attribute: str) -> str:
+        """Flat-CSV column name for *attribute* of the right entity."""
+        self._require(attribute)
+        return RIGHT_PREFIX + attribute
+
+    def flat_columns(self) -> list[str]:
+        """All flat column names, left side first, in attribute order."""
+        columns = [LEFT_PREFIX + attribute for attribute in self.attributes]
+        columns.extend(RIGHT_PREFIX + attribute for attribute in self.attributes)
+        return columns
+
+    def validate_entity(self, entity: Mapping[str, object]) -> None:
+        """Raise :class:`SchemaError` unless *entity* has exactly our attributes."""
+        entity_keys = set(entity)
+        expected = set(self.attributes)
+        if entity_keys != expected:
+            missing = sorted(expected - entity_keys)
+            extra = sorted(entity_keys - expected)
+            raise SchemaError(
+                f"entity does not match schema (missing={missing}, extra={extra})"
+            )
+
+    def empty_entity(self) -> dict[str, str]:
+        """A schema-complete entity with every value empty."""
+        return {attribute: "" for attribute in self.attributes}
+
+    def conform(self, partial: Mapping[str, object]) -> dict[str, str]:
+        """Fill a partial attribute mapping up to the full schema.
+
+        Unknown attributes raise; missing ones become empty strings.  This
+        is what pair reconstruction uses after a perturbation removed every
+        token of some attribute.
+        """
+        unknown = sorted(set(partial) - set(self.attributes))
+        if unknown:
+            raise SchemaError(f"unknown attributes: {unknown}")
+        entity = self.empty_entity()
+        for attribute, value in partial.items():
+            entity[attribute] = "" if value is None else str(value)
+        return entity
+
+    @classmethod
+    def from_flat_columns(cls, columns: Iterable[str]) -> "PairSchema":
+        """Infer a schema from flat CSV column names.
+
+        Columns must come in matched ``left_x`` / ``right_x`` pairs;
+        metadata columns (``label``, ``id``, ``pair_id``) are ignored.
+        """
+        left: list[str] = []
+        right: set[str] = set()
+        for column in columns:
+            if column in RESERVED_COLUMNS:
+                continue
+            if column.startswith(LEFT_PREFIX):
+                left.append(column[len(LEFT_PREFIX):])
+            elif column.startswith(RIGHT_PREFIX):
+                right.add(column[len(RIGHT_PREFIX):])
+            else:
+                raise SchemaError(f"unrecognized column {column!r}")
+        if set(left) != right:
+            raise SchemaError(
+                f"left/right columns do not pair up: left={sorted(left)}, "
+                f"right={sorted(right)}"
+            )
+        return cls(tuple(left))

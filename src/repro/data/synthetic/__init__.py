@@ -1,0 +1,43 @@
+"""Synthetic stand-ins for the Magellan EM benchmark.
+
+The paper evaluates on twelve datasets from the Magellan / DeepMatcher
+benchmark (Table 1).  Those CSVs are not redistributable and no network is
+available in this environment, so this package builds *deterministic
+synthetic equivalents* with the same schemas, sizes and match rates, and —
+crucially — the same structural properties the experiments exercise:
+
+* pair-structured records over a handful of domains (beer, music,
+  restaurants, bibliography, products);
+* matching pairs that are *noisy views* of the same world entity (token
+  drops, typos, abbreviations, value formatting drift);
+* non-matching pairs with a controlled share of *hard negatives* that share
+  brands / venues / title words, so token overlap alone does not decide the
+  class;
+* dirty variants built the Magellan way: attribute values moved into the
+  wrong column, leaving the source empty.
+
+See DESIGN.md §4 for the substitution rationale.
+"""
+
+from repro.data.synthetic.corruption import CorruptionConfig, corrupt_entity
+from repro.data.synthetic.dirty import make_dirty
+from repro.data.synthetic.generator import SyntheticEMGenerator
+from repro.data.synthetic.magellan import (
+    DATASET_CODES,
+    DATASET_SPECS,
+    DatasetSpec,
+    load_benchmark,
+    load_dataset,
+)
+
+__all__ = [
+    "CorruptionConfig",
+    "DATASET_CODES",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "SyntheticEMGenerator",
+    "corrupt_entity",
+    "load_benchmark",
+    "load_dataset",
+    "make_dirty",
+]

@@ -1,0 +1,137 @@
+"""The twelve Magellan benchmark stand-ins (paper Table 1).
+
+Each :class:`DatasetSpec` records the dataset code the paper uses (``S-BR``,
+``D-WA``, ...), its real name, domain factory, size and match percentage
+from Table 1, and whether it is a dirty variant.  :func:`load_dataset`
+materializes one dataset deterministically; :func:`load_benchmark` yields
+all twelve.
+
+Because the full DBLP-GoogleScholar stand-in has 28 707 pairs, loaders take
+a ``size_cap``: the dataset is generated at ``min(size, size_cap)`` rows
+with the match rate preserved.  The experiment runner's *fast* preset uses a
+cap; the *paper* preset does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.records import EMDataset
+from repro.data.synthetic.dirty import make_dirty
+from repro.data.synthetic.generator import SyntheticEMGenerator
+from repro.data.synthetic.vocabularies import (
+    ABT_BUY_FACTORY,
+    AMAZON_GOOGLE_FACTORY,
+    BEER_FACTORY,
+    DBLP_ACM_FACTORY,
+    DBLP_SCHOLAR_FACTORY,
+    EntityFactory,
+    MUSIC_FACTORY,
+    RESTAURANT_FACTORY,
+    WALMART_AMAZON_FACTORY,
+)
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one benchmark dataset (one row of Table 1)."""
+
+    code: str
+    dataset_type: str
+    full_name: str
+    factory: EntityFactory
+    size: int
+    match_percent: float
+    dirty: bool = False
+
+    @property
+    def match_rate(self) -> float:
+        return self.match_percent / 100.0
+
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.code: spec
+    for spec in (
+        DatasetSpec("S-BR", "Structured", "BeerAdvo-RateBeer", BEER_FACTORY, 450, 15.11),
+        DatasetSpec("S-IA", "Structured", "iTunes-Amazon", MUSIC_FACTORY, 539, 24.49),
+        DatasetSpec("S-FZ", "Structured", "Fodors-Zagats", RESTAURANT_FACTORY, 946, 11.63),
+        DatasetSpec("S-DA", "Structured", "DBLP-ACM", DBLP_ACM_FACTORY, 12363, 17.96),
+        DatasetSpec("S-DG", "Structured", "DBLP-GoogleScholar", DBLP_SCHOLAR_FACTORY, 28707, 18.63),
+        DatasetSpec("S-AG", "Structured", "Amazon-Google", AMAZON_GOOGLE_FACTORY, 11460, 10.18),
+        DatasetSpec("S-WA", "Structured", "Walmart-Amazon", WALMART_AMAZON_FACTORY, 10242, 9.39),
+        DatasetSpec("T-AB", "Textual", "Abt-Buy", ABT_BUY_FACTORY, 9575, 10.74),
+        DatasetSpec("D-IA", "Dirty", "iTunes-Amazon", MUSIC_FACTORY, 539, 24.49, dirty=True),
+        DatasetSpec("D-DA", "Dirty", "DBLP-ACM", DBLP_ACM_FACTORY, 12363, 17.96, dirty=True),
+        DatasetSpec("D-DG", "Dirty", "DBLP-GoogleScholar", DBLP_SCHOLAR_FACTORY, 28707, 18.63, dirty=True),
+        DatasetSpec("D-WA", "Dirty", "Walmart-Amazon", WALMART_AMAZON_FACTORY, 10242, 9.39, dirty=True),
+    )
+}
+
+#: Benchmark codes in the paper's Table 1 order.
+DATASET_CODES: tuple[str, ...] = tuple(DATASET_SPECS)
+
+
+def _spec_seed(spec: DatasetSpec, seed: int) -> int:
+    """Give every dataset its own substream of the global seed."""
+    return seed * 1000 + sum(ord(ch) for ch in spec.code)
+
+
+def load_dataset(
+    code: str,
+    seed: int = 0,
+    size_cap: int | None = None,
+) -> EMDataset:
+    """Materialize one benchmark dataset by its paper code (e.g. ``"S-WA"``).
+
+    ``size_cap`` truncates the generated size (match rate preserved); ``None``
+    generates the full Table 1 size.
+    """
+    spec = DATASET_SPECS.get(code)
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset code {code!r}; known codes: {', '.join(DATASET_CODES)}"
+        )
+    size = spec.size if size_cap is None else min(spec.size, size_cap)
+    generator = SyntheticEMGenerator(
+        factory=spec.factory,
+        match_rate=spec.match_rate,
+        seed=_spec_seed(spec, seed),
+    )
+    dataset = generator.generate(size, name=spec.code)
+    if spec.dirty:
+        dataset = make_dirty(dataset, seed=_spec_seed(spec, seed), name=spec.code)
+    return dataset
+
+
+def load_benchmark(
+    seed: int = 0,
+    size_cap: int | None = None,
+    codes: tuple[str, ...] | None = None,
+) -> dict[str, EMDataset]:
+    """Materialize several benchmark datasets (all twelve by default)."""
+    selected = codes or DATASET_CODES
+    return {code: load_dataset(code, seed=seed, size_cap=size_cap) for code in selected}
+
+
+def table1_rows(
+    datasets: dict[str, EMDataset] | None = None,
+) -> list[dict[str, object]]:
+    """Rows of the paper's Table 1, either nominal (from the specs) or
+    measured (from materialized datasets)."""
+    rows = []
+    for code in DATASET_CODES:
+        spec = DATASET_SPECS[code]
+        row: dict[str, object] = {
+            "code": code,
+            "type": spec.dataset_type,
+            "dataset": spec.full_name,
+            "size": spec.size,
+            "match_percent": spec.match_percent,
+        }
+        if datasets is not None and code in datasets:
+            dataset = datasets[code]
+            row["measured_size"] = len(dataset)
+            row["measured_match_percent"] = round(100.0 * dataset.match_rate, 2)
+        rows.append(row)
+    return rows

@@ -1,0 +1,86 @@
+"""Evaluation harness: the experiments behind Tables 2, 3 and 4.
+
+* :mod:`~repro.evaluation.methods` — a uniform adapter
+  (:class:`~repro.evaluation.methods.ExplainedRecord`) over Landmark
+  (single / double) and baseline (LIME drop / Mojito copy) explanations,
+  so the three evaluations below run identically for every method.
+* :mod:`~repro.evaluation.token_eval` — token-removal reliability
+  (Table 2): accuracy and MAE of the surrogate against the EM model.
+* :mod:`~repro.evaluation.attribute_eval` — weighted-Kendall agreement
+  between the model's and the surrogate's attribute rankings (Table 3).
+* :mod:`~repro.evaluation.interest_eval` — label-flip "interest" of the
+  explanations (Table 4).
+* :mod:`~repro.evaluation.runner` — trains a matcher per dataset, explains
+  sampled records with every method and aggregates all three metrics.
+* :mod:`~repro.evaluation.tables` — plain-text renderings in the paper's
+  table layouts.
+"""
+
+from repro.evaluation.attribute_eval import attribute_correlation, attribute_eval
+from repro.evaluation.interest_eval import interest_eval
+from repro.evaluation.methods import ExplainedRecord, MethodExplainers
+from repro.evaluation.persistence import (
+    compare_results,
+    load_result,
+    save_result,
+)
+from repro.evaluation.faithfulness import (
+    FaithfulnessResult,
+    deletion_curve,
+    faithfulness_eval,
+)
+from repro.evaluation.stability import (
+    StabilityResult,
+    record_stability,
+    stability_eval,
+)
+from repro.evaluation.stats import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    paired_bootstrap_pvalue,
+)
+from repro.evaluation.runner import (
+    BenchmarkResult,
+    DatasetResult,
+    ExperimentRunner,
+    MethodMetrics,
+)
+from repro.evaluation.tables import (
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    render_table,
+)
+from repro.evaluation.token_eval import TokenEvalResult, token_removal_eval
+
+__all__ = [
+    "BenchmarkResult",
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "compare_results",
+    "load_result",
+    "paired_bootstrap_pvalue",
+    "save_result",
+    "DatasetResult",
+    "ExperimentRunner",
+    "ExplainedRecord",
+    "FaithfulnessResult",
+    "MethodExplainers",
+    "deletion_curve",
+    "faithfulness_eval",
+    "MethodMetrics",
+    "StabilityResult",
+    "TokenEvalResult",
+    "record_stability",
+    "stability_eval",
+    "attribute_correlation",
+    "attribute_eval",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "interest_eval",
+    "render_table",
+    "token_removal_eval",
+]

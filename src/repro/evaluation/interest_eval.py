@@ -1,0 +1,76 @@
+"""Interest evaluation (the paper's Table 4).
+
+An explanation of a non-match record is *interesting* when it names the
+tokens that, if shared between the entities, would make the model call the
+record a match — not merely any of the many tokens that differ.
+
+Protocol (Sec. 4.3), per record, driven by the record's gold label:
+
+* **matching** record — remove every token with a *positive* weight (all
+  the match evidence) from the explanation's working representation and
+  re-predict; success when the class flips to non-match;
+* **non-matching** record — remove every token with a *negative* weight;
+  success when the class flips to match.
+
+Landmark methods contribute one working representation per landmark side
+(under double-entity generation that representation includes the injected
+landmark tokens); the per-record score is the mean flip rate over the
+method's representations.  *Interest* is the mean score over records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.records import MATCH
+from repro.evaluation.methods import ExplainedRecord
+from repro.matchers.base import DEFAULT_THRESHOLD, EntityMatcher
+
+
+@dataclass(frozen=True)
+class InterestEvalResult:
+    """Aggregated label-flip rate over a set of explained records."""
+
+    interest: float
+    n_records: int
+
+    def as_row(self) -> dict[str, float]:
+        return {"interest": self.interest, "n": self.n_records}
+
+
+def interest_of_record(
+    explained: ExplainedRecord,
+    matcher: EntityMatcher,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> float:
+    """Flip rate of one record, averaged over the method's representations."""
+    sign = "positive" if explained.pair.label == MATCH else "negative"
+    variants = explained.removal_pairs(sign)
+    if not variants:
+        return 0.0
+    probabilities = matcher.predict_proba(variants)
+    if explained.pair.label == MATCH:
+        flips = probabilities < threshold
+    else:
+        flips = probabilities >= threshold
+    return float(np.mean(flips))
+
+
+def interest_eval(
+    explained_records: Sequence[ExplainedRecord],
+    matcher: EntityMatcher,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> InterestEvalResult:
+    """Mean interest over records."""
+    scores = [
+        interest_of_record(explained, matcher, threshold)
+        for explained in explained_records
+    ]
+    if not scores:
+        return InterestEvalResult(interest=0.0, n_records=0)
+    return InterestEvalResult(
+        interest=float(np.mean(scores)), n_records=len(scores)
+    )

@@ -1,0 +1,129 @@
+"""Uniform adapter over the four explanation methods under evaluation.
+
+Tables 2-4 compare *single*, *double* (Landmark Explanation), *LIME /
+Mojito Drop* and *Mojito Copy*.  The evaluations only need three things
+from an explanation, whatever produced it:
+
+* a flat per-token weight map over the record's original tokens
+  (:class:`~repro.core.explanation.PairTokenWeights`);
+* an attribute-importance map (surrogate side of Table 3);
+* the record(s) left after removing all positively / negatively weighted
+  tokens from the method's *working representation* (Table 4) — for
+  Landmark methods that representation is per landmark side and, under
+  double-entity generation, includes the injected tokens.
+
+:class:`ExplainedRecord` packages exactly that.  :class:`MethodExplainers`
+builds the four explainer callables around one fitted matcher.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.baselines.mojito import (
+    MojitoAttributeDropExplainer,
+    MojitoCopyExplainer,
+    MojitoDropExplainer,
+)
+from repro.config import (
+    ALL_METHODS,
+    METHOD_DOUBLE,
+    METHOD_LIME,
+    METHOD_MOJITO_ATTR_DROP,
+    METHOD_MOJITO_COPY,
+    METHOD_SINGLE,
+)
+from repro.core.explanation import DualExplanation, PairTokenWeights
+from repro.core.landmark import LandmarkExplainer
+from repro.data.records import RecordPair
+from repro.exceptions import ConfigurationError
+from repro.explainers.lime_text import LimeConfig
+from repro.matchers.base import EntityMatcher
+
+
+@dataclass(frozen=True)
+class ExplainedRecord:
+    """One record explained by one method, in evaluation-ready form."""
+
+    method: str
+    pair: RecordPair
+    token_weights: PairTokenWeights
+    attribute_importance: dict[str, float]
+    removal_pairs: Callable[[str], list[RecordPair]]
+    source: object = None  # the native explanation object, for inspection
+
+
+def _adapt_dual(method: str, dual: DualExplanation) -> ExplainedRecord:
+    def removal(sign: str) -> list[RecordPair]:
+        return [side.apply_removal(sign) for side in dual.sides()]
+
+    return ExplainedRecord(
+        method=method,
+        pair=dual.pair,
+        token_weights=dual.combined(),
+        attribute_importance=dual.attribute_importance(include_injected=True),
+        removal_pairs=removal,
+        source=dual,
+    )
+
+
+class MethodExplainers:
+    """The four method callables (``pair → ExplainedRecord``) for a matcher."""
+
+    def __init__(
+        self,
+        matcher: EntityMatcher,
+        lime_config: LimeConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.matcher = matcher
+        self.lime_config = lime_config or LimeConfig()
+        self.seed = seed
+        self._landmark = LandmarkExplainer(
+            matcher, lime_config=self.lime_config, seed=seed
+        )
+        self._drop = MojitoDropExplainer(
+            matcher, lime_config=self.lime_config, seed=seed
+        )
+        self._copy = MojitoCopyExplainer(
+            matcher, lime_config=self.lime_config, seed=seed
+        )
+        self._attr_drop = MojitoAttributeDropExplainer(
+            matcher, lime_config=self.lime_config, seed=seed
+        )
+
+    @property
+    def landmark(self) -> LandmarkExplainer:
+        return self._landmark
+
+    def explain(self, method: str, pair: RecordPair) -> ExplainedRecord:
+        """Explain *pair* with the named method."""
+        if method == METHOD_SINGLE:
+            return _adapt_dual(method, self._landmark.explain(pair, "single"))
+        if method == METHOD_DOUBLE:
+            return _adapt_dual(method, self._landmark.explain(pair, "double"))
+        if method == METHOD_LIME:
+            pair_explanation = self._drop.explain(pair)
+        elif method == METHOD_MOJITO_COPY:
+            pair_explanation = self._copy.explain(pair)
+        elif method == METHOD_MOJITO_ATTR_DROP:
+            pair_explanation = self._attr_drop.explain(pair)
+        else:
+            raise ConfigurationError(
+                f"unknown method {method!r}; known: {', '.join(ALL_METHODS)}"
+            )
+
+        def removal(sign: str) -> list[RecordPair]:
+            return [pair_explanation.removal_pair(sign)]
+
+        return ExplainedRecord(
+            method=method,
+            pair=pair,
+            token_weights=pair_explanation.token_weights,
+            attribute_importance=(
+                pair_explanation.token_weights.attribute_importance()
+            ),
+            removal_pairs=removal,
+            source=pair_explanation,
+        )

@@ -1,0 +1,132 @@
+"""Saving, loading and diffing benchmark runs.
+
+Reproduction work is iterative: you tweak the generator or a matcher
+hyper-parameter and want to know what moved.  This module serializes a
+:class:`~repro.evaluation.runner.BenchmarkResult` to JSON and renders the
+per-cell deltas between two runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.config import ExperimentConfig
+from repro.evaluation.runner import BenchmarkResult, DatasetResult, MethodMetrics
+from repro.evaluation.tables import render_table
+from repro.exceptions import DatasetError
+from repro.matchers.evaluate import MatchQuality
+
+FORMAT_VERSION = 1
+
+
+def _nan_to_none(payload: dict) -> dict:
+    """NaN floats → None, for portable JSON."""
+    return {
+        key: (None if isinstance(value, float) and value != value else value)
+        for key, value in payload.items()
+    }
+
+
+def _none_to_nan(payload: dict) -> dict:
+    """Inverse of :func:`_nan_to_none` for metric payloads."""
+    return {
+        key: (float("nan") if value is None else value)
+        for key, value in payload.items()
+    }
+
+
+def result_to_dict(result: BenchmarkResult) -> dict:
+    """A JSON-serializable view of a benchmark run."""
+    payload: dict = {
+        "format_version": FORMAT_VERSION,
+        "config": asdict(result.config),
+        "datasets": {},
+    }
+    for code, dataset_result in result.datasets.items():
+        payload["datasets"][code] = {
+            "n_pairs": dataset_result.n_pairs,
+            "matcher_quality": (
+                asdict(dataset_result.matcher_quality)
+                if dataset_result.matcher_quality is not None
+                else None
+            ),
+            "metrics": [
+                _nan_to_none(asdict(metrics))
+                for metrics in dataset_result.metrics.values()
+            ],
+        }
+    return payload
+
+
+def save_result(result: BenchmarkResult, path: str | Path) -> None:
+    """Write a run to *path* as JSON."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+
+
+def result_from_dict(payload: dict) -> BenchmarkResult:
+    """Rebuild a :class:`BenchmarkResult` from :func:`result_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported result format version {version!r}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    config_payload = dict(payload["config"])
+    config_payload["methods"] = tuple(config_payload["methods"])
+    config = ExperimentConfig(**config_payload)
+    result = BenchmarkResult(config=config)
+    for code, dataset_payload in payload["datasets"].items():
+        quality_payload = dataset_payload.get("matcher_quality")
+        quality = MatchQuality(**quality_payload) if quality_payload else None
+        dataset_result = DatasetResult(
+            code=code,
+            n_pairs=dataset_payload["n_pairs"],
+            matcher_quality=quality,  # type: ignore[arg-type]
+        )
+        for metric_payload in dataset_payload["metrics"]:
+            metrics = MethodMetrics(**_none_to_nan(metric_payload))
+            dataset_result.metrics[(metrics.label, metrics.method)] = metrics
+        result.datasets[code] = dataset_result
+    return result
+
+
+def load_result(path: str | Path) -> BenchmarkResult:
+    """Read a run previously written by :func:`save_result`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return result_from_dict(payload)
+
+
+def compare_results(
+    baseline: BenchmarkResult,
+    candidate: BenchmarkResult,
+    fields: tuple[str, ...] = ("token_accuracy", "token_mae", "kendall", "interest"),
+) -> str:
+    """Render per-cell metric deltas (candidate − baseline).
+
+    Cells present in only one run are skipped; the header names the
+    configs so a diff is self-describing.
+    """
+    rows = []
+    for code in baseline.codes:
+        if code not in candidate.datasets:
+            continue
+        baseline_metrics = baseline.datasets[code].metrics
+        candidate_metrics = candidate.datasets[code].metrics
+        for key in sorted(set(baseline_metrics) & set(candidate_metrics)):
+            label, method = key
+            row: list[object] = [code, "match" if label == 1 else "non-match", method]
+            for field in fields:
+                before = getattr(baseline_metrics[key], field)
+                after = getattr(candidate_metrics[key], field)
+                row.append(after - before)
+            rows.append(row)
+    headers = ["Dataset", "Label", "Method"] + [f"Δ{field}" for field in fields]
+    title = (
+        f"run comparison: {candidate.config.name!r} minus {baseline.config.name!r}"
+    )
+    return title + "\n" + render_table(headers, rows)

@@ -1,0 +1,252 @@
+"""The experiment runner: one call regenerates the paper's result grid.
+
+For every requested benchmark dataset the runner
+
+1. materializes the dataset (synthetic Magellan stand-in),
+2. trains the EM model (Logistic Regression by default),
+3. samples up to ``per_label`` records of each class (the paper's setup),
+4. explains every sampled record with every method under evaluation, and
+5. scores the three evaluations: token-removal reliability (Table 2),
+   attribute-ranking agreement (Table 3) and interest (Table 4).
+
+Results come back as plain dataclasses; :mod:`repro.evaluation.tables`
+renders them in the paper's layouts.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.config import (
+    ALL_METHODS,
+    METHOD_MOJITO_COPY,
+    ExperimentConfig,
+    FAST,
+)
+from repro.data.records import EMDataset, MATCH, NON_MATCH, RecordPair
+from repro.data.splits import sample_per_label
+from repro.data.synthetic.magellan import DATASET_CODES, load_dataset
+from repro.evaluation.attribute_eval import attribute_eval
+from repro.evaluation.interest_eval import interest_eval
+from repro.evaluation.methods import ExplainedRecord, MethodExplainers
+from repro.evaluation.token_eval import token_removal_eval
+from repro.exceptions import ExplanationError
+from repro.explainers.lime_text import LimeConfig
+from repro.matchers.base import EntityMatcher
+from repro.matchers.evaluate import MatchQuality, evaluate_matcher
+from repro.matchers.logistic import LogisticRegressionMatcher
+
+logger = logging.getLogger("repro.evaluation")
+
+#: Human-readable label keys used in results and tables.
+LABEL_KEYS = {MATCH: "match", NON_MATCH: "non_match"}
+
+
+@dataclass(frozen=True)
+class MethodMetrics:
+    """All per-(dataset, label, method) numbers of Tables 2-4."""
+
+    method: str
+    label: int
+    token_accuracy: float
+    token_mae: float
+    kendall: float
+    interest: float
+    n_records: int
+    n_skipped: int = 0
+    seconds: float = 0.0
+    #: Deletion-curve faithfulness gain; NaN unless the config enables it.
+    faithfulness: float = float("nan")
+
+
+@dataclass
+class DatasetResult:
+    """Everything measured on one benchmark dataset."""
+
+    code: str
+    n_pairs: int
+    matcher_quality: MatchQuality
+    metrics: dict[tuple[int, str], MethodMetrics] = field(default_factory=dict)
+
+    def get(self, label: int, method: str) -> MethodMetrics | None:
+        return self.metrics.get((label, method))
+
+
+@dataclass
+class BenchmarkResult:
+    """Results for a whole run, keyed by dataset code."""
+
+    config: ExperimentConfig
+    datasets: dict[str, DatasetResult] = field(default_factory=dict)
+
+    @property
+    def codes(self) -> list[str]:
+        ordered = [code for code in DATASET_CODES if code in self.datasets]
+        extras = [code for code in self.datasets if code not in DATASET_CODES]
+        return ordered + sorted(extras)
+
+
+class ExperimentRunner:
+    """Drives the full evaluation protocol for one configuration."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig = FAST,
+        matcher_factory: Callable[[], EntityMatcher] | None = None,
+    ) -> None:
+        self.config = config
+        self.matcher_factory = matcher_factory or LogisticRegressionMatcher
+
+    # ------------------------------------------------------------------
+
+    def _lime_config(self) -> LimeConfig:
+        return LimeConfig(n_samples=self.config.lime_samples, seed=self.config.seed)
+
+    def _methods_for_label(self, label: int) -> list[str]:
+        methods = list(self.config.methods)
+        if label == MATCH and not self.config.copy_on_match:
+            methods = [m for m in methods if m != METHOD_MOJITO_COPY]
+        return methods
+
+    def _explain_records(
+        self,
+        explainers: MethodExplainers,
+        method: str,
+        pairs: Sequence[RecordPair],
+    ) -> tuple[list[ExplainedRecord], int]:
+        explained: list[ExplainedRecord] = []
+        skipped = 0
+        for pair in pairs:
+            try:
+                explained.append(explainers.explain(method, pair))
+            except ExplanationError:
+                # Records whose varying entity has no tokens (possible in
+                # pathological dirty rows) cannot be explained; count them.
+                skipped += 1
+        return explained, skipped
+
+    # ------------------------------------------------------------------
+
+    def run_dataset(
+        self,
+        code: str,
+        dataset: EMDataset | None = None,
+        matcher: EntityMatcher | None = None,
+    ) -> DatasetResult:
+        """Run the full protocol on one dataset."""
+        config = self.config
+        if dataset is None:
+            dataset = load_dataset(code, seed=config.seed, size_cap=config.size_cap)
+        if matcher is None:
+            matcher = self.matcher_factory()
+            matcher.fit(dataset)
+        quality = evaluate_matcher(matcher, dataset, threshold=config.threshold)
+        logger.info(
+            "dataset %s: %d pairs, matcher f1=%.3f", code, len(dataset), quality.f1
+        )
+        sample = sample_per_label(dataset, config.per_label, seed=config.seed)
+        explainers = MethodExplainers(
+            matcher, lime_config=self._lime_config(), seed=config.seed
+        )
+        model_importance = None
+        importance_fn = getattr(matcher, "attribute_weights", None)
+        if callable(importance_fn):
+            model_importance = importance_fn()
+
+        result = DatasetResult(
+            code=code, n_pairs=len(dataset), matcher_quality=quality
+        )
+        for label in (MATCH, NON_MATCH):
+            pairs = sample.by_label(label).pairs
+            for method in self._methods_for_label(label):
+                started = time.perf_counter()
+                explained, skipped = self._explain_records(
+                    explainers, method, pairs
+                )
+                token = token_removal_eval(
+                    explained,
+                    matcher,
+                    fraction=config.removal_fraction,
+                    threshold=config.threshold,
+                    seed=config.seed,
+                )
+                kendall = float("nan")
+                if model_importance is not None:
+                    kendall = attribute_eval(explained, model_importance).kendall
+                interest = interest_eval(
+                    explained, matcher, threshold=config.threshold
+                ).interest
+                faithfulness = float("nan")
+                if config.faithfulness:
+                    from repro.evaluation.faithfulness import faithfulness_eval
+
+                    faithfulness = faithfulness_eval(
+                        explained,
+                        matcher,
+                        threshold=config.threshold,
+                        seed=config.seed,
+                    ).gain
+                elapsed = time.perf_counter() - started
+                metrics = MethodMetrics(
+                    method=method,
+                    label=label,
+                    token_accuracy=token.accuracy,
+                    token_mae=token.mae,
+                    kendall=kendall,
+                    interest=interest,
+                    n_records=len(explained),
+                    n_skipped=skipped,
+                    seconds=elapsed,
+                    faithfulness=faithfulness,
+                )
+                result.metrics[(label, method)] = metrics
+                logger.info(
+                    "  %s/%s/%s: acc=%.3f mae=%.3f tau=%.3f interest=%.3f "
+                    "(%d records, %.1fs)",
+                    code,
+                    LABEL_KEYS[label],
+                    method,
+                    metrics.token_accuracy,
+                    metrics.token_mae,
+                    metrics.kendall,
+                    metrics.interest,
+                    metrics.n_records,
+                    elapsed,
+                )
+        return result
+
+    def run(
+        self,
+        codes: Sequence[str] | None = None,
+        n_jobs: int = 1,
+    ) -> BenchmarkResult:
+        """Run the protocol on several datasets (all twelve by default).
+
+        ``n_jobs > 1`` distributes *datasets* over worker processes — the
+        protocol is embarrassingly parallel across datasets since every
+        dataset trains its own matcher.  Requires the default matcher
+        factory or a picklable one.
+        """
+        selected = tuple(codes) if codes else DATASET_CODES
+        result = BenchmarkResult(config=self.config)
+        if n_jobs <= 1 or len(selected) <= 1:
+            for code in selected:
+                result.datasets[code] = self.run_dataset(code)
+            return result
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(selected))) as pool:
+            for code, dataset_result in zip(
+                selected, pool.map(self.run_dataset, selected)
+            ):
+                result.datasets[code] = dataset_result
+        return result
+
+
+def default_methods() -> tuple[str, ...]:
+    """The paper's method grid."""
+    return ALL_METHODS

@@ -1,0 +1,86 @@
+"""Statistical helpers for experiment results.
+
+The paper reports point estimates over 100 sampled records; at the reduced
+sample sizes a CPU run uses, uncertainty matters.  These helpers compute
+bootstrap confidence intervals over per-record scores and a paired
+bootstrap test for "method A beats method B on the same records".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A bootstrap percentile interval around a mean."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def render(self) -> str:
+        percent = int(round(self.confidence * 100))
+        return f"{self.mean:.3f} [{self.low:.3f}, {self.high:.3f}] ({percent}% CI)"
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI of the mean of *values*."""
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if data.size == 1:
+        value = float(data[0])
+        return ConfidenceInterval(value, value, value, confidence)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, data.size, size=(n_resamples, data.size))
+    means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        mean=float(data.mean()),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )
+
+
+def paired_bootstrap_pvalue(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """One-sided paired bootstrap: P(mean(A) ≤ mean(B)) over resamples.
+
+    Small values support "A beats B".  Both score lists must align on the
+    same records (that is what makes the test paired).
+    """
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ConfigurationError(
+            f"paired scores must be equal-length and non-empty, got "
+            f"{a.shape} vs {b.shape}"
+        )
+    differences = a - b
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, differences.size, size=(n_resamples, differences.size))
+    resampled_means = differences[indices].mean(axis=1)
+    return float(np.mean(resampled_means <= 0.0))

@@ -1,0 +1,174 @@
+"""Plain-text renderings of the paper's tables.
+
+Every formatter takes a :class:`~repro.evaluation.runner.BenchmarkResult`
+(or, for Table 1, the spec/measured rows) and prints the same row/column
+layout as the corresponding table in the paper, so paper-vs-measured
+comparison is a visual diff.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.config import (
+    METHOD_DOUBLE,
+    METHOD_LIME,
+    METHOD_MOJITO_COPY,
+    METHOD_SINGLE,
+)
+from repro.data.records import MATCH, NON_MATCH
+from repro.evaluation.runner import BenchmarkResult
+
+#: Column order of the paper's tables.
+_METHOD_COLUMNS = {
+    MATCH: (METHOD_SINGLE, METHOD_DOUBLE, METHOD_LIME),
+    NON_MATCH: (METHOD_SINGLE, METHOD_DOUBLE, METHOD_LIME, METHOD_MOJITO_COPY),
+}
+
+_METHOD_TITLES = {
+    METHOD_SINGLE: "Single",
+    METHOD_DOUBLE: "Double",
+    METHOD_LIME: "LIME",
+    METHOD_MOJITO_COPY: "Mojito Copy",
+    "mojito_attr_drop": "Mojito AttrDrop",
+}
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Align *rows* under *headers* with simple space padding."""
+    table = [list(map(str, headers))]
+    for row in rows:
+        table.append([_cell(value) for value in row])
+    widths = [
+        max(len(table[r][c]) for r in range(len(table)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _label_title(label: int) -> str:
+    return "Matching label" if label == MATCH else "Non-matching label"
+
+
+def format_table1(rows: Sequence[dict[str, object]]) -> str:
+    """Table 1: the benchmark inventory (nominal and, if present, measured)."""
+    measured = any("measured_size" in row for row in rows)
+    headers = ["Code", "Type", "Dataset", "Size", "% Match"]
+    if measured:
+        headers += ["Measured size", "Measured % match"]
+    body = []
+    for row in rows:
+        line = [
+            row["code"],
+            row["type"],
+            row["dataset"],
+            row["size"],
+            row["match_percent"],
+        ]
+        if measured:
+            line += [row.get("measured_size", "-"), row.get("measured_match_percent", "-")]
+        body.append(line)
+    return "Table 1: Magellan benchmark\n" + render_table(headers, body)
+
+
+def format_table2(result: BenchmarkResult, label: int) -> str:
+    """Table 2: token-based evaluation (accuracy and MAE per method)."""
+    methods = _METHOD_COLUMNS[label]
+    headers = ["Dataset"]
+    for method in methods:
+        headers += [f"{_METHOD_TITLES[method]} Acc", f"{_METHOD_TITLES[method]} MAE"]
+    rows = []
+    for code in result.codes:
+        dataset_result = result.datasets[code]
+        row: list[object] = [code]
+        for method in methods:
+            metrics = dataset_result.get(label, method)
+            if metrics is None:
+                row += [float("nan"), float("nan")]
+            else:
+                row += [metrics.token_accuracy, metrics.token_mae]
+        rows.append(row)
+    return (
+        f"Table 2 ({_label_title(label)}): token-based evaluation\n"
+        + render_table(headers, rows)
+    )
+
+
+def format_table3(result: BenchmarkResult, label: int) -> str:
+    """Table 3: attribute-based evaluation (weighted Kendall tau)."""
+    methods = _METHOD_COLUMNS[label]
+    headers = ["Dataset"] + [_METHOD_TITLES[method] for method in methods]
+    rows = []
+    for code in result.codes:
+        dataset_result = result.datasets[code]
+        row: list[object] = [code]
+        for method in methods:
+            metrics = dataset_result.get(label, method)
+            row.append(float("nan") if metrics is None else metrics.kendall)
+        rows.append(row)
+    return (
+        f"Table 3 ({_label_title(label)}): attribute-based evaluation "
+        "(weighted Kendall tau)\n" + render_table(headers, rows)
+    )
+
+
+def format_table4(result: BenchmarkResult, label: int) -> str:
+    """Table 4: interest of the computed explanations."""
+    methods = _METHOD_COLUMNS[label]
+    headers = ["Dataset"] + [_METHOD_TITLES[method] for method in methods]
+    rows = []
+    for code in result.codes:
+        dataset_result = result.datasets[code]
+        row: list[object] = [code]
+        for method in methods:
+            metrics = dataset_result.get(label, method)
+            row.append(float("nan") if metrics is None else metrics.interest)
+        rows.append(row)
+    return (
+        f"Table 4 ({_label_title(label)}): interest of the explanations\n"
+        + render_table(headers, rows)
+    )
+
+
+def format_faithfulness_table(result: BenchmarkResult, label: int) -> str:
+    """Extension table: deletion-curve faithfulness gain per method."""
+    methods = _METHOD_COLUMNS[label]
+    headers = ["Dataset"] + [_METHOD_TITLES[method] for method in methods]
+    rows = []
+    for code in result.codes:
+        dataset_result = result.datasets[code]
+        row: list[object] = [code]
+        for method in methods:
+            metrics = dataset_result.get(label, method)
+            row.append(float("nan") if metrics is None else metrics.faithfulness)
+        rows.append(row)
+    return (
+        f"Extension ({_label_title(label)}): deletion-curve faithfulness gain\n"
+        + render_table(headers, rows)
+    )
+
+
+def format_all_tables(result: BenchmarkResult) -> str:
+    """Tables 2-4, both labels, in paper order."""
+    sections = []
+    for formatter in (format_table2, format_table3, format_table4):
+        for label in (MATCH, NON_MATCH):
+            sections.append(formatter(result, label))
+    if result.config.faithfulness:
+        for label in (MATCH, NON_MATCH):
+            sections.append(format_faithfulness_table(result, label))
+    return "\n\n".join(sections)

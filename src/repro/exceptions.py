@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch everything coming from this package with a single except
+clause while still being able to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A record, pair or dataset violates its declared schema."""
+
+
+class TokenizationError(ReproError):
+    """A token string could not be produced or parsed back."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed, empty, or inconsistent with its labels."""
+
+
+class ModelNotFittedError(ReproError):
+    """A matcher or surrogate model was used before being fitted."""
+
+
+class ExplanationError(ReproError):
+    """An explanation could not be generated for the given record."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment or component configuration."""

@@ -1,0 +1,30 @@
+"""Generic perturbation-based explainer (the yellow blocks of Figure 2).
+
+This package is deliberately EM-agnostic: it knows about *interpretable
+features* (binary presence of tokens), perturbation masks, locality kernels
+and linear surrogates — nothing about entity pairs.  Landmark Explanation
+(:mod:`repro.core`) and the Mojito baselines (:mod:`repro.baselines`) plug
+their own reconstruction logic into it, exactly as the paper's architecture
+prescribes.
+"""
+
+from repro.explainers.anchors import (
+    AnchorExplanation,
+    AnchorsTextExplainer,
+    anchor_for_landmark,
+)
+from repro.explainers.base import Explanation
+from repro.explainers.kernel_shap import KernelShapExplainer
+from repro.explainers.lime_text import LimeConfig, LimeTextExplainer
+from repro.explainers.perturbation import sample_masks
+
+__all__ = [
+    "AnchorExplanation",
+    "AnchorsTextExplainer",
+    "Explanation",
+    "KernelShapExplainer",
+    "LimeConfig",
+    "LimeTextExplainer",
+    "anchor_for_landmark",
+    "sample_masks",
+]

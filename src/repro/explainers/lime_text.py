@@ -1,0 +1,165 @@
+"""From-scratch LIME for token-level instances.
+
+The explainer is *reconstruction-agnostic*: it samples perturbation masks,
+asks a caller-supplied ``predict_masks`` function for the black-box match
+probability of every mask, and fits a kernel-weighted linear surrogate.
+Everything that knows how to turn a mask back into a record pair (pair
+reconstruction + model invocation, the paper's *Dataset reconstruction*)
+lives with the caller — :class:`repro.core.landmark.LandmarkExplainer` or
+the Mojito baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ExplanationError
+from repro.explainers.base import Explanation
+from repro.explainers.perturbation import sample_masks
+from repro.surrogate.feature_selection import forward_selection, highest_weights
+from repro.surrogate.kernels import (
+    DEFAULT_KERNEL_WIDTH,
+    cosine_distance_to_ones,
+    exponential_kernel,
+)
+from repro.surrogate.linear_model import WeightedLasso, WeightedRidge
+
+#: A function mapping a (n_samples, n_tokens) binary mask matrix to the
+#: black-box match probability of each reconstructed instance.
+PredictMasksFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class LimeConfig:
+    """Hyper-parameters of the surrogate fit.
+
+    ``n_samples`` is the perturbation budget (model calls per explanation);
+    ``num_features`` restricts the surrogate to that many tokens (``None``
+    keeps all — the paper's evaluations need a weight for *every* token).
+    """
+
+    n_samples: int = 256
+    kernel_width: float = DEFAULT_KERNEL_WIDTH
+    surrogate: str = "ridge"
+    alpha: float = 1.0
+    num_features: int | None = None
+    selection: str = "highest_weights"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 2:
+            raise ConfigurationError(f"n_samples must be >= 2, got {self.n_samples}")
+        if self.surrogate not in ("ridge", "lasso"):
+            raise ConfigurationError(
+                f"surrogate must be 'ridge' or 'lasso', got {self.surrogate!r}"
+            )
+        if self.selection not in ("highest_weights", "forward_selection"):
+            raise ConfigurationError(
+                "selection must be 'highest_weights' or 'forward_selection', "
+                f"got {self.selection!r}"
+            )
+        if self.num_features is not None and self.num_features < 1:
+            raise ConfigurationError(
+                f"num_features must be >= 1 or None, got {self.num_features}"
+            )
+
+
+class LimeTextExplainer:
+    """LIME over a token list, with pluggable reconstruction."""
+
+    def __init__(self, config: LimeConfig | None = None) -> None:
+        self.config = config or LimeConfig()
+
+    def explain(
+        self,
+        feature_names: Sequence[str],
+        predict_masks: PredictMasksFn,
+        rng: np.random.Generator | None = None,
+    ) -> Explanation:
+        """Explain one instance given its interpretable feature names.
+
+        *predict_masks* receives the full mask matrix (first row all ones)
+        and must return one probability per row.
+        """
+        config = self.config
+        if rng is None:
+            rng = np.random.default_rng(config.seed)
+        names = tuple(feature_names)
+        if len(set(names)) != len(names):
+            raise ExplanationError("interpretable feature names must be unique")
+        if not names:
+            raise ExplanationError("cannot explain an instance with zero features")
+
+        masks = sample_masks(len(names), config.n_samples, rng)
+        probabilities = np.asarray(predict_masks(masks), dtype=np.float64)
+        if probabilities.shape != (masks.shape[0],):
+            raise ExplanationError(
+                f"predict_masks returned shape {probabilities.shape}, "
+                f"expected ({masks.shape[0]},)"
+            )
+        if not np.all(np.isfinite(probabilities)):
+            raise ExplanationError(
+                "black-box model returned non-finite probabilities; the "
+                "surrogate fit would silently produce garbage weights"
+            )
+
+        distances = cosine_distance_to_ones(masks)
+        sample_weights = exponential_kernel(distances, config.kernel_width)
+
+        features = masks.astype(np.float64)
+        selected = np.arange(len(names))
+        if config.num_features is not None and config.num_features < len(names):
+            if config.selection == "highest_weights":
+                selected = highest_weights(
+                    features, probabilities, sample_weights,
+                    config.num_features, config.alpha,
+                )
+            else:
+                selected = forward_selection(
+                    features, probabilities, sample_weights,
+                    config.num_features, config.alpha,
+                )
+
+        if config.surrogate == "ridge":
+            model = WeightedRidge(alpha=config.alpha)
+        else:
+            model = WeightedLasso(alpha=config.alpha)
+        model.fit(features[:, selected], probabilities, sample_weights)
+        assert model.coef_ is not None
+
+        weights = np.zeros(len(names))
+        weights[selected] = model.coef_
+        surrogate_at_original = float(
+            np.ones(len(selected)) @ model.coef_ + model.intercept_
+        )
+        if isinstance(model, WeightedRidge):
+            score = model.score(features[:, selected], probabilities, sample_weights)
+        else:
+            residual = probabilities - model.predict(features[:, selected])
+            mean = float(
+                (sample_weights * probabilities).sum() / sample_weights.sum()
+            )
+            total = float(np.sum(sample_weights * (probabilities - mean) ** 2))
+            score = (
+                1.0 - float(np.sum(sample_weights * residual**2)) / total
+                if total > 0
+                else 1.0
+            )
+
+        return Explanation(
+            feature_names=names,
+            weights=weights,
+            intercept=float(model.intercept_),
+            score=float(score),
+            model_probability=float(probabilities[0]),
+            surrogate_probability=surrogate_at_original,
+            n_samples=config.n_samples,
+            metadata={
+                "kernel_width": config.kernel_width,
+                "surrogate": config.surrogate,
+                "selected": [int(index) for index in selected],
+            },
+        )

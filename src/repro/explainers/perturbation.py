@@ -1,0 +1,42 @@
+"""Perturbation-mask sampling (the *Perturbation generation* block).
+
+The interpretable space of a token-level explainer is the binary hypercube
+over the instance's tokens: mask bit *j* says whether token *j* survives.
+Following LIME's text sampler, each perturbation first draws the number of
+tokens to deactivate uniformly from ``1..d`` and then chooses that many
+positions without replacement — this covers all perturbation sizes instead
+of concentrating around d/2 like i.i.d. coin flips would.
+
+The first row is always the unperturbed all-ones mask, so the surrogate is
+anchored at the instance being explained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_masks(
+    n_features: int,
+    n_samples: int,
+    rng: np.random.Generator,
+    include_original: bool = True,
+) -> np.ndarray:
+    """Sample a ``(n_samples, n_features)`` binary perturbation matrix.
+
+    With ``include_original`` the first row is all ones (the instance
+    itself); remaining rows deactivate between 1 and ``n_features`` tokens.
+    """
+    if n_features < 0:
+        raise ValueError(f"n_features must be >= 0, got {n_features}")
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    masks = np.ones((n_samples, n_features), dtype=np.int8)
+    if n_features == 0:
+        return masks
+    start = 1 if include_original else 0
+    for row in range(start, n_samples):
+        n_off = int(rng.integers(1, n_features + 1))
+        off_positions = rng.choice(n_features, size=n_off, replace=False)
+        masks[row, off_positions] = 0
+    return masks

@@ -1,0 +1,43 @@
+"""The matcher interface every EM model in this library implements.
+
+Landmark Explanation treats the EM model as a black box exposing exactly one
+capability: *score a batch of record pairs with a match probability*.  That
+is the :meth:`EntityMatcher.predict_proba` contract.  Everything else
+(training, thresholds, reports) is convenience built on top of it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.records import EMDataset, RecordPair
+
+#: The decision threshold the paper uses (it also discusses 0.4).
+DEFAULT_THRESHOLD = 0.5
+
+
+class EntityMatcher(ABC):
+    """Abstract base class of every EM model."""
+
+    @abstractmethod
+    def fit(self, dataset: EMDataset) -> "EntityMatcher":
+        """Train on a labelled dataset and return self."""
+
+    @abstractmethod
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        """Match probabilities, shape ``(len(pairs),)``, values in [0, 1]."""
+
+    def predict(
+        self,
+        pairs: Sequence[RecordPair],
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> np.ndarray:
+        """Hard labels derived from :meth:`predict_proba` at *threshold*."""
+        return (self.predict_proba(pairs) >= threshold).astype(np.int64)
+
+    def predict_one(self, pair: RecordPair) -> float:
+        """Match probability of a single pair."""
+        return float(self.predict_proba([pair])[0])

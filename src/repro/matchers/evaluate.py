@@ -1,0 +1,99 @@
+"""Matcher quality metrics: precision, recall, F1, confusion counts.
+
+EM evaluation is dominated by the positive (match) class because the
+datasets are heavily imbalanced — accuracy alone is meaningless when 90% of
+pairs are non-matches, so the report always includes per-class counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.records import EMDataset
+from repro.matchers.base import DEFAULT_THRESHOLD, EntityMatcher
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Binary classification quality on an EM dataset."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def support(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+    @property
+    def accuracy(self) -> float:
+        if self.support == 0:
+            return 0.0
+        return (self.true_positive + self.true_negative) / self.support
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def report(self) -> str:
+        """A compact multi-line textual report."""
+        return "\n".join(
+            (
+                f"pairs:     {self.support}",
+                f"accuracy:  {self.accuracy:.3f}",
+                f"precision: {self.precision:.3f}",
+                f"recall:    {self.recall:.3f}",
+                f"f1:        {self.f1:.3f}",
+                f"confusion: tp={self.true_positive} fp={self.false_positive} "
+                f"tn={self.true_negative} fn={self.false_negative}",
+            )
+        )
+
+
+def quality_from_predictions(
+    labels: np.ndarray, predicted: np.ndarray
+) -> MatchQuality:
+    """Build a :class:`MatchQuality` from aligned label / prediction arrays."""
+    labels = np.asarray(labels).astype(bool)
+    predicted = np.asarray(predicted).astype(bool)
+    if labels.shape != predicted.shape:
+        raise ValueError(
+            f"labels shape {labels.shape} != predictions shape {predicted.shape}"
+        )
+    return MatchQuality(
+        true_positive=int(np.sum(predicted & labels)),
+        false_positive=int(np.sum(predicted & ~labels)),
+        true_negative=int(np.sum(~predicted & ~labels)),
+        false_negative=int(np.sum(~predicted & labels)),
+    )
+
+
+def evaluate_matcher(
+    matcher: EntityMatcher,
+    dataset: EMDataset,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> MatchQuality:
+    """Score *matcher* on *dataset* at the given decision threshold."""
+    predicted = matcher.predict(dataset.pairs, threshold=threshold)
+    return quality_from_predictions(dataset.labels, predicted)

@@ -1,0 +1,120 @@
+"""An intrinsically interpretable rule-based matcher.
+
+Rule-based matching is the classical, pre-ML approach the paper's related
+work discusses (Singh et al. 2017, Wang et al. 2011).  It serves two roles
+here: a sanity baseline for the learned matchers and a demonstration target
+showing that Landmark Explanation also works on non-differentiable models —
+``predict_proba`` is all it asks for.
+
+A :class:`MatchRule` is a conjunction of per-attribute similarity
+thresholds; a :class:`RuleBasedMatcher` declares a pair matching when *any*
+rule fires (a DNF over similarity predicates).  The soft probability is the
+maximum, over rules, of the minimum margin by which the rule's predicates
+hold.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.records import EMDataset, RecordPair
+from repro.exceptions import ConfigurationError
+from repro.matchers.base import EntityMatcher
+from repro.text.normalize import tokens_of
+from repro.text.similarity import jaccard_similarity
+
+
+@dataclass(frozen=True)
+class MatchRule:
+    """``AND`` of per-attribute Jaccard thresholds, e.g. name>=0.6 & city>=0.9."""
+
+    thresholds: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.thresholds:
+            raise ConfigurationError("a MatchRule needs at least one predicate")
+        for attribute, threshold in self.thresholds.items():
+            if not 0.0 <= threshold <= 1.0:
+                raise ConfigurationError(
+                    f"threshold for {attribute!r} must be in [0, 1], got {threshold}"
+                )
+
+    def margin(self, pair: RecordPair) -> float:
+        """How comfortably the rule holds: min over predicates of sim − thr.
+
+        Positive margin ⇒ the rule fires.  Normalized to (0, 1] via the
+        worst headroom so the matcher can expose a pseudo-probability.
+        """
+        worst = 1.0
+        for attribute, threshold in self.thresholds.items():
+            left_tokens = tokens_of(pair.left[attribute])
+            right_tokens = tokens_of(pair.right[attribute])
+            similarity = jaccard_similarity(left_tokens, right_tokens)
+            worst = min(worst, similarity - threshold)
+        return worst
+
+    def describe(self) -> str:
+        predicates = " AND ".join(
+            f"jaccard({attribute}) >= {threshold:.2f}"
+            for attribute, threshold in self.thresholds.items()
+        )
+        return f"IF {predicates} THEN match"
+
+
+class RuleBasedMatcher(EntityMatcher):
+    """Matches when any rule fires; otherwise non-match.
+
+    ``fit`` optionally *tunes* a default one-rule matcher: it grid-searches
+    a global Jaccard threshold on the first attribute that maximizes F1 on
+    the training data — a tiny flavour of rule synthesis.
+    """
+
+    def __init__(self, rules: Sequence[MatchRule] | None = None) -> None:
+        self.rules: list[MatchRule] = list(rules) if rules else []
+
+    def fit(self, dataset: EMDataset) -> "RuleBasedMatcher":
+        if self.rules:
+            return self  # hand-written rules are kept as-is
+        anchor = dataset.schema.attributes[0]
+        labels = dataset.labels
+        similarities = np.array(
+            [
+                jaccard_similarity(
+                    tokens_of(pair.left[anchor]), tokens_of(pair.right[anchor])
+                )
+                for pair in dataset
+            ]
+        )
+        best_threshold, best_f1 = 0.5, -1.0
+        for threshold in np.linspace(0.05, 0.95, 19):
+            predicted = similarities >= threshold
+            true_positive = int(np.sum(predicted & (labels == 1)))
+            if true_positive == 0:
+                continue
+            precision = true_positive / max(int(predicted.sum()), 1)
+            recall = true_positive / max(int(labels.sum()), 1)
+            f1 = 2 * precision * recall / (precision + recall)
+            if f1 > best_f1:
+                best_f1, best_threshold = f1, float(threshold)
+        self.rules = [MatchRule({anchor: best_threshold})]
+        return self
+
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        if not self.rules:
+            raise ConfigurationError(
+                "RuleBasedMatcher has no rules; call fit() or pass rules"
+            )
+        probabilities = np.empty(len(pairs), dtype=np.float64)
+        for index, pair in enumerate(pairs):
+            best_margin = max(rule.margin(pair) for rule in self.rules)
+            # Map the signed margin in [-1, 1] to a probability in [0, 1]
+            # centred on 0.5 at the decision surface.
+            probabilities[index] = float(np.clip(0.5 + 0.5 * best_margin, 0.0, 1.0))
+        return probabilities
+
+    def describe(self) -> str:
+        """Human-readable listing of the rule set."""
+        return "\n".join(rule.describe() for rule in self.rules)

@@ -1,0 +1,27 @@
+"""Surrogate-model substrate: weighted linear models, kernels, selection.
+
+A perturbation-based explainer fits an interpretable *surrogate* — a
+weighted linear model — on (binary perturbation mask, black-box probability)
+pairs.  This package provides the pieces, all from scratch on numpy:
+
+* :class:`~repro.surrogate.linear_model.WeightedRidge` — closed-form
+  weighted ridge regression (LIME's default surrogate);
+* :class:`~repro.surrogate.linear_model.WeightedLasso` — coordinate-descent
+  lasso for sparse explanations;
+* :mod:`~repro.surrogate.kernels` — the exponential locality kernel;
+* :mod:`~repro.surrogate.feature_selection` — highest-weights and forward
+  selection, LIME's two classic selection strategies.
+"""
+
+from repro.surrogate.kernels import cosine_distance_to_ones, exponential_kernel
+from repro.surrogate.linear_model import WeightedLasso, WeightedRidge
+from repro.surrogate.feature_selection import forward_selection, highest_weights
+
+__all__ = [
+    "WeightedLasso",
+    "WeightedRidge",
+    "cosine_distance_to_ones",
+    "exponential_kernel",
+    "forward_selection",
+    "highest_weights",
+]

@@ -1,0 +1,64 @@
+"""Feature selection strategies for the surrogate fit.
+
+LIME restricts the surrogate to a small number of interpretable features so
+explanations stay readable.  Two classic strategies are provided:
+
+* :func:`highest_weights` — fit once on everything, keep the K features
+  with the largest |coefficient|;
+* :func:`forward_selection` — greedily add the feature that most improves
+  weighted R² (LIME's higher-quality, more expensive option).
+
+Both return *column indices* into the mask matrix, so the caller can refit
+on the selected columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.linear_model import WeightedRidge
+
+
+def highest_weights(
+    features: np.ndarray,
+    target: np.ndarray,
+    sample_weights: np.ndarray,
+    n_select: int,
+    alpha: float = 1.0,
+) -> np.ndarray:
+    """Indices of the *n_select* columns with the largest |ridge weight|."""
+    n_features = features.shape[1]
+    if n_select >= n_features:
+        return np.arange(n_features)
+    model = WeightedRidge(alpha=alpha).fit(features, target, sample_weights)
+    assert model.coef_ is not None
+    order = np.argsort(-np.abs(model.coef_))
+    return np.sort(order[:n_select])
+
+
+def forward_selection(
+    features: np.ndarray,
+    target: np.ndarray,
+    sample_weights: np.ndarray,
+    n_select: int,
+    alpha: float = 1.0,
+) -> np.ndarray:
+    """Greedy forward selection maximizing weighted R² at each step."""
+    n_features = features.shape[1]
+    if n_select >= n_features:
+        return np.arange(n_features)
+    selected: list[int] = []
+    remaining = set(range(n_features))
+    for _ in range(n_select):
+        best_score, best_feature = -np.inf, -1
+        for candidate in remaining:
+            columns = selected + [candidate]
+            model = WeightedRidge(alpha=alpha).fit(
+                features[:, columns], target, sample_weights
+            )
+            score = model.score(features[:, columns], target, sample_weights)
+            if score > best_score:
+                best_score, best_feature = score, candidate
+        selected.append(best_feature)
+        remaining.discard(best_feature)
+    return np.sort(np.array(selected, dtype=np.int64))

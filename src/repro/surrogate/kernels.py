@@ -1,0 +1,43 @@
+"""Locality kernels for perturbation explainers.
+
+LIME weights each perturbed sample by how close it stays to the original
+instance.  For binary token masks the standard choice (Ribeiro et al. 2016,
+text mode) is cosine distance to the all-ones mask passed through an
+exponential kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: LIME's default kernel width for text.
+DEFAULT_KERNEL_WIDTH = 25.0
+
+
+def cosine_distance_to_ones(masks: np.ndarray) -> np.ndarray:
+    """Cosine distance of each binary mask row to the all-ones mask.
+
+    A mask that keeps every token has distance 0; a mask that keeps a single
+    token out of *d* has distance ``1 - 1/sqrt(d)``.
+    """
+    masks = np.asarray(masks, dtype=np.float64)
+    if masks.ndim != 2:
+        raise ValueError(f"masks must be 2-D, got shape {masks.shape}")
+    d = masks.shape[1]
+    if d == 0:
+        return np.zeros(masks.shape[0])
+    kept = masks.sum(axis=1)
+    norms = np.sqrt(kept) * np.sqrt(d)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        cosine = np.where(norms > 0, kept / norms, 0.0)
+    return 1.0 - cosine
+
+
+def exponential_kernel(
+    distances: np.ndarray, kernel_width: float = DEFAULT_KERNEL_WIDTH
+) -> np.ndarray:
+    """``sqrt(exp(-d² / width²))`` — LIME's locality weighting."""
+    if kernel_width <= 0:
+        raise ValueError(f"kernel_width must be > 0, got {kernel_width}")
+    distances = np.asarray(distances, dtype=np.float64)
+    return np.sqrt(np.exp(-(distances**2) / kernel_width**2))

@@ -1,0 +1,137 @@
+"""The paper's *Tokenizer*: attribute-prefixed, position-enumerated tokens.
+
+Landmark Explanation perturbs entities at the granularity of individual
+tokens, but after the perturbation the surviving tokens must be reassembled
+into a well-formed entity (the *pair reconstruction* step).  To make that
+possible each token carries:
+
+* the **attribute** it came from, and
+* its **position** inside the attribute value, which disambiguates multiple
+  occurrences of the same word (the paper: "The prefix enumerates the
+  tokens, to manage multiple occurrences of the same word in an attribute
+  value").
+
+The string form is ``<attribute>#<position>_<word>``, e.g. the value
+``"sony digital camera"`` of attribute ``name`` becomes::
+
+    name#0_sony   name#1_digital   name#2_camera
+
+``#`` is safe as a separator because :func:`repro.text.normalize
+.normalize_value` drops it from attribute values, and attribute names are
+validated at schema construction time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.exceptions import TokenizationError
+from repro.text.normalize import tokens_of
+
+_ATTR_SEPARATOR = "#"
+_POSITION_SEPARATOR = "_"
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixedToken:
+    """A single token of an entity, tagged with its attribute and position."""
+
+    attribute: str
+    position: int
+    word: str
+
+    def __post_init__(self) -> None:
+        if _ATTR_SEPARATOR in self.attribute:
+            raise TokenizationError(
+                f"attribute name {self.attribute!r} contains the reserved "
+                f"separator {_ATTR_SEPARATOR!r}"
+            )
+        if self.position < 0:
+            raise TokenizationError(f"negative token position: {self.position}")
+        if not self.word:
+            raise TokenizationError("empty token word")
+
+    @property
+    def prefixed(self) -> str:
+        """The full prefixed string form, unique within one entity."""
+        return format_prefixed_token(self.attribute, self.position, self.word)
+
+    def shifted(self, offset: int) -> "PrefixedToken":
+        """Return a copy with the position shifted by *offset*.
+
+        Used by double-entity generation to append landmark tokens after the
+        varying entity's own tokens without position collisions.
+        """
+        return PrefixedToken(self.attribute, self.position + offset, self.word)
+
+
+def format_prefixed_token(attribute: str, position: int, word: str) -> str:
+    """Render a prefixed token string: ``<attribute>#<position>_<word>``."""
+    return f"{attribute}{_ATTR_SEPARATOR}{position}{_POSITION_SEPARATOR}{word}"
+
+
+def parse_prefixed_token(token: str) -> PrefixedToken:
+    """Parse a prefixed token string back into a :class:`PrefixedToken`.
+
+    Raises :class:`~repro.exceptions.TokenizationError` when the string does
+    not follow the ``<attribute>#<position>_<word>`` layout.
+    """
+    attribute, sep, rest = token.partition(_ATTR_SEPARATOR)
+    if not sep or not attribute:
+        raise TokenizationError(f"missing attribute prefix in token {token!r}")
+    position_text, sep, word = rest.partition(_POSITION_SEPARATOR)
+    if not sep or not word:
+        raise TokenizationError(f"missing position prefix in token {token!r}")
+    try:
+        position = int(position_text)
+    except ValueError as exc:
+        raise TokenizationError(
+            f"non-numeric position {position_text!r} in token {token!r}"
+        ) from exc
+    return PrefixedToken(attribute, position, word)
+
+
+class Tokenizer:
+    """Transforms entities (attribute → value mappings) to prefixed tokens.
+
+    The tokenizer is stateless; it exists as a class so alternative
+    tokenization policies (e.g. q-grams) can subclass it and be plugged into
+    :class:`repro.core.landmark.LandmarkExplainer` unchanged.
+    """
+
+    def tokenize_value(self, attribute: str, value: object) -> list[PrefixedToken]:
+        """Tokenize one attribute value into position-enumerated tokens."""
+        return [
+            PrefixedToken(attribute, position, word)
+            for position, word in enumerate(tokens_of(value))
+        ]
+
+    def tokenize_entity(self, entity: Mapping[str, object]) -> list[PrefixedToken]:
+        """Tokenize a whole entity, attribute by attribute, in schema order."""
+        tokens: list[PrefixedToken] = []
+        for attribute, value in entity.items():
+            tokens.extend(self.tokenize_value(attribute, value))
+        return tokens
+
+    def detokenize(self, tokens: Iterable[PrefixedToken]) -> dict[str, str]:
+        """Reassemble tokens into an attribute → value mapping.
+
+        Tokens are grouped by attribute and ordered by their position
+        prefix, so any subset of an entity's tokens rebuilds into values
+        whose words keep their original relative order.  Attributes with no
+        surviving token are *absent* from the result; callers that need the
+        full schema fill the gaps with empty strings.
+        """
+        grouped: dict[str, list[PrefixedToken]] = {}
+        for token in tokens:
+            grouped.setdefault(token.attribute, []).append(token)
+        values: dict[str, str] = {}
+        for attribute, attr_tokens in grouped.items():
+            ordered = sorted(attr_tokens, key=lambda tok: tok.position)
+            values[attribute] = " ".join(tok.word for tok in ordered)
+        return values
+
+    def detokenize_strings(self, prefixed: Iterable[str]) -> dict[str, str]:
+        """Like :meth:`detokenize`, but from prefixed string form."""
+        return self.detokenize(parse_prefixed_token(tok) for tok in prefixed)

@@ -1,0 +1,62 @@
+"""Shared fixtures: a small benchmark dataset and a trained matcher.
+
+Session-scoped so the (comparatively expensive) dataset generation and
+IRLS fit run once for the whole suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.records import EMDataset, MATCH, NON_MATCH, RecordPair
+from repro.data.schema import PairSchema
+from repro.data.synthetic.magellan import load_dataset
+from repro.matchers.logistic import LogisticRegressionMatcher
+
+
+@pytest.fixture(scope="session")
+def beer_dataset() -> EMDataset:
+    """A 300-pair slice of the S-BR stand-in."""
+    return load_dataset("S-BR", seed=0, size_cap=300)
+
+
+@pytest.fixture(scope="session")
+def music_dataset() -> EMDataset:
+    """A 300-pair slice of the S-IA stand-in (wider schema)."""
+    return load_dataset("S-IA", seed=0, size_cap=300)
+
+
+@pytest.fixture(scope="session")
+def beer_matcher(beer_dataset: EMDataset) -> LogisticRegressionMatcher:
+    """A logistic-regression matcher trained on the beer dataset."""
+    return LogisticRegressionMatcher().fit(beer_dataset)
+
+
+@pytest.fixture(scope="session")
+def match_pair(beer_dataset: EMDataset) -> RecordPair:
+    """The first matching pair of the beer dataset."""
+    return next(pair for pair in beer_dataset if pair.label == MATCH)
+
+
+@pytest.fixture(scope="session")
+def non_match_pair(beer_dataset: EMDataset) -> RecordPair:
+    """The first non-matching pair of the beer dataset."""
+    return next(pair for pair in beer_dataset if pair.label == NON_MATCH)
+
+
+@pytest.fixture()
+def toy_schema() -> PairSchema:
+    """A two-attribute schema for hand-built records."""
+    return PairSchema(("name", "price"))
+
+
+@pytest.fixture()
+def toy_pair(toy_schema: PairSchema) -> RecordPair:
+    """The paper's Figure 1 flavour: camera vs. leather case."""
+    return RecordPair(
+        schema=toy_schema,
+        left={"name": "sony digital camera dslra200w", "price": "849.99"},
+        right={"name": "nikon leather case 5811", "price": "7.99"},
+        label=NON_MATCH,
+        pair_id=0,
+    )

@@ -1,0 +1,96 @@
+"""Tests for greedy counterfactual generation."""
+
+import pytest
+
+from repro.core.counterfactual import greedy_counterfactual
+from repro.core.generation import GENERATION_DOUBLE, GENERATION_SINGLE
+from repro.core.landmark import LandmarkExplainer
+from repro.exceptions import ConfigurationError
+from repro.explainers.lime_text import LimeConfig
+
+
+@pytest.fixture(scope="module")
+def explainer(beer_matcher):
+    return LandmarkExplainer(
+        beer_matcher, lime_config=LimeConfig(n_samples=64, seed=0), seed=0
+    )
+
+
+class TestMatchFlip:
+    def test_flips_a_match_by_removing_evidence(
+        self, explainer, beer_matcher, match_pair
+    ):
+        landmark = explainer.explain_landmark(match_pair, "left", GENERATION_SINGLE)
+        counterfactual = greedy_counterfactual(landmark, beer_matcher)
+        assert counterfactual.flipped
+        assert counterfactual.original_probability >= 0.5
+        assert counterfactual.final_probability < 0.5
+        assert all(edit.action == "remove" for edit in counterfactual.edits)
+
+    def test_original_pair_is_the_unaugmented_record(
+        self, explainer, beer_matcher, match_pair
+    ):
+        landmark = explainer.explain_landmark(match_pair, "left", GENERATION_SINGLE)
+        counterfactual = greedy_counterfactual(landmark, beer_matcher)
+        assert dict(counterfactual.original.left) == dict(match_pair.left)
+
+    def test_edit_count_bounded(self, explainer, beer_matcher, match_pair):
+        landmark = explainer.explain_landmark(match_pair, "left", GENERATION_SINGLE)
+        counterfactual = greedy_counterfactual(landmark, beer_matcher, max_edits=2)
+        assert counterfactual.n_edits <= 2
+
+
+class TestNonMatchFlip:
+    def test_flips_a_non_match_with_injection(
+        self, explainer, beer_matcher, non_match_pair
+    ):
+        landmark = explainer.explain_landmark(
+            non_match_pair, "left", GENERATION_DOUBLE
+        )
+        counterfactual = greedy_counterfactual(
+            landmark, beer_matcher, max_edits=15
+        )
+        assert counterfactual.flipped
+        assert counterfactual.original_probability < 0.5
+        assert counterfactual.final_probability >= 0.5
+        # Injection is the mechanism: at least one edit adds a landmark token.
+        assert any(
+            edit.action == "add" and edit.injected for edit in counterfactual.edits
+        )
+
+    def test_single_generation_cannot_add_tokens(
+        self, explainer, beer_matcher, non_match_pair
+    ):
+        landmark = explainer.explain_landmark(
+            non_match_pair, "left", GENERATION_SINGLE
+        )
+        counterfactual = greedy_counterfactual(landmark, beer_matcher, max_edits=5)
+        # Without injected tokens only removals are available.
+        assert all(edit.action == "remove" for edit in counterfactual.edits)
+
+
+class TestContract:
+    def test_max_edits_validated(self, explainer, beer_matcher, match_pair):
+        landmark = explainer.explain_landmark(match_pair, "left", GENERATION_SINGLE)
+        with pytest.raises(ConfigurationError):
+            greedy_counterfactual(landmark, beer_matcher, max_edits=0)
+
+    def test_render_mentions_edits(self, explainer, beer_matcher, match_pair):
+        landmark = explainer.explain_landmark(match_pair, "left", GENERATION_SINGLE)
+        counterfactual = greedy_counterfactual(landmark, beer_matcher)
+        text = counterfactual.render()
+        assert "counterfactual:" in text
+        assert "1." in text
+
+    def test_probabilities_consistent_with_edits(
+        self, explainer, beer_matcher, match_pair
+    ):
+        landmark = explainer.explain_landmark(match_pair, "left", GENERATION_SINGLE)
+        counterfactual = greedy_counterfactual(landmark, beer_matcher)
+        if counterfactual.edits:
+            assert counterfactual.final_probability == pytest.approx(
+                counterfactual.edits[-1].probability_after
+            )
+        assert counterfactual.final_probability == pytest.approx(
+            beer_matcher.predict_one(counterfactual.modified)
+        )

@@ -1,0 +1,126 @@
+"""Tests for landmark generation (single / double entity)."""
+
+import pytest
+
+from repro.core.generation import (
+    GENERATION_DOUBLE,
+    GENERATION_SINGLE,
+    LandmarkGenerator,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def generator():
+    return LandmarkGenerator()
+
+
+class TestSingleEntity:
+    def test_varying_side_is_opposite(self, generator, toy_pair):
+        instance = generator.generate(toy_pair, "left", GENERATION_SINGLE)
+        assert instance.varying_side == "right"
+        assert instance.landmark_side == "left"
+
+    def test_tokens_come_from_varying_entity_only(self, generator, toy_pair):
+        instance = generator.generate(toy_pair, "left", GENERATION_SINGLE)
+        words = {token.word for token in instance.tokens}
+        assert words == {"nikon", "leather", "case", "5811", "7.99"}
+
+    def test_no_injected_tokens(self, generator, toy_pair):
+        instance = generator.generate(toy_pair, "left", GENERATION_SINGLE)
+        assert not any(instance.injected)
+        assert instance.n_injected == 0
+
+    def test_right_landmark_perturbs_left(self, generator, toy_pair):
+        instance = generator.generate(toy_pair, "right", GENERATION_SINGLE)
+        words = {token.word for token in instance.tokens}
+        assert "sony" in words
+        assert "nikon" not in words
+
+    def test_feature_names_unique(self, generator, toy_pair):
+        instance = generator.generate(toy_pair, "left", GENERATION_SINGLE)
+        names = instance.feature_names
+        assert len(names) == len(set(names))
+
+
+class TestDoubleEntity:
+    def test_contains_both_entities_tokens(self, generator, toy_pair):
+        instance = generator.generate(toy_pair, "left", GENERATION_DOUBLE)
+        words = {token.word for token in instance.tokens}
+        assert {"nikon", "sony", "camera", "leather"} <= words
+
+    def test_injected_flags_mark_landmark_tokens(self, generator, toy_pair):
+        instance = generator.generate(toy_pair, "left", GENERATION_DOUBLE)
+        injected_words = {
+            token.word
+            for token, injected in zip(instance.tokens, instance.injected)
+            if injected
+        }
+        own_words = {
+            token.word
+            for token, injected in zip(instance.tokens, instance.injected)
+            if not injected
+        }
+        assert "sony" in injected_words  # from the left landmark
+        assert "nikon" in own_words
+
+    def test_injected_positions_follow_own_tokens(self, generator, toy_pair):
+        instance = generator.generate(toy_pair, "left", GENERATION_DOUBLE)
+        for attribute in toy_pair.schema.attributes:
+            own_positions = [
+                t.position
+                for t, injected in zip(instance.tokens, instance.injected)
+                if t.attribute == attribute and not injected
+            ]
+            injected_positions = [
+                t.position
+                for t, injected in zip(instance.tokens, instance.injected)
+                if t.attribute == attribute and injected
+            ]
+            if own_positions and injected_positions:
+                assert min(injected_positions) > max(own_positions)
+
+    def test_duplicate_words_across_entities_stay_distinct(self, generator, toy_pair):
+        # "digital" appears only left here, but duplicate words are the
+        # general hazard: inject and check uniqueness of prefixed names.
+        instance = generator.generate(toy_pair, "right", GENERATION_DOUBLE)
+        names = instance.feature_names
+        assert len(names) == len(set(names))
+
+    def test_token_count_is_sum_of_sides(self, generator, toy_pair):
+        single_left = generator.generate(toy_pair, "right", GENERATION_SINGLE)
+        single_right = generator.generate(toy_pair, "left", GENERATION_SINGLE)
+        double = generator.generate(toy_pair, "left", GENERATION_DOUBLE)
+        assert len(double.tokens) == len(single_left.tokens) + len(single_right.tokens)
+
+
+class TestInjectionFraction:
+    def test_full_injection_by_default(self, toy_pair):
+        generator = LandmarkGenerator()
+        instance = generator.generate(toy_pair, "left", GENERATION_DOUBLE)
+        left_token_count = sum(
+            len(value.split()) for value in toy_pair.left.values() if value
+        )
+        assert instance.n_injected == left_token_count
+
+    def test_half_injection(self, toy_pair):
+        generator = LandmarkGenerator(injection_fraction=0.5)
+        instance = generator.generate(toy_pair, "left", GENERATION_DOUBLE)
+        full = LandmarkGenerator().generate(toy_pair, "left", GENERATION_DOUBLE)
+        assert 0 < instance.n_injected < full.n_injected
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            LandmarkGenerator(injection_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            LandmarkGenerator(injection_fraction=1.5)
+
+
+class TestValidation:
+    def test_bad_side(self, generator, toy_pair):
+        with pytest.raises(ConfigurationError):
+            generator.generate(toy_pair, "middle", GENERATION_SINGLE)
+
+    def test_bad_generation(self, generator, toy_pair):
+        with pytest.raises(ConfigurationError):
+            generator.generate(toy_pair, "left", "triple")

@@ -1,0 +1,87 @@
+"""Tests for markdown / HTML explanation reports."""
+
+import pytest
+
+from repro.core.landmark import LandmarkExplainer
+from repro.core.report import save_html, to_html, to_markdown
+from repro.explainers.lime_text import LimeConfig
+
+
+@pytest.fixture(scope="module")
+def dual(beer_matcher, non_match_pair):
+    explainer = LandmarkExplainer(
+        beer_matcher, lime_config=LimeConfig(n_samples=48, seed=0), seed=0
+    )
+    return explainer.explain(non_match_pair, "double")
+
+
+class TestMarkdown:
+    def test_contains_record_table(self, dual):
+        text = to_markdown(dual)
+        assert "| attribute | left | right |" in text
+        for attribute in dual.pair.schema.attributes:
+            assert f"| {attribute} |" in text
+
+    def test_contains_both_landmarks(self, dual):
+        text = to_markdown(dual)
+        assert "Landmark: left" in text
+        assert "Landmark: right" in text
+
+    def test_reports_injection_origin(self, dual):
+        text = to_markdown(dual)
+        assert "injected" in text
+
+    def test_top_k_respected(self, dual):
+        short = to_markdown(dual, k=1)
+        long = to_markdown(dual, k=10)
+        assert len(long) > len(short)
+
+
+class TestHtml:
+    def test_is_a_complete_document(self, dual):
+        page = to_html(dual)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "</html>" in page
+
+    def test_every_varying_token_rendered(self, dual):
+        page = to_html(dual)
+        for token in dual.left_landmark.instance.tokens:
+            assert f">{token.word}<" in page or token.word in page
+
+    def test_escapes_html_in_values(self, beer_matcher, beer_dataset):
+        pair = beer_dataset[0].with_left(
+            {
+                "beer_name": "<script>alert(1)</script> ale",
+                "brew_factory_name": "x",
+                "style": "y",
+                "abv": "5.0",
+            }
+        )
+        explainer = LandmarkExplainer(
+            beer_matcher, lime_config=LimeConfig(n_samples=16, seed=0)
+        )
+        page = to_html(explainer.explain(pair, "single"))
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_injected_tokens_get_dashed_border(self, dual):
+        page = to_html(dual)
+        assert "dashed" in page
+
+    def test_save_html(self, dual, tmp_path):
+        path = save_html(dual, tmp_path / "explanation.html")
+        assert path.exists()
+        assert path.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+
+class TestWeightColor:
+    def test_positive_green_negative_red(self):
+        from repro.core.report import _weight_color
+
+        assert "46, 160, 67" in _weight_color(0.5, 1.0)
+        assert "218, 54, 51" in _weight_color(-0.5, 1.0)
+
+    def test_zero_max_gives_neutral(self):
+        from repro.core.report import _weight_color
+
+        assert _weight_color(0.0, 0.0) == "#f0f0f0"

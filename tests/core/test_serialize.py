@@ -1,0 +1,87 @@
+"""Tests for dual-explanation JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.landmark import LandmarkExplainer
+from repro.core.serialize import (
+    dual_from_dict,
+    dual_to_dict,
+    load_explanation,
+    save_explanation,
+)
+from repro.exceptions import ExplanationError
+from repro.explainers.lime_text import LimeConfig
+
+
+@pytest.fixture(scope="module")
+def dual(beer_matcher, non_match_pair):
+    explainer = LandmarkExplainer(
+        beer_matcher, lime_config=LimeConfig(n_samples=48, seed=0), seed=0
+    )
+    return explainer.explain(non_match_pair, "double")
+
+
+class TestRoundTrip:
+    def test_weights_survive(self, dual):
+        restored = dual_from_dict(dual_to_dict(dual))
+        assert np.array_equal(
+            restored.left_landmark.explanation.weights,
+            dual.left_landmark.explanation.weights,
+        )
+        assert np.array_equal(
+            restored.right_landmark.explanation.weights,
+            dual.right_landmark.explanation.weights,
+        )
+
+    def test_pair_survives(self, dual):
+        restored = dual_from_dict(dual_to_dict(dual))
+        assert dict(restored.pair.left) == dict(dual.pair.left)
+        assert restored.pair.label == dual.pair.label
+        assert restored.pair.pair_id == dual.pair.pair_id
+
+    def test_injection_flags_survive(self, dual):
+        restored = dual_from_dict(dual_to_dict(dual))
+        assert (
+            restored.left_landmark.instance.injected
+            == dual.left_landmark.instance.injected
+        )
+        assert restored.generation == "double"
+
+    def test_combined_view_identical(self, dual):
+        restored = dual_from_dict(dual_to_dict(dual))
+        original_weights = {e.key: e.weight for e in dual.combined().entries}
+        restored_weights = {e.key: e.weight for e in restored.combined().entries}
+        assert restored_weights == original_weights
+
+    def test_file_round_trip(self, dual, tmp_path):
+        path = tmp_path / "explanation.json"
+        save_explanation(dual, path)
+        restored = load_explanation(path)
+        assert restored.left_landmark.explanation.score == pytest.approx(
+            dual.left_landmark.explanation.score
+        )
+
+    def test_restored_explanation_still_renders(self, dual):
+        restored = dual_from_dict(dual_to_dict(dual))
+        assert "landmark=left" in restored.render()
+
+    def test_restored_removal_still_works(self, dual, beer_matcher):
+        restored = dual_from_dict(dual_to_dict(dual))
+        reduced = restored.left_landmark.apply_removal("negative")
+        probability = beer_matcher.predict_one(reduced)
+        assert 0.0 <= probability <= 1.0
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self, dual):
+        payload = dual_to_dict(dual)
+        payload["format_version"] = 99
+        with pytest.raises(ExplanationError, match="format version"):
+            dual_from_dict(payload)
+
+    def test_payload_is_json_serializable(self, dual):
+        import json
+
+        text = json.dumps(dual_to_dict(dual))
+        assert "left_landmark" in text

@@ -1,0 +1,63 @@
+"""Tests for global explanation summaries."""
+
+import pytest
+
+from repro.core.landmark import LandmarkExplainer
+from repro.core.summarize import GlobalSummary, summarize_explanations
+from repro.explainers.lime_text import LimeConfig
+
+
+@pytest.fixture(scope="module")
+def duals(beer_matcher, beer_dataset):
+    explainer = LandmarkExplainer(
+        beer_matcher, lime_config=LimeConfig(n_samples=32, seed=0), seed=0
+    )
+    return [explainer.explain(pair) for pair in beer_dataset.pairs[:6]]
+
+
+class TestGlobalSummary:
+    def test_counts_explanations(self, duals):
+        summary = summarize_explanations(duals)
+        assert summary.n_explanations == len(duals)
+
+    def test_attribute_report_covers_schema(self, duals, beer_dataset):
+        summary = summarize_explanations(duals)
+        attributes = {attribute for attribute, _, _ in summary.attribute_report()}
+        assert attributes <= set(beer_dataset.schema.attributes)
+        assert attributes  # at least one attribute got tokens
+
+    def test_attribute_report_sorted(self, duals):
+        summary = summarize_explanations(duals)
+        weights = [weight for _, weight, _ in summary.attribute_report()]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_top_words_min_count_filter(self, duals):
+        summary = summarize_explanations(duals)
+        frequent = summary.top_words(k=100, min_count=2)
+        assert all(count >= 2 for _, _, count in frequent)
+
+    def test_top_words_sign_filter(self, duals):
+        summary = summarize_explanations(duals)
+        for _, weight, _ in summary.top_words(k=10, min_count=1, sign="positive"):
+            assert weight > 0
+        with pytest.raises(ValueError):
+            summary.top_words(sign="weird")
+
+    def test_incremental_add_matches_batch(self, duals):
+        batch = summarize_explanations(duals)
+        incremental = GlobalSummary()
+        for dual in duals:
+            incremental.add(dual)
+        assert incremental.n_explanations == batch.n_explanations
+        assert incremental.attribute_report() == batch.attribute_report()
+
+    def test_render(self, duals):
+        text = summarize_explanations(duals).render(5)
+        assert "global summary" in text
+        assert "attributes by mean" in text
+
+    def test_empty_summary(self):
+        summary = GlobalSummary()
+        assert summary.n_explanations == 0
+        assert summary.top_words() == []
+        assert summary.attribute_report() == []

@@ -1,0 +1,146 @@
+"""Tests for the inverted-index blocker."""
+
+import pytest
+
+from repro.blocking import BlockingReport, InvertedIndexBlocker
+from repro.data.synthetic.generator import SyntheticEMGenerator
+from repro.data.synthetic.vocabularies import WALMART_AMAZON_FACTORY
+from repro.exceptions import ConfigurationError
+
+LEFT = [
+    {"name": "sony digital camera", "city": "boston"},
+    {"name": "golden dragon palace", "city": "denver"},
+    {"name": "acme anvils", "city": "tulsa"},
+]
+RIGHT = [
+    {"name": "sony camera bag", "city": "boston"},
+    {"name": "golden dragon", "city": "denver"},
+    {"name": "completely unrelated", "city": "miami"},
+]
+
+
+class TestValidation:
+    def test_min_shared_tokens(self):
+        with pytest.raises(ConfigurationError):
+            InvertedIndexBlocker(min_shared_tokens=0)
+
+    def test_max_token_frequency(self):
+        with pytest.raises(ConfigurationError):
+            InvertedIndexBlocker(max_token_frequency=0.0)
+
+
+class TestCandidates:
+    def test_shared_token_pairs_found(self):
+        blocker = InvertedIndexBlocker(attributes=("name",), min_shared_tokens=1)
+        pairs = blocker.candidates(LEFT, RIGHT)
+        assert (0, 0) in pairs  # sony, camera
+        assert (1, 1) in pairs  # golden, dragon
+        assert (2, 2) not in pairs  # nothing shared
+
+    def test_min_shared_tokens_tightens(self):
+        loose = InvertedIndexBlocker(attributes=("name",), min_shared_tokens=1)
+        tight = InvertedIndexBlocker(attributes=("name",), min_shared_tokens=2)
+        assert set(tight.candidates(LEFT, RIGHT)) <= set(loose.candidates(LEFT, RIGHT))
+
+    def test_all_attributes_by_default(self):
+        blocker = InvertedIndexBlocker(min_shared_tokens=1)
+        pairs = blocker.candidates(LEFT, RIGHT)
+        # "boston" links (0, 0) through the city attribute even at name
+        # mismatch ... but (0,0) also shares name tokens; check a city-only
+        # link: denver links (1, 1) and nothing else new.
+        assert (0, 0) in pairs
+
+    def test_stopword_like_tokens_pruned(self):
+        left = [{"name": f"the item{i}"} for i in range(10)]
+        right = [{"name": f"the widget{i}"} for i in range(10)]
+        blocker = InvertedIndexBlocker(min_shared_tokens=1, max_token_frequency=0.2)
+        # "the" appears in every right record → pruned → no candidates.
+        assert blocker.candidates(left, right) == []
+
+    def test_empty_tables(self):
+        blocker = InvertedIndexBlocker()
+        assert blocker.candidates([], RIGHT) == []
+        assert blocker.candidates(LEFT, []) == []
+
+    def test_candidates_sorted_and_unique(self):
+        blocker = InvertedIndexBlocker(min_shared_tokens=1)
+        pairs = blocker.candidates(LEFT, RIGHT)
+        assert pairs == sorted(set(pairs))
+
+
+class TestReport:
+    def test_reduction_and_completeness(self):
+        blocker = InvertedIndexBlocker(attributes=("name",), min_shared_tokens=1)
+        gold = {(0, 0), (1, 1)}
+        pairs, report = blocker.report(LEFT, RIGHT, gold)
+        assert report.n_candidates == len(pairs)
+        assert report.pair_completeness == 1.0
+        assert 0.0 < report.reduction_ratio < 1.0
+
+    def test_missed_gold_lowers_completeness(self):
+        blocker = InvertedIndexBlocker(attributes=("name",), min_shared_tokens=1)
+        gold = {(0, 0), (2, 2)}  # (2, 2) shares nothing
+        _, report = blocker.report(LEFT, RIGHT, gold)
+        assert report.pair_completeness == 0.5
+
+    def test_no_gold_means_completeness_one(self):
+        _, report = InvertedIndexBlocker().report(LEFT, RIGHT)
+        assert report.pair_completeness == 1.0
+        assert report.n_gold == 0
+
+    def test_render(self):
+        _, report = InvertedIndexBlocker().report(LEFT, RIGHT, {(0, 0)})
+        assert "reduction ratio" in report.render()
+
+    def test_empty_report_guards(self):
+        report = BlockingReport(n_left=0, n_right=0, n_candidates=0)
+        assert report.reduction_ratio == 0.0
+
+
+class TestOnSyntheticCatalogs:
+    def test_high_reduction_high_completeness(self):
+        generator = SyntheticEMGenerator(WALMART_AMAZON_FACTORY, seed=3)
+        left, right, gold = generator.generate_tables(n_entities=150, overlap=0.4)
+        blocker = InvertedIndexBlocker(
+            attributes=("title", "brand", "modelno"), min_shared_tokens=2
+        )
+        _, report = blocker.report(left, right, gold)
+        assert report.reduction_ratio > 0.9
+        assert report.pair_completeness > 0.9
+
+
+class TestGenerateTables:
+    def test_shapes_and_gold(self):
+        generator = SyntheticEMGenerator(WALMART_AMAZON_FACTORY, seed=0)
+        left, right, gold = generator.generate_tables(n_entities=40, overlap=0.5)
+        assert len(left) == 40
+        assert len(right) == 40
+        assert len(gold) == 20
+        for left_id, right_id in gold:
+            assert 0 <= left_id < 40
+            assert 0 <= right_id < 40
+
+    def test_gold_pairs_share_tokens(self):
+        from repro.text.similarity import jaccard_similarity
+
+        generator = SyntheticEMGenerator(WALMART_AMAZON_FACTORY, seed=0)
+        left, right, gold = generator.generate_tables(n_entities=40, overlap=0.5)
+        for left_id, right_id in list(gold)[:10]:
+            overlap = jaccard_similarity(
+                " ".join(left[left_id].values()).split(),
+                " ".join(right[right_id].values()).split(),
+            )
+            assert overlap > 0.1
+
+    def test_deterministic(self):
+        a = SyntheticEMGenerator(WALMART_AMAZON_FACTORY, seed=5).generate_tables(20)
+        b = SyntheticEMGenerator(WALMART_AMAZON_FACTORY, seed=5).generate_tables(20)
+        assert a[0] == b[0]
+        assert a[2] == b[2]
+
+    def test_validation(self):
+        generator = SyntheticEMGenerator(WALMART_AMAZON_FACTORY)
+        with pytest.raises(Exception):
+            generator.generate_tables(0)
+        with pytest.raises(Exception):
+            generator.generate_tables(10, overlap=1.5)

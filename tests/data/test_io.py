@@ -1,0 +1,100 @@
+"""Tests for CSV round-tripping."""
+
+import pytest
+
+from repro.data.io import read_csv, write_csv
+from repro.data.records import EMDataset, RecordPair
+from repro.data.schema import PairSchema
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture()
+def dataset():
+    schema = PairSchema(("name", "price"))
+    pairs = [
+        RecordPair(
+            schema,
+            {"name": "sony camera", "price": "849.99"},
+            {"name": "nikon case", "price": "7.99"},
+            label=0,
+            pair_id=0,
+        ),
+        RecordPair(
+            schema,
+            {"name": "golden ale", "price": ""},
+            {"name": "golden ale", "price": ""},
+            label=1,
+            pair_id=1,
+        ),
+    ]
+    return EMDataset("toy", schema, pairs)
+
+
+class TestRoundTrip:
+    def test_values_survive(self, dataset, tmp_path):
+        path = tmp_path / "toy.csv"
+        write_csv(dataset, path)
+        loaded = read_csv(path)
+        assert len(loaded) == len(dataset)
+        assert loaded.schema.attributes == dataset.schema.attributes
+        for original, restored in zip(dataset, loaded):
+            assert dict(original.left) == dict(restored.left)
+            assert dict(original.right) == dict(restored.right)
+            assert original.label == restored.label
+            assert original.pair_id == restored.pair_id
+
+    def test_name_defaults_to_stem(self, dataset, tmp_path):
+        path = tmp_path / "mydata.csv"
+        write_csv(dataset, path)
+        assert read_csv(path).name == "mydata"
+
+    def test_explicit_name(self, dataset, tmp_path):
+        path = tmp_path / "x.csv"
+        write_csv(dataset, path)
+        assert read_csv(path, name="custom").name == "custom"
+
+    def test_benchmark_dataset_round_trips(self, tmp_path):
+        from repro.data.synthetic.magellan import load_dataset
+
+        original = load_dataset("S-FZ", size_cap=60)
+        path = tmp_path / "sfz.csv"
+        write_csv(original, path)
+        loaded = read_csv(path)
+        assert len(loaded) == len(original)
+        assert loaded.match_count == original.match_count
+
+
+class TestReadErrors:
+    def test_missing_label_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("left_name,right_name\na,b\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="label"):
+            read_csv(path)
+
+    def test_bad_label_value(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("label,left_name,right_name\nmaybe,a,b\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="bad label"):
+            read_csv(path)
+
+    def test_bad_pair_id(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "pair_id,label,left_name,right_name\nxyz,0,a,b\n", encoding="utf-8"
+        )
+        with pytest.raises(DatasetError, match="pair_id"):
+            read_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_csv(path)
+
+    def test_missing_pair_id_uses_row_order(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        path.write_text(
+            "label,left_name,right_name\n0,a,b\n1,c,c\n", encoding="utf-8"
+        )
+        loaded = read_csv(path)
+        assert [p.pair_id for p in loaded] == [0, 1]

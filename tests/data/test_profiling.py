@@ -1,0 +1,65 @@
+"""Tests for dataset profiling."""
+
+import pytest
+
+from repro.data.profiling import profile_dataset
+from repro.data.records import EMDataset
+from repro.data.synthetic.magellan import load_dataset
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def profile(beer_dataset):
+    return profile_dataset(beer_dataset)
+
+
+class TestDatasetProfile:
+    def test_basic_shape(self, profile, beer_dataset):
+        assert profile.n_pairs == len(beer_dataset)
+        assert profile.match_rate == pytest.approx(beer_dataset.match_rate)
+        assert len(profile.attributes) == len(beer_dataset.schema.attributes)
+
+    def test_matches_overlap_more(self, profile):
+        assert profile.record_match_overlap > profile.record_non_match_overlap
+        assert profile.overlap_gap > 0.1
+
+    def test_attribute_overlaps_bounded(self, profile):
+        for attribute_profile in profile.attributes:
+            assert 0.0 <= attribute_profile.match_overlap <= 1.0
+            assert 0.0 <= attribute_profile.non_match_overlap <= 1.0
+            assert 0.0 <= attribute_profile.empty_rate <= 1.0
+            assert attribute_profile.mean_tokens >= 0.0
+
+    def test_separation_ranking_sorted(self, profile):
+        ranking = profile.ranking_by_separation()
+        separations = {
+            attribute_profile.attribute: attribute_profile.separation
+            for attribute_profile in profile.attributes
+        }
+        values = [separations[attribute] for attribute in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_separation_ranking_predicts_model_ranking(
+        self, profile, beer_matcher
+    ):
+        # The attribute with the biggest class-overlap gap should be near
+        # the top of the trained model's own ranking.
+        top_data = profile.ranking_by_separation()[0]
+        assert top_data in beer_matcher.attribute_ranking()[:2]
+
+    def test_dirty_variant_has_emptier_attributes(self):
+        clean = profile_dataset(load_dataset("S-IA", size_cap=200))
+        dirty = profile_dataset(load_dataset("D-IA", size_cap=200))
+        clean_empty = sum(a.empty_rate for a in clean.attributes)
+        dirty_empty = sum(a.empty_rate for a in dirty.attributes)
+        assert dirty_empty > clean_empty
+
+    def test_render(self, profile):
+        text = profile.render()
+        assert "record overlap" in text
+        assert "beer_name" in text
+
+    def test_empty_dataset_rejected(self, beer_dataset):
+        empty = EMDataset("empty", beer_dataset.schema, [])
+        with pytest.raises(DatasetError):
+            profile_dataset(empty)

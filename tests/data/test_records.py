@@ -1,0 +1,149 @@
+"""Tests for RecordPair and EMDataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.records import EMDataset, MATCH, NON_MATCH, RecordPair
+from repro.data.schema import PairSchema
+from repro.exceptions import DatasetError, SchemaError
+
+
+@pytest.fixture()
+def schema():
+    return PairSchema(("name", "price"))
+
+
+@pytest.fixture()
+def pair(schema):
+    return RecordPair(
+        schema=schema,
+        left={"name": "sony camera", "price": "849.99"},
+        right={"name": "nikon case", "price": "7.99"},
+        label=NON_MATCH,
+        pair_id=3,
+    )
+
+
+class TestRecordPair:
+    def test_entities_are_read_only(self, pair):
+        with pytest.raises(TypeError):
+            pair.left["name"] = "hacked"
+
+    def test_label_validation(self, schema):
+        with pytest.raises(SchemaError):
+            RecordPair(schema, {"name": "a", "price": ""}, {"name": "b", "price": ""}, label=2)
+
+    def test_schema_validation(self, schema):
+        with pytest.raises(SchemaError):
+            RecordPair(schema, {"name": "a"}, {"name": "b", "price": ""})
+
+    def test_none_values_become_empty_strings(self, schema):
+        pair = RecordPair(
+            schema, {"name": None, "price": "1"}, {"name": "b", "price": ""}
+        )
+        assert pair.left["name"] == ""
+
+    def test_entity_accessor(self, pair):
+        assert pair.entity("left") is pair.left
+        assert pair.entity("right") is pair.right
+        with pytest.raises(ValueError):
+            pair.entity("middle")
+
+    def test_with_left_replaces_and_conforms(self, pair):
+        updated = pair.with_left({"name": "new"})
+        assert updated.left["name"] == "new"
+        assert updated.left["price"] == ""
+        assert updated.right == pair.right
+        assert updated.label == pair.label
+        # original untouched
+        assert pair.left["name"] == "sony camera"
+
+    def test_with_side(self, pair):
+        assert pair.with_side("right", {"name": "z"}).right["name"] == "z"
+        with pytest.raises(ValueError):
+            pair.with_side("top", {})
+
+    def test_swapped(self, pair):
+        swapped = pair.swapped()
+        assert swapped.left == pair.right
+        assert swapped.right == pair.left
+        assert swapped.label == pair.label
+
+    def test_flat_layout(self, pair):
+        flat = pair.flat()
+        assert flat["left_name"] == "sony camera"
+        assert flat["right_price"] == "7.99"
+        assert list(flat) == ["left_name", "left_price", "right_name", "right_price"]
+
+    def test_is_match(self, schema):
+        match = RecordPair(
+            schema, {"name": "a", "price": ""}, {"name": "a", "price": ""}, MATCH
+        )
+        assert match.is_match
+
+    def test_describe_mentions_label_and_values(self, pair):
+        text = pair.describe()
+        assert "non-match" in text
+        assert "sony camera" in text
+
+
+class TestEMDataset:
+    def _dataset(self, schema, labels):
+        pairs = [
+            RecordPair(
+                schema,
+                {"name": f"item {i}", "price": str(i)},
+                {"name": f"item {i}", "price": str(i)},
+                label=label,
+                pair_id=i,
+            )
+            for i, label in enumerate(labels)
+        ]
+        return EMDataset("toy", schema, pairs)
+
+    def test_len_iter_getitem(self, schema):
+        dataset = self._dataset(schema, [0, 1, 0])
+        assert len(dataset) == 3
+        assert dataset[1].label == 1
+        assert [p.pair_id for p in dataset] == [0, 1, 2]
+
+    def test_labels_and_match_rate(self, schema):
+        dataset = self._dataset(schema, [0, 1, 0, 1])
+        assert np.array_equal(dataset.labels, [0, 1, 0, 1])
+        assert dataset.match_count == 2
+        assert dataset.match_rate == 0.5
+
+    def test_empty_dataset_match_rate(self, schema):
+        dataset = EMDataset("empty", schema, [])
+        assert dataset.match_rate == 0.0
+
+    def test_by_label(self, schema):
+        dataset = self._dataset(schema, [0, 1, 0])
+        assert len(dataset.by_label(MATCH)) == 1
+        assert len(dataset.by_label(NON_MATCH)) == 2
+
+    def test_subset(self, schema):
+        dataset = self._dataset(schema, [0, 1, 0])
+        sub = dataset.subset([2, 0], name="sub")
+        assert [p.pair_id for p in sub] == [2, 0]
+        assert sub.name == "sub"
+
+    def test_append_enforces_schema(self, schema):
+        dataset = self._dataset(schema, [0])
+        other_schema = PairSchema(("title",))
+        bad = RecordPair(other_schema, {"title": "x"}, {"title": "y"})
+        with pytest.raises(DatasetError):
+            dataset.append(bad)
+
+    def test_constructor_enforces_schema(self, schema):
+        other_schema = PairSchema(("title",))
+        bad = RecordPair(other_schema, {"title": "x"}, {"title": "y"})
+        with pytest.raises(DatasetError):
+            EMDataset("bad", schema, [bad])
+
+    def test_summary_matches_table1_shape(self, schema):
+        dataset = self._dataset(schema, [0, 1, 0, 0])
+        summary = dataset.summary()
+        assert summary["size"] == 4
+        assert summary["match_percent"] == 25.0
+        assert summary["attributes"] == ["name", "price"]

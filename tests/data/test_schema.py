@@ -1,0 +1,116 @@
+"""Tests for PairSchema."""
+
+import pytest
+
+from repro.data.schema import LEFT_PREFIX, RIGHT_PREFIX, PairSchema
+from repro.exceptions import SchemaError
+
+
+class TestConstruction:
+    def test_basic(self):
+        schema = PairSchema(("name", "price"))
+        assert len(schema) == 2
+        assert list(schema) == ["name", "price"]
+        assert "name" in schema
+        assert "missing" not in schema
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            PairSchema(())
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            PairSchema(("name", "name"))
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(SchemaError):
+            PairSchema(("label",))
+
+    def test_hash_rejected(self):
+        with pytest.raises(SchemaError):
+            PairSchema(("na#me",))
+
+    def test_side_prefix_rejected(self):
+        with pytest.raises(SchemaError):
+            PairSchema(("left_name",))
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            PairSchema(("",))
+
+
+class TestColumns:
+    def test_left_right_columns(self):
+        schema = PairSchema(("name",))
+        assert schema.left_column("name") == LEFT_PREFIX + "name"
+        assert schema.right_column("name") == RIGHT_PREFIX + "name"
+
+    def test_unknown_attribute_raises(self):
+        schema = PairSchema(("name",))
+        with pytest.raises(SchemaError):
+            schema.left_column("price")
+
+    def test_flat_columns_order(self):
+        schema = PairSchema(("name", "price"))
+        assert schema.flat_columns() == [
+            "left_name",
+            "left_price",
+            "right_name",
+            "right_price",
+        ]
+
+
+class TestValidationAndConform:
+    def test_validate_accepts_exact(self):
+        schema = PairSchema(("name",))
+        schema.validate_entity({"name": "x"})  # should not raise
+
+    def test_validate_rejects_missing(self):
+        schema = PairSchema(("name", "price"))
+        with pytest.raises(SchemaError, match="missing"):
+            schema.validate_entity({"name": "x"})
+
+    def test_validate_rejects_extra(self):
+        schema = PairSchema(("name",))
+        with pytest.raises(SchemaError, match="extra"):
+            schema.validate_entity({"name": "x", "brand": "y"})
+
+    def test_conform_fills_gaps(self):
+        schema = PairSchema(("name", "price"))
+        assert schema.conform({"name": "x"}) == {"name": "x", "price": ""}
+
+    def test_conform_none_becomes_empty(self):
+        schema = PairSchema(("name",))
+        assert schema.conform({"name": None}) == {"name": ""}
+
+    def test_conform_rejects_unknown(self):
+        schema = PairSchema(("name",))
+        with pytest.raises(SchemaError):
+            schema.conform({"brand": "y"})
+
+    def test_empty_entity(self):
+        schema = PairSchema(("a", "b"))
+        assert schema.empty_entity() == {"a": "", "b": ""}
+
+
+class TestFromFlatColumns:
+    def test_round_trip(self):
+        schema = PairSchema(("name", "price"))
+        inferred = PairSchema.from_flat_columns(
+            ["pair_id", "label", *schema.flat_columns()]
+        )
+        assert inferred.attributes == schema.attributes
+
+    def test_unpaired_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            PairSchema.from_flat_columns(["left_name", "right_price"])
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            PairSchema.from_flat_columns(["left_name", "right_name", "weird"])
+
+    def test_preserves_left_order(self):
+        inferred = PairSchema.from_flat_columns(
+            ["left_b", "left_a", "right_a", "right_b"]
+        )
+        assert inferred.attributes == ("b", "a")

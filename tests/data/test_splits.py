@@ -1,0 +1,112 @@
+"""Tests for train/test splitting and per-label sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.records import EMDataset, MATCH, NON_MATCH, RecordPair
+from repro.data.schema import PairSchema
+from repro.data.splits import sample_per_label, train_test_split
+from repro.exceptions import DatasetError
+
+
+def make_dataset(n_match: int, n_non_match: int) -> EMDataset:
+    schema = PairSchema(("name",))
+    pairs = []
+    for i in range(n_match):
+        pairs.append(
+            RecordPair(schema, {"name": f"m{i}"}, {"name": f"m{i}"}, MATCH, i)
+        )
+    for i in range(n_non_match):
+        pairs.append(
+            RecordPair(
+                schema,
+                {"name": f"a{i}"},
+                {"name": f"b{i}"},
+                NON_MATCH,
+                n_match + i,
+            )
+        )
+    return EMDataset("toy", schema, pairs)
+
+
+class TestTrainTestSplit:
+    def test_partition_is_exact(self):
+        dataset = make_dataset(20, 80)
+        train, test = train_test_split(dataset, test_fraction=0.25, seed=1)
+        assert len(train) + len(test) == len(dataset)
+        train_ids = {p.pair_id for p in train}
+        test_ids = {p.pair_id for p in test}
+        assert not train_ids & test_ids
+
+    def test_stratification_preserves_match_rate(self):
+        dataset = make_dataset(20, 80)
+        train, test = train_test_split(dataset, test_fraction=0.25, seed=1)
+        assert test.match_count == 5
+        assert train.match_count == 15
+
+    def test_deterministic_given_seed(self):
+        dataset = make_dataset(10, 40)
+        _, test_a = train_test_split(dataset, seed=7)
+        _, test_b = train_test_split(dataset, seed=7)
+        assert [p.pair_id for p in test_a] == [p.pair_id for p in test_b]
+
+    def test_different_seeds_differ(self):
+        dataset = make_dataset(10, 90)
+        _, test_a = train_test_split(dataset, seed=1)
+        _, test_b = train_test_split(dataset, seed=2)
+        assert [p.pair_id for p in test_a] != [p.pair_id for p in test_b]
+
+    def test_invalid_fraction(self):
+        dataset = make_dataset(5, 5)
+        with pytest.raises(DatasetError):
+            train_test_split(dataset, test_fraction=0.0)
+        with pytest.raises(DatasetError):
+            train_test_split(dataset, test_fraction=1.0)
+
+    def test_tiny_dataset_rejected(self):
+        dataset = make_dataset(1, 0)
+        with pytest.raises(DatasetError):
+            train_test_split(dataset)
+
+    def test_unstratified_still_partitions(self):
+        dataset = make_dataset(10, 30)
+        train, test = train_test_split(dataset, stratified=False, seed=0)
+        assert len(train) + len(test) == 40
+
+    def test_accepts_generator(self):
+        dataset = make_dataset(10, 30)
+        rng = np.random.default_rng(0)
+        train, test = train_test_split(dataset, seed=rng)
+        assert len(train) + len(test) == 40
+
+
+class TestSamplePerLabel:
+    def test_caps_each_class(self):
+        dataset = make_dataset(30, 200)
+        sample = sample_per_label(dataset, per_label=25, seed=0)
+        assert sample.by_label(MATCH).pairs and len(sample.by_label(MATCH)) == 25
+        assert len(sample.by_label(NON_MATCH)) == 25
+
+    def test_takes_all_when_class_is_small(self):
+        # The paper: S-BR has only 68 matching records, all are used.
+        dataset = make_dataset(8, 200)
+        sample = sample_per_label(dataset, per_label=100, seed=0)
+        assert len(sample.by_label(MATCH)) == 8
+        assert len(sample.by_label(NON_MATCH)) == 100
+
+    def test_deterministic(self):
+        dataset = make_dataset(50, 50)
+        a = sample_per_label(dataset, per_label=10, seed=3)
+        b = sample_per_label(dataset, per_label=10, seed=3)
+        assert [p.pair_id for p in a] == [p.pair_id for p in b]
+
+    def test_sampling_without_replacement(self):
+        dataset = make_dataset(50, 50)
+        sample = sample_per_label(dataset, per_label=40, seed=0)
+        ids = [p.pair_id for p in sample]
+        assert len(ids) == len(set(ids))
+
+    def test_invalid_per_label(self):
+        dataset = make_dataset(5, 5)
+        with pytest.raises(DatasetError):
+            sample_per_label(dataset, per_label=0)

@@ -1,0 +1,90 @@
+"""Tests for the attribute-ranking evaluation (Table 3)."""
+
+import pytest
+
+from repro.evaluation.attribute_eval import attribute_correlation, attribute_eval
+from repro.evaluation.methods import ExplainedRecord, MethodExplainers
+from repro.exceptions import ConfigurationError
+from repro.explainers.lime_text import LimeConfig
+
+
+def fake_explained(pair, importance):
+    return ExplainedRecord(
+        method="fake",
+        pair=pair,
+        token_weights=None,  # not used by the attribute evaluation
+        attribute_importance=importance,
+        removal_pairs=lambda sign: [],
+    )
+
+
+class TestAttributeCorrelation:
+    def test_perfect_agreement(self, match_pair):
+        attributes = match_pair.schema.attributes
+        importance = {a: float(i + 1) for i, a in enumerate(attributes)}
+        explained = fake_explained(match_pair, dict(importance))
+        assert attribute_correlation(explained, importance) == pytest.approx(1.0)
+
+    def test_reversed_ranking_is_negative(self, match_pair):
+        attributes = match_pair.schema.attributes
+        model = {a: float(i + 1) for i, a in enumerate(attributes)}
+        surrogate = {a: float(len(attributes) - i) for i, a in enumerate(attributes)}
+        explained = fake_explained(match_pair, surrogate)
+        assert attribute_correlation(explained, model) < 0
+
+    def test_constant_surrogate_is_zero(self, match_pair):
+        attributes = match_pair.schema.attributes
+        model = {a: float(i + 1) for i, a in enumerate(attributes)}
+        explained = fake_explained(match_pair, {a: 1.0 for a in attributes})
+        assert attribute_correlation(explained, model) == 0.0
+
+    def test_constant_model_is_zero(self, match_pair):
+        attributes = match_pair.schema.attributes
+        model = {a: 2.0 for a in attributes}
+        explained = fake_explained(
+            match_pair, {a: float(i) for i, a in enumerate(attributes)}
+        )
+        assert attribute_correlation(explained, model) == 0.0
+
+    def test_missing_model_attribute_rejected(self, match_pair):
+        explained = fake_explained(match_pair, {})
+        with pytest.raises(ConfigurationError):
+            attribute_correlation(explained, {"only_this": 1.0})
+
+    def test_missing_surrogate_attribute_defaults_to_zero(self, match_pair):
+        attributes = match_pair.schema.attributes
+        model = {a: float(i + 1) for i, a in enumerate(attributes)}
+        # Surrogate importance covering only one attribute still works.
+        explained = fake_explained(match_pair, {attributes[0]: 1.0})
+        value = attribute_correlation(explained, model)
+        assert -1.0 <= value <= 1.0
+
+
+class TestAttributeEval:
+    def test_averages_over_records(self, match_pair):
+        attributes = match_pair.schema.attributes
+        model = {a: float(i + 1) for i, a in enumerate(attributes)}
+        agree = fake_explained(match_pair, dict(model))
+        disagree = fake_explained(
+            match_pair, {a: float(len(attributes) - i) for i, a in enumerate(attributes)}
+        )
+        result = attribute_eval([agree, disagree], model)
+        assert result.n_records == 2
+        assert -1.0 < result.kendall < 1.0
+
+    def test_empty_input(self, match_pair):
+        attributes = match_pair.schema.attributes
+        model = {a: 1.0 for a in attributes}
+        result = attribute_eval([], model)
+        assert result.n_records == 0
+        assert result.kendall == 0.0
+
+    def test_real_explanation_correlates_with_model(
+        self, beer_matcher, beer_dataset
+    ):
+        explainers = MethodExplainers(beer_matcher, LimeConfig(n_samples=64, seed=0))
+        pairs = beer_dataset.by_label(1).pairs[:5]
+        explained = [explainers.explain("single", pair) for pair in pairs]
+        result = attribute_eval(explained, beer_matcher.attribute_weights())
+        # Landmark single on matches tracks the LR attribute ranking well.
+        assert result.kendall > 0.2

@@ -1,0 +1,97 @@
+"""Tests for deletion-curve faithfulness evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.faithfulness import (
+    deletion_curve,
+    faithfulness_eval,
+)
+from repro.evaluation.methods import MethodExplainers
+from repro.exceptions import ConfigurationError
+from repro.explainers.lime_text import LimeConfig
+
+
+@pytest.fixture(scope="module")
+def explained_match(beer_matcher, beer_dataset):
+    explainers = MethodExplainers(beer_matcher, LimeConfig(n_samples=64, seed=0))
+    pairs = beer_dataset.by_label(1).pairs[:4]
+    return [explainers.explain("single", pair) for pair in pairs]
+
+
+class TestDeletionCurve:
+    def test_starts_at_original_probability(self, explained_match, beer_matcher):
+        explained = explained_match[0]
+        order = list(range(len(explained.token_weights)))
+        curve = deletion_curve(explained, beer_matcher, order)
+        assert curve[0] == pytest.approx(beer_matcher.predict_one(explained.pair))
+
+    def test_curve_length_bounded_by_steps(self, explained_match, beer_matcher):
+        explained = explained_match[0]
+        order = list(range(len(explained.token_weights)))
+        curve = deletion_curve(explained, beer_matcher, order, max_steps=5)
+        assert len(curve) <= 6
+
+    def test_full_deletion_reached(self, explained_match, beer_matcher):
+        explained = explained_match[0]
+        order = list(range(len(explained.token_weights)))
+        curve = deletion_curve(explained, beer_matcher, order)
+        # The last point is the fully emptied record: with our feature
+        # convention (both-empty ⇒ no evidence) the probability is low.
+        assert curve[-1] < 0.6
+
+    def test_order_length_checked(self, explained_match, beer_matcher):
+        with pytest.raises(ConfigurationError):
+            deletion_curve(explained_match[0], beer_matcher, [0, 1])
+
+
+class TestFaithfulnessEval:
+    def test_landmark_single_beats_random_on_matches(
+        self, explained_match, beer_matcher
+    ):
+        result = faithfulness_eval(explained_match, beer_matcher, seed=0)
+        assert result.n_records == len(explained_match)
+        assert result.gain > 0.0  # ordered deletion drops probability faster
+
+    def test_random_weights_have_no_gain(self, explained_match, beer_matcher):
+        import dataclasses
+
+        from repro.core.explanation import PairTokenWeights, TokenEntry
+
+        rng = np.random.default_rng(0)
+        shuffled = []
+        for explained in explained_match:
+            entries = [
+                TokenEntry(
+                    entry.side,
+                    entry.attribute,
+                    entry.position,
+                    entry.word,
+                    float(rng.normal()),
+                )
+                for entry in explained.token_weights.entries
+            ]
+            shuffled.append(
+                dataclasses.replace(
+                    explained,
+                    token_weights=PairTokenWeights(explained.pair, entries),
+                )
+            )
+        result = faithfulness_eval(shuffled, beer_matcher, n_random=5, seed=0)
+        informative = faithfulness_eval(
+            explained_match, beer_matcher, n_random=5, seed=0
+        )
+        assert informative.gain > result.gain
+
+    def test_empty_input(self, beer_matcher):
+        result = faithfulness_eval([], beer_matcher)
+        assert result.n_records == 0
+        assert result.gain == 0.0
+
+    def test_n_random_validated(self, explained_match, beer_matcher):
+        with pytest.raises(ConfigurationError):
+            faithfulness_eval(explained_match, beer_matcher, n_random=0)
+
+    def test_render(self, explained_match, beer_matcher):
+        text = faithfulness_eval(explained_match, beer_matcher, seed=0).render()
+        assert "gain" in text

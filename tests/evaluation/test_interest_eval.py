@@ -1,0 +1,69 @@
+"""Tests for the interest evaluation (Table 4)."""
+
+import pytest
+
+from repro.evaluation.interest_eval import interest_eval, interest_of_record
+from repro.evaluation.methods import MethodExplainers
+from repro.explainers.lime_text import LimeConfig
+
+
+@pytest.fixture(scope="module")
+def explainers(beer_matcher):
+    return MethodExplainers(beer_matcher, LimeConfig(n_samples=64, seed=0))
+
+
+class TestInterestOfRecord:
+    def test_match_record_flips_when_evidence_removed(
+        self, explainers, beer_matcher, match_pair
+    ):
+        explained = explainers.explain("single", match_pair)
+        score = interest_of_record(explained, beer_matcher)
+        assert 0.0 <= score <= 1.0
+
+    def test_double_flips_non_match(self, explainers, beer_matcher, non_match_pair):
+        explained = explainers.explain("double", non_match_pair)
+        score = interest_of_record(explained, beer_matcher)
+        # The signature result of the paper: injection makes non-match
+        # records flippable.
+        assert score > 0.0
+
+    def test_single_rarely_flips_non_match(
+        self, explainers, beer_matcher, beer_dataset
+    ):
+        pairs = beer_dataset.by_label(0).pairs[:6]
+        double_scores = []
+        single_scores = []
+        for pair in pairs:
+            single_scores.append(
+                interest_of_record(explainers.explain("single", pair), beer_matcher)
+            )
+            double_scores.append(
+                interest_of_record(explainers.explain("double", pair), beer_matcher)
+            )
+        assert sum(double_scores) > sum(single_scores)
+
+    def test_threshold_shifts_interest(self, explainers, beer_matcher, non_match_pair):
+        explained = explainers.explain("double", non_match_pair)
+        lax = interest_of_record(explained, beer_matcher, threshold=0.1)
+        strict = interest_of_record(explained, beer_matcher, threshold=0.9)
+        # Lower thresholds make flipping a non-match to match easier.
+        assert lax >= strict
+
+
+class TestInterestEval:
+    def test_aggregates(self, explainers, beer_matcher, beer_dataset):
+        pairs = beer_dataset.by_label(0).pairs[:4]
+        explained = [explainers.explain("double", pair) for pair in pairs]
+        result = interest_eval(explained, beer_matcher)
+        assert result.n_records == 4
+        assert 0.0 <= result.interest <= 1.0
+
+    def test_empty(self, beer_matcher):
+        result = interest_eval([], beer_matcher)
+        assert result.n_records == 0
+        assert result.interest == 0.0
+
+    def test_as_row(self, explainers, beer_matcher, non_match_pair):
+        explained = [explainers.explain("lime", non_match_pair)]
+        row = interest_eval(explained, beer_matcher).as_row()
+        assert set(row) == {"interest", "n"}

@@ -1,0 +1,103 @@
+"""Tests for the uniform method adapter."""
+
+import pytest
+
+from repro.config import ALL_METHODS
+from repro.evaluation.methods import MethodExplainers
+from repro.exceptions import ConfigurationError
+from repro.explainers.lime_text import LimeConfig
+
+
+@pytest.fixture(scope="module")
+def explainers(beer_matcher):
+    return MethodExplainers(beer_matcher, LimeConfig(n_samples=48, seed=0), seed=0)
+
+
+class TestMethodExplainers:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_every_method_produces_token_weights(
+        self, explainers, non_match_pair, method
+    ):
+        explained = explainers.explain(method, non_match_pair)
+        assert explained.method == method
+        assert len(explained.token_weights) > 0
+        assert explained.pair is non_match_pair
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_attribute_importance_covers_schema(
+        self, explainers, non_match_pair, method
+    ):
+        explained = explainers.explain(method, non_match_pair)
+        assert set(explained.attribute_importance) == set(
+            non_match_pair.schema.attributes
+        )
+
+    def test_unknown_method_rejected(self, explainers, match_pair):
+        with pytest.raises(ConfigurationError):
+            explainers.explain("anchors", match_pair)
+
+    def test_dual_methods_return_two_removal_variants(
+        self, explainers, non_match_pair
+    ):
+        explained = explainers.explain("double", non_match_pair)
+        variants = explained.removal_pairs("negative")
+        assert len(variants) == 2
+
+    def test_baseline_methods_return_one_removal_variant(
+        self, explainers, non_match_pair
+    ):
+        explained = explainers.explain("lime", non_match_pair)
+        assert len(explained.removal_pairs("negative")) == 1
+
+    def test_token_weights_cover_all_original_tokens(
+        self, explainers, match_pair
+    ):
+        from repro.text.tokenize import Tokenizer
+
+        tokenizer = Tokenizer()
+        expected = sum(
+            len(tokenizer.tokenize_entity(match_pair.entity(side)))
+            for side in ("left", "right")
+        )
+        for method in ("single", "double", "lime"):
+            explained = explainers.explain(method, match_pair)
+            assert len(explained.token_weights) == expected, method
+
+    def test_double_removal_keeps_injected_positives(
+        self, explainers, beer_matcher, non_match_pair
+    ):
+        # After removing negative tokens from the double representation, the
+        # pair should score markedly higher than the original non-match.
+        explained = explainers.explain("double", non_match_pair)
+        variants = explained.removal_pairs("negative")
+        probabilities = beer_matcher.predict_proba(variants)
+        original = beer_matcher.predict_one(non_match_pair)
+        assert probabilities.max() > original
+
+
+class TestAttributeDropMethod:
+    def test_attr_drop_available_in_harness(self, explainers, non_match_pair):
+        explained = explainers.explain("mojito_attr_drop", non_match_pair)
+        assert explained.method == "mojito_attr_drop"
+        assert len(explained.token_weights) > 0
+        assert set(explained.attribute_importance) == set(
+            non_match_pair.schema.attributes
+        )
+
+    def test_attr_drop_in_all_methods_but_not_paper_grid(self):
+        from repro.config import ALL_METHODS, PAPER_METHODS
+
+        assert "mojito_attr_drop" in ALL_METHODS
+        assert "mojito_attr_drop" not in PAPER_METHODS
+
+    def test_runner_accepts_attr_drop(self):
+        from repro.config import ExperimentConfig
+        from repro.data.records import NON_MATCH
+        from repro.evaluation.runner import ExperimentRunner
+
+        config = ExperimentConfig(
+            name="attr", per_label=2, lime_samples=16, size_cap=120,
+            methods=("mojito_attr_drop",),
+        )
+        result = ExperimentRunner(config).run(["S-BR"])
+        assert result.datasets["S-BR"].get(NON_MATCH, "mojito_attr_drop") is not None

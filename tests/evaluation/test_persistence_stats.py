@@ -1,0 +1,159 @@
+"""Tests for result persistence (JSON round trip, diffing) and statistics."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.evaluation.persistence import (
+    compare_results,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.evaluation.runner import BenchmarkResult, DatasetResult, MethodMetrics
+from repro.evaluation.stats import (
+    bootstrap_ci,
+    paired_bootstrap_pvalue,
+)
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.matchers.evaluate import MatchQuality
+
+
+def make_result(name="runA", accuracy=0.8) -> BenchmarkResult:
+    config = ExperimentConfig(name=name, per_label=4, lime_samples=16, size_cap=100)
+    result = BenchmarkResult(config=config)
+    dataset_result = DatasetResult(
+        code="S-BR",
+        n_pairs=100,
+        matcher_quality=MatchQuality(10, 1, 80, 9),
+    )
+    for label in (0, 1):
+        for method in ("single", "lime"):
+            dataset_result.metrics[(label, method)] = MethodMetrics(
+                method=method,
+                label=label,
+                token_accuracy=accuracy,
+                token_mae=0.1,
+                kendall=0.5,
+                interest=0.4,
+                n_records=4,
+                faithfulness=0.25,  # non-NaN so == comparisons are exact
+            )
+    result.datasets["S-BR"] = dataset_result
+    return result
+
+
+class TestPersistence:
+    def test_round_trip_through_dict(self):
+        original = make_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.config == original.config
+        assert restored.codes == original.codes
+        assert (
+            restored.datasets["S-BR"].metrics[(1, "single")]
+            == original.datasets["S-BR"].metrics[(1, "single")]
+        )
+        assert restored.datasets["S-BR"].matcher_quality == MatchQuality(10, 1, 80, 9)
+
+    def test_round_trip_through_file(self, tmp_path):
+        original = make_result()
+        path = tmp_path / "run.json"
+        save_result(original, path)
+        restored = load_result(path)
+        assert restored.datasets["S-BR"].n_pairs == 100
+
+    def test_version_check(self):
+        payload = result_to_dict(make_result())
+        payload["format_version"] = 99
+        with pytest.raises(DatasetError, match="format version"):
+            result_from_dict(payload)
+
+    def test_real_runner_output_round_trips(self, tmp_path):
+        from repro.evaluation.runner import ExperimentRunner
+
+        config = ExperimentConfig(
+            name="tiny", per_label=2, lime_samples=16, size_cap=120,
+            methods=("single", "lime"),
+        )
+        result = ExperimentRunner(config).run(["S-BR"])
+        path = tmp_path / "real.json"
+        save_result(result, path)
+        restored = load_result(path)
+        for key, metrics in result.datasets["S-BR"].metrics.items():
+            restored_metrics = restored.datasets["S-BR"].metrics[key]
+            for field in dataclasses.fields(metrics):
+                original_value = getattr(metrics, field.name)
+                restored_value = getattr(restored_metrics, field.name)
+                if isinstance(original_value, float) and math.isnan(original_value):
+                    assert math.isnan(restored_value), field.name
+                else:
+                    assert restored_value == original_value, field.name
+
+
+class TestCompare:
+    def test_deltas_reported(self):
+        baseline = make_result("base", accuracy=0.8)
+        candidate = make_result("cand", accuracy=0.9)
+        text = compare_results(baseline, candidate)
+        assert "'cand' minus 'base'" in text
+        assert "0.100" in text
+
+    def test_disjoint_datasets_skipped(self):
+        baseline = make_result()
+        candidate = BenchmarkResult(config=baseline.config)
+        text = compare_results(baseline, candidate)
+        assert "S-BR" not in text
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_of_tight_sample(self):
+        values = [0.5] * 50
+        interval = bootstrap_ci(values)
+        assert interval.mean == 0.5
+        assert interval.low == 0.5
+        assert interval.high == 0.5
+        assert 0.5 in interval
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_ci(rng.normal(size=10), seed=1)
+        large = bootstrap_ci(rng.normal(size=1000), seed=1)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_single_value(self):
+        interval = bootstrap_ci([0.7])
+        assert interval.low == interval.high == 0.7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([], confidence=0.95)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_render(self):
+        text = bootstrap_ci([0.1, 0.2, 0.3], seed=0).render()
+        assert "95% CI" in text
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_gets_small_pvalue(self):
+        rng = np.random.default_rng(0)
+        scores_b = rng.random(100) * 0.2
+        scores_a = scores_b + 0.5
+        assert paired_bootstrap_pvalue(scores_a, scores_b, seed=0) < 0.01
+
+    def test_balanced_differences_near_half(self):
+        # Differences alternate +1/−1 with mean exactly 0, so the resampled
+        # mean difference is symmetric around 0 and the p-value sits at ~0.5.
+        scores_b = np.zeros(200)
+        scores_a = np.tile([1.0, -1.0], 100)
+        p = paired_bootstrap_pvalue(scores_a, scores_b, seed=0)
+        assert 0.3 < p < 0.7
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            paired_bootstrap_pvalue([1.0, 2.0], [1.0])

@@ -1,0 +1,81 @@
+"""Tests for the explanation-stability evaluation."""
+
+import pytest
+
+from repro.core.explanation import PairTokenWeights, TokenEntry
+from repro.evaluation.stability import (
+    record_stability,
+    stability_eval,
+)
+from repro.exceptions import ConfigurationError
+
+
+def weights_for(pair, values):
+    entries = []
+    tokens = [
+        ("left", "name", 0, "sony"),
+        ("left", "name", 1, "camera"),
+        ("right", "name", 0, "nikon"),
+        ("right", "price", 0, "7.99"),
+    ]
+    for (side, attribute, position, word), value in zip(tokens, values):
+        entries.append(TokenEntry(side, attribute, position, word, value))
+    return PairTokenWeights(pair, entries)
+
+
+class TestRecordStability:
+    def test_identical_runs_are_perfectly_stable(self, toy_pair):
+        runs = [weights_for(toy_pair, [0.5, 0.2, -0.3, 0.1])] * 3
+        assert record_stability(runs) == pytest.approx(1.0)
+
+    def test_reversed_rankings_are_anticorrelated(self, toy_pair):
+        a = weights_for(toy_pair, [0.4, 0.3, 0.2, 0.1])
+        b = weights_for(toy_pair, [0.1, 0.2, 0.3, 0.4])
+        assert record_stability([a, b]) == pytest.approx(-1.0)
+
+    def test_constant_weights_score_zero(self, toy_pair):
+        a = weights_for(toy_pair, [0.2, 0.2, 0.2, 0.2])
+        b = weights_for(toy_pair, [0.4, 0.3, 0.2, 0.1])
+        assert record_stability([a, b]) == 0.0
+
+    def test_needs_two_runs(self, toy_pair):
+        with pytest.raises(ConfigurationError):
+            record_stability([weights_for(toy_pair, [0.1, 0.2, 0.3, 0.4])])
+
+
+class TestStabilityEval:
+    def test_landmark_explanations_are_reasonably_stable(
+        self, beer_matcher, beer_dataset
+    ):
+        from repro.core.landmark import LandmarkExplainer
+        from repro.explainers.lime_text import LimeConfig
+
+        def explain(pair, seed):
+            explainer = LandmarkExplainer(
+                beer_matcher,
+                lime_config=LimeConfig(n_samples=96, seed=seed),
+                seed=seed,
+            )
+            return explainer.explain(pair, "single").combined()
+
+        pairs = beer_dataset.by_label(1).pairs[:3]
+        result = stability_eval(pairs, explain, n_runs=3, base_seed=0)
+        assert result.n_runs == 3
+        assert len(result.per_record) == 3
+        assert result.mean_correlation > 0.3
+
+    def test_empty_input(self):
+        result = stability_eval([], lambda pair, seed: None, n_runs=2)
+        assert result.per_record == ()
+        assert result.mean_correlation == 0.0
+
+    def test_n_runs_validated(self, beer_dataset):
+        with pytest.raises(ConfigurationError):
+            stability_eval(beer_dataset.pairs[:1], lambda p, s: None, n_runs=1)
+
+    def test_render(self, toy_pair):
+        def explain(pair, seed):
+            return weights_for(pair, [0.4, 0.3, 0.2, 0.1])
+
+        result = stability_eval([toy_pair], explain, n_runs=2)
+        assert "mean Spearman 1.000" in result.render()

@@ -1,0 +1,109 @@
+"""Tests for the Anchors explainer and its landmark coupling."""
+
+import numpy as np
+import pytest
+
+from repro.core.generation import GENERATION_SINGLE, LandmarkGenerator
+from repro.exceptions import ConfigurationError
+from repro.explainers.anchors import (
+    AnchorExplanation,
+    AnchorsTextExplainer,
+    anchor_for_landmark,
+)
+
+NAMES = ("alpha", "beta", "gamma", "delta", "epsilon")
+
+
+def single_token_box(pivot_index: int):
+    """Class 1 iff the pivot token is present — the ideal anchor target."""
+
+    def predict_masks(masks):
+        return masks[:, pivot_index].astype(float)
+
+    return predict_masks
+
+
+class TestValidation:
+    def test_precision_threshold(self):
+        with pytest.raises(ConfigurationError):
+            AnchorsTextExplainer(precision_threshold=0.4)
+
+    def test_sample_count(self):
+        with pytest.raises(ConfigurationError):
+            AnchorsTextExplainer(n_samples_per_candidate=2)
+
+    def test_beam_width(self):
+        with pytest.raises(ConfigurationError):
+            AnchorsTextExplainer(beam_width=0)
+
+    def test_max_anchor_size(self):
+        with pytest.raises(ConfigurationError):
+            AnchorsTextExplainer(max_anchor_size=0)
+
+
+class TestSearch:
+    def test_finds_the_pivot_token(self):
+        explainer = AnchorsTextExplainer(seed=0)
+        explanation = explainer.explain(NAMES, single_token_box(2))
+        assert explanation.anchor_tokens == ("gamma",)
+        assert explanation.precision == 1.0
+        assert explanation.predicted_class == 1
+
+    def test_conjunction_anchor(self):
+        # class 1 iff tokens 0 AND 3 both present.
+        def box(masks):
+            return (masks[:, 0] & masks[:, 3]).astype(float)
+
+        explanation = AnchorsTextExplainer(seed=0).explain(NAMES, box)
+        assert set(explanation.anchor_tokens) == {"alpha", "delta"}
+
+    def test_coverage_halves_per_anchor_token(self):
+        explanation = AnchorsTextExplainer(seed=0).explain(NAMES, single_token_box(0))
+        # one forced token → roughly half of random masks satisfy the rule
+        assert 0.3 < explanation.coverage < 0.7
+
+    def test_max_size_respected(self):
+        def noisy_box(masks):
+            rng = np.random.default_rng(0)
+            return rng.random(len(masks))  # no anchor can be precise
+
+        explanation = AnchorsTextExplainer(
+            max_anchor_size=2, n_samples_per_candidate=8, seed=0
+        ).explain(NAMES, noisy_box)
+        assert len(explanation.anchor_indices) <= 2
+
+    def test_deterministic(self):
+        a = AnchorsTextExplainer(seed=1).explain(NAMES, single_token_box(4))
+        b = AnchorsTextExplainer(seed=1).explain(NAMES, single_token_box(4))
+        assert a.anchor_indices == b.anchor_indices
+        assert a.precision == b.precision
+
+    def test_model_call_budget_tracked(self):
+        explanation = AnchorsTextExplainer(seed=0).explain(
+            NAMES, single_token_box(1)
+        )
+        assert explanation.n_model_calls > len(NAMES)
+
+    def test_render(self):
+        explanation = AnchorsTextExplainer(seed=0).explain(
+            NAMES, single_token_box(1)
+        )
+        text = explanation.render()
+        assert "IF beta PRESENT THEN match" in text
+
+
+class TestLandmarkCoupling:
+    def test_anchor_for_landmark(self, beer_matcher, match_pair):
+        instance = LandmarkGenerator().generate(
+            match_pair, "left", GENERATION_SINGLE
+        )
+        explanation = anchor_for_landmark(
+            instance,
+            beer_matcher,
+            AnchorsTextExplainer(n_samples_per_candidate=16, seed=0),
+        )
+        assert isinstance(explanation, AnchorExplanation)
+        assert explanation.predicted_class == 1
+        # Anchor tokens are prefixed tokens of the varying (right) entity.
+        for token in explanation.anchor_tokens:
+            assert "#" in token

@@ -1,0 +1,112 @@
+"""Tests for the Kernel SHAP explainer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ExplanationError
+from repro.explainers.kernel_shap import KernelShapExplainer, shapley_kernel_weights
+
+NAMES = ("alpha", "beta", "gamma", "delta")
+
+
+def linear_black_box(coef, intercept=0.1):
+    coef = np.asarray(coef)
+
+    def predict_masks(masks):
+        return masks @ coef + intercept
+
+    return predict_masks
+
+
+class TestShapleyKernelWeights:
+    def test_anchors_get_huge_weight(self):
+        masks = np.array([[1, 1, 1], [0, 0, 0], [1, 0, 0]])
+        weights = shapley_kernel_weights(masks)
+        assert weights[0] > 1e5
+        assert weights[1] > 1e5
+        assert weights[2] < 1e5
+
+    def test_symmetric_in_coalition_size(self):
+        masks = np.array([[1, 0, 0, 0], [1, 1, 1, 0]])
+        weights = shapley_kernel_weights(masks)
+        # |z|=1 and |z|=d-1 get the same kernel weight.
+        assert weights[0] == pytest.approx(weights[1])
+
+    def test_known_value(self):
+        # d=4, |z|=2: (4-1) / (C(4,2) * 2 * 2) = 3/24.
+        masks = np.array([[1, 1, 0, 0]])
+        assert shapley_kernel_weights(masks)[0] == pytest.approx(3 / 24)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            shapley_kernel_weights(np.ones(3))
+
+
+class TestKernelShap:
+    def test_recovers_linear_coefficients_exactly(self):
+        # For an additive model, Shapley values equal the coefficients.
+        coef = np.array([0.4, -0.3, 0.2, 0.0])
+        explainer = KernelShapExplainer(n_samples=256, seed=0)
+        explanation = explainer.explain(NAMES, linear_black_box(coef))
+        assert np.allclose(explanation.weights, coef, atol=1e-6)
+
+    def test_efficiency_axiom(self):
+        # Σ shapley values = f(full) − f(empty).
+        rng = np.random.default_rng(0)
+        coef = rng.normal(size=4) * 0.2
+
+        def box(masks):
+            return masks @ coef + 0.3
+
+        explanation = KernelShapExplainer(n_samples=256, seed=0).explain(NAMES, box)
+        assert explanation.weights.sum() == pytest.approx(coef.sum(), abs=1e-5)
+        assert explanation.intercept == pytest.approx(0.3, abs=1e-5)
+
+    def test_single_feature(self):
+        explanation = KernelShapExplainer(n_samples=16, seed=0).explain(
+            ("only",), lambda masks: masks[:, 0] * 0.5 + 0.2
+        )
+        assert explanation.weights[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_plugs_into_landmark_explainer(self, beer_matcher, match_pair):
+        from repro.core.landmark import LandmarkExplainer
+
+        explainer = LandmarkExplainer(
+            beer_matcher, explainer=KernelShapExplainer(n_samples=64, seed=0)
+        )
+        dual = explainer.explain(match_pair, "single")
+        assert len(dual.combined()) > 0
+        assert dual.left_landmark.explanation.metadata["surrogate"] == "kernel_shap"
+
+    def test_landmark_rejects_both_configs(self, beer_matcher):
+        from repro.core.landmark import LandmarkExplainer
+        from repro.explainers.lime_text import LimeConfig
+
+        with pytest.raises(ConfigurationError):
+            LandmarkExplainer(
+                beer_matcher,
+                lime_config=LimeConfig(n_samples=8),
+                explainer=KernelShapExplainer(),
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KernelShapExplainer(n_samples=2)
+        with pytest.raises(ConfigurationError):
+            KernelShapExplainer(alpha=-1.0)
+        with pytest.raises(ExplanationError):
+            KernelShapExplainer(seed=0).explain((), lambda m: np.zeros(len(m)))
+        with pytest.raises(ExplanationError):
+            KernelShapExplainer(seed=0).explain(
+                ("a", "a"), lambda m: np.zeros(len(m))
+            )
+
+    def test_deterministic(self):
+        coef = np.array([0.1, 0.2, -0.1, 0.05])
+        a = KernelShapExplainer(n_samples=64, seed=3).explain(
+            NAMES, linear_black_box(coef)
+        )
+        b = KernelShapExplainer(n_samples=64, seed=3).explain(
+            NAMES, linear_black_box(coef)
+        )
+        assert np.array_equal(a.weights, b.weights)

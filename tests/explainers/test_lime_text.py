@@ -1,0 +1,127 @@
+"""Tests for the from-scratch LIME explainer.
+
+The strongest check available for any LIME implementation: when the black
+box *is* a (noisy) linear function of the mask, the surrogate must recover
+its coefficients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ExplanationError
+from repro.explainers.lime_text import LimeConfig, LimeTextExplainer
+
+
+def linear_black_box(coef, intercept=0.1):
+    coef = np.asarray(coef)
+
+    def predict_masks(masks):
+        return masks @ coef + intercept
+
+    return predict_masks
+
+
+NAMES = ("alpha", "beta", "gamma", "delta")
+
+
+class TestConfigValidation:
+    def test_bad_n_samples(self):
+        with pytest.raises(ConfigurationError):
+            LimeConfig(n_samples=1)
+
+    def test_bad_surrogate(self):
+        with pytest.raises(ConfigurationError):
+            LimeConfig(surrogate="svm")
+
+    def test_bad_selection(self):
+        with pytest.raises(ConfigurationError):
+            LimeConfig(selection="magic")
+
+    def test_bad_num_features(self):
+        with pytest.raises(ConfigurationError):
+            LimeConfig(num_features=0)
+
+
+class TestRecovery:
+    def test_recovers_linear_coefficients(self):
+        coef = np.array([0.4, -0.3, 0.2, 0.0])
+        explainer = LimeTextExplainer(LimeConfig(n_samples=512, alpha=1e-6, seed=0))
+        explanation = explainer.explain(NAMES, linear_black_box(coef))
+        assert np.allclose(explanation.weights, coef, atol=0.02)
+
+    def test_model_probability_is_first_row(self):
+        coef = np.array([0.1, 0.1, 0.1, 0.1])
+        explainer = LimeTextExplainer(LimeConfig(n_samples=64, seed=0))
+        explanation = explainer.explain(NAMES, linear_black_box(coef, intercept=0.2))
+        assert explanation.model_probability == pytest.approx(0.6)
+
+    def test_surrogate_probability_close_to_model_on_linear_box(self):
+        coef = np.array([0.2, -0.1, 0.05, 0.15])
+        explainer = LimeTextExplainer(LimeConfig(n_samples=512, alpha=1e-6, seed=0))
+        explanation = explainer.explain(NAMES, linear_black_box(coef))
+        assert explanation.surrogate_probability == pytest.approx(
+            explanation.model_probability, abs=0.01
+        )
+
+    def test_r2_high_on_linear_box(self):
+        coef = np.array([0.3, -0.2, 0.1, 0.05])
+        explainer = LimeTextExplainer(LimeConfig(n_samples=256, alpha=1e-6, seed=0))
+        explanation = explainer.explain(NAMES, linear_black_box(coef))
+        assert explanation.score > 0.99
+
+    def test_lasso_surrogate_sparsifies(self):
+        coef = np.array([0.5, 0.0, 0.0, 0.0])
+        explainer = LimeTextExplainer(
+            LimeConfig(n_samples=512, surrogate="lasso", alpha=2.0, seed=0)
+        )
+        explanation = explainer.explain(NAMES, linear_black_box(coef))
+        assert abs(explanation.weights[0]) > 0.1
+        assert np.allclose(explanation.weights[1:], 0.0, atol=0.02)
+
+    def test_num_features_restricts_support(self):
+        coef = np.array([0.5, -0.4, 0.01, 0.01])
+        explainer = LimeTextExplainer(
+            LimeConfig(n_samples=512, num_features=2, seed=0)
+        )
+        explanation = explainer.explain(NAMES, linear_black_box(coef))
+        nonzero = np.flatnonzero(explanation.weights)
+        assert set(nonzero) == {0, 1}
+
+    def test_forward_selection_path(self):
+        coef = np.array([0.5, -0.4, 0.0, 0.0])
+        explainer = LimeTextExplainer(
+            LimeConfig(n_samples=256, num_features=2, selection="forward_selection", seed=0)
+        )
+        explanation = explainer.explain(NAMES, linear_black_box(coef))
+        nonzero = set(np.flatnonzero(explanation.weights))
+        assert nonzero == {0, 1}
+
+
+class TestContract:
+    def test_duplicate_names_rejected(self):
+        explainer = LimeTextExplainer(LimeConfig(n_samples=8, seed=0))
+        with pytest.raises(ExplanationError):
+            explainer.explain(("a", "a"), linear_black_box([0.1, 0.1]))
+
+    def test_empty_names_rejected(self):
+        explainer = LimeTextExplainer(LimeConfig(n_samples=8, seed=0))
+        with pytest.raises(ExplanationError):
+            explainer.explain((), lambda masks: np.zeros(len(masks)))
+
+    def test_bad_prediction_shape_rejected(self):
+        explainer = LimeTextExplainer(LimeConfig(n_samples=8, seed=0))
+        with pytest.raises(ExplanationError):
+            explainer.explain(("a", "b"), lambda masks: np.zeros(3))
+
+    def test_deterministic_given_seed(self):
+        coef = np.array([0.3, -0.1, 0.2, 0.0])
+        config = LimeConfig(n_samples=64, seed=42)
+        a = LimeTextExplainer(config).explain(NAMES, linear_black_box(coef))
+        b = LimeTextExplainer(config).explain(NAMES, linear_black_box(coef))
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_metadata_records_settings(self):
+        explainer = LimeTextExplainer(LimeConfig(n_samples=16, seed=0))
+        explanation = explainer.explain(NAMES, linear_black_box([0.1] * 4))
+        assert explanation.metadata["surrogate"] == "ridge"
+        assert explanation.n_samples == 16

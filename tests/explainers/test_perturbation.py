@@ -1,0 +1,64 @@
+"""Tests for perturbation-mask sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explainers.perturbation import sample_masks
+
+
+class TestSampleMasks:
+    def test_shape(self):
+        masks = sample_masks(7, 32, np.random.default_rng(0))
+        assert masks.shape == (32, 7)
+
+    def test_first_row_is_original(self):
+        masks = sample_masks(5, 16, np.random.default_rng(0))
+        assert masks[0].tolist() == [1, 1, 1, 1, 1]
+
+    def test_every_other_row_has_a_removal(self):
+        masks = sample_masks(5, 64, np.random.default_rng(0))
+        assert np.all(masks[1:].sum(axis=1) < 5)
+
+    def test_binary_values(self):
+        masks = sample_masks(4, 40, np.random.default_rng(3))
+        assert set(np.unique(masks)) <= {0, 1}
+
+    def test_without_original(self):
+        masks = sample_masks(5, 64, np.random.default_rng(0), include_original=False)
+        # With 64 samples of 1..5 removals, all-ones should never appear.
+        assert np.all(masks.sum(axis=1) < 5)
+
+    def test_removal_sizes_cover_the_range(self):
+        masks = sample_masks(6, 500, np.random.default_rng(0))
+        removal_sizes = set((6 - masks[1:].sum(axis=1)).tolist())
+        assert removal_sizes == {1, 2, 3, 4, 5, 6}
+
+    def test_zero_features(self):
+        masks = sample_masks(0, 8, np.random.default_rng(0))
+        assert masks.shape == (8, 0)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_masks(-1, 8, rng)
+        with pytest.raises(ValueError):
+            sample_masks(3, 0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = sample_masks(6, 30, np.random.default_rng(9))
+        b = sample_masks(6, 30, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=2, max_value=64),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30)
+    def test_invariants(self, d, n, seed):
+        masks = sample_masks(d, n, np.random.default_rng(seed))
+        assert masks.shape == (n, d)
+        assert masks[0].sum() == d
+        assert np.all((masks == 0) | (masks == 1))

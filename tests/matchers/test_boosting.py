@@ -1,0 +1,89 @@
+"""Tests for the gradient-boosted stumps matcher."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import train_test_split
+from repro.exceptions import DatasetError, ModelNotFittedError
+from repro.matchers.boosting import GradientBoostedStumpsMatcher, Stump
+from repro.matchers.evaluate import evaluate_matcher
+
+
+@pytest.fixture(scope="module")
+def boosted(beer_dataset):
+    return GradientBoostedStumpsMatcher(n_stumps=50).fit(beer_dataset)
+
+
+class TestStump:
+    def test_routes_by_threshold(self):
+        stump = Stump(feature=1, threshold=0.5, left_value=-1.0, right_value=2.0)
+        features = np.array([[0.0, 0.2], [0.0, 0.9]])
+        assert stump.predict(features).tolist() == [-1.0, 2.0]
+
+
+class TestValidation:
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            GradientBoostedStumpsMatcher(n_stumps=0)
+        with pytest.raises(ValueError):
+            GradientBoostedStumpsMatcher(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedStumpsMatcher(n_thresholds=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelNotFittedError):
+            GradientBoostedStumpsMatcher().predict_proba([])
+        with pytest.raises(ModelNotFittedError):
+            GradientBoostedStumpsMatcher().feature_usage()
+
+    def test_single_class_rejected(self, beer_dataset):
+        with pytest.raises(DatasetError):
+            GradientBoostedStumpsMatcher().fit(beer_dataset.by_label(1))
+
+
+class TestLearning:
+    def test_fits_the_benchmark(self, beer_dataset, boosted):
+        quality = evaluate_matcher(boosted, beer_dataset)
+        assert quality.f1 > 0.85
+
+    def test_generalizes(self, beer_dataset):
+        train, test = train_test_split(beer_dataset, test_fraction=0.3, seed=0)
+        matcher = GradientBoostedStumpsMatcher(n_stumps=40).fit(train)
+        assert evaluate_matcher(matcher, test).f1 > 0.6
+
+    def test_more_stumps_do_not_hurt_training_fit(self, beer_dataset):
+        small = GradientBoostedStumpsMatcher(n_stumps=5).fit(beer_dataset)
+        large = GradientBoostedStumpsMatcher(n_stumps=60).fit(beer_dataset)
+        assert (
+            evaluate_matcher(large, beer_dataset).f1
+            >= evaluate_matcher(small, beer_dataset).f1 - 1e-9
+        )
+
+    def test_probabilities_bounded(self, beer_dataset, boosted):
+        probabilities = boosted.predict_proba(beer_dataset.pairs[:40])
+        assert probabilities.min() >= 0.0
+        assert probabilities.max() <= 1.0
+
+    def test_deterministic(self, beer_dataset):
+        a = GradientBoostedStumpsMatcher(n_stumps=15).fit(beer_dataset)
+        b = GradientBoostedStumpsMatcher(n_stumps=15).fit(beer_dataset)
+        probs_a = a.predict_proba(beer_dataset.pairs[:10])
+        probs_b = b.predict_proba(beer_dataset.pairs[:10])
+        assert np.array_equal(probs_a, probs_b)
+
+    def test_feature_usage_counts_stumps(self, boosted):
+        usage = boosted.feature_usage()
+        assert sum(usage.values()) == len(boosted.stumps_)
+        # The dominant features should belong to identity attributes.
+        top_feature = max(usage, key=usage.get)
+        assert top_feature.split(".")[0] in ("beer_name", "abv", "style")
+
+    def test_explainable_through_landmark_pipeline(self, beer_dataset, boosted):
+        from repro.core.landmark import LandmarkExplainer
+        from repro.explainers.lime_text import LimeConfig
+
+        explainer = LandmarkExplainer(
+            boosted, lime_config=LimeConfig(n_samples=32, seed=0)
+        )
+        dual = explainer.explain(beer_dataset[0])
+        assert len(dual.combined()) > 0

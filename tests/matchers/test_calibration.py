@@ -1,0 +1,104 @@
+"""Tests for threshold tuning and Platt calibration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ModelNotFittedError
+from repro.matchers.calibration import PlattCalibrator, tune_threshold
+from repro.matchers.evaluate import evaluate_matcher
+
+
+class TestTuneThreshold:
+    def test_best_threshold_beats_default_or_ties(self, beer_matcher, beer_dataset):
+        choice = tune_threshold(beer_matcher, beer_dataset, metric="f1")
+        default = evaluate_matcher(beer_matcher, beer_dataset, threshold=0.5).f1
+        assert choice.score >= default
+
+    def test_sweep_covers_grid(self, beer_matcher, beer_dataset):
+        grid = (0.3, 0.5, 0.7)
+        choice = tune_threshold(beer_matcher, beer_dataset, grid=grid)
+        assert tuple(threshold for threshold, _ in choice.sweep) == grid
+
+    def test_tie_breaks_toward_half(self, beer_matcher, beer_dataset):
+        # A grid of equivalent extreme thresholds plus 0.5: when scores tie,
+        # 0.5 must win.
+        choice = tune_threshold(
+            beer_matcher, beer_dataset, metric="recall", grid=(0.05, 0.10, 0.5)
+        )
+        if all(score == choice.sweep[0][1] for _, score in choice.sweep):
+            assert choice.threshold == 0.5
+
+    def test_unknown_metric(self, beer_matcher, beer_dataset):
+        with pytest.raises(ConfigurationError):
+            tune_threshold(beer_matcher, beer_dataset, metric="auc")
+
+    def test_bad_grid_value(self, beer_matcher, beer_dataset):
+        with pytest.raises(ConfigurationError):
+            tune_threshold(beer_matcher, beer_dataset, grid=(0.0, 0.5))
+
+    def test_render(self, beer_matcher, beer_dataset):
+        text = tune_threshold(beer_matcher, beer_dataset).render()
+        assert "best f1" in text
+
+
+class TestPlattCalibrator:
+    def test_requires_fit(self, beer_matcher):
+        with pytest.raises(ModelNotFittedError):
+            PlattCalibrator(beer_matcher).predict_proba([])
+
+    def test_preserves_ranking(self, beer_matcher, beer_dataset):
+        calibrated = PlattCalibrator(beer_matcher).fit(beer_dataset)
+        raw = beer_matcher.predict_proba(beer_dataset.pairs[:50])
+        adjusted = calibrated.predict_proba(beer_dataset.pairs[:50])
+        # Platt scaling is monotone: orderings must agree.
+        assert np.array_equal(np.argsort(raw), np.argsort(adjusted))
+
+    def test_probabilities_bounded(self, beer_matcher, beer_dataset):
+        calibrated = PlattCalibrator(beer_matcher).fit(beer_dataset)
+        probabilities = calibrated.predict_proba(beer_dataset.pairs)
+        assert probabilities.min() >= 0.0
+        assert probabilities.max() <= 1.0
+
+    def test_improves_cross_entropy_on_smoothed_targets(
+        self, beer_matcher, beer_dataset
+    ):
+        # Newton starts at the identity map (a=1, b=0) and minimizes the
+        # cross-entropy against Platt's smoothed targets, so the fitted map
+        # must not be worse than the identity.
+        calibrated = PlattCalibrator(beer_matcher).fit(beer_dataset)
+        assert calibrated.a_ is not None and calibrated.a_ > 0
+
+        labels = beer_dataset.labels.astype(float)
+        n_positive = labels.sum()
+        n_negative = len(labels) - n_positive
+        targets = np.where(
+            labels == 1.0,
+            (n_positive + 1.0) / (n_positive + 2.0),
+            1.0 / (n_negative + 2.0),
+        )
+
+        def cross_entropy(probabilities):
+            clipped = np.clip(probabilities, 1e-12, 1 - 1e-12)
+            return -np.mean(
+                targets * np.log(clipped) + (1 - targets) * np.log(1 - clipped)
+            )
+
+        raw = beer_matcher.predict_proba(beer_dataset.pairs)
+        adjusted = calibrated.predict_proba(beer_dataset.pairs)
+        assert cross_entropy(adjusted) <= cross_entropy(raw) + 1e-9
+
+    def test_quality_not_destroyed(self, beer_matcher, beer_dataset):
+        calibrated = PlattCalibrator(beer_matcher).fit(beer_dataset)
+        quality = evaluate_matcher(calibrated, beer_dataset)
+        assert quality.f1 > 0.7
+
+    def test_works_as_explainer_target(self, beer_matcher, beer_dataset):
+        from repro.core.landmark import LandmarkExplainer
+        from repro.explainers.lime_text import LimeConfig
+
+        calibrated = PlattCalibrator(beer_matcher).fit(beer_dataset)
+        explainer = LandmarkExplainer(
+            calibrated, lime_config=LimeConfig(n_samples=32, seed=0)
+        )
+        dual = explainer.explain(beer_dataset[0])
+        assert len(dual.combined()) > 0

@@ -1,0 +1,54 @@
+"""Tests for matcher quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.matchers.evaluate import MatchQuality, quality_from_predictions
+
+
+class TestMatchQuality:
+    def test_perfect(self):
+        quality = MatchQuality(10, 0, 90, 0)
+        assert quality.accuracy == 1.0
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_known_values(self):
+        quality = MatchQuality(true_positive=6, false_positive=2,
+                               true_negative=88, false_negative=4)
+        assert quality.precision == pytest.approx(0.75)
+        assert quality.recall == pytest.approx(0.6)
+        assert quality.f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+        assert quality.support == 100
+
+    def test_zero_division_guards(self):
+        quality = MatchQuality(0, 0, 0, 0)
+        assert quality.accuracy == 0.0
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_no_predicted_positives(self):
+        quality = MatchQuality(0, 0, 90, 10)
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+
+    def test_report_contains_counts(self):
+        report = MatchQuality(1, 2, 3, 4).report()
+        assert "tp=1 fp=2 tn=3 fn=4" in report
+
+
+class TestQualityFromPredictions:
+    def test_counts(self):
+        labels = np.array([1, 1, 0, 0, 1])
+        predicted = np.array([1, 0, 0, 1, 1])
+        quality = quality_from_predictions(labels, predicted)
+        assert quality.true_positive == 2
+        assert quality.false_negative == 1
+        assert quality.false_positive == 1
+        assert quality.true_negative == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            quality_from_predictions(np.array([1, 0]), np.array([1]))

@@ -1,0 +1,132 @@
+"""Tests for the per-attribute feature extractor."""
+
+import numpy as np
+import pytest
+
+from repro.data.records import RecordPair
+from repro.data.schema import PairSchema
+from repro.matchers.features import BASE_MEASURES, FeatureConfig, PairFeatureExtractor
+
+
+@pytest.fixture()
+def schema():
+    return PairSchema(("name", "price"))
+
+
+@pytest.fixture()
+def extractor(schema):
+    return PairFeatureExtractor(schema)
+
+
+def make_pair(schema, left_name, right_name, left_price="10", right_price="10"):
+    return RecordPair(
+        schema,
+        {"name": left_name, "price": left_price},
+        {"name": right_name, "price": right_price},
+    )
+
+
+class TestShape:
+    def test_n_features(self, extractor, schema):
+        assert extractor.n_features == len(schema) * len(BASE_MEASURES)
+
+    def test_feature_names_are_grouped(self, extractor):
+        names = extractor.feature_names
+        assert names[0].startswith("name.")
+        assert names[len(BASE_MEASURES)].startswith("price.")
+
+    def test_attribute_groups_cover_all_columns(self, extractor):
+        groups = extractor.attribute_groups()
+        covered = []
+        for group in groups.values():
+            covered.extend(range(group.start, group.stop))
+        assert sorted(covered) == list(range(extractor.n_features))
+
+    def test_monge_elkan_optional(self, schema):
+        with_me = PairFeatureExtractor(schema, FeatureConfig(use_monge_elkan=True))
+        assert "name.monge_elkan" in with_me.feature_names
+        without = PairFeatureExtractor(schema)
+        assert "name.monge_elkan" not in without.feature_names
+
+    def test_transform_empty_list(self, extractor):
+        result = extractor.transform([])
+        assert result.shape == (0, extractor.n_features)
+
+
+class TestValues:
+    def test_identical_pair_has_high_similarity(self, extractor, schema):
+        pair = make_pair(schema, "golden ale", "golden ale")
+        features = extractor.transform_pair(pair)
+        # The numeric measure is 0 for non-numeric values by design; every
+        # other measure must be 1 on an identical pair.
+        numeric_columns = {
+            i for i, name in enumerate(extractor.feature_names)
+            if name.endswith(".numeric")
+        }
+        for i, value in enumerate(features):
+            if i in numeric_columns and extractor.feature_names[i] == "name.numeric":
+                assert value == 0.0
+            else:
+                assert value >= 0.99
+
+    def test_disjoint_pair_scores_low(self, extractor, schema):
+        pair = make_pair(schema, "golden ale", "nikon case", "1", "999")
+        features = extractor.transform_pair(pair)
+        by_name = dict(zip(extractor.feature_names, features))
+        # Token-set measures see no overlap at all.
+        assert by_name["name.jaccard"] == 0.0
+        assert by_name["name.overlap"] == 0.0
+        assert by_name["name.dice"] == 0.0
+        assert by_name["name.exact"] == 0.0
+        assert by_name["name.levenshtein"] < 0.5
+
+    def test_all_features_bounded(self, extractor, schema):
+        pair = make_pair(schema, "sony camera x", "sony kamera", "10.5", "12")
+        features = extractor.transform_pair(pair)
+        assert np.all(features >= 0.0)
+        assert np.all(features <= 1.0)
+
+    def test_both_empty_attribute_is_all_zero(self, extractor, schema):
+        pair = make_pair(schema, "a", "a", left_price="", right_price="")
+        features = extractor.transform_pair(pair)
+        groups = extractor.attribute_groups()
+        assert np.all(features[groups["price"]] == 0.0)
+
+    def test_one_side_empty_scores_zero_similarity(self, extractor, schema):
+        pair = make_pair(schema, "golden ale", "", "10", "10")
+        features = extractor.transform_pair(pair)
+        groups = extractor.attribute_groups()
+        name_features = features[groups["name"]]
+        assert np.all(name_features == 0.0)
+
+    def test_matrix_matches_single_rows(self, extractor, schema):
+        pairs = [
+            make_pair(schema, "a b", "a c"),
+            make_pair(schema, "x", "y"),
+        ]
+        matrix = extractor.transform(pairs)
+        for row, pair in zip(matrix, pairs):
+            assert np.array_equal(row, extractor.transform_pair(pair))
+
+
+class TestCache:
+    def test_cache_hit_returns_same_values(self, extractor, schema):
+        pair = make_pair(schema, "sony camera", "sony kamera")
+        first = extractor.transform_pair(pair).copy()
+        second = extractor.transform_pair(pair)
+        assert np.array_equal(first, second)
+
+    def test_cache_eviction_resets(self, schema):
+        extractor = PairFeatureExtractor(schema, FeatureConfig(cache_size=2))
+        for i in range(10):
+            pair = make_pair(schema, f"name {i}", "other")
+            extractor.transform_pair(pair)
+        # Must still compute correctly after evictions.
+        pair = make_pair(schema, "name 0", "other")
+        features = extractor.transform_pair(pair)
+        assert features.shape == (extractor.n_features,)
+
+    def test_clear_cache(self, extractor, schema):
+        extractor.transform_pair(make_pair(schema, "a", "b"))
+        extractor.clear_cache()
+        assert not extractor._cache

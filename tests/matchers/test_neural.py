@@ -1,0 +1,58 @@
+"""Tests for the numpy MLP matcher."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError, ModelNotFittedError
+from repro.matchers.evaluate import evaluate_matcher
+from repro.matchers.neural import MLPMatcher
+
+
+@pytest.fixture(scope="module")
+def mlp(beer_dataset):
+    return MLPMatcher(hidden_sizes=(16,), epochs=150, seed=0).fit(beer_dataset)
+
+
+class TestValidation:
+    def test_empty_hidden_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MLPMatcher(hidden_sizes=())
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelNotFittedError):
+            MLPMatcher().predict_proba([])
+
+    def test_single_class_rejected(self, beer_dataset):
+        matches_only = beer_dataset.by_label(1)
+        with pytest.raises(DatasetError):
+            MLPMatcher().fit(matches_only)
+
+
+class TestLearning:
+    def test_beats_chance_on_benchmark(self, beer_dataset, mlp):
+        quality = evaluate_matcher(mlp, beer_dataset)
+        assert quality.f1 > 0.7
+
+    def test_loss_decreases(self, mlp):
+        history = mlp.loss_history_
+        assert history[-1] < history[0] * 0.8
+
+    def test_probabilities_bounded(self, beer_dataset, mlp):
+        probabilities = mlp.predict_proba(beer_dataset.pairs[:50])
+        assert probabilities.min() >= 0.0
+        assert probabilities.max() <= 1.0
+
+    def test_deterministic_given_seed(self, beer_dataset):
+        a = MLPMatcher(hidden_sizes=(8,), epochs=30, seed=5).fit(beer_dataset)
+        b = MLPMatcher(hidden_sizes=(8,), epochs=30, seed=5).fit(beer_dataset)
+        probs_a = a.predict_proba(beer_dataset.pairs[:20])
+        probs_b = b.predict_proba(beer_dataset.pairs[:20])
+        assert np.allclose(probs_a, probs_b)
+
+    def test_two_hidden_layers(self, beer_dataset):
+        deep = MLPMatcher(hidden_sizes=(16, 8), epochs=100, seed=0).fit(beer_dataset)
+        quality = evaluate_matcher(deep, beer_dataset)
+        assert quality.f1 > 0.6
+
+    def test_predict_empty(self, mlp):
+        assert mlp.predict_proba([]).shape == (0,)

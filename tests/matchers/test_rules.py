@@ -1,0 +1,97 @@
+"""Tests for the rule-based matcher."""
+
+import pytest
+
+from repro.data.records import RecordPair
+from repro.data.schema import PairSchema
+from repro.exceptions import ConfigurationError
+from repro.matchers.evaluate import evaluate_matcher
+from repro.matchers.rules import MatchRule, RuleBasedMatcher
+
+
+@pytest.fixture()
+def schema():
+    return PairSchema(("name", "city"))
+
+
+def make_pair(schema, left_name, right_name, city="boston"):
+    return RecordPair(
+        schema,
+        {"name": left_name, "city": city},
+        {"name": right_name, "city": city},
+    )
+
+
+class TestMatchRule:
+    def test_requires_predicates(self):
+        with pytest.raises(ConfigurationError):
+            MatchRule({})
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MatchRule({"name": 1.5})
+
+    def test_margin_positive_when_rule_fires(self, schema):
+        rule = MatchRule({"name": 0.5})
+        pair = make_pair(schema, "golden dragon", "golden dragon")
+        assert rule.margin(pair) > 0
+
+    def test_margin_negative_when_rule_fails(self, schema):
+        rule = MatchRule({"name": 0.9})
+        pair = make_pair(schema, "golden dragon", "silver fox")
+        assert rule.margin(pair) < 0
+
+    def test_conjunction_takes_worst_predicate(self, schema):
+        rule = MatchRule({"name": 0.5, "city": 0.5})
+        pair = RecordPair(
+            schema,
+            {"name": "golden dragon", "city": "boston"},
+            {"name": "golden dragon", "city": "denver"},
+        )
+        assert rule.margin(pair) < 0  # city fails even though name passes
+
+    def test_describe(self):
+        rule = MatchRule({"name": 0.6})
+        assert "jaccard(name) >= 0.60" in rule.describe()
+
+
+class TestRuleBasedMatcher:
+    def test_hand_written_rules(self, schema):
+        matcher = RuleBasedMatcher([MatchRule({"name": 0.5})])
+        same = make_pair(schema, "golden dragon", "golden dragon")
+        different = make_pair(schema, "golden dragon", "red lion pub")
+        assert matcher.predict_one(same) > 0.5
+        assert matcher.predict_one(different) < 0.5
+
+    def test_any_rule_fires_dnf(self, schema):
+        matcher = RuleBasedMatcher(
+            [MatchRule({"name": 0.99}), MatchRule({"city": 0.5})]
+        )
+        pair = make_pair(schema, "abc", "xyz")  # same city
+        assert matcher.predict_one(pair) > 0.5
+
+    def test_predict_without_rules_raises(self, schema):
+        matcher = RuleBasedMatcher()
+        with pytest.raises(ConfigurationError):
+            matcher.predict_proba([make_pair(schema, "a", "b")])
+
+    def test_fit_synthesizes_a_threshold(self, beer_dataset):
+        matcher = RuleBasedMatcher().fit(beer_dataset)
+        assert matcher.rules
+        quality = evaluate_matcher(matcher, beer_dataset)
+        assert quality.f1 > 0.4  # crude, but far better than chance
+
+    def test_fit_keeps_explicit_rules(self, beer_dataset):
+        rule = MatchRule({"beer_name": 0.7})
+        matcher = RuleBasedMatcher([rule]).fit(beer_dataset)
+        assert matcher.rules == [rule]
+
+    def test_describe_lists_rules(self, schema):
+        matcher = RuleBasedMatcher([MatchRule({"name": 0.5})])
+        assert "jaccard(name)" in matcher.describe()
+
+    def test_probabilities_bounded(self, beer_dataset):
+        matcher = RuleBasedMatcher().fit(beer_dataset)
+        probabilities = matcher.predict_proba(beer_dataset.pairs[:30])
+        assert probabilities.min() >= 0.0
+        assert probabilities.max() <= 1.0

@@ -1,0 +1,57 @@
+"""Tests for LIME's feature-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.surrogate.feature_selection import forward_selection, highest_weights
+
+
+@pytest.fixture()
+def planted_problem():
+    """Ten features; only columns 1 and 7 drive the target."""
+    rng = np.random.default_rng(0)
+    features = rng.integers(0, 2, size=(300, 10)).astype(float)
+    target = 3.0 * features[:, 1] - 2.0 * features[:, 7] + 0.01 * rng.normal(size=300)
+    weights = np.ones(300)
+    return features, target, weights
+
+
+class TestHighestWeights:
+    def test_finds_planted_features(self, planted_problem):
+        features, target, weights = planted_problem
+        selected = highest_weights(features, target, weights, n_select=2)
+        assert set(selected) == {1, 7}
+
+    def test_returns_sorted_indices(self, planted_problem):
+        features, target, weights = planted_problem
+        selected = highest_weights(features, target, weights, n_select=4)
+        assert list(selected) == sorted(selected)
+
+    def test_select_all_shortcut(self, planted_problem):
+        features, target, weights = planted_problem
+        selected = highest_weights(features, target, weights, n_select=10)
+        assert list(selected) == list(range(10))
+
+    def test_select_more_than_available(self, planted_problem):
+        features, target, weights = planted_problem
+        selected = highest_weights(features, target, weights, n_select=99)
+        assert list(selected) == list(range(10))
+
+
+class TestForwardSelection:
+    def test_finds_planted_features(self, planted_problem):
+        features, target, weights = planted_problem
+        selected = forward_selection(features, target, weights, n_select=2)
+        assert set(selected) == {1, 7}
+
+    def test_agrees_with_highest_weights_on_easy_problem(self, planted_problem):
+        features, target, weights = planted_problem
+        greedy = forward_selection(features, target, weights, n_select=2)
+        ranked = highest_weights(features, target, weights, n_select=2)
+        assert set(greedy) == set(ranked)
+
+    def test_requested_count_returned(self, planted_problem):
+        features, target, weights = planted_problem
+        selected = forward_selection(features, target, weights, n_select=5)
+        assert len(selected) == 5
+        assert len(set(selected)) == 5

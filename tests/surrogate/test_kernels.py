@@ -1,0 +1,72 @@
+"""Tests for locality kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.surrogate.kernels import cosine_distance_to_ones, exponential_kernel
+
+
+class TestCosineDistance:
+    def test_full_mask_has_zero_distance(self):
+        masks = np.ones((1, 8))
+        assert cosine_distance_to_ones(masks)[0] == pytest.approx(0.0)
+
+    def test_empty_mask_has_distance_one(self):
+        masks = np.zeros((1, 8))
+        assert cosine_distance_to_ones(masks)[0] == pytest.approx(1.0)
+
+    def test_single_kept_token(self):
+        masks = np.zeros((1, 4))
+        masks[0, 0] = 1
+        assert cosine_distance_to_ones(masks)[0] == pytest.approx(1 - 0.5)
+
+    def test_monotone_in_removals(self):
+        d = 10
+        distances = []
+        for kept in range(d, 0, -1):
+            mask = np.zeros((1, d))
+            mask[0, :kept] = 1
+            distances.append(cosine_distance_to_ones(mask)[0])
+        assert all(a < b for a, b in zip(distances, distances[1:]))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            cosine_distance_to_ones(np.ones(3))
+
+    def test_zero_width_masks(self):
+        assert cosine_distance_to_ones(np.ones((2, 0))).tolist() == [0.0, 0.0]
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=2**30))
+    def test_bounded(self, d, seed):
+        rng = np.random.default_rng(seed)
+        masks = rng.integers(0, 2, size=(5, d))
+        distances = cosine_distance_to_ones(masks)
+        assert np.all(distances >= -1e-12)
+        assert np.all(distances <= 1.0 + 1e-12)
+
+
+class TestExponentialKernel:
+    def test_zero_distance_gives_weight_one(self):
+        assert exponential_kernel(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_decreasing_in_distance(self):
+        weights = exponential_kernel(np.array([0.0, 0.5, 1.0]), kernel_width=0.5)
+        assert weights[0] > weights[1] > weights[2]
+
+    def test_width_controls_locality(self):
+        distance = np.array([1.0])
+        narrow = exponential_kernel(distance, kernel_width=0.1)
+        wide = exponential_kernel(distance, kernel_width=10.0)
+        assert narrow[0] < wide[0]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            exponential_kernel(np.array([0.1]), kernel_width=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=5.0), st.floats(min_value=0.01, max_value=100.0))
+    def test_output_in_unit_interval(self, distance, width):
+        # Tiny widths underflow to exactly 0.0 for far points; that is fine.
+        weight = exponential_kernel(np.array([distance]), kernel_width=width)[0]
+        assert 0.0 <= weight <= 1.0

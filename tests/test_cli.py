@@ -1,0 +1,267 @@
+"""Tests for the repro-em command line."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasets:
+    def test_nominal_table(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "S-DG" in out
+
+    def test_materialize_and_export(self, tmp_path, capsys):
+        code = main(
+            [
+                "datasets",
+                "--materialize",
+                "--size-cap",
+                "40",
+                "--export-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Measured size" in out
+        assert (tmp_path / "S-BR.csv").exists()
+        assert len(list(tmp_path.glob("*.csv"))) == 12
+
+
+class TestTrain:
+    def test_logistic(self, capsys):
+        assert main(["train", "--dataset", "S-BR", "--size-cap", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "f1:" in out
+        assert "attribute ranking:" in out
+
+    def test_rules_matcher_describes_itself(self, capsys):
+        code = main(
+            ["train", "--dataset", "S-BR", "--size-cap", "150", "--matcher", "rules"]
+        )
+        assert code == 0
+        assert "jaccard(" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explains_a_record(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--dataset",
+                "S-BR",
+                "--size-cap",
+                "150",
+                "--record",
+                "0",
+                "--samples",
+                "32",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model match probability" in out
+        assert "landmark=left" in out
+
+    def test_with_baselines(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--dataset",
+                "S-BR",
+                "--size-cap",
+                "150",
+                "--samples",
+                "32",
+                "--baselines",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mojito_drop" in out
+        assert "mojito_copy" in out
+
+    def test_record_out_of_range(self, capsys):
+        code = main(
+            ["explain", "--dataset", "S-BR", "--size-cap", "150", "--record", "9999"]
+        )
+        assert code == 2
+
+
+class TestExperiment:
+    def test_bench_preset_single_dataset(self, tmp_path, capsys):
+        output = tmp_path / "tables.txt"
+        code = main(
+            [
+                "experiment",
+                "--preset",
+                "bench",
+                "--datasets",
+                "S-BR",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "Table 2" in text
+        assert "Table 4" in text
+
+
+class TestSummarize:
+    def test_global_summary(self, capsys):
+        code = main(
+            [
+                "summarize",
+                "--dataset",
+                "S-BR",
+                "--size-cap",
+                "150",
+                "--per-label",
+                "3",
+                "--samples",
+                "32",
+            ]
+        )
+        assert code == 0
+        assert "global summary" in capsys.readouterr().out
+
+
+class TestCounterfactual:
+    def test_flips_a_record(self, capsys):
+        code = main(
+            [
+                "counterfactual",
+                "--dataset",
+                "S-BR",
+                "--size-cap",
+                "150",
+                "--record",
+                "0",
+                "--samples",
+                "48",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "counterfactual:" in out
+        assert code in (0, 1)  # 1 = did not flip within budget
+
+
+class TestReport:
+    def test_html_report(self, tmp_path, capsys):
+        output = tmp_path / "explanation.html"
+        code = main(
+            [
+                "report",
+                "--dataset",
+                "S-BR",
+                "--size-cap",
+                "150",
+                "--samples",
+                "32",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_markdown_report(self, tmp_path):
+        output = tmp_path / "explanation.md"
+        code = main(
+            [
+                "report",
+                "--dataset",
+                "S-BR",
+                "--size-cap",
+                "150",
+                "--samples",
+                "32",
+                "--format",
+                "markdown",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert "Landmark:" in output.read_text(encoding="utf-8")
+
+
+class TestProfile:
+    def test_profile_output(self, capsys):
+        assert main(["profile", "--dataset", "S-BR", "--size-cap", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "record overlap" in out
+        assert "attributes by class separation" in out
+
+
+class TestCompare:
+    def test_compare_two_runs(self, tmp_path, capsys):
+        from repro.config import ExperimentConfig
+        from repro.evaluation.persistence import save_result
+        from repro.evaluation.runner import ExperimentRunner
+
+        config = ExperimentConfig(
+            name="a", per_label=2, lime_samples=16, size_cap=120,
+            methods=("single",),
+        )
+        result = ExperimentRunner(config).run(["S-BR"])
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        save_result(result, first)
+        save_result(result, second)
+        assert main(["compare", str(first), str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "run comparison" in out
+        assert "0.000" in out  # identical runs → zero deltas
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_dataset_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--dataset", "NOPE"])
+
+
+class TestExplainerChoice:
+    def test_shap_coupling_via_cli(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--dataset",
+                "S-BR",
+                "--size-cap",
+                "150",
+                "--samples",
+                "32",
+                "--explainer",
+                "shap",
+            ]
+        )
+        assert code == 0
+        assert "landmark=left" in capsys.readouterr().out
+
+
+class TestSelftest:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest passed" in out
+        assert "FAIL" not in out
+
+
+class TestParallelExperiment:
+    def test_jobs_flag_produces_same_tables(self, tmp_path):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        base = [
+            "experiment", "--preset", "bench", "--datasets", "S-BR", "S-FZ",
+        ]
+        assert main([*base, "--output", str(serial)]) == 0
+        assert main([*base, "--jobs", "2", "--output", str(parallel)]) == 0
+        assert serial.read_text() == parallel.read_text()

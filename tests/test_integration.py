@@ -1,0 +1,140 @@
+"""Cross-module integration tests: whole workflows at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EMDataset,
+    LandmarkExplainer,
+    LimeConfig,
+    LogisticRegressionMatcher,
+    PairSchema,
+    RecordPair,
+    greedy_counterfactual,
+    train_test_split,
+)
+from repro.blocking import InvertedIndexBlocker
+from repro.core.report import to_html, to_markdown
+from repro.core.serialize import dual_from_dict, dual_to_dict
+from repro.data.synthetic.generator import SyntheticEMGenerator
+from repro.data.synthetic.vocabularies import RESTAURANT_FACTORY
+
+
+class TestBlockMatchExplain:
+    """The end_to_end_em example, compressed into one assertion-rich test."""
+
+    def test_full_pipeline(self):
+        generator = SyntheticEMGenerator(RESTAURANT_FACTORY, seed=13)
+        left, right, gold = generator.generate_tables(n_entities=80, overlap=0.5)
+        blocker = InvertedIndexBlocker(
+            attributes=("name", "phone"), min_shared_tokens=1
+        )
+        candidates, report = blocker.report(left, right, gold)
+        assert report.pair_completeness > 0.8
+        assert report.reduction_ratio > 0.5
+
+        schema = PairSchema(RESTAURANT_FACTORY.attributes)
+        pairs = [
+            RecordPair(
+                schema,
+                left[i],
+                right[j],
+                label=int((i, j) in gold),
+                pair_id=index,
+            )
+            for index, (i, j) in enumerate(candidates)
+        ]
+        dataset = EMDataset("candidates", schema, pairs)
+        if dataset.match_count < 4 or dataset.match_count > len(dataset) - 4:
+            pytest.skip("degenerate candidate set for this seed")
+        train, test = train_test_split(dataset, test_fraction=0.3, seed=13)
+        matcher = LogisticRegressionMatcher().fit(train)
+
+        explainer = LandmarkExplainer(
+            matcher, lime_config=LimeConfig(n_samples=32, seed=0), seed=0
+        )
+        dual = explainer.explain(test[0])
+        assert len(dual.combined()) > 0
+
+
+class TestUnicodeRobustness:
+    """Accents, CJK and emoji must flow through the whole stack."""
+
+    @pytest.fixture()
+    def unicode_dataset(self):
+        schema = PairSchema(("name", "city"))
+        pairs = []
+        names = [
+            "café crème brûlée",
+            "smörgåsbord haus",
+            "北京 烤鸭 restaurant",
+            "taquería el niño",
+            "pizza 🍕 palace",
+            "søren's smørrebrød",
+        ]
+        for index, name in enumerate(names):
+            pairs.append(
+                RecordPair(
+                    schema,
+                    {"name": name, "city": "metropolis"},
+                    {"name": name + " grill", "city": "metropolis"},
+                    label=1,
+                    pair_id=index,
+                )
+            )
+        for index, name in enumerate(names):
+            other = names[(index + 1) % len(names)]
+            pairs.append(
+                RecordPair(
+                    schema,
+                    {"name": name, "city": "metropolis"},
+                    {"name": other, "city": "gotham"},
+                    label=0,
+                    pair_id=len(names) + index,
+                )
+            )
+        return EMDataset("unicode", schema, pairs)
+
+    def test_train_explain_report_serialize(self, unicode_dataset):
+        matcher = LogisticRegressionMatcher(l2=1.0).fit(unicode_dataset)
+        explainer = LandmarkExplainer(
+            matcher, lime_config=LimeConfig(n_samples=24, seed=0), seed=0
+        )
+        dual = explainer.explain(unicode_dataset[0])
+        # render paths must not crash on non-ASCII tokens
+        assert dual.render()
+        assert to_markdown(dual)
+        html = to_html(dual)
+        assert html.startswith("<!DOCTYPE html>")
+        restored = dual_from_dict(dual_to_dict(dual))
+        assert np.array_equal(
+            restored.left_landmark.explanation.weights,
+            dual.left_landmark.explanation.weights,
+        )
+
+    def test_counterfactual_on_unicode(self, unicode_dataset):
+        matcher = LogisticRegressionMatcher(l2=1.0).fit(unicode_dataset)
+        explainer = LandmarkExplainer(
+            matcher, lime_config=LimeConfig(n_samples=24, seed=0), seed=0
+        )
+        landmark = explainer.explain_landmark(unicode_dataset[0], "left", "single")
+        counterfactual = greedy_counterfactual(landmark, matcher, max_edits=6)
+        assert counterfactual.render()
+
+
+class TestDeterminismAcrossTheStack:
+    def test_same_seed_same_everything(self):
+        from repro.config import ExperimentConfig
+        from repro.evaluation.runner import ExperimentRunner
+
+        config = ExperimentConfig(
+            name="det", per_label=3, lime_samples=24, size_cap=150,
+            methods=("single", "lime"),
+        )
+        first = ExperimentRunner(config).run(["S-BR"])
+        second = ExperimentRunner(config).run(["S-BR"])
+        for key, metrics in first.datasets["S-BR"].metrics.items():
+            other = second.datasets["S-BR"].metrics[key]
+            assert metrics.token_accuracy == other.token_accuracy
+            assert metrics.token_mae == other.token_mae
+            assert metrics.interest == other.interest

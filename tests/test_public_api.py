@@ -1,0 +1,40 @@
+"""The public API surface: everything advertised in repro.__all__ works."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_flow(self):
+        """The README quickstart, condensed."""
+        dataset = repro.load_dataset("S-BR", size_cap=150)
+        matcher = repro.LogisticRegressionMatcher().fit(dataset)
+        explainer = repro.LandmarkExplainer(
+            matcher, lime_config=repro.LimeConfig(n_samples=32, seed=0)
+        )
+        dual = explainer.explain(dataset[0])
+        assert dual.left_landmark.explanation.n_samples == 32
+        assert dual.render()
+
+    def test_exceptions_inherit_from_repro_error(self):
+        from repro import exceptions
+
+        for name in (
+            "SchemaError",
+            "TokenizationError",
+            "DatasetError",
+            "ModelNotFittedError",
+            "ExplanationError",
+            "ConfigurationError",
+        ):
+            assert issubclass(getattr(exceptions, name), exceptions.ReproError)
+
+    def test_dataset_codes_constant(self):
+        assert len(repro.DATASET_CODES) == 12
+        assert repro.DATASET_CODES[0] == "S-BR"

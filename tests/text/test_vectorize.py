@@ -1,0 +1,90 @@
+"""Tests for the TF-IDF vectorizer."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelNotFittedError
+from repro.text.vectorize import TfidfVectorizer, cosine
+
+DOCS = [
+    ["sony", "camera", "digital"],
+    ["nikon", "camera"],
+    ["leather", "case"],
+]
+
+tokens = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "e"]), min_size=0, max_size=8
+)
+
+
+class TestFit:
+    def test_vocabulary_is_sorted_and_complete(self):
+        vectorizer = TfidfVectorizer().fit(DOCS)
+        assert list(vectorizer.vocabulary_) == sorted(
+            {"sony", "camera", "digital", "nikon", "leather", "case"}
+        )
+
+    def test_min_df_filters_rare_terms(self):
+        vectorizer = TfidfVectorizer(min_df=2).fit(DOCS)
+        assert set(vectorizer.vocabulary_) == {"camera"}
+
+    def test_min_df_validation(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(min_df=0)
+
+    def test_idf_rarer_terms_weigh_more(self):
+        vectorizer = TfidfVectorizer().fit(DOCS)
+        idf = {
+            term: vectorizer.idf_[index]
+            for term, index in vectorizer.vocabulary_.items()
+        }
+        assert idf["sony"] > idf["camera"]
+
+
+class TestTransform:
+    def test_requires_fit(self):
+        with pytest.raises(ModelNotFittedError):
+            TfidfVectorizer().transform_one(["a"])
+
+    def test_unknown_terms_ignored(self):
+        vectorizer = TfidfVectorizer().fit(DOCS)
+        assert vectorizer.transform_one(["unseen", "words"]) == {}
+
+    def test_vectors_are_l2_normalized(self):
+        vectorizer = TfidfVectorizer().fit(DOCS)
+        vector = vectorizer.transform_one(["sony", "camera"])
+        norm = math.sqrt(sum(w * w for w in vector.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_fit_transform_matches_transform(self):
+        vectorizer = TfidfVectorizer()
+        vectors = vectorizer.fit_transform(DOCS)
+        assert vectors == vectorizer.transform(DOCS)
+
+
+class TestCosine:
+    def test_identical_documents(self):
+        vectorizer = TfidfVectorizer().fit(DOCS)
+        vector = vectorizer.transform_one(DOCS[0])
+        assert cosine(vector, vector) == pytest.approx(1.0)
+
+    def test_disjoint_documents(self):
+        vectorizer = TfidfVectorizer().fit(DOCS)
+        assert cosine(
+            vectorizer.transform_one(["sony"]),
+            vectorizer.transform_one(["leather"]),
+        ) == pytest.approx(0.0)
+
+    def test_empty_vector(self):
+        assert cosine({}, {0: 1.0}) == 0.0
+
+    @given(corpus=st.lists(tokens, min_size=1, max_size=6), doc=tokens)
+    def test_cosine_bounded(self, corpus, doc):
+        vectorizer = TfidfVectorizer().fit(corpus + [doc])
+        vector = vectorizer.transform_one(doc)
+        for other_tokens in corpus:
+            other = vectorizer.transform_one(other_tokens)
+            assert -1e-9 <= cosine(vector, other) <= 1.0 + 1e-9
