@@ -25,6 +25,10 @@ from repro.config import ALL_METHODS, BENCH, FAST, PAPER, ExperimentConfig, get_
 from repro.core import (
     Counterfactual,
     DualExplanation,
+    ENGINE_OFF,
+    EngineConfig,
+    EngineStats,
+    PredictionEngine,
     GENERATION_AUTO,
     GENERATION_DOUBLE,
     GENERATION_SINGLE,
@@ -87,6 +91,10 @@ __all__ = [
     "GlobalSummary",
     "InvertedIndexBlocker",
     "KernelShapExplainer",
+    "ENGINE_OFF",
+    "EngineConfig",
+    "EngineStats",
+    "PredictionEngine",
     "LandmarkExplainer",
     "LandmarkExplanation",
     "LimeConfig",

@@ -28,6 +28,7 @@ from repro.core.explanation import (
 from repro.data.records import RecordPair
 from repro.exceptions import ConfigurationError, ExplanationError
 from repro.explainers.base import Explanation
+from repro.core.engine import PredictionEngine
 from repro.explainers.lime_text import LimeConfig, LimeTextExplainer
 from repro.matchers.base import EntityMatcher
 from repro.text.tokenize import PrefixedToken, Tokenizer
@@ -73,11 +74,18 @@ class MojitoDropExplainer:
         lime_config: LimeConfig | None = None,
         tokenizer: Tokenizer | None = None,
         seed: int = 0,
+        engine: PredictionEngine | None = None,
     ) -> None:
         self.matcher = matcher
         self.tokenizer = tokenizer or Tokenizer()
         self.explainer = LimeTextExplainer(lime_config)
         self.seed = seed
+        self.engine = engine
+
+    def _predict_pairs(self, pairs: list[RecordPair]) -> np.ndarray:
+        if self.engine is not None:
+            return self.engine.predict_pairs(pairs)
+        return self.matcher.predict_proba(pairs)
 
     def _pair_tokens(self, pair: RecordPair) -> list[tuple[str, PrefixedToken]]:
         """All (side, token) of the record, left side first."""
@@ -115,7 +123,7 @@ class MojitoDropExplainer:
 
         def predict_masks(masks: np.ndarray) -> np.ndarray:
             pairs = [self._rebuild(pair, tokens, row) for row in masks]
-            return self.matcher.predict_proba(pairs)
+            return self._predict_pairs(pairs)
 
         rng = np.random.default_rng(self.seed * 1_000_003 + max(pair.pair_id, 0))
         explanation = self.explainer.explain(feature_names, predict_masks, rng=rng)
@@ -156,11 +164,18 @@ class MojitoAttributeDropExplainer:
         lime_config: LimeConfig | None = None,
         tokenizer: Tokenizer | None = None,
         seed: int = 0,
+        engine: PredictionEngine | None = None,
     ) -> None:
         self.matcher = matcher
         self.tokenizer = tokenizer or Tokenizer()
         self.explainer = LimeTextExplainer(lime_config)
         self.seed = seed
+        self.engine = engine
+
+    def _predict_pairs(self, pairs: list[RecordPair]) -> np.ndarray:
+        if self.engine is not None:
+            return self.engine.predict_pairs(pairs)
+        return self.matcher.predict_proba(pairs)
 
     def _cells(self, pair: RecordPair) -> list[tuple[str, str]]:
         """Non-empty (side, attribute) cells, left side first."""
@@ -188,7 +203,7 @@ class MojitoAttributeDropExplainer:
 
         def predict_masks(masks: np.ndarray) -> np.ndarray:
             pairs = [self._rebuild(pair, cells, row) for row in masks]
-            return self.matcher.predict_proba(pairs)
+            return self._predict_pairs(pairs)
 
         rng = np.random.default_rng(self.seed * 1_000_003 + max(pair.pair_id, 0))
         explanation = self.explainer.explain(feature_names, predict_masks, rng=rng)
@@ -238,6 +253,7 @@ class MojitoCopyExplainer:
         tokenizer: Tokenizer | None = None,
         copy_from: str = "left",
         seed: int = 0,
+        engine: PredictionEngine | None = None,
     ) -> None:
         if copy_from not in _SIDES:
             raise ConfigurationError(
@@ -248,6 +264,12 @@ class MojitoCopyExplainer:
         self.explainer = LimeTextExplainer(lime_config)
         self.copy_from = copy_from
         self.seed = seed
+        self.engine = engine
+
+    def _predict_pairs(self, pairs: list[RecordPair]) -> np.ndarray:
+        if self.engine is not None:
+            return self.engine.predict_pairs(pairs)
+        return self.matcher.predict_proba(pairs)
 
     @property
     def copy_to(self) -> str:
@@ -266,7 +288,7 @@ class MojitoCopyExplainer:
 
         def predict_masks(masks: np.ndarray) -> np.ndarray:
             pairs = [self._rebuild(pair, row) for row in masks]
-            return self.matcher.predict_proba(pairs)
+            return self._predict_pairs(pairs)
 
         rng = np.random.default_rng(self.seed * 1_000_003 + max(pair.pair_id, 0))
         explanation = self.explainer.explain(attributes, predict_masks, rng=rng)

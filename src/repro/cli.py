@@ -17,11 +17,13 @@ Sub-commands:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import logging
 import sys
 from pathlib import Path
 
 from repro.config import get_preset
+from repro.core.engine import EngineConfig, PredictionEngine
 from repro.data.io import write_csv
 from repro.data.splits import sample_per_label
 from repro.data.synthetic.magellan import (
@@ -63,6 +65,17 @@ def _add_common_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="threads per prediction batch (model calls run in parallel)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the prediction cache (results are identical either way)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-em",
@@ -97,6 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--baselines", action="store_true", help="also run LIME drop / Mojito copy"
     )
+    _add_engine_arguments(explain)
 
     experiment = subparsers.add_parser("experiment", help="run Tables 2-4")
     experiment.add_argument(
@@ -110,6 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes (datasets run in parallel)",
     )
+    _add_engine_arguments(experiment)
 
     selftest = subparsers.add_parser(
         "selftest", help="end-to-end installation check (~10 s)"
@@ -203,6 +218,10 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     pair = dataset[args.record]
     matcher = LogisticRegressionMatcher().fit(dataset)
     lime_config = LimeConfig(n_samples=args.samples, seed=args.seed)
+    engine = PredictionEngine(
+        matcher,
+        EngineConfig(cache=not args.no_cache, n_jobs=args.n_jobs),
+    )
     print(pair.describe())
     print(f"model match probability: {matcher.predict_one(pair):.3f}")
     if args.explainer == "shap":
@@ -212,27 +231,40 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             matcher,
             explainer=KernelShapExplainer(n_samples=args.samples, seed=args.seed),
             seed=args.seed,
+            engine=engine,
         )
     else:
         explainer = LandmarkExplainer(
-            matcher, lime_config=lime_config, seed=args.seed
+            matcher, lime_config=lime_config, seed=args.seed, engine=engine
         )
     dual = explainer.explain(pair, generation=args.generation)
     print(dual.render(args.top))
     if args.baselines:
-        drop = MojitoDropExplainer(matcher, lime_config=lime_config, seed=args.seed)
+        drop = MojitoDropExplainer(
+            matcher, lime_config=lime_config, seed=args.seed, engine=engine
+        )
         print(drop.explain(pair).render(args.top))
-        copy = MojitoCopyExplainer(matcher, lime_config=lime_config, seed=args.seed)
+        copy = MojitoCopyExplainer(
+            matcher, lime_config=lime_config, seed=args.seed, engine=engine
+        )
         print(copy.explain(pair).render(args.top))
+    print(engine.stats.summary())
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    config = get_preset(args.preset)
+    config = dataclasses.replace(
+        get_preset(args.preset),
+        engine_n_jobs=args.n_jobs,
+        engine_cache=not args.no_cache,
+    )
     runner = ExperimentRunner(config)
     result = runner.run(args.datasets, n_jobs=args.jobs)
     report = format_all_tables(result)
     print(report)
+    totals = result.engine_totals()
+    if totals is not None:
+        print(totals.summary())
     if args.output:
         args.output.write_text(report + "\n", encoding="utf-8")
         print(f"wrote {args.output}")

@@ -45,6 +45,12 @@ class ExperimentConfig:
     #: Also compute the (extension) deletion-curve faithfulness gain per
     #: cell.  Costs ~40 extra model calls per explained record.
     faithfulness: bool = False
+    #: Prediction-engine knobs (see :mod:`repro.core.engine`).  The engine
+    #: never changes results — only how many matcher calls are spent.
+    engine_dedup: bool = True
+    engine_cache: bool = True
+    engine_batch_size: int = 512
+    engine_n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.per_label < 1:
@@ -60,6 +66,25 @@ class ExperimentConfig:
         unknown = [m for m in self.methods if m not in ALL_METHODS]
         if unknown:
             raise ConfigurationError(f"unknown methods: {unknown}")
+        if self.engine_batch_size < 1:
+            raise ConfigurationError(
+                f"engine_batch_size must be >= 1, got {self.engine_batch_size}"
+            )
+        if self.engine_n_jobs < 1:
+            raise ConfigurationError(
+                f"engine_n_jobs must be >= 1, got {self.engine_n_jobs}"
+            )
+
+    def engine_config(self):
+        """The :class:`repro.core.engine.EngineConfig` this run asks for."""
+        from repro.core.engine import EngineConfig
+
+        return EngineConfig(
+            dedup=self.engine_dedup,
+            cache=self.engine_cache,
+            batch_size=self.engine_batch_size,
+            n_jobs=self.engine_n_jobs,
+        )
 
 
 FAST = ExperimentConfig(

@@ -26,6 +26,12 @@ from repro.core.counterfactual import (
     TokenEdit,
     greedy_counterfactual,
 )
+from repro.core.engine import (
+    ENGINE_OFF,
+    EngineConfig,
+    EngineStats,
+    PredictionEngine,
+)
 from repro.core.explanation import (
     DualExplanation,
     LandmarkExplanation,
@@ -52,6 +58,10 @@ __all__ = [
     "Counterfactual",
     "DatasetReconstructor",
     "DualExplanation",
+    "ENGINE_OFF",
+    "EngineConfig",
+    "EngineStats",
+    "PredictionEngine",
     "GENERATION_AUTO",
     "GENERATION_DOUBLE",
     "GENERATION_SINGLE",

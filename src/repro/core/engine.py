@@ -1,0 +1,408 @@
+"""The batched prediction engine: the layer between reconstruction and
+the black-box matcher.
+
+Perturbation explainers are bounded by the number of model predictions
+they spend (LEMON's "prediction budget" observation): every explanation
+rebuilds ``n_samples`` record pairs per landmark side and sends each batch
+to :meth:`~repro.matchers.base.EntityMatcher.predict_proba`, and the
+evaluation runner repeats that for every (record × method ×
+generation-mode) cell.  Much of that spend is redundant:
+
+* identical mask rows rebuild — and re-predict — the same pair;
+* distinct masks can still rebuild identical pairs (duplicate words inside
+  an attribute value, injected tokens equal to the varying entity's own);
+* the Single / Double / Mojito columns of the evaluation grid re-explain
+  the *same* records, so the anchor rows and many perturbations recur
+  across methods, landmark sides and evaluation stages.
+
+:class:`PredictionEngine` removes the redundancy without changing a single
+output bit: predictions are deduplicated by the **content of the rebuilt
+pair**, answered from an LRU cache when possible, executed in chunked
+(optionally thread-parallel) batches otherwise, and scattered back to the
+full request.  Because every matcher in this library scores pairs
+row-independently and deterministically, the scattered probabilities are
+byte-identical to the naive path — equivalence is enforced by
+``tests/core/test_engine.py`` and ``benchmarks/bench_prediction_engine.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from collections.abc import Sequence
+from dataclasses import dataclass, fields
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.generation import GeneratedInstance
+from repro.data.records import EMDataset, RecordPair
+from repro.exceptions import ConfigurationError, ExplanationError
+from repro.matchers.base import EntityMatcher
+from repro.text.tokenize import Tokenizer
+
+#: Raw counter field names (everything in :class:`EngineStats` that can be
+#: summed across engines / worker processes).
+_COUNTER_FIELDS = (
+    "requested",
+    "calls_issued",
+    "dedup_saved",
+    "cache_hits",
+    "cache_misses",
+    "batches",
+    "rebuild_seconds",
+    "predict_seconds",
+)
+
+
+@dataclass
+class EngineStats:
+    """Observability counters of one :class:`PredictionEngine`.
+
+    The accounting invariant — checked by the test suite — is::
+
+        calls_issued + calls_saved == requested
+        calls_saved == dedup_saved + cache_hits
+    """
+
+    #: Predictions requested through any engine entry point (one per mask
+    #: row / pair, before any deduplication).
+    requested: int = 0
+    #: Predictions actually forwarded to the matcher.
+    calls_issued: int = 0
+    #: Requests answered by another identical request in the same batch.
+    dedup_saved: int = 0
+    #: Unique requests answered from the LRU cache.
+    cache_hits: int = 0
+    #: Unique requests that missed the cache (cache enabled only).
+    cache_misses: int = 0
+    #: Matcher invocations (chunks sent to ``predict_proba``).
+    batches: int = 0
+    #: Wall time spent rebuilding pairs from masks.
+    rebuild_seconds: float = 0.0
+    #: Wall time spent inside the matcher.
+    predict_seconds: float = 0.0
+
+    @property
+    def calls_saved(self) -> int:
+        """Requests answered without a matcher call."""
+        return self.requested - self.calls_issued
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate over unique (post-dedup) lookups."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def savings_factor(self) -> float:
+        """Requested / issued — "1.8x fewer matcher calls" reads from here."""
+        return self.requested / self.calls_issued if self.calls_issued else 1.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Raw counters plus derived ratios, JSON-friendly."""
+        payload: dict[str, float] = {
+            name: getattr(self, name) for name in _COUNTER_FIELDS
+        }
+        payload["calls_saved"] = self.calls_saved
+        payload["hit_rate"] = round(self.hit_rate, 4)
+        payload["savings_factor"] = round(self.savings_factor, 4)
+        return payload
+
+    @classmethod
+    def from_counters(cls, payload: dict[str, float]) -> "EngineStats":
+        """Rebuild from :meth:`as_dict` output (derived fields ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: payload[k] for k in _COUNTER_FIELDS if k in known})
+
+    def add(self, other: "EngineStats") -> "EngineStats":
+        """Accumulate *other*'s counters into self (for run aggregation)."""
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def summary(self) -> str:
+        """One log-friendly line."""
+        return (
+            f"prediction engine: {self.requested} requested, "
+            f"{self.calls_issued} issued, {self.calls_saved} saved "
+            f"({self.savings_factor:.2f}x; dedup {self.dedup_saved}, "
+            f"cache hits {self.cache_hits}, hit rate {self.hit_rate:.2f}) "
+            f"in {self.batches} batches, "
+            f"rebuild {self.rebuild_seconds:.2f}s, "
+            f"predict {self.predict_seconds:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the prediction engine.
+
+    ``dedup`` collapses identical rebuilt pairs inside one request;
+    ``cache`` keeps an LRU of ``cache_size`` pair fingerprints that
+    persists across landmark sides, methods and evaluation stages;
+    ``batch_size`` chunks matcher calls and ``n_jobs > 1`` runs the chunks
+    on a thread pool (expensive matchers release the GIL in their numpy
+    kernels; anything that goes wrong falls back to serial execution).
+    """
+
+    dedup: bool = True
+    cache: bool = True
+    cache_size: int = 100_000
+    batch_size: int = 512
+    n_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 1:
+            raise ConfigurationError(
+                f"cache_size must be >= 1, got {self.cache_size}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.n_jobs < 1:
+            raise ConfigurationError(f"n_jobs must be >= 1, got {self.n_jobs}")
+
+
+#: A fully transparent engine: every request goes straight to the matcher.
+ENGINE_OFF = EngineConfig(dedup=False, cache=False)
+
+#: Cache key of one pair: schema attributes + both value tuples.
+PairKey = tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]]
+
+
+def pair_fingerprint(pair: RecordPair) -> PairKey:
+    """A hashable fingerprint of the *content* of a pair.
+
+    Two pairs with equal fingerprints receive equal probabilities from
+    every matcher in this library (they see only attribute values), so the
+    fingerprint is a sound cache key across explanation methods.
+    """
+    attributes = pair.schema.attributes
+    return (
+        attributes,
+        tuple(pair.left[attribute] for attribute in attributes),
+        tuple(pair.right[attribute] for attribute in attributes),
+    )
+
+
+class _EngineMatcher(EntityMatcher):
+    """An :class:`EntityMatcher` view of an engine.
+
+    Evaluation stages (token-removal trials, interest flips, deletion
+    curves) accept a matcher; handing them this adapter routes their
+    predictions through the shared dedup + cache layer, so e.g. the
+    token-removal trials — identical across method columns by protocol —
+    are only paid for once.
+    """
+
+    def __init__(self, engine: "PredictionEngine") -> None:
+        self.engine = engine
+
+    def fit(self, dataset: EMDataset) -> "EntityMatcher":
+        self.engine.matcher.fit(dataset)
+        self.engine.cache_clear()
+        return self
+
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        return self.engine.predict_pairs(pairs)
+
+
+class PredictionEngine:
+    """Deduplicating, caching, batching front-end to one matcher."""
+
+    def __init__(
+        self,
+        matcher: EntityMatcher,
+        config: EngineConfig | None = None,
+        tokenizer: Tokenizer | None = None,
+    ) -> None:
+        # Imported here: reconstruction builds engines by default, so a
+        # module-level import would be circular.
+        from repro.core.reconstruction import PairReconstructor
+
+        self.matcher = matcher
+        self.config = config or EngineConfig()
+        self.reconstructor = PairReconstructor(tokenizer=tokenizer)
+        self.stats = EngineStats()
+        self._cache: OrderedDict[PairKey, float] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def predict_pairs(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        """Probabilities for *pairs*, deduplicated and cached by content."""
+        pairs = list(pairs)
+        self.stats.requested += len(pairs)
+        if not pairs:
+            return np.empty(0, dtype=np.float64)
+        if not self.config.dedup and not self.config.cache:
+            self.stats.calls_issued += len(pairs)
+            return self._predict_batches(pairs)
+        entries = self._group(pair_fingerprint(pair) for pair in pairs)
+        return self._resolve(entries, len(pairs), lambda key, index: pairs[index])
+
+    def predict_instance(
+        self, instance: GeneratedInstance, masks: np.ndarray
+    ) -> np.ndarray:
+        """Probabilities for every perturbation mask of one instance.
+
+        Mask rows are grouped by the *rebuilt varying entity* they produce
+        — this catches identical rows and rows that differ only on tokens
+        whose removal does not change the rebuilt value (duplicate words,
+        already-covered injections).  Pairs are only materialized for
+        groups that miss the cache.
+        """
+        masks = np.asarray(masks)
+        n_masks = masks.shape[0]
+        self.stats.requested += n_masks
+        if n_masks == 0:
+            return np.empty(0, dtype=np.float64)
+        if not self.config.dedup and not self.config.cache:
+            started = time.perf_counter()
+            rebuilt = self.reconstructor.rebuild_many(instance, masks)
+            self.stats.rebuild_seconds += time.perf_counter() - started
+            self.stats.calls_issued += n_masks
+            return self._predict_batches(rebuilt)
+
+        started = time.perf_counter()
+        attributes = instance.pair.schema.attributes
+        landmark_values = tuple(
+            instance.landmark_entity[attribute] for attribute in attributes
+        )
+        varying_side = instance.varying_side
+        keys: list[PairKey] = []
+        values_of: dict[PairKey, tuple[str, ...]] = {}
+        for row in masks:
+            values = self.reconstructor.varying_values(instance, row)
+            if varying_side == "left":
+                key = (attributes, values, landmark_values)
+            else:
+                key = (attributes, landmark_values, values)
+            keys.append(key)
+            values_of[key] = values
+        self.stats.rebuild_seconds += time.perf_counter() - started
+
+        def build(key: PairKey, index: int) -> RecordPair:
+            entity = dict(zip(attributes, values_of[key]))
+            return instance.pair.with_side(varying_side, entity)
+
+        return self._resolve(self._group(keys), n_masks, build)
+
+    def predict_one(self, pair: RecordPair) -> float:
+        """Cached probability of a single pair."""
+        return float(self.predict_pairs([pair])[0])
+
+    def as_matcher(self) -> EntityMatcher:
+        """This engine wrapped in the :class:`EntityMatcher` interface."""
+        return _EngineMatcher(self)
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+
+    def reset_stats(self) -> EngineStats:
+        """Return the accumulated stats and start a fresh counter set."""
+        stats, self.stats = self.stats, EngineStats()
+        return stats
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _group(self, keys: Iterable[PairKey]) -> list[tuple[PairKey, list[int]]]:
+        """Group request indices by fingerprint (dedup off → singletons)."""
+        if self.config.dedup:
+            grouped: OrderedDict[PairKey, list[int]] = OrderedDict()
+            for index, key in enumerate(keys):
+                grouped.setdefault(key, []).append(index)
+            return list(grouped.items())
+        return [(key, [index]) for index, key in enumerate(keys)]
+
+    def _resolve(
+        self,
+        entries: list[tuple[PairKey, list[int]]],
+        n_requests: int,
+        build_pair,
+    ) -> np.ndarray:
+        """Answer grouped requests from the cache, then the matcher."""
+        config = self.config
+        self.stats.dedup_saved += n_requests - len(entries)
+        out = np.empty(n_requests, dtype=np.float64)
+        miss_keys: list[PairKey] = []
+        miss_slots: list[list[int]] = []
+        miss_pairs: list[RecordPair] = []
+        for key, indices in entries:
+            cached = self._cache_get(key) if config.cache else None
+            if cached is not None:
+                self.stats.cache_hits += 1
+                out[indices] = cached
+                continue
+            if config.cache:
+                self.stats.cache_misses += 1
+            miss_keys.append(key)
+            miss_slots.append(indices)
+            miss_pairs.append(build_pair(key, indices[0]))
+        if miss_pairs:
+            self.stats.calls_issued += len(miss_pairs)
+            probabilities = self._predict_batches(miss_pairs)
+            for key, indices, probability in zip(
+                miss_keys, miss_slots, probabilities
+            ):
+                out[indices] = probability
+                if config.cache:
+                    self._cache_put(key, float(probability))
+        return out
+
+    def _predict_batches(self, pairs: list[RecordPair]) -> np.ndarray:
+        """Chunked (optionally thread-parallel) matcher execution."""
+        config = self.config
+        started = time.perf_counter()
+        chunks = [
+            pairs[offset : offset + config.batch_size]
+            for offset in range(0, len(pairs), config.batch_size)
+        ]
+        self.stats.batches += len(chunks)
+        results: list[np.ndarray] | None = None
+        if config.n_jobs > 1 and len(chunks) > 1:
+            try:
+                from concurrent.futures import ThreadPoolExecutor
+
+                workers = min(config.n_jobs, len(chunks))
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(self.matcher.predict_proba, chunks))
+            except Exception:  # pragma: no cover - defensive serial fallback
+                results = None
+        if results is None:
+            results = [self.matcher.predict_proba(chunk) for chunk in chunks]
+        for chunk, result in zip(chunks, results):
+            if np.shape(result) != (len(chunk),):
+                raise ExplanationError(
+                    f"matcher returned probabilities of shape "
+                    f"{np.shape(result)} for {len(chunk)} pairs; expected "
+                    f"({len(chunk)},)"
+                )
+        self.stats.predict_seconds += time.perf_counter() - started
+        if len(results) == 1:
+            return np.asarray(results[0], dtype=np.float64)
+        return np.concatenate(
+            [np.asarray(result, dtype=np.float64) for result in results]
+        )
+
+    def _cache_get(self, key: PairKey) -> float | None:
+        value = self._cache.get(key)
+        if value is not None:
+            self._cache.move_to_end(key)
+        return value
+
+    def _cache_put(self, key: PairKey, value: float) -> None:
+        cache = self._cache
+        cache[key] = value
+        cache.move_to_end(key)
+        while len(cache) > self.config.cache_size:
+            cache.popitem(last=False)

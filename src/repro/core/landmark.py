@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import PredictionEngine
 from repro.core.explanation import DualExplanation, LandmarkExplanation
 from repro.core.generation import (
     GENERATION_DOUBLE,
@@ -46,6 +47,7 @@ class LandmarkExplainer:
         threshold: float = DEFAULT_THRESHOLD,
         seed: int = 0,
         explainer: object | None = None,
+        engine: PredictionEngine | None = None,
     ) -> None:
         """Wrap *matcher* with the landmark pipeline.
 
@@ -54,6 +56,14 @@ class LandmarkExplainer:
         interface (e.g. :class:`repro.explainers.KernelShapExplainer`);
         when omitted, a LIME explainer configured by *lime_config* is used
         — the paper's coupling.
+
+        *engine* is the batched prediction engine the pipeline sends its
+        model calls through.  When omitted a default engine (dedup + LRU
+        cache, serial execution) is created; pass an explicit
+        :class:`~repro.core.engine.PredictionEngine` to share one cache
+        across explainers, or one configured with
+        :data:`~repro.core.engine.ENGINE_OFF` to predict every mask
+        directly.  Engine settings never change the produced weights.
         """
         if not 0.0 < threshold < 1.0:
             raise ConfigurationError(f"threshold must be in (0, 1), got {threshold}")
@@ -68,7 +78,12 @@ class LandmarkExplainer:
             tokenizer=self.tokenizer, injection_fraction=injection_fraction
         )
         self.reconstructor = PairReconstructor(tokenizer=self.tokenizer)
-        self.dataset_reconstructor = DatasetReconstructor(matcher, self.reconstructor)
+        self.engine = engine if engine is not None else PredictionEngine(
+            matcher, tokenizer=self.tokenizer
+        )
+        self.dataset_reconstructor = DatasetReconstructor(
+            matcher, self.reconstructor, engine=self.engine
+        )
         self.explainer = explainer if explainer is not None else LimeTextExplainer(
             lime_config
         )
@@ -86,17 +101,27 @@ class LandmarkExplainer:
                 "generation must be 'single', 'double' or 'auto', got "
                 f"{generation!r}"
             )
-        probability = self.matcher.predict_one(pair)
+        probability = self.engine.predict_one(pair)
         if probability >= self.threshold:
             return GENERATION_SINGLE
         return GENERATION_DOUBLE
 
     def _rng_for(self, pair: RecordPair, landmark_side: str) -> np.random.Generator:
-        """A deterministic per-(pair, side) random stream."""
-        side_offset = 0 if landmark_side == "left" else 1
-        return np.random.default_rng(
-            (self.seed * 1_000_003 + max(pair.pair_id, 0) * 2 + side_offset)
+        """A deterministic per-(pair, side) random stream.
+
+        The per-pair root sequence is *spawned* into two independent child
+        streams, one per landmark side.  Spawning (rather than offsetting a
+        shared integer seed) guarantees the left and right perturbation
+        draws are statistically uncorrelated while staying reproducible for
+        a fixed ``seed`` — reusing one stream for both sides would couple
+        the two halves of a :class:`DualExplanation`.
+        """
+        root = np.random.SeedSequence(
+            [self.seed & 0xFFFFFFFF, pair.pair_id & 0xFFFFFFFF]
         )
+        left_sequence, right_sequence = root.spawn(2)
+        chosen = left_sequence if landmark_side == "left" else right_sequence
+        return np.random.default_rng(chosen)
 
     # ------------------------------------------------------------------
 

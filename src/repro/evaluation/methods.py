@@ -34,6 +34,7 @@ from repro.config import (
     METHOD_MOJITO_COPY,
     METHOD_SINGLE,
 )
+from repro.core.engine import PredictionEngine
 from repro.core.explanation import DualExplanation, PairTokenWeights
 from repro.core.landmark import LandmarkExplainer
 from repro.data.records import RecordPair
@@ -76,21 +77,26 @@ class MethodExplainers:
         matcher: EntityMatcher,
         lime_config: LimeConfig | None = None,
         seed: int = 0,
+        engine: PredictionEngine | None = None,
     ) -> None:
         self.matcher = matcher
         self.lime_config = lime_config or LimeConfig()
         self.seed = seed
+        # One engine for all four methods: the Single / Double / Mojito
+        # columns re-explain the same records, so sharing the prediction
+        # cache across methods is where most of the savings come from.
+        self.engine = engine if engine is not None else PredictionEngine(matcher)
         self._landmark = LandmarkExplainer(
-            matcher, lime_config=self.lime_config, seed=seed
+            matcher, lime_config=self.lime_config, seed=seed, engine=self.engine
         )
         self._drop = MojitoDropExplainer(
-            matcher, lime_config=self.lime_config, seed=seed
+            matcher, lime_config=self.lime_config, seed=seed, engine=self.engine
         )
         self._copy = MojitoCopyExplainer(
-            matcher, lime_config=self.lime_config, seed=seed
+            matcher, lime_config=self.lime_config, seed=seed, engine=self.engine
         )
         self._attr_drop = MojitoAttributeDropExplainer(
-            matcher, lime_config=self.lime_config, seed=seed
+            matcher, lime_config=self.lime_config, seed=seed, engine=self.engine
         )
 
     @property

@@ -56,6 +56,7 @@ def result_to_dict(result: BenchmarkResult) -> dict:
                 _nan_to_none(asdict(metrics))
                 for metrics in dataset_result.metrics.values()
             ],
+            "engine_stats": dataset_result.engine_stats,
         }
     return payload
 
@@ -87,6 +88,7 @@ def result_from_dict(payload: dict) -> BenchmarkResult:
             code=code,
             n_pairs=dataset_payload["n_pairs"],
             matcher_quality=quality,  # type: ignore[arg-type]
+            engine_stats=dataset_payload.get("engine_stats"),
         )
         for metric_payload in dataset_payload["metrics"]:
             metrics = MethodMetrics(**_none_to_nan(metric_payload))

@@ -26,6 +26,7 @@ from repro.config import (
     ExperimentConfig,
     FAST,
 )
+from repro.core.engine import EngineStats, PredictionEngine
 from repro.data.records import EMDataset, MATCH, NON_MATCH, RecordPair
 from repro.data.splits import sample_per_label
 from repro.data.synthetic.magellan import DATASET_CODES, load_dataset
@@ -70,6 +71,10 @@ class DatasetResult:
     n_pairs: int
     matcher_quality: MatchQuality
     metrics: dict[tuple[int, str], MethodMetrics] = field(default_factory=dict)
+    #: Prediction-engine counters for the whole dataset run (see
+    #: :meth:`repro.core.engine.EngineStats.as_dict`); ``None`` on runs
+    #: loaded from old result files.
+    engine_stats: dict[str, float] | None = None
 
     def get(self, label: int, method: str) -> MethodMetrics | None:
         return self.metrics.get((label, method))
@@ -87,6 +92,20 @@ class BenchmarkResult:
         ordered = [code for code in DATASET_CODES if code in self.datasets]
         extras = [code for code in self.datasets if code not in DATASET_CODES]
         return ordered + sorted(extras)
+
+    def engine_totals(self) -> EngineStats | None:
+        """Prediction-engine counters summed over all datasets."""
+        per_dataset = [
+            EngineStats.from_counters(dataset.engine_stats)
+            for dataset in self.datasets.values()
+            if dataset.engine_stats
+        ]
+        if not per_dataset:
+            return None
+        totals = EngineStats()
+        for stats in per_dataset:
+            totals.add(stats)
+        return totals
 
 
 class ExperimentRunner:
@@ -148,8 +167,14 @@ class ExperimentRunner:
             "dataset %s: %d pairs, matcher f1=%.3f", code, len(dataset), quality.f1
         )
         sample = sample_per_label(dataset, config.per_label, seed=config.seed)
+        # One prediction engine per dataset: its cache persists across
+        # landmark sides, methods AND the evaluation stages below, which
+        # all re-predict overlapping records.
+        engine = PredictionEngine(matcher, config.engine_config())
+        eval_matcher = engine.as_matcher()
         explainers = MethodExplainers(
-            matcher, lime_config=self._lime_config(), seed=config.seed
+            matcher, lime_config=self._lime_config(), seed=config.seed,
+            engine=engine,
         )
         model_importance = None
         importance_fn = getattr(matcher, "attribute_weights", None)
@@ -168,7 +193,7 @@ class ExperimentRunner:
                 )
                 token = token_removal_eval(
                     explained,
-                    matcher,
+                    eval_matcher,
                     fraction=config.removal_fraction,
                     threshold=config.threshold,
                     seed=config.seed,
@@ -177,7 +202,7 @@ class ExperimentRunner:
                 if model_importance is not None:
                     kendall = attribute_eval(explained, model_importance).kendall
                 interest = interest_eval(
-                    explained, matcher, threshold=config.threshold
+                    explained, eval_matcher, threshold=config.threshold
                 ).interest
                 faithfulness = float("nan")
                 if config.faithfulness:
@@ -185,7 +210,7 @@ class ExperimentRunner:
 
                     faithfulness = faithfulness_eval(
                         explained,
-                        matcher,
+                        eval_matcher,
                         threshold=config.threshold,
                         seed=config.seed,
                     ).gain
@@ -216,6 +241,8 @@ class ExperimentRunner:
                     metrics.n_records,
                     elapsed,
                 )
+        result.engine_stats = engine.stats.as_dict()
+        logger.info("  %s: %s", code, engine.stats.summary())
         return result
 
     def run(

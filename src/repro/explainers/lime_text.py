@@ -82,7 +82,10 @@ class LimeTextExplainer:
         """Explain one instance given its interpretable feature names.
 
         *predict_masks* receives the full mask matrix (first row all ones)
-        and must return one probability per row.
+        and must return one probability per row.  Callers that route it
+        through a :class:`repro.core.engine.PredictionEngine` still see
+        the full matrix here — dedup and caching happen behind the
+        callable and never change the returned probabilities.
         """
         config = self.config
         if rng is None:

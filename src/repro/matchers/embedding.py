@@ -248,7 +248,9 @@ class EmbeddingMatcher(EntityMatcher):
         pooling = self._averaging_matrix(pairs)
         features, _, _ = self._pair_features(pooling, len(pairs))
         hidden = np.tanh(features @ self._w_hidden + self._b_hidden)
-        return _sigmoid(hidden @ self._w_out + self._b_out)
+        # Row-wise output reduction: batch-shape-independent scoring (the
+        # prediction engine's equivalence bar).
+        return _sigmoid((hidden * self._w_out).sum(axis=1) + self._b_out)
 
     @property
     def vocabulary_size(self) -> int:

@@ -147,6 +147,10 @@ class PairFeatureExtractor:
                 )
             )
         features = np.array(values, dtype=np.float64)
+        if not np.isfinite(features).all():
+            # A measure leaked NaN/inf (e.g. a pathological value no guard
+            # anticipated).  predict_proba must stay finite for any mask.
+            features = np.nan_to_num(features, nan=0.0, posinf=1.0, neginf=0.0)
         if len(self._cache) >= self.config.cache_size:
             self._cache.clear()
         self._cache[key] = features

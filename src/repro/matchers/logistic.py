@@ -137,7 +137,11 @@ class LogisticRegressionMatcher(EntityMatcher):
             return np.empty(0, dtype=np.float64)
         features = extractor.transform(pairs)
         standardized = (features - self._mean) / self._scale
-        return _sigmoid(standardized @ self.coef_ + self.intercept_)
+        # Row-wise reduction rather than a BLAS matvec: dgemv may pick a
+        # different summation order per batch shape, and the prediction
+        # engine's bit-for-bit equivalence guarantee needs every row to
+        # score identically whatever batch it rides in.
+        return _sigmoid((standardized * self.coef_).sum(axis=1) + self.intercept_)
 
     # ------------------------------------------------------------------
     # Introspection (Table 3 needs this)

@@ -61,8 +61,10 @@ class MLPMatcher(EntityMatcher):
         for layer_index in range(len(self.hidden_sizes)):
             hidden = np.tanh(hidden @ self._weights[layer_index] + self._biases[layer_index])
             activations.append(hidden)
-        logits = hidden @ self._weights[-1] + self._biases[-1]
-        probabilities = _sigmoid(logits[:, 0])
+        # Row-wise output reduction keeps each row's score independent of
+        # the batch shape (see the prediction engine's equivalence bar).
+        logits = (hidden * self._weights[-1][:, 0]).sum(axis=1)
+        probabilities = _sigmoid(logits + self._biases[-1][0])
         return probabilities, activations
 
     def fit(self, dataset: EMDataset) -> "MLPMatcher":

@@ -185,9 +185,11 @@ def numeric_similarity(a: str, b: str) -> float:
     """Similarity of two numeric-looking strings via relative difference.
 
     ``1 - |x - y| / max(|x|, |y|)`` clamped to ``[0, 1]``.  Returns 0.0 when
-    either side does not parse as a number (so the feature stays informative
-    for genuinely numeric attributes and neutral-low elsewhere), and 1.0
-    when both sides are empty.
+    either side does not parse as a *finite* number (so the feature stays
+    informative for genuinely numeric attributes and neutral-low elsewhere),
+    and 1.0 when both sides are empty.  The finiteness check matters:
+    ``float("nan")`` parses, and letting it through would poison the whole
+    feature vector with NaN arithmetic.
     """
     if _both_empty(a, b):
         return 1.0
@@ -195,6 +197,8 @@ def numeric_similarity(a: str, b: str) -> float:
         x = float(a)
         y = float(b)
     except ValueError:
+        return 0.0
+    if not (math.isfinite(x) and math.isfinite(y)):
         return 0.0
     if x == y:
         return 1.0

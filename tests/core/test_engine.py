@@ -1,0 +1,284 @@
+"""Tests for the batched prediction engine.
+
+The engine's contract has two halves, and both are tested here:
+
+* **equivalence** — dedup, caching, chunking and thread parallelism never
+  change a single output bit relative to calling the matcher directly;
+* **accounting** — the observability counters obey
+  ``calls_issued + calls_saved == requested`` and
+  ``calls_saved == dedup_saved + cache_hits``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    ENGINE_OFF,
+    EngineConfig,
+    EngineStats,
+    PredictionEngine,
+    pair_fingerprint,
+)
+from repro.core.generation import GENERATION_DOUBLE, GENERATION_SINGLE
+from repro.core.landmark import LandmarkExplainer
+from repro.data.records import RecordPair
+from repro.exceptions import ConfigurationError
+from repro.explainers.lime_text import LimeConfig
+
+
+class CountingMatcher:
+    """Wraps a fitted matcher and counts the rows it is asked to score."""
+
+    def __init__(self, matcher):
+        self.matcher = matcher
+        self.rows_scored = 0
+        self.calls = 0
+
+    def fit(self, dataset):
+        return self.matcher.fit(dataset)
+
+    def predict_proba(self, pairs):
+        self.rows_scored += len(pairs)
+        self.calls += 1
+        return self.matcher.predict_proba(pairs)
+
+    def predict_one(self, pair):
+        return float(self.predict_proba([pair])[0])
+
+
+@pytest.fixture()
+def counting_matcher(beer_matcher):
+    return CountingMatcher(beer_matcher)
+
+
+def explain_weights(matcher, pair, engine_config, generation=GENERATION_SINGLE):
+    """Both sides' surrogate weights under a given engine configuration."""
+    engine = PredictionEngine(matcher, engine_config)
+    explainer = LandmarkExplainer(
+        matcher, lime_config=LimeConfig(n_samples=48, seed=0), seed=0,
+        engine=engine,
+    )
+    dual = explainer.explain(pair, generation)
+    return (
+        dual.left_landmark.explanation.weights,
+        dual.right_landmark.explanation.weights,
+        engine.stats,
+    )
+
+
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self, toy_pair):
+        from dataclasses import replace
+
+        clone = replace(toy_pair, pair_id=123)
+        assert pair_fingerprint(toy_pair) == pair_fingerprint(clone)
+
+    def test_different_content_different_fingerprint(self, toy_pair):
+        other = toy_pair.with_side("left", {"name": "different", "price": "1"})
+        assert pair_fingerprint(toy_pair) != pair_fingerprint(other)
+
+
+class TestConfigValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(cache_size=0)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(n_jobs=0)
+
+
+class TestPredictPairs:
+    def test_matches_direct_call(self, beer_matcher, beer_dataset):
+        pairs = list(beer_dataset)[:20]
+        engine = PredictionEngine(beer_matcher)
+        direct = beer_matcher.predict_proba(pairs)
+        assert np.array_equal(engine.predict_pairs(pairs), direct)
+
+    def test_duplicates_cost_one_call(self, counting_matcher, match_pair):
+        engine = PredictionEngine(counting_matcher)
+        probabilities = engine.predict_pairs([match_pair] * 10)
+        assert counting_matcher.rows_scored == 1
+        assert len(set(probabilities.tolist())) == 1
+        assert engine.stats.dedup_saved == 9
+
+    def test_cache_persists_across_requests(self, counting_matcher, match_pair):
+        engine = PredictionEngine(counting_matcher)
+        first = engine.predict_one(match_pair)
+        second = engine.predict_one(match_pair)
+        assert first == second
+        assert counting_matcher.rows_scored == 1
+        assert engine.stats.cache_hits == 1
+
+    def test_off_config_is_transparent(self, counting_matcher, match_pair):
+        engine = PredictionEngine(counting_matcher, ENGINE_OFF)
+        engine.predict_pairs([match_pair] * 5)
+        engine.predict_pairs([match_pair] * 5)
+        assert counting_matcher.rows_scored == 10
+        assert engine.stats.calls_saved == 0
+
+    def test_empty_request(self, beer_matcher):
+        engine = PredictionEngine(beer_matcher)
+        assert engine.predict_pairs([]).shape == (0,)
+
+    def test_chunking_matches_single_batch(self, beer_matcher, beer_dataset):
+        pairs = list(beer_dataset)[:30]
+        whole = PredictionEngine(beer_matcher, ENGINE_OFF).predict_pairs(pairs)
+        chunked = PredictionEngine(
+            beer_matcher, EngineConfig(dedup=False, cache=False, batch_size=7)
+        ).predict_pairs(pairs)
+        assert np.array_equal(whole, chunked)
+
+    def test_thread_pool_matches_serial(self, beer_matcher, beer_dataset):
+        pairs = list(beer_dataset)[:40]
+        serial = PredictionEngine(beer_matcher, ENGINE_OFF).predict_pairs(pairs)
+        threaded = PredictionEngine(
+            beer_matcher,
+            EngineConfig(dedup=False, cache=False, batch_size=8, n_jobs=4),
+        ).predict_pairs(pairs)
+        assert np.array_equal(serial, threaded)
+
+    def test_lru_eviction_bounds_cache(self, beer_matcher, beer_dataset):
+        engine = PredictionEngine(beer_matcher, EngineConfig(cache_size=5))
+        engine.predict_pairs(list(beer_dataset)[:20])
+        assert engine.cache_len <= 5
+
+
+class TestAllZerosMask:
+    def test_fully_removed_entity_predicts_finite(self, beer_matcher, match_pair):
+        # Regression: an all-zeros mask empties every attribute of the
+        # varying entity; the rebuilt pair's probability must stay finite.
+        from repro.core.generation import LandmarkGenerator
+
+        instance = LandmarkGenerator().generate(
+            match_pair, "left", GENERATION_SINGLE
+        )
+        engine = PredictionEngine(beer_matcher)
+        masks = np.zeros((3, len(instance.tokens)), dtype=np.int8)
+        probabilities = engine.predict_instance(instance, masks)
+        assert np.isfinite(probabilities).all()
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))
+
+
+MATCHER_FACTORIES = ["logistic", "rules", "boosted"]
+
+
+@pytest.fixture(scope="module")
+def matchers(beer_dataset):
+    from repro.matchers.boosting import GradientBoostedStumpsMatcher
+    from repro.matchers.logistic import LogisticRegressionMatcher
+    from repro.matchers.rules import RuleBasedMatcher
+
+    return {
+        "logistic": LogisticRegressionMatcher().fit(beer_dataset),
+        "rules": RuleBasedMatcher().fit(beer_dataset),
+        "boosted": GradientBoostedStumpsMatcher().fit(beer_dataset),
+    }
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("matcher_name", MATCHER_FACTORIES)
+    def test_engine_settings_never_change_weights(
+        self, matchers, matcher_name, match_pair
+    ):
+        matcher = matchers[matcher_name]
+        baseline = explain_weights(matcher, match_pair, ENGINE_OFF)
+        for config in (
+            EngineConfig(),  # dedup + cache
+            EngineConfig(cache=False),
+            EngineConfig(dedup=False),
+            EngineConfig(batch_size=13, n_jobs=2),
+        ):
+            candidate = explain_weights(matcher, match_pair, config)
+            assert np.array_equal(baseline[0], candidate[0])
+            assert np.array_equal(baseline[1], candidate[1])
+
+    def test_double_generation_equivalence(self, matchers, non_match_pair):
+        matcher = matchers["logistic"]
+        baseline = explain_weights(
+            matcher, non_match_pair, ENGINE_OFF, GENERATION_DOUBLE
+        )
+        candidate = explain_weights(
+            matcher, non_match_pair, EngineConfig(), GENERATION_DOUBLE
+        )
+        assert np.array_equal(baseline[0], candidate[0])
+        assert np.array_equal(baseline[1], candidate[1])
+
+
+class TestAccounting:
+    def test_counter_identities_after_explanation(
+        self, counting_matcher, match_pair
+    ):
+        _, _, stats = explain_weights(counting_matcher, match_pair, EngineConfig())
+        assert stats.requested > 0
+        assert stats.calls_issued + stats.calls_saved == stats.requested
+        assert stats.calls_saved == stats.dedup_saved + stats.cache_hits
+        assert stats.calls_issued == counting_matcher.rows_scored
+
+    def test_requested_counts_every_mask_row(self, beer_matcher, match_pair):
+        from repro.core.generation import LandmarkGenerator
+
+        instance = LandmarkGenerator().generate(
+            match_pair, "left", GENERATION_SINGLE
+        )
+        engine = PredictionEngine(beer_matcher)
+        rng = np.random.default_rng(0)
+        masks = rng.integers(0, 2, size=(25, len(instance.tokens)))
+        engine.predict_instance(instance, masks)
+        assert engine.stats.requested == 25
+
+    def test_cache_shared_across_landmark_sides(self, counting_matcher, match_pair):
+        engine = PredictionEngine(counting_matcher)
+        explainer = LandmarkExplainer(
+            counting_matcher, lime_config=LimeConfig(n_samples=48, seed=0),
+            seed=0, engine=engine,
+        )
+        explainer.explain(match_pair, GENERATION_SINGLE)
+        first_run_rows = counting_matcher.rows_scored
+        # Re-explaining the same record must be answered (almost) entirely
+        # from the cache: only rows never rebuilt before cost a call.
+        explainer.explain(match_pair, GENERATION_SINGLE)
+        assert counting_matcher.rows_scored == first_run_rows
+        assert engine.stats.hit_rate > 0.0
+
+    def test_reset_stats(self, beer_matcher, match_pair):
+        engine = PredictionEngine(beer_matcher)
+        engine.predict_one(match_pair)
+        old = engine.reset_stats()
+        assert old.requested == 1
+        assert engine.stats.requested == 0
+
+    def test_stats_roundtrip_and_add(self):
+        stats = EngineStats(requested=10, calls_issued=4, dedup_saved=3,
+                            cache_hits=3, cache_misses=4, batches=2)
+        restored = EngineStats.from_counters(stats.as_dict())
+        assert restored == stats
+        total = EngineStats().add(stats).add(stats)
+        assert total.requested == 20
+        assert total.calls_saved == 12
+
+    def test_summary_mentions_savings(self):
+        stats = EngineStats(requested=10, calls_issued=5)
+        assert "2.00x" in stats.summary()
+
+
+class TestEngineMatcherAdapter:
+    def test_adapter_routes_through_cache(self, counting_matcher, match_pair):
+        engine = PredictionEngine(counting_matcher)
+        adapter = engine.as_matcher()
+        a = adapter.predict_proba([match_pair])
+        b = adapter.predict_proba([match_pair])
+        assert np.array_equal(a, b)
+        assert counting_matcher.rows_scored == 1
+
+    def test_adapter_fit_clears_cache(self, beer_dataset, match_pair):
+        from repro.matchers.logistic import LogisticRegressionMatcher
+
+        matcher = LogisticRegressionMatcher().fit(beer_dataset)
+        engine = PredictionEngine(matcher)
+        engine.predict_one(match_pair)
+        assert engine.cache_len == 1
+        engine.as_matcher().fit(beer_dataset)
+        assert engine.cache_len == 0

@@ -63,6 +63,31 @@ class TestExplain:
             b.left_landmark.explanation.weights,
         )
 
+    def test_sides_draw_independent_streams(self, explainer, match_pair):
+        # The left and right landmark sides must use *independent* spawned
+        # seed streams: identical streams would couple the two halves of a
+        # dual explanation (same mask draw whenever token counts agree).
+        from repro.explainers.perturbation import sample_masks
+
+        left_rng = explainer._rng_for(match_pair, "left")
+        right_rng = explainer._rng_for(match_pair, "right")
+        left_masks = sample_masks(12, 64, left_rng)
+        right_masks = sample_masks(12, 64, right_rng)
+        assert not np.array_equal(left_masks, right_masks)
+
+    def test_side_streams_reproducible(self, explainer, match_pair):
+        for side in ("left", "right"):
+            a = explainer._rng_for(match_pair, side).integers(0, 2**31, size=16)
+            b = explainer._rng_for(match_pair, side).integers(0, 2**31, size=16)
+            assert np.array_equal(a, b)
+
+    def test_negative_pair_id_supported(self, explainer, toy_pair):
+        from dataclasses import replace
+
+        adhoc = replace(toy_pair, pair_id=-1)
+        rng = explainer._rng_for(adhoc, "left")
+        assert rng.integers(0, 10, size=4).shape == (4,)
+
     def test_different_pairs_get_different_streams(self, explainer, beer_dataset):
         # Two different records must not share the same perturbation draw.
         pair_a, pair_b = beer_dataset[0], beer_dataset[1]

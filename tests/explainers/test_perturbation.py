@@ -51,6 +51,28 @@ class TestSampleMasks:
         b = sample_masks(6, 30, np.random.default_rng(9))
         assert np.array_equal(a, b)
 
+    def test_rows_are_distinct_when_hypercube_permits(self):
+        # 2^10 - 1 distinct removal masks >> 95 requested rows: no dupes.
+        masks = sample_masks(10, 96, np.random.default_rng(0))
+        assert len({row.tobytes() for row in masks}) == 96
+
+    def test_small_hypercube_is_fully_covered(self):
+        # d=3 has exactly 7 distinct masks with >= 1 removal; a 8-row
+        # request (anchor + 7) must enumerate them all.
+        masks = sample_masks(3, 8, np.random.default_rng(0))
+        assert len({row.tobytes() for row in masks[1:]}) == 7
+
+    def test_duplicates_only_beyond_capacity(self):
+        # Requesting more rows than the hypercube holds: the first
+        # 1 + capacity rows stay distinct, the overflow repeats.
+        masks = sample_masks(3, 20, np.random.default_rng(1))
+        assert len({row.tobytes() for row in masks[:8]}) == 8
+        assert np.all(masks[8:].sum(axis=1) < 3)
+
+    def test_distinct_without_original(self):
+        masks = sample_masks(8, 40, np.random.default_rng(2), include_original=False)
+        assert len({row.tobytes() for row in masks}) == 40
+
     @given(
         st.integers(min_value=1, max_value=20),
         st.integers(min_value=2, max_value=64),
@@ -62,3 +84,7 @@ class TestSampleMasks:
         assert masks.shape == (n, d)
         assert masks[0].sum() == d
         assert np.all((masks == 0) | (masks == 1))
+        # Distinctness whenever the hypercube permits: the anchor plus
+        # min(n - 1, 2^d - 1) pairwise-distinct perturbations.
+        expected = 1 + min(n - 1, (1 << d) - 1)
+        assert len({row.tobytes() for row in masks}) == expected

@@ -99,6 +99,14 @@ class TestValues:
         name_features = features[groups["name"]]
         assert np.all(name_features == 0.0)
 
+    def test_nan_looking_values_stay_finite(self, extractor, schema):
+        # "nan" parses as float("nan"); the numeric measure must not leak it.
+        pair = make_pair(schema, "nan", "nan", left_price="nan", right_price="5")
+        features = extractor.transform_pair(pair)
+        assert np.isfinite(features).all()
+        assert np.all(features >= 0.0)
+        assert np.all(features <= 1.0)
+
     def test_matrix_matches_single_rows(self, extractor, schema):
         pairs = [
             make_pair(schema, "a b", "a c"),

@@ -114,6 +114,14 @@ class TestNumericSimilarity:
     def test_zero_vs_zero(self):
         assert sim.numeric_similarity("0", "0.0") == 1.0
 
+    @pytest.mark.parametrize("value", ["nan", "NaN", "inf", "-inf", "Infinity"])
+    def test_non_finite_parses_are_zero_not_nan(self, value):
+        # float("nan") / float("inf") *parse*, so without an explicit
+        # finiteness guard they fall through to NaN arithmetic.
+        assert sim.numeric_similarity(value, "5") == 0.0
+        assert sim.numeric_similarity("5", value) == 0.0
+        assert sim.numeric_similarity(value, value) == 0.0
+
 
 class TestSharedInvariants:
     @pytest.mark.parametrize("measure", STRING_MEASURES)
