@@ -42,8 +42,13 @@ from repro.core import (
 from repro.data import EMDataset, PairSchema, RecordPair, read_csv, write_csv
 from repro.data.splits import sample_per_label, train_test_split
 from repro.data.synthetic import DATASET_CODES, load_benchmark, load_dataset, make_dirty
-from repro.evaluation import ExperimentRunner
-from repro.exceptions import ReproError
+from repro.evaluation import ExperimentRunner, FailureLedger
+from repro.exceptions import (
+    CheckpointError,
+    MatcherTimeoutError,
+    MatcherUnavailableError,
+    ReproError,
+)
 from repro.explainers import (
     AnchorExplanation,
     AnchorsTextExplainer,
@@ -74,7 +79,11 @@ __all__ = [
     "AnchorsTextExplainer",
     "BENCH",
     "BlockingReport",
+    "CheckpointError",
     "Counterfactual",
+    "FailureLedger",
+    "MatcherTimeoutError",
+    "MatcherUnavailableError",
     "DATASET_CODES",
     "DualExplanation",
     "EMDataset",

@@ -124,6 +124,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes (datasets run in parallel)",
     )
+    experiment.add_argument(
+        "--run-dir", type=Path, default=None,
+        help="checkpoint each completed grid cell into this directory",
+    )
+    experiment.add_argument(
+        "--resume", action="store_true",
+        help="resume the run checkpointed in --run-dir (config is read "
+             "from the checkpoint; completed cells are skipped)",
+    )
+    experiment.add_argument(
+        "--max-retries", type=int, default=0,
+        help="retry failing matcher calls up to N times (guard)",
+    )
+    experiment.add_argument(
+        "--call-timeout", type=float, default=None,
+        help="abandon a matcher call after this many seconds (guard)",
+    )
     _add_engine_arguments(experiment)
 
     selftest = subparsers.add_parser(
@@ -253,18 +270,38 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    config = dataclasses.replace(
-        get_preset(args.preset),
-        engine_n_jobs=args.n_jobs,
-        engine_cache=not args.no_cache,
-    )
+    if args.resume:
+        # The checkpoint, not the command line, is the source of truth for
+        # a resumed run's configuration: mixing presets would corrupt it.
+        from repro.evaluation.persistence import load_checkpoint
+
+        if args.run_dir is None:
+            print("error: --resume requires --run-dir", file=sys.stderr)
+            return 2
+        config = load_checkpoint(args.run_dir).config
+    else:
+        config = dataclasses.replace(
+            get_preset(args.preset),
+            engine_n_jobs=args.n_jobs,
+            engine_cache=not args.no_cache,
+            guard_max_retries=args.max_retries,
+            guard_call_timeout=args.call_timeout,
+        )
     runner = ExperimentRunner(config)
-    result = runner.run(args.datasets, n_jobs=args.jobs)
+    result = runner.run(
+        args.datasets,
+        n_jobs=args.jobs,
+        run_dir=str(args.run_dir) if args.run_dir else None,
+        resume=args.resume,
+    )
     report = format_all_tables(result)
     print(report)
     totals = result.engine_totals()
     if totals is not None:
         print(totals.summary())
+    ledger = result.ledger()
+    if len(ledger):
+        print(ledger.summary())
     if args.output:
         args.output.write_text(report + "\n", encoding="utf-8")
         print(f"wrote {args.output}")

@@ -51,6 +51,14 @@ class ExperimentConfig:
     engine_cache: bool = True
     engine_batch_size: int = 512
     engine_n_jobs: int = 1
+    #: Matcher-guard knobs (see :mod:`repro.core.guard`).  With the
+    #: defaults the guard is a pass-through; retries/timeouts never change
+    #: successful results, only whether transient faults kill the run.
+    guard_max_retries: int = 0
+    guard_call_timeout: float | None = None
+    guard_trip_after: int = 5
+    guard_cooldown: int = 8
+    guard_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         if self.per_label < 1:
@@ -74,6 +82,22 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"engine_n_jobs must be >= 1, got {self.engine_n_jobs}"
             )
+        if self.guard_max_retries < 0:
+            raise ConfigurationError(
+                f"guard_max_retries must be >= 0, got {self.guard_max_retries}"
+            )
+        if self.guard_call_timeout is not None and self.guard_call_timeout <= 0:
+            raise ConfigurationError(
+                f"guard_call_timeout must be > 0, got {self.guard_call_timeout}"
+            )
+        if self.guard_trip_after < 1:
+            raise ConfigurationError(
+                f"guard_trip_after must be >= 1, got {self.guard_trip_after}"
+            )
+        if self.guard_cooldown < 0 or self.guard_backoff < 0:
+            raise ConfigurationError(
+                "guard_cooldown and guard_backoff must be >= 0"
+            )
 
     def engine_config(self):
         """The :class:`repro.core.engine.EngineConfig` this run asks for."""
@@ -84,6 +108,12 @@ class ExperimentConfig:
             cache=self.engine_cache,
             batch_size=self.engine_batch_size,
             n_jobs=self.engine_n_jobs,
+            max_retries=self.guard_max_retries,
+            call_timeout=self.guard_call_timeout,
+            trip_after=self.guard_trip_after,
+            cooldown=self.guard_cooldown,
+            backoff=self.guard_backoff,
+            guard_seed=self.seed,
         )
 
 

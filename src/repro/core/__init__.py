@@ -37,6 +37,7 @@ from repro.core.explanation import (
     LandmarkExplanation,
     PairTokenWeights,
 )
+from repro.core.guard import GuardConfig, GuardStats, MatcherGuard
 from repro.core.generation import (
     GENERATION_DOUBLE,
     GENERATION_SINGLE,
@@ -67,6 +68,9 @@ __all__ = [
     "GENERATION_SINGLE",
     "GeneratedInstance",
     "GlobalSummary",
+    "GuardConfig",
+    "GuardStats",
+    "MatcherGuard",
     "LandmarkExplainer",
     "LandmarkExplanation",
     "LandmarkGenerator",

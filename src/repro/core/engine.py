@@ -36,6 +36,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.generation import GeneratedInstance
+from repro.core.guard import GUARD_COUNTER_FIELDS, GuardConfig, MatcherGuard
 from repro.data.records import EMDataset, RecordPair
 from repro.exceptions import ConfigurationError, ExplanationError
 from repro.matchers.base import EntityMatcher
@@ -52,7 +53,7 @@ _COUNTER_FIELDS = (
     "batches",
     "rebuild_seconds",
     "predict_seconds",
-)
+) + GUARD_COUNTER_FIELDS
 
 
 @dataclass
@@ -82,6 +83,15 @@ class EngineStats:
     rebuild_seconds: float = 0.0
     #: Wall time spent inside the matcher.
     predict_seconds: float = 0.0
+    #: Matcher-guard counters (see :mod:`repro.core.guard`): retried
+    #: attempts, timed-out attempts, failed attempts, circuit-breaker
+    #: trips, fast-failed calls while open, and half-open recoveries.
+    guard_retries: int = 0
+    guard_timeouts: int = 0
+    guard_failures: int = 0
+    guard_trips: int = 0
+    guard_fast_failures: int = 0
+    guard_recoveries: int = 0
 
     @property
     def calls_saved(self) -> int:
@@ -111,9 +121,19 @@ class EngineStats:
 
     @classmethod
     def from_counters(cls, payload: dict[str, float]) -> "EngineStats":
-        """Rebuild from :meth:`as_dict` output (derived fields ignored)."""
+        """Rebuild from :meth:`as_dict` output (derived fields ignored).
+
+        Counters absent from *payload* (results written before the field
+        existed) keep their zero defaults.
+        """
         known = {f.name for f in fields(cls)}
-        return cls(**{k: payload[k] for k in _COUNTER_FIELDS if k in known})
+        return cls(
+            **{
+                k: payload[k]
+                for k in _COUNTER_FIELDS
+                if k in known and k in payload
+            }
+        )
 
     def add(self, other: "EngineStats") -> "EngineStats":
         """Accumulate *other*'s counters into self (for run aggregation)."""
@@ -123,7 +143,7 @@ class EngineStats:
 
     def summary(self) -> str:
         """One log-friendly line."""
-        return (
+        text = (
             f"prediction engine: {self.requested} requested, "
             f"{self.calls_issued} issued, {self.calls_saved} saved "
             f"({self.savings_factor:.2f}x; dedup {self.dedup_saved}, "
@@ -132,6 +152,15 @@ class EngineStats:
             f"rebuild {self.rebuild_seconds:.2f}s, "
             f"predict {self.predict_seconds:.2f}s"
         )
+        if self.guard_failures or self.guard_fast_failures:
+            text += (
+                f"; guard: {self.guard_retries} retries, "
+                f"{self.guard_timeouts} timeouts, "
+                f"{self.guard_trips} trips, "
+                f"{self.guard_fast_failures} fast-failed, "
+                f"{self.guard_recoveries} recoveries"
+            )
+        return text
 
 
 @dataclass(frozen=True)
@@ -144,6 +173,12 @@ class EngineConfig:
     ``batch_size`` chunks matcher calls and ``n_jobs > 1`` runs the chunks
     on a thread pool (expensive matchers release the GIL in their numpy
     kernels; anything that goes wrong falls back to serial execution).
+
+    The ``max_retries`` / ``call_timeout`` / ``trip_after`` / ``cooldown``
+    / ``backoff`` / ``guard_seed`` fields configure the
+    :class:`~repro.core.guard.MatcherGuard` every matcher chunk goes
+    through; with the defaults (no retries, no timeout) the guard is a
+    plain pass-through and runs are bit-identical to unguarded ones.
     """
 
     dedup: bool = True
@@ -151,6 +186,12 @@ class EngineConfig:
     cache_size: int = 100_000
     batch_size: int = 512
     n_jobs: int = 1
+    max_retries: int = 0
+    call_timeout: float | None = None
+    trip_after: int = 5
+    cooldown: int = 8
+    backoff: float = 0.05
+    guard_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.cache_size < 1:
@@ -163,6 +204,19 @@ class EngineConfig:
             )
         if self.n_jobs < 1:
             raise ConfigurationError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        # Delegate guard-field validation (raises ConfigurationError).
+        self.guard_config()
+
+    def guard_config(self) -> GuardConfig:
+        """The :class:`~repro.core.guard.GuardConfig` these knobs ask for."""
+        return GuardConfig(
+            max_retries=self.max_retries,
+            call_timeout=self.call_timeout,
+            trip_after=self.trip_after,
+            cooldown=self.cooldown,
+            backoff=self.backoff,
+            seed=self.guard_seed,
+        )
 
 
 #: A fully transparent engine: every request goes straight to the matcher.
@@ -226,6 +280,14 @@ class PredictionEngine:
         self.config = config or EngineConfig()
         self.reconstructor = PairReconstructor(tokenizer=tokenizer)
         self.stats = EngineStats()
+        # The guard writes its counters straight into the engine's stats
+        # (EngineStats carries the guard_* fields), so they land in the
+        # same run JSON as the dedup/cache accounting.
+        self.guard = MatcherGuard(
+            matcher.predict_proba,
+            config=self.config.guard_config(),
+            stats=self.stats,
+        )
         self._cache: OrderedDict[PairKey, float] = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -305,6 +367,7 @@ class PredictionEngine:
     def reset_stats(self) -> EngineStats:
         """Return the accumulated stats and start a fresh counter set."""
         stats, self.stats = self.stats, EngineStats()
+        self.guard.stats = self.stats
         return stats
 
     @property
@@ -375,11 +438,17 @@ class PredictionEngine:
 
                 workers = min(config.n_jobs, len(chunks))
                 with ThreadPoolExecutor(max_workers=workers) as pool:
-                    results = list(pool.map(self.matcher.predict_proba, chunks))
-            except Exception:  # pragma: no cover - defensive serial fallback
-                results = None
+                    results = list(pool.map(self.guard.call, chunks))
+            except Exception:
+                if self.guard.config.active:
+                    # With an active guard a parallel failure is a real
+                    # matcher fault (retries exhausted / circuit open),
+                    # not a pool problem — re-raising it serially would
+                    # just hammer the matcher again.
+                    raise
+                results = None  # pragma: no cover - defensive serial fallback
         if results is None:
-            results = [self.matcher.predict_proba(chunk) for chunk in chunks]
+            results = [self.guard.call(chunk) for chunk in chunks]
         for chunk, result in zip(chunks, results):
             if np.shape(result) != (len(chunk),):
                 raise ExplanationError(

@@ -1,0 +1,267 @@
+"""The matcher guard: fault tolerance around black-box matcher calls.
+
+The evaluation grid spends hundreds of thousands of matcher calls per run,
+and the matcher is a black box — increasingly a remote, slow, flaky one.
+A single hung or crashing call must not lose the run.  :class:`MatcherGuard`
+wraps one ``predict_proba``-shaped callable with three mechanisms:
+
+* **per-call timeout** — the call runs on a daemon thread and
+  :class:`~repro.exceptions.MatcherTimeoutError` is raised when it does not
+  return in time (the stuck thread is abandoned; it cannot block exit);
+* **bounded retry** — up to ``max_retries`` re-invocations with exponential
+  backoff and *deterministic* jitter (a dedicated seeded
+  :class:`random.Random`, so retrying never touches the numpy streams the
+  explanations draw from);
+* **circuit breaker** — after ``trip_after`` consecutive failures the guard
+  opens and the next ``cooldown`` calls fail fast with
+  :class:`~repro.exceptions.MatcherUnavailableError` instead of hammering a
+  dead matcher; the call after that is a half-open probe whose success
+  closes the circuit again.  The cooldown is counted in *calls*, not wall
+  time, so breaker behaviour is reproducible in tests.
+
+With the default configuration (no retries, no timeout) the guard is fully
+transparent: the callable is invoked directly, exceptions propagate
+unchanged, and no RNG state of any kind is consumed — zero-fault runs stay
+bit-identical to unguarded ones.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import (
+    ConfigurationError,
+    MatcherTimeoutError,
+    MatcherUnavailableError,
+)
+
+#: Counter attribute names a guard increments on its stats object.  The
+#: prediction engine's ``EngineStats`` carries fields of the same names, so
+#: a guard can write straight into engine accounting; :class:`GuardStats`
+#: is the standalone equivalent.
+GUARD_COUNTER_FIELDS = (
+    "guard_retries",
+    "guard_timeouts",
+    "guard_failures",
+    "guard_trips",
+    "guard_fast_failures",
+    "guard_recoveries",
+)
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half_open"
+
+
+@dataclass
+class GuardStats:
+    """Standalone counter set for a guard used outside an engine."""
+
+    #: Re-invocations after a failed attempt.
+    guard_retries: int = 0
+    #: Attempts abandoned because they exceeded ``call_timeout``.
+    guard_timeouts: int = 0
+    #: Failed attempts of any kind (timeouts included).
+    guard_failures: int = 0
+    #: Times the circuit breaker tripped open.
+    guard_trips: int = 0
+    #: Calls rejected while the circuit was open.
+    guard_fast_failures: int = 0
+    #: Successful half-open probes that closed the circuit again.
+    guard_recoveries: int = 0
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Knobs of the matcher guard.
+
+    The guard is *inactive* — a plain pass-through — unless ``max_retries``
+    is positive or ``call_timeout`` is set.
+    """
+
+    #: Re-invocations allowed after a failed attempt (0 = fail on first).
+    max_retries: int = 0
+    #: Seconds one matcher call may take; ``None`` disables the timeout.
+    call_timeout: float | None = None
+    #: Consecutive failed attempts that trip the circuit open.
+    trip_after: int = 5
+    #: Guarded calls rejected fast while open, before a half-open probe.
+    cooldown: int = 8
+    #: Base backoff delay in seconds; attempt *k* waits up to
+    #: ``backoff * 2**k`` (jittered, capped at ``backoff_max``).
+    backoff: float = 0.05
+    #: Upper bound on a single backoff sleep.
+    backoff_max: float = 2.0
+    #: Seed of the jitter stream (independent of every science RNG).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.call_timeout is not None and self.call_timeout <= 0:
+            raise ConfigurationError(
+                f"call_timeout must be > 0, got {self.call_timeout}"
+            )
+        if self.trip_after < 1:
+            raise ConfigurationError(
+                f"trip_after must be >= 1, got {self.trip_after}"
+            )
+        if self.cooldown < 0:
+            raise ConfigurationError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.backoff < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether any guarding (vs plain pass-through) is requested."""
+        return self.max_retries > 0 or self.call_timeout is not None
+
+
+class MatcherGuard:
+    """Retry / timeout / circuit-breaker wrapper around one callable.
+
+    *predict_fn* is any ``pairs -> probabilities`` callable (typically a
+    bound ``EntityMatcher.predict_proba``).  *stats* is any object carrying
+    the :data:`GUARD_COUNTER_FIELDS` attributes — an engine's
+    ``EngineStats`` or a plain :class:`GuardStats`.
+    """
+
+    def __init__(
+        self,
+        predict_fn,
+        config: GuardConfig | None = None,
+        stats=None,
+    ) -> None:
+        self.predict_fn = predict_fn
+        self.config = config or GuardConfig()
+        self.stats = stats if stats is not None else GuardStats()
+        self._random = random.Random(self.config.seed)
+        self._lock = threading.Lock()
+        self._state = _CLOSED
+        self._consecutive = 0
+        self._cooldown_left = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Breaker state: ``closed``, ``open`` or ``half_open``."""
+        return self._state
+
+    def call(self, pairs):
+        """Invoke the guarded callable on *pairs*, applying all policies."""
+        config = self.config
+        if not config.active:
+            return self.predict_fn(pairs)
+        self._gate()
+        attempts = config.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                result = self._invoke(pairs)
+            except MatcherUnavailableError:
+                raise
+            except Exception as error:
+                tripped = self._record_failure(error)
+                if tripped:
+                    raise MatcherUnavailableError(
+                        f"matcher circuit opened after "
+                        f"{config.trip_after} consecutive failures "
+                        f"(last: {type(error).__name__}: {error})"
+                    ) from error
+                if attempt + 1 < attempts:
+                    with self._lock:
+                        self.stats.guard_retries += 1
+                    self._sleep(attempt)
+                    continue
+                try:
+                    error.guard_attempts = attempts
+                except AttributeError:  # pragma: no cover - exotic __slots__
+                    pass
+                raise
+            else:
+                self._record_success()
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+
+    def _gate(self) -> None:
+        """Breaker entry check: fail fast while open, admit the probe."""
+        with self._lock:
+            if self._state != _OPEN:
+                return
+            if self._cooldown_left > 0:
+                self._cooldown_left -= 1
+                self.stats.guard_fast_failures += 1
+                raise MatcherUnavailableError(
+                    f"matcher circuit is open; retrying after "
+                    f"{self._cooldown_left + 1} more rejected calls"
+                )
+            self._state = _HALF_OPEN
+
+    def _invoke(self, pairs):
+        timeout = self.config.call_timeout
+        if timeout is None:
+            return self.predict_fn(pairs)
+        box: dict[str, object] = {}
+        done = threading.Event()
+
+        def runner() -> None:
+            try:
+                box["value"] = self.predict_fn(pairs)
+            except BaseException as error:  # noqa: BLE001 - relayed below
+                box["error"] = error
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=runner, daemon=True, name="matcher-guard-call"
+        )
+        thread.start()
+        if not done.wait(timeout):
+            raise MatcherTimeoutError(
+                f"matcher call on {len(pairs)} pairs exceeded "
+                f"{timeout:.3g}s"
+            )
+        if "error" in box:
+            raise box["error"]  # type: ignore[misc]
+        return box["value"]
+
+    def _record_failure(self, error: Exception) -> bool:
+        """Count one failed attempt; return True when the breaker trips."""
+        with self._lock:
+            self.stats.guard_failures += 1
+            if isinstance(error, MatcherTimeoutError):
+                self.stats.guard_timeouts += 1
+            self._consecutive += 1
+            should_trip = (
+                self._state == _HALF_OPEN
+                or self._consecutive >= self.config.trip_after
+            )
+            if should_trip:
+                self._state = _OPEN
+                self._cooldown_left = self.config.cooldown
+                self._consecutive = 0
+                self.stats.guard_trips += 1
+            return should_trip
+
+    def _record_success(self) -> None:
+        with self._lock:
+            if self._state == _HALF_OPEN:
+                self.stats.guard_recoveries += 1
+            self._state = _CLOSED
+            self._consecutive = 0
+
+    def _sleep(self, attempt: int) -> None:
+        config = self.config
+        delay = min(config.backoff_max, config.backoff * (2.0 ** attempt))
+        # Deterministic jitter from the guard's own stream: never touches
+        # numpy state, so retrying cannot perturb explanation draws.
+        delay *= 0.5 + 0.5 * self._random.random()
+        if delay > 0:
+            time.sleep(delay)

@@ -133,17 +133,27 @@ class LandmarkExplainer:
     ) -> LandmarkExplanation:
         """Explain *pair* from the perspective of one landmark side."""
         resolved = self.resolve_generation(pair, generation)
-        instance = self.generator.generate(pair, landmark_side, resolved)
-        if not instance.tokens:
-            raise ExplanationError(
-                f"the {instance.varying_side} entity of pair "
-                f"#{pair.pair_id} has no tokens to perturb"
+        try:
+            instance = self.generator.generate(pair, landmark_side, resolved)
+            if not instance.tokens:
+                raise ExplanationError(
+                    f"the {instance.varying_side} entity of pair "
+                    f"#{pair.pair_id} has no tokens to perturb"
+                )
+            explanation = self.explainer.explain(
+                instance.feature_names,
+                self.dataset_reconstructor.predict_masks_fn(instance),
+                rng=self._rng_for(pair, landmark_side),
             )
-        explanation = self.explainer.explain(
-            instance.feature_names,
-            self.dataset_reconstructor.predict_masks_fn(instance),
-            rng=self._rng_for(pair, landmark_side),
-        )
+        except Exception as error:
+            # Tag the failure with the landmark side for the failure
+            # ledger; the exception itself propagates unchanged.
+            try:
+                if not hasattr(error, "landmark_side"):
+                    error.landmark_side = landmark_side
+            except AttributeError:  # pragma: no cover - exotic __slots__
+                pass
+            raise
         return LandmarkExplanation(instance=instance, explanation=explanation)
 
     def explain(

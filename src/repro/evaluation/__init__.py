@@ -11,16 +11,25 @@
 * :mod:`~repro.evaluation.interest_eval` — label-flip "interest" of the
   explanations (Table 4).
 * :mod:`~repro.evaluation.runner` — trains a matcher per dataset, explains
-  sampled records with every method and aggregates all three metrics.
+  sampled records with every method and aggregates all three metrics,
+  isolating per-record and per-cell failures instead of dying.
+* :mod:`~repro.evaluation.ledger` — the structured failure ledger those
+  isolated failures land in.
+* :mod:`~repro.evaluation.persistence` — run JSON save/load/diff plus the
+  checkpoint journal behind ``run(run_dir=..., resume=True)``.
 * :mod:`~repro.evaluation.tables` — plain-text renderings in the paper's
-  table layouts.
+  table layouts (with failure footnotes on degraded runs).
 """
 
 from repro.evaluation.attribute_eval import attribute_correlation, attribute_eval
 from repro.evaluation.interest_eval import interest_eval
+from repro.evaluation.ledger import FailureEntry, FailureLedger
 from repro.evaluation.methods import ExplainedRecord, MethodExplainers
 from repro.evaluation.persistence import (
+    CheckpointWriter,
+    ResumeState,
     compare_results,
+    load_checkpoint,
     load_result,
     save_result,
 )
@@ -46,6 +55,7 @@ from repro.evaluation.runner import (
     MethodMetrics,
 )
 from repro.evaluation.tables import (
+    format_failures,
     format_table1,
     format_table2,
     format_table3,
@@ -56,17 +66,22 @@ from repro.evaluation.token_eval import TokenEvalResult, token_removal_eval
 
 __all__ = [
     "BenchmarkResult",
+    "CheckpointWriter",
     "ConfidenceInterval",
     "bootstrap_ci",
     "compare_results",
+    "load_checkpoint",
     "load_result",
     "paired_bootstrap_pvalue",
     "save_result",
     "DatasetResult",
     "ExperimentRunner",
     "ExplainedRecord",
+    "FailureEntry",
+    "FailureLedger",
     "FaithfulnessResult",
     "MethodExplainers",
+    "ResumeState",
     "deletion_curve",
     "faithfulness_eval",
     "MethodMetrics",
@@ -76,6 +91,7 @@ __all__ = [
     "stability_eval",
     "attribute_correlation",
     "attribute_eval",
+    "format_failures",
     "format_table1",
     "format_table2",
     "format_table3",

@@ -21,6 +21,8 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+import logging
+
 from repro.baselines.mojito import (
     MojitoAttributeDropExplainer,
     MojitoCopyExplainer,
@@ -38,9 +40,11 @@ from repro.core.engine import PredictionEngine
 from repro.core.explanation import DualExplanation, PairTokenWeights
 from repro.core.landmark import LandmarkExplainer
 from repro.data.records import RecordPair
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ExplanationError
 from repro.explainers.lime_text import LimeConfig
 from repro.matchers.base import EntityMatcher
+
+logger = logging.getLogger("repro.evaluation")
 
 
 @dataclass(frozen=True)
@@ -53,9 +57,20 @@ class ExplainedRecord:
     attribute_importance: dict[str, float]
     removal_pairs: Callable[[str], list[RecordPair]]
     source: object = None  # the native explanation object, for inspection
+    #: True when the method had to fall back to a weaker generation mode
+    #: (double-entity failed, single-entity succeeded).  The runner logs
+    #: degraded records in the failure ledger.
+    degraded: bool = False
+    #: The exception the preferred mode died with, when degraded.
+    degraded_error: BaseException | None = None
 
 
-def _adapt_dual(method: str, dual: DualExplanation) -> ExplainedRecord:
+def _adapt_dual(
+    method: str,
+    dual: DualExplanation,
+    degraded: bool = False,
+    degraded_error: BaseException | None = None,
+) -> ExplainedRecord:
     def removal(sign: str) -> list[RecordPair]:
         return [side.apply_removal(sign) for side in dual.sides()]
 
@@ -66,6 +81,8 @@ def _adapt_dual(method: str, dual: DualExplanation) -> ExplainedRecord:
         attribute_importance=dual.attribute_importance(include_injected=True),
         removal_pairs=removal,
         source=dual,
+        degraded=degraded,
+        degraded_error=degraded_error,
     )
 
 
@@ -104,11 +121,29 @@ class MethodExplainers:
         return self._landmark
 
     def explain(self, method: str, pair: RecordPair) -> ExplainedRecord:
-        """Explain *pair* with the named method."""
+        """Explain *pair* with the named method.
+
+        When double-entity generation fails for a record (injection can
+        produce pathological token lists on dirty rows), the method falls
+        back to single-entity generation and the returned record is marked
+        ``degraded`` instead of the record being lost outright.
+        """
         if method == METHOD_SINGLE:
             return _adapt_dual(method, self._landmark.explain(pair, "single"))
         if method == METHOD_DOUBLE:
-            return _adapt_dual(method, self._landmark.explain(pair, "double"))
+            try:
+                return _adapt_dual(method, self._landmark.explain(pair, "double"))
+            except ExplanationError as error:
+                logger.info(
+                    "double generation failed for pair #%d (%s); "
+                    "degrading to single-entity generation",
+                    pair.pair_id,
+                    error,
+                )
+                dual = self._landmark.explain(pair, "single")
+                return _adapt_dual(
+                    method, dual, degraded=True, degraded_error=error
+                )
         if method == METHOD_LIME:
             pair_explanation = self._drop.explain(pair)
         elif method == METHOD_MOJITO_COPY:

@@ -1,24 +1,43 @@
-"""Saving, loading and diffing benchmark runs.
+"""Saving, loading and diffing benchmark runs — and checkpointing them.
 
 Reproduction work is iterative: you tweak the generator or a matcher
 hyper-parameter and want to know what moved.  This module serializes a
 :class:`~repro.evaluation.runner.BenchmarkResult` to JSON and renders the
 per-cell deltas between two runs.
+
+It also implements the crash-safe checkpoint journal behind
+``ExperimentRunner.run(run_dir=..., resume=...)``: an append-only JSONL
+file (``checkpoint.jsonl``) with one event per line — the run's config,
+each dataset's metadata, each completed (label, method) cell with its
+metrics and failure-ledger entries, and each dataset's final engine
+counters.  Appending one line per completed cell (fsync'd) means a kill at
+any point loses at most the cell in flight; on resume the journal is
+replayed into :class:`ResumeState` and only missing cells are re-run.  A
+partial trailing line (the signature of a mid-write kill) is tolerated;
+corruption anywhere else raises :class:`~repro.exceptions.CheckpointError`.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
+import logging
+import os
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.config import ExperimentConfig
+from repro.evaluation.ledger import FailureEntry
 from repro.evaluation.runner import BenchmarkResult, DatasetResult, MethodMetrics
 from repro.evaluation.tables import render_table
-from repro.exceptions import DatasetError
+from repro.exceptions import CheckpointError, DatasetError
 from repro.matchers.evaluate import MatchQuality
 
+logger = logging.getLogger("repro.evaluation")
+
 FORMAT_VERSION = 1
+
+#: File name of the checkpoint journal inside a run directory.
+CHECKPOINT_NAME = "checkpoint.jsonl"
 
 
 def _nan_to_none(payload: dict) -> dict:
@@ -57,6 +76,9 @@ def result_to_dict(result: BenchmarkResult) -> dict:
                 for metrics in dataset_result.metrics.values()
             ],
             "engine_stats": dataset_result.engine_stats,
+            "failures": [
+                entry.to_dict() for entry in dataset_result.failures
+            ],
         }
     return payload
 
@@ -93,6 +115,10 @@ def result_from_dict(payload: dict) -> BenchmarkResult:
         for metric_payload in dataset_payload["metrics"]:
             metrics = MethodMetrics(**_none_to_nan(metric_payload))
             dataset_result.metrics[(metrics.label, metrics.method)] = metrics
+        dataset_result.failures = [
+            FailureEntry.from_dict(item)
+            for item in dataset_payload.get("failures") or []
+        ]
         result.datasets[code] = dataset_result
     return result
 
@@ -132,3 +158,205 @@ def compare_results(
         f"run comparison: {candidate.config.name!r} minus {baseline.config.name!r}"
     )
     return title + "\n" + render_table(headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume
+# ---------------------------------------------------------------------------
+
+
+def _config_payload(config: ExperimentConfig) -> dict:
+    payload = asdict(config)
+    payload["methods"] = list(payload["methods"])
+    return payload
+
+
+def _config_from_payload(payload: dict) -> ExperimentConfig:
+    payload = dict(payload)
+    payload["methods"] = tuple(payload["methods"])
+    return ExperimentConfig(**payload)
+
+
+class CheckpointWriter:
+    """Appends run progress to the ``checkpoint.jsonl`` journal.
+
+    ``fresh=True`` starts a new journal (overwriting any previous one in
+    the directory); ``fresh=False`` appends to an existing journal, which
+    is what a resumed run does.  Every record is flushed and fsync'd so a
+    kill -9 can lose at most one partially written trailing line.
+    """
+
+    def __init__(
+        self,
+        run_dir: str | Path,
+        config: ExperimentConfig,
+        fresh: bool = True,
+        codes: tuple[str, ...] | None = None,
+    ) -> None:
+        """*codes* is the dataset selection of the run, journaled so a
+        resume can re-run exactly what was originally asked for."""
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.run_dir / CHECKPOINT_NAME
+        if fresh or not self.path.exists():
+            self.path.write_text("", encoding="utf-8")
+            self._append(
+                {
+                    "event": "config",
+                    "format_version": FORMAT_VERSION,
+                    "config": _config_payload(config),
+                    "codes": list(codes) if codes else None,
+                }
+            )
+
+    def _append(self, payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def record_dataset(
+        self, code: str, n_pairs: int, quality: MatchQuality
+    ) -> None:
+        self._append(
+            {
+                "event": "dataset",
+                "code": code,
+                "n_pairs": n_pairs,
+                "quality": _nan_to_none(asdict(quality)),
+            }
+        )
+
+    def record_cell(
+        self,
+        code: str,
+        label: int,
+        method: str,
+        metrics: MethodMetrics,
+        failures: list[FailureEntry],
+    ) -> None:
+        self._append(
+            {
+                "event": "cell",
+                "code": code,
+                "label": label,
+                "method": method,
+                "metrics": _nan_to_none(asdict(metrics)),
+                "failures": [entry.to_dict() for entry in failures],
+            }
+        )
+
+    def record_engine(self, code: str, stats: dict) -> None:
+        self._append({"event": "engine", "code": code, "stats": stats})
+
+
+@dataclass
+class ResumedDataset:
+    """Everything the journal knows about one dataset."""
+
+    code: str
+    n_pairs: int | None = None
+    quality: MatchQuality | None = None
+    metrics: dict[tuple[int, str], MethodMetrics] = field(default_factory=dict)
+    failures: list[FailureEntry] = field(default_factory=list)
+    engine_stats: dict | None = None
+
+
+@dataclass
+class ResumeState:
+    """A replayed checkpoint journal: the config plus per-dataset progress."""
+
+    config: ExperimentConfig
+    datasets: dict[str, ResumedDataset] = field(default_factory=dict)
+    #: Dataset selection of the original run (``None`` = full benchmark).
+    codes: tuple[str, ...] | None = None
+
+    def for_dataset(self, code: str) -> ResumedDataset | None:
+        return self.datasets.get(code)
+
+    def n_cells(self) -> int:
+        return sum(len(dataset.metrics) for dataset in self.datasets.values())
+
+
+def _read_journal(path: Path) -> list[dict]:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    events: list[dict] = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            if index == len(lines) - 1:
+                # A kill mid-write leaves exactly one partial trailing
+                # line; that cell simply re-runs on resume.
+                logger.warning(
+                    "checkpoint %s: discarding partial trailing line", path
+                )
+                break
+            raise CheckpointError(
+                f"checkpoint {path} is corrupt at line {index + 1}: {error}"
+            ) from error
+    return events
+
+
+def load_checkpoint(
+    run_dir: str | Path,
+    expected_config: ExperimentConfig | None = None,
+) -> ResumeState:
+    """Replay a checkpoint journal into a :class:`ResumeState`.
+
+    *expected_config*, when given, must match the config the journal was
+    written with — resuming under a different configuration would silently
+    mix incompatible cells into one result.
+    """
+    path = Path(run_dir) / CHECKPOINT_NAME
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint journal at {path}")
+    events = _read_journal(path)
+    if not events or events[0].get("event") != "config":
+        raise CheckpointError(
+            f"checkpoint {path} does not start with a config event"
+        )
+    header = events[0]
+    if header.get("format_version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version "
+            f"{header.get('format_version')!r}; expected {FORMAT_VERSION}"
+        )
+    config = _config_from_payload(header["config"])
+    if expected_config is not None and _config_payload(
+        expected_config
+    ) != _config_payload(config):
+        raise CheckpointError(
+            f"checkpoint {path} was written with config "
+            f"{config.name!r}; refusing to resume with a different "
+            f"configuration (pass the same preset and guard settings)"
+        )
+    journaled_codes = header.get("codes")
+    state = ResumeState(
+        config=config,
+        codes=tuple(journaled_codes) if journaled_codes else None,
+    )
+    for event in events[1:]:
+        kind = event.get("event")
+        code = event.get("code")
+        if not code:
+            continue
+        dataset = state.datasets.setdefault(code, ResumedDataset(code=code))
+        if kind == "dataset":
+            dataset.n_pairs = event["n_pairs"]
+            dataset.quality = MatchQuality(
+                **_none_to_nan(event["quality"])
+            )
+        elif kind == "cell":
+            metrics = MethodMetrics(**_none_to_nan(event["metrics"]))
+            dataset.metrics[(metrics.label, metrics.method)] = metrics
+            dataset.failures.extend(
+                FailureEntry.from_dict(item)
+                for item in event.get("failures") or []
+            )
+        elif kind == "engine":
+            dataset.engine_stats = event.get("stats")
+    return state

@@ -11,6 +11,18 @@ For every requested benchmark dataset the runner
 
 Results come back as plain dataclasses; :mod:`repro.evaluation.tables`
 renders them in the paper's layouts.
+
+Fault tolerance
+---------------
+Explanation runs are expensive and matchers can be flaky, so the runner
+degrades instead of dying: every record and every (label, method) cell is
+isolated, failures land in a structured :class:`~repro.evaluation.ledger.
+FailureLedger` (feeding ``MethodMetrics.n_skipped`` / ``n_degraded``), and
+— when a run directory is given — each completed cell is journaled so a
+killed run can be resumed with ``run(..., run_dir=..., resume=True)``
+skipping everything already done.  The matcher guard configured through
+``ExperimentConfig.guard_*`` adds per-call retry/timeout/circuit-breaker
+protection underneath (see :mod:`repro.core.guard`).
 """
 
 from __future__ import annotations
@@ -32,9 +44,17 @@ from repro.data.splits import sample_per_label
 from repro.data.synthetic.magellan import DATASET_CODES, load_dataset
 from repro.evaluation.attribute_eval import attribute_eval
 from repro.evaluation.interest_eval import interest_eval
+from repro.evaluation.ledger import (
+    CELL_RECORD_ID,
+    FailureEntry,
+    FailureLedger,
+    KIND_CELL,
+    KIND_DEGRADED,
+    KIND_SKIPPED,
+)
 from repro.evaluation.methods import ExplainedRecord, MethodExplainers
 from repro.evaluation.token_eval import token_removal_eval
-from repro.exceptions import ExplanationError
+from repro.exceptions import CheckpointError, ConfigurationError, ExplanationError
 from repro.explainers.lime_text import LimeConfig
 from repro.matchers.base import EntityMatcher
 from repro.matchers.evaluate import MatchQuality, evaluate_matcher
@@ -58,6 +78,9 @@ class MethodMetrics:
     interest: float
     n_records: int
     n_skipped: int = 0
+    #: Records explained with a weaker generation mode (see the failure
+    #: ledger's ``degraded`` entries); they still count in ``n_records``.
+    n_degraded: int = 0
     seconds: float = 0.0
     #: Deletion-curve faithfulness gain; NaN unless the config enables it.
     faithfulness: float = float("nan")
@@ -75,6 +98,8 @@ class DatasetResult:
     #: :meth:`repro.core.engine.EngineStats.as_dict`); ``None`` on runs
     #: loaded from old result files.
     engine_stats: dict[str, float] | None = None
+    #: Isolated failures collected while running this dataset.
+    failures: list[FailureEntry] = field(default_factory=list)
 
     def get(self, label: int, method: str) -> MethodMetrics | None:
         return self.metrics.get((label, method))
@@ -107,6 +132,13 @@ class BenchmarkResult:
             totals.add(stats)
         return totals
 
+    def ledger(self) -> FailureLedger:
+        """All isolated failures of the run, across datasets."""
+        ledger = FailureLedger()
+        for code in self.codes:
+            ledger.extend(self.datasets[code].failures)
+        return ledger
+
 
 class ExperimentRunner:
     """Drives the full evaluation protocol for one configuration."""
@@ -115,9 +147,16 @@ class ExperimentRunner:
         self,
         config: ExperimentConfig = FAST,
         matcher_factory: Callable[[], EntityMatcher] | None = None,
+        on_cell: Callable[[str, int, str], None] | None = None,
     ) -> None:
+        """*on_cell*, when given, is called as ``on_cell(code, label,
+        method)`` after every attempted grid cell (after its checkpoint is
+        written).  The fault-tolerance tests use it to kill a run at cell K
+        and resume it; exceptions it raises propagate.
+        """
         self.config = config
         self.matcher_factory = matcher_factory or LogisticRegressionMatcher
+        self.on_cell = on_cell
 
     # ------------------------------------------------------------------
 
@@ -135,43 +174,173 @@ class ExperimentRunner:
         explainers: MethodExplainers,
         method: str,
         pairs: Sequence[RecordPair],
-    ) -> tuple[list[ExplainedRecord], int]:
+        code: str,
+        label: int,
+        failures: list[FailureEntry],
+    ) -> list[ExplainedRecord]:
+        """Explain *pairs*, isolating per-record failures into *failures*.
+
+        Any exception except :class:`ConfigurationError` (a caller bug that
+        would poison every record identically) skips just the one record;
+        records the method explained in a degraded mode are kept but logged.
+        """
         explained: list[ExplainedRecord] = []
-        skipped = 0
         for pair in pairs:
             try:
-                explained.append(explainers.explain(method, pair))
-            except ExplanationError:
-                # Records whose varying entity has no tokens (possible in
-                # pathological dirty rows) cannot be explained; count them.
-                skipped += 1
-        return explained, skipped
+                record = explainers.explain(method, pair)
+            except ConfigurationError:
+                raise
+            except Exception as error:
+                entry = FailureEntry.from_exception(
+                    code, label, method, pair.pair_id, error, kind=KIND_SKIPPED
+                )
+                failures.append(entry)
+                logger.warning("  skipped record: %s", entry.describe())
+                continue
+            if record.degraded:
+                failures.append(
+                    FailureEntry.from_exception(
+                        code,
+                        label,
+                        method,
+                        pair.pair_id,
+                        record.degraded_error
+                        or ExplanationError("degraded without cause"),
+                        kind=KIND_DEGRADED,
+                    )
+                )
+            explained.append(record)
+        return explained
 
     # ------------------------------------------------------------------
+
+    def _run_cell(
+        self,
+        code: str,
+        label: int,
+        method: str,
+        pairs: Sequence[RecordPair],
+        explainers: MethodExplainers,
+        eval_matcher: EntityMatcher,
+        model_importance: dict[str, float] | None,
+    ) -> tuple[MethodMetrics | None, list[FailureEntry]]:
+        """One (label, method) grid cell, with the whole evaluation stage
+        isolated: a failure yields ``(None, failures)`` instead of killing
+        the dataset run."""
+        config = self.config
+        started = time.perf_counter()
+        failures: list[FailureEntry] = []
+        explained = self._explain_records(
+            explainers, method, pairs, code=code, label=label, failures=failures
+        )
+        try:
+            token = token_removal_eval(
+                explained,
+                eval_matcher,
+                fraction=config.removal_fraction,
+                threshold=config.threshold,
+                seed=config.seed,
+            )
+            kendall = float("nan")
+            if model_importance is not None:
+                kendall = attribute_eval(explained, model_importance).kendall
+            interest = interest_eval(
+                explained, eval_matcher, threshold=config.threshold
+            ).interest
+            faithfulness = float("nan")
+            if config.faithfulness:
+                from repro.evaluation.faithfulness import faithfulness_eval
+
+                faithfulness = faithfulness_eval(
+                    explained,
+                    eval_matcher,
+                    threshold=config.threshold,
+                    seed=config.seed,
+                ).gain
+        except ConfigurationError:
+            raise
+        except Exception as error:
+            entry = FailureEntry.from_exception(
+                code, label, method, CELL_RECORD_ID, error, kind=KIND_CELL
+            )
+            failures.append(entry)
+            logger.error("  cell failed: %s", entry.describe())
+            return None, failures
+        elapsed = time.perf_counter() - started
+        metrics = MethodMetrics(
+            method=method,
+            label=label,
+            token_accuracy=token.accuracy,
+            token_mae=token.mae,
+            kendall=kendall,
+            interest=interest,
+            n_records=len(explained),
+            n_skipped=sum(1 for f in failures if f.kind == KIND_SKIPPED),
+            n_degraded=sum(1 for f in failures if f.kind == KIND_DEGRADED),
+            seconds=elapsed,
+            faithfulness=faithfulness,
+        )
+        return metrics, failures
 
     def run_dataset(
         self,
         code: str,
         dataset: EMDataset | None = None,
         matcher: EntityMatcher | None = None,
+        *,
+        checkpoint=None,
+        resumed=None,
     ) -> DatasetResult:
-        """Run the full protocol on one dataset."""
+        """Run the full protocol on one dataset.
+
+        *checkpoint* is a :class:`repro.evaluation.persistence.
+        CheckpointWriter` to journal completed cells into; *resumed* is the
+        :class:`~repro.evaluation.persistence.ResumedDataset` replayed from
+        a previous journal, whose cells are not re-run.  A dataset whose
+        grid is fully covered by *resumed* is restored without even loading
+        the data or training the matcher.
+        """
         config = self.config
+        done: dict[tuple[int, str], MethodMetrics] = (
+            dict(resumed.metrics) if resumed is not None else {}
+        )
+        needed = [
+            (label, method)
+            for label in (MATCH, NON_MATCH)
+            for method in self._methods_for_label(label)
+        ]
+        missing = [cell for cell in needed if cell not in done]
+        if resumed is not None and not missing and resumed.n_pairs is not None:
+            result = DatasetResult(
+                code=code,
+                n_pairs=resumed.n_pairs,
+                matcher_quality=resumed.quality,
+                engine_stats=resumed.engine_stats,
+            )
+            result.metrics.update(done)
+            result.failures.extend(resumed.failures)
+            logger.info("dataset %s: restored from checkpoint", code)
+            return result
+
         if dataset is None:
             dataset = load_dataset(code, seed=config.seed, size_cap=config.size_cap)
         if matcher is None:
             matcher = self.matcher_factory()
             matcher.fit(dataset)
-        quality = evaluate_matcher(matcher, dataset, threshold=config.threshold)
-        logger.info(
-            "dataset %s: %d pairs, matcher f1=%.3f", code, len(dataset), quality.f1
-        )
         sample = sample_per_label(dataset, config.per_label, seed=config.seed)
         # One prediction engine per dataset: its cache persists across
         # landmark sides, methods AND the evaluation stages below, which
         # all re-predict overlapping records.
         engine = PredictionEngine(matcher, config.engine_config())
         eval_matcher = engine.as_matcher()
+        # Matcher quality is measured through the engine too, so the guard
+        # covers the scoring pass and its predictions pre-warm the cache.
+        quality = evaluate_matcher(eval_matcher, dataset, threshold=config.threshold)
+        logger.info(
+            "dataset %s: %d pairs, matcher f1=%.3f", code, len(dataset), quality.f1
+        )
+        if checkpoint is not None:
+            checkpoint.record_dataset(code, len(dataset), quality)
         explainers = MethodExplainers(
             matcher, lime_config=self._lime_config(), seed=config.seed,
             engine=engine,
@@ -184,64 +353,45 @@ class ExperimentRunner:
         result = DatasetResult(
             code=code, n_pairs=len(dataset), matcher_quality=quality
         )
+        result.metrics.update(done)
+        if resumed is not None:
+            result.failures.extend(resumed.failures)
         for label in (MATCH, NON_MATCH):
             pairs = sample.by_label(label).pairs
             for method in self._methods_for_label(label):
-                started = time.perf_counter()
-                explained, skipped = self._explain_records(
-                    explainers, method, pairs
+                if (label, method) in done:
+                    logger.info(
+                        "  %s/%s/%s: checkpointed, skipping",
+                        code, LABEL_KEYS[label], method,
+                    )
+                    continue
+                metrics, failures = self._run_cell(
+                    code, label, method, pairs, explainers,
+                    eval_matcher, model_importance,
                 )
-                token = token_removal_eval(
-                    explained,
-                    eval_matcher,
-                    fraction=config.removal_fraction,
-                    threshold=config.threshold,
-                    seed=config.seed,
-                )
-                kendall = float("nan")
-                if model_importance is not None:
-                    kendall = attribute_eval(explained, model_importance).kendall
-                interest = interest_eval(
-                    explained, eval_matcher, threshold=config.threshold
-                ).interest
-                faithfulness = float("nan")
-                if config.faithfulness:
-                    from repro.evaluation.faithfulness import faithfulness_eval
-
-                    faithfulness = faithfulness_eval(
-                        explained,
-                        eval_matcher,
-                        threshold=config.threshold,
-                        seed=config.seed,
-                    ).gain
-                elapsed = time.perf_counter() - started
-                metrics = MethodMetrics(
-                    method=method,
-                    label=label,
-                    token_accuracy=token.accuracy,
-                    token_mae=token.mae,
-                    kendall=kendall,
-                    interest=interest,
-                    n_records=len(explained),
-                    n_skipped=skipped,
-                    seconds=elapsed,
-                    faithfulness=faithfulness,
-                )
-                result.metrics[(label, method)] = metrics
-                logger.info(
-                    "  %s/%s/%s: acc=%.3f mae=%.3f tau=%.3f interest=%.3f "
-                    "(%d records, %.1fs)",
-                    code,
-                    LABEL_KEYS[label],
-                    method,
-                    metrics.token_accuracy,
-                    metrics.token_mae,
-                    metrics.kendall,
-                    metrics.interest,
-                    metrics.n_records,
-                    elapsed,
-                )
+                result.failures.extend(failures)
+                if metrics is not None:
+                    result.metrics[(label, method)] = metrics
+                    if checkpoint is not None:
+                        checkpoint.record_cell(code, label, method, metrics, failures)
+                    logger.info(
+                        "  %s/%s/%s: acc=%.3f mae=%.3f tau=%.3f interest=%.3f "
+                        "(%d records, %.1fs)",
+                        code,
+                        LABEL_KEYS[label],
+                        method,
+                        metrics.token_accuracy,
+                        metrics.token_mae,
+                        metrics.kendall,
+                        metrics.interest,
+                        metrics.n_records,
+                        metrics.seconds,
+                    )
+                if self.on_cell is not None:
+                    self.on_cell(code, label, method)
         result.engine_stats = engine.stats.as_dict()
+        if checkpoint is not None:
+            checkpoint.record_engine(code, result.engine_stats)
         logger.info("  %s: %s", code, engine.stats.summary())
         return result
 
@@ -249,6 +399,8 @@ class ExperimentRunner:
         self,
         codes: Sequence[str] | None = None,
         n_jobs: int = 1,
+        run_dir: str | None = None,
+        resume: bool = False,
     ) -> BenchmarkResult:
         """Run the protocol on several datasets (all twelve by default).
 
@@ -256,12 +408,45 @@ class ExperimentRunner:
         protocol is embarrassingly parallel across datasets since every
         dataset trains its own matcher.  Requires the default matcher
         factory or a picklable one.
+
+        *run_dir* turns on checkpointing: after every completed grid cell a
+        journal line is appended under that directory, and ``resume=True``
+        replays the journal (validating it against this runner's config)
+        and re-runs only what is missing.  Checkpointing forces serial
+        dataset execution — worker processes cannot share the journal.
         """
-        selected = tuple(codes) if codes else DATASET_CODES
+        from repro.evaluation.persistence import CheckpointWriter, load_checkpoint
+
+        selected = tuple(codes) if codes else None
         result = BenchmarkResult(config=self.config)
+        state = None
+        checkpoint = None
+        if resume:
+            if run_dir is None:
+                raise CheckpointError("resume=True requires run_dir")
+            state = load_checkpoint(run_dir, expected_config=self.config)
+            if selected is None:
+                # Resume what the original run was asked for, not the
+                # full benchmark.
+                selected = state.codes
+        if selected is None:
+            selected = DATASET_CODES
+        if run_dir is not None:
+            if n_jobs > 1:
+                logger.warning(
+                    "checkpointing forces serial execution; ignoring n_jobs=%d",
+                    n_jobs,
+                )
+                n_jobs = 1
+            checkpoint = CheckpointWriter(
+                run_dir, self.config, fresh=not resume, codes=selected
+            )
         if n_jobs <= 1 or len(selected) <= 1:
             for code in selected:
-                result.datasets[code] = self.run_dataset(code)
+                resumed = state.for_dataset(code) if state is not None else None
+                result.datasets[code] = self.run_dataset(
+                    code, checkpoint=checkpoint, resumed=resumed
+                )
             return result
 
         from concurrent.futures import ProcessPoolExecutor

@@ -162,8 +162,64 @@ def format_faithfulness_table(result: BenchmarkResult, label: int) -> str:
     )
 
 
+def format_failures(result: BenchmarkResult) -> str:
+    """Footnotes for degraded cells: what each table's numbers are missing.
+
+    Empty string when the run was clean.  One row per grid cell that
+    skipped records, degraded generation modes, or failed outright, plus
+    the ledger's one-line summary — so a degraded table is never read as a
+    complete one.
+    """
+    from repro.evaluation.ledger import CELL_RECORD_ID, KIND_CELL
+
+    rows = []
+    for code in result.codes:
+        dataset_result = result.datasets[code]
+        cell_failures = {
+            (entry.label, entry.method): entry
+            for entry in dataset_result.failures
+            if entry.kind == KIND_CELL and entry.record_id == CELL_RECORD_ID
+        }
+        for label in (MATCH, NON_MATCH):
+            for method in _METHOD_COLUMNS[label]:
+                metrics = dataset_result.get(label, method)
+                failed = cell_failures.get((label, method))
+                if failed is not None:
+                    rows.append([
+                        code,
+                        "match" if label == MATCH else "non-match",
+                        _METHOD_TITLES[method],
+                        f"cell failed ({failed.error}: {failed.message})",
+                    ])
+                elif metrics is not None and (
+                    metrics.n_skipped or metrics.n_degraded
+                ):
+                    notes = []
+                    if metrics.n_skipped:
+                        notes.append(f"{metrics.n_skipped} records skipped")
+                    if metrics.n_degraded:
+                        notes.append(
+                            f"{metrics.n_degraded} degraded to single-entity"
+                        )
+                    rows.append([
+                        code,
+                        "match" if label == MATCH else "non-match",
+                        _METHOD_TITLES[method],
+                        "; ".join(notes),
+                    ])
+    if not rows:
+        return ""
+    ledger = result.ledger()
+    return (
+        "Degraded cells (numbers above computed on fewer/weaker records)\n"
+        + render_table(["Dataset", "Label", "Method", "Note"], rows)
+        + "\n"
+        + ledger.summary()
+    )
+
+
 def format_all_tables(result: BenchmarkResult) -> str:
-    """Tables 2-4, both labels, in paper order."""
+    """Tables 2-4, both labels, in paper order (plus failure footnotes)."""
     sections = []
     for formatter in (format_table2, format_table3, format_table4):
         for label in (MATCH, NON_MATCH):
@@ -171,4 +227,7 @@ def format_all_tables(result: BenchmarkResult) -> str:
     if result.config.faithfulness:
         for label in (MATCH, NON_MATCH):
             sections.append(format_faithfulness_table(result, label))
+    failures = format_failures(result)
+    if failures:
+        sections.append(failures)
     return "\n\n".join(sections)

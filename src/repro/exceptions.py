@@ -2,10 +2,36 @@
 
 All errors raised by the library derive from :class:`ReproError` so that
 callers can catch everything coming from this package with a single except
-clause while still being able to discriminate finer-grained failures.
+clause while still being able to discriminate finer-grained failures::
+
+    ReproError
+    ├── SchemaError                # data shape violations
+    ├── TokenizationError
+    ├── DatasetError               # malformed / unloadable datasets
+    ├── ModelNotFittedError
+    ├── ExplanationError           # a record could not be explained
+    ├── ConfigurationError         # invalid knobs (caller bug — never
+    │                              #   swallowed by fault isolation)
+    ├── MatcherTimeoutError        # guard: call exceeded the timeout
+    ├── MatcherUnavailableError    # guard: circuit breaker is open
+    └── CheckpointError            # checkpoint journal missing/corrupt/
+                                   #   config mismatch on resume
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "TokenizationError",
+    "DatasetError",
+    "ModelNotFittedError",
+    "ExplanationError",
+    "ConfigurationError",
+    "MatcherTimeoutError",
+    "MatcherUnavailableError",
+    "CheckpointError",
+]
 
 
 class ReproError(Exception):
@@ -34,3 +60,17 @@ class ExplanationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid experiment or component configuration."""
+
+
+class MatcherTimeoutError(ReproError):
+    """A guarded matcher call did not return within the call timeout."""
+
+
+class MatcherUnavailableError(ReproError):
+    """The matcher guard's circuit breaker is open: calls fail fast
+    instead of hammering a matcher that keeps failing."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal is missing, corrupt, or belongs to a
+    different experiment configuration."""

@@ -1,0 +1,10 @@
+"""Test doubles for exercising the fault-tolerance machinery.
+
+Importable from the library (not just the test suite) so the CI
+fault-injection smoke job and downstream users can run chaos drills
+against their own configurations.
+"""
+
+from repro.testing.faults import FaultSchedule, FlakyMatcher, SlowMatcher
+
+__all__ = ["FaultSchedule", "FlakyMatcher", "SlowMatcher"]
