@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the explanation service (the CI smoke job).
+
+Boots the real ``repro-em serve`` CLI as a subprocess (JSONL over
+stdin/stdout, persistent store and model artifact on disk) and drives a
+mixed request batch through it:
+
+1. **cold** requests that must be computed;
+2. a **duplicate** in the same session that must be answered by the
+   store (or coalesced) without recomputing;
+3. a **restart**: a second server process over the same store directory
+   must answer the same request bit-identically with zero computations.
+
+Exit code 0 = every response ok, nonzero store hits, restart answers
+from disk.  Run locally with::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+DATASET_ARGS = ["--dataset", "S-BR", "--size-cap", "150", "--samples", "32"]
+
+
+def run_serve(store_dir: Path, model_dir: Path, requests: list[dict]) -> list[dict]:
+    """One server process: feed *requests* as JSONL, return the responses."""
+    lines = "".join(json.dumps(r) + "\n" for r in requests)
+    process = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "serve", *DATASET_ARGS,
+            "--store-dir", str(store_dir), "--model-dir", str(model_dir),
+            "--workers", "2",
+        ],
+        input=lines,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if process.returncode != 0:
+        print(process.stderr, file=sys.stderr)
+        raise SystemExit(f"serve exited with {process.returncode}")
+    return [json.loads(line) for line in process.stdout.splitlines()]
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    def check(condition: bool, what: str) -> None:
+        print(f"  [{'ok' if condition else 'FAIL'}] {what}")
+        if not condition:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory() as root:
+        store_dir = Path(root) / "store"
+        model_dir = Path(root) / "models"
+
+        batch = [
+            {"id": "cold-0", "record": 0, "method": "single"},
+            {"id": "cold-1", "record": 1, "method": "single"},
+            {"id": "dup-0", "record": 0, "method": "single"},
+            {"id": "stats", "op": "stats"},
+            {"id": "bye", "op": "shutdown"},
+        ]
+        print("session 1: cold + duplicate batch")
+        responses = {r["id"]: r for r in run_serve(store_dir, model_dir, batch)}
+        check(len(responses) == len(batch), "every request answered")
+        check(
+            all(r["ok"] for r in responses.values()), "every response ok"
+        )
+        stats = responses["stats"]["stats"]["service"]
+        check(stats["computed"] == 2, "two cold requests computed")
+        check(
+            stats["store_hits"] + stats["coalesced"] == 1,
+            "duplicate served without recomputing",
+        )
+        check(
+            responses["dup-0"]["result"] == responses["cold-0"]["result"],
+            "duplicate response bit-identical",
+        )
+        check(
+            (store_dir / "service_stats.json").exists(),
+            "run JSON written on shutdown",
+        )
+
+        print("session 2: restart answers from the persistent store")
+        rerun = [
+            {"id": "cached-0", "record": 0, "method": "single"},
+            {"id": "stats", "op": "stats"},
+            {"id": "bye", "op": "shutdown"},
+        ]
+        responses2 = {r["id"]: r for r in run_serve(store_dir, model_dir, rerun)}
+        stats2 = responses2["stats"]["stats"]
+        check(
+            all(r["ok"] for r in responses2.values()), "every response ok"
+        )
+        check(stats2["service"]["computed"] == 0, "nothing recomputed")
+        check(stats2["service"]["store_hits"] == 1, "nonzero store hits")
+        check(stats2["store"]["hits"] >= 1, "store counters agree")
+        check(
+            responses2["cached-0"]["result"] == responses["cold-0"]["result"],
+            "restart result bit-identical to the cold computation",
+        )
+
+    print("service_smoke", "FAILED" if failures else "passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

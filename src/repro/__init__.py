@@ -21,7 +21,16 @@ paper-vs-measured comparison of every table.
 
 from repro.baselines import MojitoCopyExplainer, MojitoDropExplainer
 from repro.blocking import BlockingReport, InvertedIndexBlocker
-from repro.config import ALL_METHODS, BENCH, FAST, PAPER, ExperimentConfig, get_preset
+from repro.config import (
+    ALL_METHODS,
+    BENCH,
+    FAST,
+    PAPER,
+    ExperimentConfig,
+    ServiceConfig,
+    StoreConfig,
+    get_preset,
+)
 from repro.core import (
     Counterfactual,
     DualExplanation,
@@ -37,6 +46,9 @@ from repro.core import (
     LandmarkExplanation,
     PairTokenWeights,
     greedy_counterfactual,
+    load_matcher,
+    matcher_fingerprint,
+    save_matcher,
     summarize_explanations,
 )
 from repro.data import EMDataset, PairSchema, RecordPair, read_csv, write_csv
@@ -69,6 +81,11 @@ from repro.matchers import (
     evaluate_matcher,
     tune_threshold,
 )
+from repro.service import (
+    ExplainRequest,
+    ExplanationService,
+    ExplanationStore,
+)
 from repro.text import Tokenizer
 
 __version__ = "1.0.0"
@@ -92,6 +109,9 @@ __all__ = [
     "GradientBoostedStumpsMatcher",
     "ExperimentConfig",
     "ExperimentRunner",
+    "ExplainRequest",
+    "ExplanationService",
+    "ExplanationStore",
     "Explanation",
     "FAST",
     "GENERATION_AUTO",
@@ -119,6 +139,8 @@ __all__ = [
     "RecordPair",
     "ReproError",
     "RuleBasedMatcher",
+    "ServiceConfig",
+    "StoreConfig",
     "Tokenizer",
     "anchor_for_landmark",
     "evaluate_matcher",
@@ -126,9 +148,12 @@ __all__ = [
     "greedy_counterfactual",
     "load_benchmark",
     "load_dataset",
+    "load_matcher",
     "make_dirty",
+    "matcher_fingerprint",
     "read_csv",
     "sample_per_label",
+    "save_matcher",
     "summarize_explanations",
     "train_test_split",
     "tune_threshold",

@@ -12,6 +12,15 @@ Sub-commands:
   sample sizes).
 * ``summarize`` — aggregate explanations over many records into a global
   model summary (the paper's future-work direction).
+* ``serve`` — run the long-lived explanation service (JSONL over
+  stdin/stdout, or a localhost HTTP endpoint with ``--http``), backed by
+  the persistent explanation store.
+* ``precompute`` — warm the explanation store for a dataset split,
+  resumable with ``--resume``.
+
+``train``, ``explain``, ``serve`` and ``precompute`` accept
+``--model-dir``: trained matchers are persisted there as fingerprinted
+artifacts and reused instead of retraining on every invocation.
 """
 
 from __future__ import annotations
@@ -76,6 +85,57 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_model_dir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model-dir", type=Path, default=None,
+        help="persist/load trained matchers as fingerprinted artifacts "
+             "here instead of retraining on every invocation",
+    )
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--matcher", default="logistic", choices=sorted(_MATCHERS)
+    )
+    _add_model_dir_argument(parser)
+    parser.add_argument(
+        "--store-dir", type=Path, default=None,
+        help="directory of the persistent explanation store",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="explanation worker threads"
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=256,
+        help="bound of the pending-request priority queue",
+    )
+    parser.add_argument(
+        "--store-max-entries", type=int, default=10_000,
+        help="LRU capacity of the explanation store",
+    )
+    parser.add_argument(
+        "--store-ttl", type=float, default=None,
+        help="expire stored explanations older than this many seconds",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=128,
+        help="default perturbation budget per request",
+    )
+    parser.add_argument(
+        "--explainer", default="lime", choices=("lime", "shap"),
+        help="default generic explainer per request",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="retry failing matcher calls up to N times (guard)",
+    )
+    parser.add_argument(
+        "--call-timeout", type=float, default=None,
+        help="abandon a matcher call after this many seconds (guard)",
+    )
+    _add_engine_arguments(parser)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-em",
@@ -94,9 +154,14 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common_dataset_arguments(train)
     train.add_argument("--matcher", default="logistic", choices=sorted(_MATCHERS))
     train.add_argument("--threshold", type=float, default=0.5)
+    _add_model_dir_argument(train)
 
     explain = subparsers.add_parser("explain", help="explain one record")
     _add_common_dataset_arguments(explain)
+    explain.add_argument(
+        "--matcher", default="logistic", choices=sorted(_MATCHERS)
+    )
+    _add_model_dir_argument(explain)
     explain.add_argument("--record", type=int, default=0, help="record index")
     explain.add_argument(
         "--generation", default="auto", choices=("auto", "single", "double")
@@ -142,6 +207,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="abandon a matcher call after this many seconds (guard)",
     )
     _add_engine_arguments(experiment)
+
+    serve = subparsers.add_parser(
+        "serve", help="long-running explanation service (JSONL stdio / HTTP)"
+    )
+    _add_common_dataset_arguments(serve)
+    _add_service_arguments(serve)
+    serve.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="serve over HTTP on this address instead of stdin/stdout",
+    )
+
+    precompute = subparsers.add_parser(
+        "precompute", help="warm the explanation store for a dataset split"
+    )
+    _add_common_dataset_arguments(precompute)
+    _add_service_arguments(precompute)
+    precompute.add_argument(
+        "--per-label", type=int, default=None,
+        help="records per label to warm (default: every record)",
+    )
+    precompute.add_argument(
+        "--method", default="both",
+        choices=("single", "double", "auto", "both"),
+    )
+    precompute.add_argument(
+        "--resume", action="store_true",
+        help="skip keys journaled by a previous precompute that are still "
+             "servable from the store",
+    )
 
     selftest = subparsers.add_parser(
         "selftest", help="end-to-end installation check (~10 s)"
@@ -192,6 +286,52 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 # ---------------------------------------------------------------------------
+# Matcher resolution (train-or-load behind --model-dir)
+# ---------------------------------------------------------------------------
+
+
+def _artifact_path(model_dir: Path, args: argparse.Namespace) -> Path:
+    cap = args.size_cap if args.size_cap is not None else "full"
+    name = f"{args.matcher}-{args.dataset}-seed{args.seed}-cap{cap}.pkl"
+    return model_dir / name
+
+
+def _resolve_matcher(args: argparse.Namespace, dataset):
+    """Train the requested matcher, or reuse a persisted artifact.
+
+    Without ``--model-dir`` this trains from scratch (the historical
+    behaviour).  With it, the trained matcher is saved once as a
+    fingerprinted artifact and loaded on every later invocation with the
+    same (matcher, dataset, seed, size-cap) coordinates; an artifact that
+    fails its integrity check is retrained and rewritten.
+    """
+    model_dir: Path | None = getattr(args, "model_dir", None)
+    if model_dir is not None:
+        from repro.core.serialize import load_matcher, save_matcher
+        from repro.exceptions import ArtifactError
+
+        path = _artifact_path(model_dir, args)
+        if path.exists():
+            try:
+                matcher = load_matcher(path)
+                logging.getLogger("repro.cli").info("loaded matcher %s", path)
+                return matcher
+            except ArtifactError as error:
+                print(
+                    f"warning: {error}; retraining", file=sys.stderr
+                )
+        matcher = _MATCHERS[args.matcher]().fit(dataset)
+        fingerprint = save_matcher(matcher, path)
+        # stderr: in `serve` stdio mode, stdout is the JSONL channel.
+        print(
+            f"saved matcher artifact {path} ({fingerprint[:12]})",
+            file=sys.stderr,
+        )
+        return matcher
+    return _MATCHERS[args.matcher]().fit(dataset)
+
+
+# ---------------------------------------------------------------------------
 # Sub-command implementations
 # ---------------------------------------------------------------------------
 
@@ -213,8 +353,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
-    matcher = _MATCHERS[args.matcher]()
-    matcher.fit(dataset)
+    matcher = _resolve_matcher(args, dataset)
     quality = evaluate_matcher(matcher, dataset, threshold=args.threshold)
     print(f"{args.matcher} matcher on {args.dataset} ({len(dataset)} pairs)")
     print(quality.report())
@@ -233,7 +372,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(f"record index {args.record} out of range 0..{len(dataset) - 1}")
         return 2
     pair = dataset[args.record]
-    matcher = LogisticRegressionMatcher().fit(dataset)
+    matcher = _resolve_matcher(args, dataset)
     lime_config = LimeConfig(n_samples=args.samples, seed=args.seed)
     engine = PredictionEngine(
         matcher,
@@ -394,6 +533,112 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace, dataset):
+    """Assemble (service, store, defaults) from the shared service flags."""
+    from repro.config import ServiceConfig, StoreConfig
+    from repro.service import ExplanationService, ExplanationStore
+
+    matcher = _resolve_matcher(args, dataset)
+    store = None
+    if args.store_dir is not None:
+        store = ExplanationStore(
+            args.store_dir,
+            StoreConfig(
+                max_entries=args.store_max_entries,
+                ttl_seconds=args.store_ttl,
+            ),
+        )
+    service = ExplanationService(
+        matcher,
+        store=store,
+        config=ServiceConfig(
+            n_workers=args.workers, queue_size=args.queue_size
+        ),
+        engine_config=EngineConfig(
+            cache=not args.no_cache,
+            n_jobs=args.n_jobs,
+            max_retries=args.max_retries,
+            call_timeout=args.call_timeout,
+        ),
+    )
+    defaults = {
+        "method": "both",
+        "samples": args.samples,
+        "explainer": args.explainer,
+        "seed": args.seed,
+    }
+    return service, store, defaults
+
+
+def _write_service_stats(service, store_dir: Path | None) -> None:
+    if store_dir is None:
+        return
+    from repro.evaluation.persistence import save_service_stats
+
+    path = Path(store_dir) / "service_stats.json"
+    save_service_stats(service.stats_payload(), path)
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve_http, serve_stdio
+
+    dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
+    service, store, defaults = _build_service(args, dataset)
+    try:
+        if args.http:
+            host, _, port = args.http.rpartition(":")
+            server = serve_http(
+                service, dataset, defaults,
+                host=host or "127.0.0.1", port=int(port),
+            )
+            address = "http://%s:%d" % server.server_address[:2]
+            print(f"serving on {address} (Ctrl-C to stop)", file=sys.stderr)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.shutdown()
+                server.server_close()
+        else:
+            serve_stdio(service, dataset, defaults)
+    finally:
+        service.close()
+        print(service.stats.summary(), file=sys.stderr)
+        _write_service_stats(service, args.store_dir)
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _cmd_precompute(args: argparse.Namespace) -> int:
+    from repro.service.server import precompute
+
+    dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
+    service, store, _ = _build_service(args, dataset)
+    try:
+        report = precompute(
+            service,
+            dataset,
+            per_label=args.per_label,
+            method=args.method,
+            samples=args.samples,
+            explainer=args.explainer,
+            seed=args.seed,
+            resume=args.resume,
+            journal_dir=args.store_dir,
+        )
+    finally:
+        service.close()
+    print(report.summary())
+    print(service.stats.summary())
+    _write_service_stats(service, args.store_dir)
+    if store is not None:
+        store.close()
+    return 0 if report.n_failed == 0 else 1
+
+
 def _cmd_selftest(args: argparse.Namespace) -> int:
     """A fast end-to-end exercise of every major subsystem."""
     from repro.core.counterfactual import greedy_counterfactual
@@ -448,6 +693,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "profile": _cmd_profile,
     "compare": _cmd_compare,
+    "serve": _cmd_serve,
+    "precompute": _cmd_precompute,
     "selftest": _cmd_selftest,
 }
 

@@ -117,6 +117,54 @@ class ExperimentConfig:
         )
 
 
+@dataclass(frozen=True)
+class StoreConfig:
+    """Knobs of the persistent explanation store (:mod:`repro.service`).
+
+    ``max_entries`` bounds the store; overflow evicts the least recently
+    *accessed* explanations.  ``ttl_seconds`` expires entries by age at
+    read time (``None`` = never).
+    """
+
+    max_entries: int = 10_000
+    ttl_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {self.max_entries}"
+            )
+        if self.ttl_seconds is not None and self.ttl_seconds <= 0:
+            raise ConfigurationError(
+                f"ttl_seconds must be > 0, got {self.ttl_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the explanation service (:mod:`repro.service`).
+
+    ``n_workers`` threads drain a bounded priority queue of at most
+    ``queue_size`` pending requests; ``coalesce`` collapses duplicate
+    in-flight requests onto one computation.  None of these change a
+    single bit of any explanation — only how requests are scheduled.
+    """
+
+    n_workers: int = 2
+    queue_size: int = 256
+    coalesce: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.queue_size < 1:
+            raise ConfigurationError(
+                f"queue_size must be >= 1, got {self.queue_size}"
+            )
+
+
 FAST = ExperimentConfig(
     name="fast",
     per_label=15,

@@ -48,10 +48,15 @@ from repro.core.landmark import GENERATION_AUTO, LandmarkExplainer
 from repro.core.reconstruction import DatasetReconstructor, PairReconstructor
 from repro.core.report import save_html, to_html, to_markdown
 from repro.core.serialize import (
+    dual_digest,
     dual_from_dict,
     dual_to_dict,
     load_explanation,
+    load_matcher,
+    matcher_fingerprint,
+    pair_digest,
     save_explanation,
+    save_matcher,
 )
 from repro.core.summarize import GlobalSummary, summarize_explanations
 
@@ -77,11 +82,16 @@ __all__ = [
     "PairReconstructor",
     "PairTokenWeights",
     "TokenEdit",
+    "dual_digest",
     "dual_from_dict",
     "dual_to_dict",
     "greedy_counterfactual",
     "load_explanation",
+    "load_matcher",
+    "matcher_fingerprint",
+    "pair_digest",
     "save_explanation",
+    "save_matcher",
     "save_html",
     "summarize_explanations",
     "to_html",

@@ -27,6 +27,7 @@ byte-identical to the naive path — equivalence is enforced by
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from collections.abc import Sequence
@@ -264,7 +265,17 @@ class _EngineMatcher(EntityMatcher):
 
 
 class PredictionEngine:
-    """Deduplicating, caching, batching front-end to one matcher."""
+    """Deduplicating, caching, batching front-end to one matcher.
+
+    The engine is **thread-safe**: the serving layer's worker pool shares
+    one engine so matcher-call dedup spans concurrent requests.  A single
+    internal lock protects the stats counters and the LRU cache; the
+    matcher itself is called *outside* the lock, so concurrent callers can
+    race to compute the same key — both get identical values (every
+    matcher here is deterministic), the only cost being an occasional
+    duplicated call.  The accounting invariant holds under any
+    interleaving.
+    """
 
     def __init__(
         self,
@@ -289,6 +300,9 @@ class PredictionEngine:
             stats=self.stats,
         )
         self._cache: OrderedDict[PairKey, float] = OrderedDict()
+        # Protects the stats counters and the LRU cache; guard_* counters
+        # are updated under the guard's own lock (disjoint fields).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Public API
@@ -297,11 +311,13 @@ class PredictionEngine:
     def predict_pairs(self, pairs: Sequence[RecordPair]) -> np.ndarray:
         """Probabilities for *pairs*, deduplicated and cached by content."""
         pairs = list(pairs)
-        self.stats.requested += len(pairs)
+        with self._lock:
+            self.stats.requested += len(pairs)
         if not pairs:
             return np.empty(0, dtype=np.float64)
         if not self.config.dedup and not self.config.cache:
-            self.stats.calls_issued += len(pairs)
+            with self._lock:
+                self.stats.calls_issued += len(pairs)
             return self._predict_batches(pairs)
         entries = self._group(pair_fingerprint(pair) for pair in pairs)
         return self._resolve(entries, len(pairs), lambda key, index: pairs[index])
@@ -319,14 +335,16 @@ class PredictionEngine:
         """
         masks = np.asarray(masks)
         n_masks = masks.shape[0]
-        self.stats.requested += n_masks
+        with self._lock:
+            self.stats.requested += n_masks
         if n_masks == 0:
             return np.empty(0, dtype=np.float64)
         if not self.config.dedup and not self.config.cache:
             started = time.perf_counter()
             rebuilt = self.reconstructor.rebuild_many(instance, masks)
-            self.stats.rebuild_seconds += time.perf_counter() - started
-            self.stats.calls_issued += n_masks
+            with self._lock:
+                self.stats.rebuild_seconds += time.perf_counter() - started
+                self.stats.calls_issued += n_masks
             return self._predict_batches(rebuilt)
 
         started = time.perf_counter()
@@ -345,7 +363,8 @@ class PredictionEngine:
                 key = (attributes, landmark_values, values)
             keys.append(key)
             values_of[key] = values
-        self.stats.rebuild_seconds += time.perf_counter() - started
+        with self._lock:
+            self.stats.rebuild_seconds += time.perf_counter() - started
 
         def build(key: PairKey, index: int) -> RecordPair:
             entity = dict(zip(attributes, values_of[key]))
@@ -362,17 +381,20 @@ class PredictionEngine:
         return _EngineMatcher(self)
 
     def cache_clear(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def reset_stats(self) -> EngineStats:
         """Return the accumulated stats and start a fresh counter set."""
-        stats, self.stats = self.stats, EngineStats()
-        self.guard.stats = self.stats
+        with self._lock:
+            stats, self.stats = self.stats, EngineStats()
+            self.guard.stats = self.stats
         return stats
 
     @property
     def cache_len(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     # ------------------------------------------------------------------
     # Internals
@@ -395,31 +417,38 @@ class PredictionEngine:
     ) -> np.ndarray:
         """Answer grouped requests from the cache, then the matcher."""
         config = self.config
-        self.stats.dedup_saved += n_requests - len(entries)
         out = np.empty(n_requests, dtype=np.float64)
         miss_keys: list[PairKey] = []
         miss_slots: list[list[int]] = []
-        miss_pairs: list[RecordPair] = []
-        for key, indices in entries:
-            cached = self._cache_get(key) if config.cache else None
-            if cached is not None:
-                self.stats.cache_hits += 1
-                out[indices] = cached
-                continue
-            if config.cache:
-                self.stats.cache_misses += 1
-            miss_keys.append(key)
-            miss_slots.append(indices)
-            miss_pairs.append(build_pair(key, indices[0]))
-        if miss_pairs:
-            self.stats.calls_issued += len(miss_pairs)
-            probabilities = self._predict_batches(miss_pairs)
-            for key, indices, probability in zip(
-                miss_keys, miss_slots, probabilities
-            ):
-                out[indices] = probability
+        with self._lock:
+            self.stats.dedup_saved += n_requests - len(entries)
+            for key, indices in entries:
+                cached = self._cache_get(key) if config.cache else None
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    out[indices] = cached
+                    continue
                 if config.cache:
-                    self._cache_put(key, float(probability))
+                    self.stats.cache_misses += 1
+                miss_keys.append(key)
+                miss_slots.append(indices)
+            self.stats.calls_issued += len(miss_keys)
+        if miss_keys:
+            # Pairs are built and predicted outside the lock; concurrent
+            # callers may race to compute the same key, but matchers are
+            # deterministic so both writers cache the same value.
+            miss_pairs = [
+                build_pair(key, indices[0])
+                for key, indices in zip(miss_keys, miss_slots)
+            ]
+            probabilities = self._predict_batches(miss_pairs)
+            with self._lock:
+                for key, indices, probability in zip(
+                    miss_keys, miss_slots, probabilities
+                ):
+                    out[indices] = probability
+                    if config.cache:
+                        self._cache_put(key, float(probability))
         return out
 
     def _predict_batches(self, pairs: list[RecordPair]) -> np.ndarray:
@@ -430,7 +459,8 @@ class PredictionEngine:
             pairs[offset : offset + config.batch_size]
             for offset in range(0, len(pairs), config.batch_size)
         ]
-        self.stats.batches += len(chunks)
+        with self._lock:
+            self.stats.batches += len(chunks)
         results: list[np.ndarray] | None = None
         if config.n_jobs > 1 and len(chunks) > 1:
             try:
@@ -456,7 +486,8 @@ class PredictionEngine:
                     f"{np.shape(result)} for {len(chunk)} pairs; expected "
                     f"({len(chunk)},)"
                 )
-        self.stats.predict_seconds += time.perf_counter() - started
+        with self._lock:
+            self.stats.predict_seconds += time.perf_counter() - started
         if len(results) == 1:
             return np.asarray(results[0], dtype=np.float64)
         return np.concatenate(
@@ -464,12 +495,14 @@ class PredictionEngine:
         )
 
     def _cache_get(self, key: PairKey) -> float | None:
+        # Caller holds self._lock (move_to_end mutates the OrderedDict).
         value = self._cache.get(key)
         if value is not None:
             self._cache.move_to_end(key)
         return value
 
     def _cache_put(self, key: PairKey, value: float) -> None:
+        # Caller holds self._lock.
         cache = self._cache
         cache[key] = value
         cache.move_to_end(key)

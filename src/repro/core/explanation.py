@@ -306,6 +306,17 @@ class DualExplanation:
                 importance[attribute] += value
         return importance
 
+    def digest(self) -> str:
+        """Stable content hash of this explanation (see
+        :func:`repro.core.serialize.dual_digest`).
+
+        Equal digests mean bit-identical serialized explanations — the
+        equality the serving layer's store and the reproduction tests use.
+        """
+        from repro.core.serialize import dual_digest
+
+        return dual_digest(self)
+
     def render(self, k: int = 5) -> str:
         """Readable dual summary (Example 1.2 style)."""
         header = (

@@ -1,14 +1,28 @@
-"""JSON serialization of dual explanations.
+"""Serialization: dual explanations as JSON, matchers as fingerprinted
+artifacts, content digests for both.
 
 Explanations are review artifacts: they get attached to data-quality
 tickets, diffed across model versions, and rendered later by someone who
 cannot re-run the model.  This module round-trips a
 :class:`~repro.core.explanation.DualExplanation` through plain JSON.
+
+It also persists *trained matchers*: :func:`save_matcher` /
+:func:`load_matcher` write a pickled artifact stamped with
+:func:`matcher_fingerprint`, a stable content hash of the matcher's class
+and learned parameters.  The serving layer (:mod:`repro.service`) keys its
+explanation store on that fingerprint, so a cached explanation can never be
+served for a model other than the one that produced it.  Finally,
+:func:`pair_digest` and :func:`dual_digest` give canonical content hashes
+of records and explanations (cache keys, store checksums, bit-identity
+tests).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import pickle
+from collections.abc import Mapping
 from pathlib import Path
 
 import numpy as np
@@ -17,11 +31,15 @@ from repro.core.explanation import DualExplanation, LandmarkExplanation
 from repro.core.generation import GeneratedInstance
 from repro.data.records import RecordPair
 from repro.data.schema import PairSchema
-from repro.exceptions import ExplanationError
+from repro.exceptions import ArtifactError, ExplanationError
 from repro.explainers.base import Explanation
+from repro.matchers.base import EntityMatcher
 from repro.text.tokenize import PrefixedToken
 
 FORMAT_VERSION = 1
+
+#: Format version of matcher artifacts written by :func:`save_matcher`.
+MATCHER_FORMAT_VERSION = 1
 
 
 def _pair_to_dict(pair: RecordPair) -> dict:
@@ -145,3 +163,146 @@ def load_explanation(path: str | Path) -> DualExplanation:
     """Read a dual explanation previously written by :func:`save_explanation`."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     return dual_from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Content digests
+# ---------------------------------------------------------------------------
+
+
+def _canonical_json(payload: dict) -> str:
+    """The one canonical text rendering of a JSON-able payload."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def pair_digest(pair: RecordPair) -> str:
+    """A stable hex digest of a record pair's full content.
+
+    Covers the schema, both entities, the label and the pair id (the id
+    seeds the per-pair perturbation streams, so two pairs with equal values
+    but different ids can legitimately explain differently).
+    """
+    blob = _canonical_json(_pair_to_dict(pair)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def dual_digest(dual: DualExplanation) -> str:
+    """A stable hex digest of a dual explanation's serialized content.
+
+    Two explanations with equal digests are bit-identical through
+    :func:`dual_to_dict` — the equality the service's store and the
+    bit-identity tests rely on.
+    """
+    blob = _canonical_json(dual_to_dict(dual)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Matcher artifacts
+# ---------------------------------------------------------------------------
+
+
+def _canonical_state(value, depth: int = 0):
+    """A hashable, order-independent view of a (trained) object graph.
+
+    Numpy arrays are reduced to (dtype, shape, bytes); mappings and object
+    ``__dict__``s are sorted by key, so the result does not depend on
+    attribute insertion order.  Used to fingerprint matchers by *content*
+    rather than by pickle byte stream.
+    """
+    if depth > 16:
+        raise ArtifactError("matcher state is too deeply nested to fingerprint")
+    if isinstance(value, np.ndarray):
+        contiguous = np.ascontiguousarray(value)
+        return ("ndarray", str(contiguous.dtype), contiguous.shape,
+                contiguous.tobytes())
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, Mapping):
+        return (
+            "mapping",
+            tuple(
+                (str(key), _canonical_state(item, depth + 1))
+                for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))
+            ),
+        )
+    if isinstance(value, (list, tuple)):
+        return ("sequence", tuple(_canonical_state(item, depth + 1) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(repr(item) for item in value)))
+    if value is None or isinstance(value, (str, int, float, bool, bytes)):
+        return value
+    if hasattr(value, "__dict__"):
+        cls = type(value)
+        return (
+            f"{cls.__module__}.{cls.__qualname__}",
+            _canonical_state(vars(value), depth + 1),
+        )
+    return repr(value)
+
+
+def matcher_fingerprint(matcher: EntityMatcher) -> str:
+    """A stable hex digest of a matcher's class and learned state.
+
+    Two matcher objects with the same class and equal trained parameters
+    fingerprint identically across processes; retraining on different data
+    (or changing a hyper-parameter) changes the fingerprint.  The serving
+    layer keys cached explanations on this digest.
+    """
+    cls = type(matcher)
+    state = (f"{cls.__module__}.{cls.__qualname__}", _canonical_state(matcher))
+    blob = pickle.dumps(state, protocol=4)
+    return hashlib.sha256(blob).hexdigest()
+
+
+def save_matcher(matcher: EntityMatcher, path: str | Path) -> str:
+    """Persist a trained matcher to *path*; returns its fingerprint.
+
+    The artifact embeds the fingerprint, which :func:`load_matcher`
+    re-derives and verifies — a corrupted or tampered artifact fails to
+    load instead of silently serving wrong probabilities.
+    """
+    fingerprint = matcher_fingerprint(matcher)
+    envelope = {
+        "format_version": MATCHER_FORMAT_VERSION,
+        "class": f"{type(matcher).__module__}.{type(matcher).__qualname__}",
+        "fingerprint": fingerprint,
+        "matcher": matcher,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps(envelope, protocol=4))
+    return fingerprint
+
+
+def load_matcher(path: str | Path) -> EntityMatcher:
+    """Load a matcher artifact written by :func:`save_matcher`.
+
+    Raises :class:`~repro.exceptions.ArtifactError` when the file is
+    missing, unreadable, from an unsupported format version, or when the
+    recomputed fingerprint disagrees with the one stored at save time.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"no matcher artifact at {path}")
+    try:
+        envelope = pickle.loads(path.read_bytes())
+    except Exception as error:
+        raise ArtifactError(f"matcher artifact {path} is unreadable: {error}") from error
+    if not isinstance(envelope, dict) or "matcher" not in envelope:
+        raise ArtifactError(f"matcher artifact {path} has an unexpected layout")
+    version = envelope.get("format_version")
+    if version != MATCHER_FORMAT_VERSION:
+        raise ArtifactError(
+            f"matcher artifact {path} has format version {version!r}; "
+            f"expected {MATCHER_FORMAT_VERSION}"
+        )
+    matcher = envelope["matcher"]
+    recomputed = matcher_fingerprint(matcher)
+    if recomputed != envelope.get("fingerprint"):
+        raise ArtifactError(
+            f"matcher artifact {path} fails its fingerprint check "
+            f"(stored {envelope.get('fingerprint')!r}, recomputed "
+            f"{recomputed!r}); refusing to serve from a corrupt model"
+        )
+    return matcher

@@ -177,6 +177,30 @@ def _config_from_payload(payload: dict) -> ExperimentConfig:
     return ExperimentConfig(**payload)
 
 
+class JournalWriter:
+    """Append-only, fsync'd JSONL journal — the crash-safety primitive.
+
+    One JSON object per line, each flushed and fsync'd before the append
+    returns, so a kill -9 at any point loses at most one partially written
+    trailing line (which :func:`read_journal` tolerates).  The experiment
+    checkpoint (:class:`CheckpointWriter`) and the service's precompute
+    journal both build on this.
+    """
+
+    def __init__(self, path: str | Path, fresh: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fresh or not self.path.exists():
+            self.path.write_text("", encoding="utf-8")
+
+    def append(self, payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
 class CheckpointWriter:
     """Appends run progress to the ``checkpoint.jsonl`` journal.
 
@@ -198,8 +222,9 @@ class CheckpointWriter:
         self.run_dir = Path(run_dir)
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.run_dir / CHECKPOINT_NAME
-        if fresh or not self.path.exists():
-            self.path.write_text("", encoding="utf-8")
+        needs_header = fresh or not self.path.exists()
+        self._journal = JournalWriter(self.path, fresh=needs_header)
+        if needs_header:
             self._append(
                 {
                     "event": "config",
@@ -210,11 +235,7 @@ class CheckpointWriter:
             )
 
     def _append(self, payload: dict) -> None:
-        line = json.dumps(payload, sort_keys=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        self._journal.append(payload)
 
     def record_dataset(
         self, code: str, n_pairs: int, quality: MatchQuality
@@ -279,7 +300,14 @@ class ResumeState:
         return sum(len(dataset.metrics) for dataset in self.datasets.values())
 
 
-def _read_journal(path: Path) -> list[dict]:
+def read_journal(path: str | Path) -> list[dict]:
+    """Parse a JSONL journal written by :class:`JournalWriter`.
+
+    A partial trailing line (the signature of a mid-write kill) is
+    discarded with a warning; corruption anywhere else raises
+    :class:`~repro.exceptions.CheckpointError`.
+    """
+    path = Path(path)
     lines = path.read_text(encoding="utf-8").splitlines()
     events: list[dict] = []
     for index, line in enumerate(lines):
@@ -301,6 +329,10 @@ def _read_journal(path: Path) -> list[dict]:
     return events
 
 
+#: Backwards-compatible alias (pre-service releases used the private name).
+_read_journal = read_journal
+
+
 def load_checkpoint(
     run_dir: str | Path,
     expected_config: ExperimentConfig | None = None,
@@ -314,7 +346,7 @@ def load_checkpoint(
     path = Path(run_dir) / CHECKPOINT_NAME
     if not path.exists():
         raise CheckpointError(f"no checkpoint journal at {path}")
-    events = _read_journal(path)
+    events = read_journal(path)
     if not events or events[0].get("event") != "config":
         raise CheckpointError(
             f"checkpoint {path} does not start with a config event"
@@ -360,3 +392,33 @@ def load_checkpoint(
         elif kind == "engine":
             dataset.engine_stats = event.get("stats")
     return state
+
+
+# ---------------------------------------------------------------------------
+# Service run JSON
+# ---------------------------------------------------------------------------
+
+#: Format version of the serving-layer stats JSON.
+SERVICE_STATS_FORMAT_VERSION = 1
+
+
+def save_service_stats(payload: dict, path: str | Path) -> None:
+    """Write a serving-layer stats payload (``service`` / ``store`` /
+    ``engine`` counter sections, see
+    :meth:`repro.service.ExplanationService.stats_payload`) as run JSON."""
+    body = {"format_version": SERVICE_STATS_FORMAT_VERSION, **payload}
+    Path(path).write_text(
+        json.dumps(body, indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def load_service_stats(path: str | Path) -> dict:
+    """Read a stats JSON written by :func:`save_service_stats`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != SERVICE_STATS_FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported service stats format version {version!r}; "
+            f"expected {SERVICE_STATS_FORMAT_VERSION}"
+        )
+    return payload

@@ -14,8 +14,12 @@ clause while still being able to discriminate finer-grained failures::
     │                              #   swallowed by fault isolation)
     ├── MatcherTimeoutError        # guard: call exceeded the timeout
     ├── MatcherUnavailableError    # guard: circuit breaker is open
-    └── CheckpointError            # checkpoint journal missing/corrupt/
-                                   #   config mismatch on resume
+    ├── CheckpointError            # checkpoint journal missing/corrupt/
+    │                              #   config mismatch on resume
+    ├── ArtifactError              # saved model artifact missing/corrupt/
+    │                              #   fingerprint mismatch
+    └── ServiceError               # explanation service: bad request,
+                                   #   queue full, or service closed
 """
 
 from __future__ import annotations
@@ -31,6 +35,8 @@ __all__ = [
     "MatcherTimeoutError",
     "MatcherUnavailableError",
     "CheckpointError",
+    "ArtifactError",
+    "ServiceError",
 ]
 
 
@@ -74,3 +80,13 @@ class MatcherUnavailableError(ReproError):
 class CheckpointError(ReproError):
     """A checkpoint journal is missing, corrupt, or belongs to a
     different experiment configuration."""
+
+
+class ArtifactError(ReproError):
+    """A persisted model artifact is missing, unreadable, or fails its
+    fingerprint check."""
+
+
+class ServiceError(ReproError):
+    """The explanation service rejected a request: the payload was
+    malformed, the work queue was full, or the service is shut down."""

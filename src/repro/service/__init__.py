@@ -1,0 +1,78 @@
+"""The online explanation-serving subsystem.
+
+Deployed explainable-EM systems treat explanations as servable, cacheable
+artifacts keyed by record pair and model.  This package turns the
+reproduction into that shape:
+
+* :mod:`repro.service.request` — :class:`ExplainRequest` and its
+  content-addressed :func:`request_key` (matcher fingerprint + record
+  digest + method + explainer config);
+* :mod:`repro.service.store` — :class:`ExplanationStore`, the persistent
+  versioned SQLite cache with LRU/TTL eviction and corruption detection;
+* :mod:`repro.service.service` — :class:`ExplanationService`, the worker
+  pool with request coalescing over one shared, guarded
+  :class:`~repro.core.engine.PredictionEngine`;
+* :mod:`repro.service.server` — the ``serve`` (JSONL stdio / localhost
+  HTTP) and resumable ``precompute`` front-ends behind the CLI.
+
+Quickstart::
+
+    from repro import LogisticRegressionMatcher, load_dataset
+    from repro.service import ExplanationService, ExplanationStore, ExplainRequest
+
+    dataset = load_dataset("S-BR", size_cap=500)
+    matcher = LogisticRegressionMatcher().fit(dataset)
+    with ExplanationService(matcher, store=ExplanationStore("./store")) as svc:
+        payload = svc.explain(ExplainRequest(pair=dataset[0], method="both"))
+"""
+
+from repro.config import ServiceConfig, StoreConfig
+from repro.service.request import (
+    REQUEST_EXPLAINERS,
+    REQUEST_METHODS,
+    ExplainRequest,
+    request_from_payload,
+    request_key,
+)
+from repro.service.server import (
+    PRECOMPUTE_JOURNAL,
+    PrecomputeReport,
+    handle_payload,
+    precompute,
+    serve_http,
+    serve_stdio,
+)
+from repro.service.service import (
+    RESULT_FORMAT_VERSION,
+    ExplanationService,
+    ServiceStats,
+    duals_from_result,
+)
+from repro.service.store import (
+    STORE_FORMAT_VERSION,
+    ExplanationStore,
+    StoreStats,
+)
+
+__all__ = [
+    "ExplainRequest",
+    "ExplanationService",
+    "ExplanationStore",
+    "PrecomputeReport",
+    "PRECOMPUTE_JOURNAL",
+    "REQUEST_EXPLAINERS",
+    "REQUEST_METHODS",
+    "RESULT_FORMAT_VERSION",
+    "STORE_FORMAT_VERSION",
+    "ServiceConfig",
+    "ServiceStats",
+    "StoreConfig",
+    "StoreStats",
+    "duals_from_result",
+    "handle_payload",
+    "precompute",
+    "request_from_payload",
+    "request_key",
+    "serve_http",
+    "serve_stdio",
+]

@@ -1,0 +1,282 @@
+"""Front-ends of the explanation service: stdio JSONL, localhost HTTP,
+and the resumable ``precompute`` store-warmer.
+
+The wire protocol is one JSON object per request:
+
+* ``{"record": 3, "method": "both", "samples": 128}`` — explain a record
+  of the served dataset (or ``"pair": {...}`` for an inline pair);
+* ``{"op": "stats"}`` — the service / store / engine counters;
+* ``{"op": "shutdown"}`` — drain and stop (stdio mode).
+
+Responses echo the request ``id`` (if any) and carry ``"ok"`` plus either
+``"result"`` or ``"error"``.  The HTTP flavour exposes the same payloads
+at ``POST /explain``, ``GET /stats`` and ``GET /healthz`` on a stdlib
+:class:`~http.server.ThreadingHTTPServer`.
+
+:func:`precompute` warms the store for a dataset split.  Completion is
+journaled per request key through the crash-safe
+:class:`~repro.evaluation.persistence.JournalWriter` machinery (the same
+primitive behind experiment checkpoints), so a killed warming run resumes
+where it stopped: journaled keys still present in the store are skipped
+without re-entering the service.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.data.records import EMDataset
+from repro.data.splits import sample_per_label
+from repro.evaluation.persistence import JournalWriter, read_journal
+from repro.exceptions import CheckpointError, ReproError, ServiceError
+from repro.service.request import ExplainRequest, request_from_payload
+from repro.service.service import ExplanationService
+
+logger = logging.getLogger("repro.service")
+
+#: Journal file name used by :func:`precompute` inside a store directory.
+PRECOMPUTE_JOURNAL = "precompute.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# Shared request handling
+# ---------------------------------------------------------------------------
+
+
+def handle_payload(
+    service: ExplanationService,
+    payload: dict,
+    dataset: EMDataset | None = None,
+    defaults: dict | None = None,
+) -> dict:
+    """Answer one wire payload; never raises (errors become responses)."""
+    request_id = payload.get("id") if isinstance(payload, dict) else None
+    try:
+        op = payload.get("op", "explain") if isinstance(payload, dict) else "explain"
+        if op == "stats":
+            return {"ok": True, "id": request_id, "stats": service.stats_payload()}
+        if op == "shutdown":
+            return {"ok": True, "id": request_id, "shutdown": True}
+        if op != "explain":
+            raise ServiceError(f"unknown op {op!r}")
+        request = request_from_payload(payload, dataset, defaults)
+        result = service.explain(request)
+        return {"ok": True, "id": request_id, "result": result}
+    except ReproError as error:
+        return {"ok": False, "id": request_id, "error": str(error)}
+
+
+def serve_stdio(
+    service: ExplanationService,
+    dataset: EMDataset | None = None,
+    defaults: dict | None = None,
+    input_stream=None,
+    output_stream=None,
+) -> int:
+    """JSONL request/response loop until EOF or a ``shutdown`` op.
+
+    Returns the number of requests answered.  Malformed lines produce an
+    error response instead of killing the loop.
+    """
+    input_stream = input_stream if input_stream is not None else sys.stdin
+    output_stream = output_stream if output_stream is not None else sys.stdout
+    answered = 0
+    for line in input_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            response: dict = {"ok": False, "id": None, "error": f"bad JSON: {error}"}
+        else:
+            response = handle_payload(service, payload, dataset, defaults)
+        output_stream.write(json.dumps(response, sort_keys=True) + "\n")
+        output_stream.flush()
+        answered += 1
+        if response.get("shutdown"):
+            break
+    return answered
+
+
+# ---------------------------------------------------------------------------
+# HTTP
+# ---------------------------------------------------------------------------
+
+
+def serve_http(
+    service: ExplanationService,
+    dataset: EMDataset | None = None,
+    defaults: dict | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8377,
+) -> ThreadingHTTPServer:
+    """A configured localhost HTTP server (caller runs ``serve_forever``).
+
+    Endpoints: ``POST /explain`` (request payload as JSON body),
+    ``GET /stats``, ``GET /healthz``.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            logger.info("http %s", format % args)
+
+        def _respond(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            if self.path == "/healthz":
+                self._respond(200, {"ok": True})
+            elif self.path == "/stats":
+                self._respond(
+                    200, {"ok": True, "stats": service.stats_payload()}
+                )
+            else:
+                self._respond(404, {"ok": False, "error": "not found"})
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            if self.path != "/explain":
+                self._respond(404, {"ok": False, "error": "not found"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            try:
+                payload = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as error:
+                self._respond(400, {"ok": False, "error": f"bad JSON: {error}"})
+                return
+            response = handle_payload(service, payload, dataset, defaults)
+            self._respond(200 if response["ok"] else 400, response)
+
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+# ---------------------------------------------------------------------------
+# Precompute
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PrecomputeReport:
+    """Outcome of one store-warming run."""
+
+    n_pairs: int = 0
+    n_submitted: int = 0
+    n_skipped: int = 0
+    n_failed: int = 0
+    failed_pair_ids: list[int] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"precompute: {self.n_pairs} pairs, "
+            f"{self.n_submitted} submitted, {self.n_skipped} skipped "
+            f"(already warm), {self.n_failed} failed"
+        )
+
+
+def _journal_header(dataset: EMDataset, method: str, samples: int,
+                    explainer: str, seed: int, per_label: int | None) -> dict:
+    return {
+        "event": "config",
+        "dataset": dataset.name,
+        "method": method,
+        "samples": samples,
+        "explainer": explainer,
+        "seed": seed,
+        "per_label": per_label,
+    }
+
+
+def precompute(
+    service: ExplanationService,
+    dataset: EMDataset,
+    per_label: int | None = None,
+    method: str = "both",
+    samples: int = 128,
+    explainer: str = "lime",
+    seed: int = 0,
+    resume: bool = False,
+    journal_dir: str | Path | None = None,
+) -> PrecomputeReport:
+    """Warm the service's store for a dataset split, resumably.
+
+    *per_label* samples that many records per label (the experiment
+    protocol's split); ``None`` warms every record.  With *journal_dir*
+    (typically the store directory) each completed key is journaled; a
+    ``resume=True`` rerun skips journaled keys that are still servable
+    from the store and recomputes the rest.  Failed records are isolated
+    and reported, not fatal.
+    """
+    pairs = (
+        sample_per_label(dataset, per_label, seed=seed).pairs
+        if per_label is not None
+        else list(dataset.pairs)
+    )
+    header = _journal_header(dataset, method, samples, explainer, seed, per_label)
+    journal: JournalWriter | None = None
+    done_keys: set[str] = set()
+    if journal_dir is not None:
+        path = Path(journal_dir) / PRECOMPUTE_JOURNAL
+        if resume and path.exists():
+            events = read_journal(path)
+            if not events or events[0].get("event") != "config":
+                raise CheckpointError(
+                    f"precompute journal {path} does not start with a "
+                    f"config event"
+                )
+            stored_header = {k: events[0].get(k) for k in header}
+            if stored_header != header:
+                raise CheckpointError(
+                    f"precompute journal {path} was written for a different "
+                    f"workload; refusing to resume (pass the same dataset, "
+                    f"method, samples, explainer and seed)"
+                )
+            done_keys = {
+                event["key"]
+                for event in events[1:]
+                if event.get("event") == "request" and "key" in event
+            }
+            journal = JournalWriter(path, fresh=False)
+        else:
+            journal = JournalWriter(path, fresh=True)
+            journal.append(header)
+
+    report = PrecomputeReport(n_pairs=len(pairs))
+    pending: list[tuple[str, int, "object"]] = []
+    for pair in pairs:
+        request = ExplainRequest(
+            pair=pair,
+            method=method,
+            samples=samples,
+            explainer=explainer,
+            seed=seed,
+            # Warming yields to interactive traffic on the shared queue.
+            priority=100,
+        )
+        key = service.key_for(request)
+        if key in done_keys and service.store is not None and service.store.contains(key):
+            report.n_skipped += 1
+            continue
+        future = service.submit(request, block=True)
+        report.n_submitted += 1
+        pending.append((key, pair.pair_id, future))
+    for key, pair_id, future in pending:
+        try:
+            future.result()
+        except Exception:  # noqa: BLE001 - warming isolates any failure
+            report.n_failed += 1
+            report.failed_pair_ids.append(pair_id)
+            logger.warning("precompute: pair %s failed", pair_id)
+            continue
+        if journal is not None:
+            journal.append({"event": "request", "key": key, "pair_id": pair_id})
+    return report

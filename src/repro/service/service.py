@@ -1,0 +1,318 @@
+"""The long-running explanation service.
+
+:class:`ExplanationService` turns the one-shot explanation pipeline into a
+serving path:
+
+1. :meth:`~ExplanationService.submit` computes the request's
+   content-addressed key (matcher fingerprint + record digest + method +
+   explainer config) and answers **store hits** immediately from the
+   persistent :class:`~repro.service.store.ExplanationStore`;
+2. duplicate **in-flight** requests are *coalesced* onto the same future —
+   one computation, many waiters;
+3. everything else is dispatched over a bounded priority queue to a pool
+   of worker threads that share **one** guarded
+   :class:`~repro.core.engine.PredictionEngine`, so matcher-call dedup and
+   the prediction cache span concurrent requests.
+
+Scheduling never changes results: a service-path explanation is
+bit-identical to the direct :class:`~repro.core.landmark.LandmarkExplainer`
+API for the same pair, seed and config (enforced by
+``tests/service/test_service.py`` and
+``benchmarks/bench_service_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, fields
+
+from repro.config import ServiceConfig
+from repro.core.engine import EngineConfig, PredictionEngine
+from repro.core.landmark import LandmarkExplainer
+from repro.core.serialize import dual_digest, dual_to_dict, matcher_fingerprint
+from repro.exceptions import ServiceError
+from repro.explainers.lime_text import LimeConfig
+from repro.matchers.base import EntityMatcher
+from repro.service.request import ExplainRequest, request_key
+from repro.service.store import ExplanationStore
+
+#: Format version of result payloads produced by the service.
+RESULT_FORMAT_VERSION = 1
+
+#: Queue priority of the shutdown sentinel — drains after all real work.
+_SHUTDOWN_PRIORITY = float("inf")
+
+
+@dataclass
+class ServiceStats:
+    """Observability counters of one :class:`ExplanationService`."""
+
+    #: Requests accepted by :meth:`ExplanationService.submit`.
+    requests: int = 0
+    #: Requests answered from the persistent store (no computation).
+    store_hits: int = 0
+    #: Requests coalesced onto an identical in-flight computation.
+    coalesced: int = 0
+    #: Requests actually computed by a worker.
+    computed: int = 0
+    #: Computations that raised (the error propagates to every waiter).
+    errors: int = 0
+    #: Non-blocking submissions rejected because the queue was full.
+    rejected: int = 0
+    #: Highest queue depth observed at submission time.
+    queue_peak: int = 0
+    #: Total and worst-case wall time of completed computations.
+    latency_seconds: float = 0.0
+    latency_max: float = 0.0
+
+    @property
+    def served_without_compute(self) -> int:
+        """Requests that never reached the matcher."""
+        return self.store_hits + self.coalesced
+
+    @property
+    def latency_mean(self) -> float:
+        return self.latency_seconds / self.computed if self.computed else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        payload: dict[str, float] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        payload["served_without_compute"] = self.served_without_compute
+        payload["latency_mean"] = round(self.latency_mean, 6)
+        return payload
+
+    def summary(self) -> str:
+        """One log-friendly line."""
+        return (
+            f"explanation service: {self.requests} requests, "
+            f"{self.store_hits} store hits, {self.coalesced} coalesced, "
+            f"{self.computed} computed, {self.errors} errors "
+            f"(mean latency {self.latency_mean:.3f}s, "
+            f"max {self.latency_max:.3f}s, queue peak {self.queue_peak})"
+        )
+
+
+class ExplanationService:
+    """Worker-pool front-end serving landmark explanations.
+
+    *store* is optional — without one the service still coalesces and
+    shares the prediction engine, it just cannot answer across restarts.
+    *engine_config* configures the shared engine (including the
+    :class:`~repro.core.guard.MatcherGuard` retry/timeout knobs).
+    """
+
+    def __init__(
+        self,
+        matcher: EntityMatcher,
+        store: ExplanationStore | None = None,
+        config: ServiceConfig | None = None,
+        engine_config: EngineConfig | None = None,
+    ) -> None:
+        self.matcher = matcher
+        self.store = store
+        self.config = config or ServiceConfig()
+        self.engine = PredictionEngine(matcher, engine_config)
+        self.fingerprint = matcher_fingerprint(matcher)
+        self.stats = ServiceStats()
+        self._queue: queue.PriorityQueue = queue.PriorityQueue(
+            maxsize=self.config.queue_size
+        )
+        self._inflight: dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                daemon=True,
+                name=f"explain-worker-{index}",
+            )
+            for index in range(self.config.n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        request: ExplainRequest,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> Future:
+        """Enqueue *request*; returns a future resolving to its payload.
+
+        Store hits resolve immediately; duplicate in-flight requests share
+        one future.  With ``block=False`` a full queue raises
+        :class:`~repro.exceptions.ServiceError` (counted as rejected)
+        instead of applying backpressure.
+        """
+        if self._closed:
+            raise ServiceError("explanation service is closed")
+        key = request_key(self.fingerprint, request)
+        with self._lock:
+            self.stats.requests += 1
+            if self.store is not None:
+                payload = self.store.get(key)
+                if payload is not None:
+                    self.stats.store_hits += 1
+                    future: Future = Future()
+                    future.set_result(payload)
+                    return future
+            if self.config.coalesce and key in self._inflight:
+                self.stats.coalesced += 1
+                return self._inflight[key]
+            future = Future()
+            self._inflight[key] = future
+        # Enqueue outside the lock: put() may block on a full queue, and
+        # the workers' completion path needs the lock to make progress.
+        item = (request.priority, next(self._seq), key, request, future)
+        try:
+            self._queue.put(item, block=block, timeout=timeout)
+        except queue.Full:
+            with self._lock:
+                self.stats.rejected += 1
+                self._inflight.pop(key, None)
+            raise ServiceError(
+                f"service queue is full ({self.config.queue_size} pending)"
+            ) from None
+        with self._lock:
+            self.stats.queue_peak = max(
+                self.stats.queue_peak, self._queue.qsize()
+            )
+        return future
+
+    def explain(
+        self, request: ExplainRequest, timeout: float | None = None
+    ) -> dict:
+        """Synchronous :meth:`submit` — returns the result payload."""
+        return self.submit(request).result(timeout)
+
+    def key_for(self, request: ExplainRequest) -> str:
+        """The content-addressed key this service assigns to *request*."""
+        return request_key(self.fingerprint, request)
+
+    def stats_payload(self) -> dict:
+        """Service + store + engine counters, run-JSON shaped."""
+        return {
+            "matcher_fingerprint": self.fingerprint,
+            "service": self.stats.as_dict(),
+            "store": self.store.stats.as_dict() if self.store else None,
+            "engine": self.engine.stats.as_dict(),
+        }
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain queued work, stop the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(
+                (_SHUTDOWN_PRIORITY, next(self._seq), None, None, None)
+            )
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "ExplanationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            _, _, key, request, future = self._queue.get()
+            if key is None:
+                return
+            started = time.perf_counter()
+            try:
+                payload = self._compute(key, request)
+            except BaseException as error:  # noqa: BLE001 - relayed to waiters
+                with self._lock:
+                    self.stats.errors += 1
+                    self._inflight.pop(key, None)
+                future.set_exception(error)
+                continue
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                # Store before un-registering the in-flight future: a
+                # concurrent submit always finds the result in exactly one
+                # of the two places.
+                if self.store is not None:
+                    self.store.put(key, payload)
+                self._inflight.pop(key, None)
+                self.stats.computed += 1
+                self.stats.latency_seconds += elapsed
+                self.stats.latency_max = max(self.stats.latency_max, elapsed)
+            future.set_result(payload)
+
+    def _compute(self, key: str, request: ExplainRequest) -> dict:
+        explainer = self._landmark_explainer(request)
+        duals: dict[str, dict] = {}
+        digests: dict[str, str] = {}
+        for generation in request.generations():
+            dual = explainer.explain(request.pair, generation=generation)
+            duals[generation] = dual_to_dict(dual)
+            digests[generation] = dual_digest(dual)
+        return {
+            "format_version": RESULT_FORMAT_VERSION,
+            "key": key,
+            "matcher_fingerprint": self.fingerprint,
+            "pair_id": request.pair.pair_id,
+            "method": request.method,
+            "samples": request.samples,
+            "explainer": request.explainer,
+            "seed": request.seed,
+            "duals": duals,
+            "digests": digests,
+        }
+
+    def _landmark_explainer(self, request: ExplainRequest) -> LandmarkExplainer:
+        """A per-request pipeline sharing the service-wide engine."""
+        if request.explainer == "shap":
+            from repro.explainers.kernel_shap import KernelShapExplainer
+
+            return LandmarkExplainer(
+                self.matcher,
+                explainer=KernelShapExplainer(
+                    n_samples=request.samples, seed=request.seed
+                ),
+                seed=request.seed,
+                engine=self.engine,
+            )
+        return LandmarkExplainer(
+            self.matcher,
+            lime_config=LimeConfig(n_samples=request.samples, seed=request.seed),
+            seed=request.seed,
+            engine=self.engine,
+        )
+
+
+def duals_from_result(payload: dict):
+    """Rebuild the :class:`~repro.core.explanation.DualExplanation` objects
+    inside a service result payload, keyed by generation mode."""
+    from repro.core.serialize import dual_from_dict
+
+    version = payload.get("format_version")
+    if version != RESULT_FORMAT_VERSION:
+        raise ServiceError(
+            f"unsupported service result format version {version!r}; "
+            f"expected {RESULT_FORMAT_VERSION}"
+        )
+    return {
+        generation: dual_from_dict(dual_payload)
+        for generation, dual_payload in payload["duals"].items()
+    }

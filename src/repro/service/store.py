@@ -1,0 +1,250 @@
+"""The persistent, versioned, content-addressed explanation store.
+
+Completed explanations land here keyed by :func:`~repro.service.request.
+request_key`, so a repeat request — today, or from a process started next
+week — is served without touching the matcher.  The backing file is a
+single SQLite database under ``store_dir`` (stdlib only, safe for
+concurrent readers/writers through one connection guarded by a lock).
+
+Every row carries the store format version and a SHA-256 checksum of its
+payload.  Reads verify both: a corrupt, truncated or stale-format entry is
+*deleted and reported as a miss* — the service recomputes it — never
+served.  Capacity is bounded by ``max_entries`` with least-recently-
+*accessed* eviction, and entries can expire by age (``ttl_seconds``);
+hit/miss/eviction counters feed the serving layer's run JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from repro.config import StoreConfig
+from repro.exceptions import ServiceError
+
+#: Format version stamped on every stored row; rows written by an
+#: incompatible version are treated as misses and recomputed.
+STORE_FORMAT_VERSION = 1
+
+#: Database file name inside a store directory.
+STORE_DB_NAME = "explanations.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS explanations (
+    key TEXT PRIMARY KEY,
+    format_version INTEGER NOT NULL,
+    checksum TEXT NOT NULL,
+    created REAL NOT NULL,
+    accessed REAL NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_explanations_accessed
+    ON explanations (accessed);
+"""
+
+
+@dataclass
+class StoreStats:
+    """Observability counters of one :class:`ExplanationStore`."""
+
+    #: Lookups answered from a valid stored entry.
+    hits: int = 0
+    #: Lookups with no servable entry (absent, expired, corrupt or stale).
+    misses: int = 0
+    #: Entries written (inserts and overwrites).
+    puts: int = 0
+    #: Entries removed by the LRU capacity bound.
+    evictions: int = 0
+    #: Entries dropped at read time because their TTL had passed.
+    expirations: int = 0
+    #: Entries dropped because their checksum / JSON / format failed.
+    corruptions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        payload: dict[str, float] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        payload["hit_rate"] = round(self.hit_rate, 4)
+        return payload
+
+
+class ExplanationStore:
+    """SQLite-backed LRU/TTL cache of serialized explanation payloads.
+
+    *clock* is injectable (a ``() -> float`` epoch-seconds callable) so
+    TTL behaviour is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        store_dir: str | Path,
+        config: StoreConfig | None = None,
+        clock=time.time,
+    ) -> None:
+        self.store_dir = Path(store_dir)
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.store_dir / STORE_DB_NAME
+        self.config = config or StoreConfig()
+        self.stats = StoreStats()
+        self._clock = clock
+        self._lock = threading.Lock()
+        try:
+            self._conn = sqlite3.connect(
+                str(self.path), check_same_thread=False
+            )
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        except sqlite3.Error as error:
+            raise ServiceError(
+                f"cannot open explanation store at {self.path}: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Lookup / write
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for *key*, or ``None`` (recompute).
+
+        Validates format version, TTL and checksum; any failure deletes
+        the row and reports a miss, so a damaged store degrades to
+        recomputation instead of serving garbage.
+        """
+        with self._lock:
+            payload = self._validated_payload(key, touch=True)
+            if payload is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return payload
+
+    def contains(self, key: str) -> bool:
+        """Whether a *servable* (valid, unexpired) entry exists for *key*.
+
+        Does not count a hit/miss and does not refresh LRU recency — the
+        precompute resume path uses this to skip already-warm keys without
+        distorting serving metrics.
+        """
+        with self._lock:
+            return self._validated_payload(key, touch=False) is not None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Insert or overwrite the entry for *key*, then enforce capacity."""
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        checksum = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        now = self._clock()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO explanations "
+                "(key, format_version, checksum, created, accessed, payload) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (key, STORE_FORMAT_VERSION, checksum, now, now, text),
+            )
+            self.stats.puts += 1
+            self._evict_over_capacity()
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM explanations"
+            ).fetchone()
+            return int(row[0])
+
+    def keys(self) -> list[str]:
+        """All stored keys, most recently accessed first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key FROM explanations ORDER BY accessed DESC, key"
+            ).fetchall()
+            return [row[0] for row in rows]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM explanations")
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ExplanationStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals (caller holds self._lock)
+    # ------------------------------------------------------------------
+
+    def _validated_payload(self, key: str, touch: bool) -> dict | None:
+        row = self._conn.execute(
+            "SELECT format_version, checksum, created, payload "
+            "FROM explanations WHERE key = ?",
+            (key,),
+        ).fetchone()
+        if row is None:
+            return None
+        version, checksum, created, text = row
+        now = self._clock()
+        if version != STORE_FORMAT_VERSION:
+            self._delete(key)
+            self.stats.corruptions += 1
+            return None
+        ttl = self.config.ttl_seconds
+        if ttl is not None and now - created > ttl:
+            self._delete(key)
+            self.stats.expirations += 1
+            return None
+        if hashlib.sha256(text.encode("utf-8")).hexdigest() != checksum:
+            self._delete(key)
+            self.stats.corruptions += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            self._delete(key)
+            self.stats.corruptions += 1
+            return None
+        if touch:
+            self._conn.execute(
+                "UPDATE explanations SET accessed = ? WHERE key = ?",
+                (now, key),
+            )
+            self._conn.commit()
+        return payload
+
+    def _delete(self, key: str) -> None:
+        self._conn.execute("DELETE FROM explanations WHERE key = ?", (key,))
+        self._conn.commit()
+
+    def _evict_over_capacity(self) -> None:
+        count = int(
+            self._conn.execute("SELECT COUNT(*) FROM explanations").fetchone()[0]
+        )
+        excess = count - self.config.max_entries
+        if excess <= 0:
+            return
+        self._conn.execute(
+            "DELETE FROM explanations WHERE key IN ("
+            "  SELECT key FROM explanations "
+            "  ORDER BY accessed ASC, key ASC LIMIT ?"
+            ")",
+            (excess,),
+        )
+        self.stats.evictions += excess

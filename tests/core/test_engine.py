@@ -282,3 +282,96 @@ class TestEngineMatcherAdapter:
         assert engine.cache_len == 1
         engine.as_matcher().fit(beer_dataset)
         assert engine.cache_len == 0
+
+
+class TestThreadSafety:
+    """Regression: the engine is shared by the service's worker pool, so
+    its stats and LRU cache must stay consistent under concurrent use."""
+
+    def test_hammer_preserves_accounting_invariants(
+        self, beer_matcher, beer_dataset
+    ):
+        import threading
+
+        engine = PredictionEngine(beer_matcher)
+        pairs = list(beer_dataset[:20])
+        n_threads, rounds = 8, 5
+        barrier = threading.Barrier(n_threads)
+        failures: list[BaseException] = []
+
+        def hammer() -> None:
+            barrier.wait()
+            try:
+                for _ in range(rounds):
+                    engine.predict_pairs(pairs)
+                    for pair in pairs[:5]:
+                        engine.predict_one(pair)
+            except BaseException as error:  # noqa: BLE001 - collected
+                failures.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures
+        stats = engine.stats
+        expected = n_threads * rounds * (len(pairs) + 5)
+        assert stats.requested == expected
+        assert stats.calls_issued + stats.calls_saved == stats.requested
+        assert stats.calls_saved == stats.dedup_saved + stats.cache_hits
+        assert stats.cache_misses + stats.cache_hits + stats.dedup_saved == stats.requested
+        # One cache slot per distinct pair content, however many threads.
+        assert 0 < engine.cache_len <= len(pairs)
+
+    def test_hammer_results_match_serial(self, beer_matcher, beer_dataset):
+        import threading
+
+        pairs = list(beer_dataset[:10])
+        serial = PredictionEngine(beer_matcher).predict_pairs(pairs)
+        engine = PredictionEngine(beer_matcher)
+        results: dict[int, np.ndarray] = {}
+        barrier = threading.Barrier(4)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            results[index] = engine.predict_pairs(pairs)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for probabilities in results.values():
+            assert np.array_equal(probabilities, serial)
+
+    def test_hammer_with_threaded_batches(self, beer_matcher, beer_dataset):
+        import threading
+
+        engine = PredictionEngine(
+            beer_matcher, EngineConfig(batch_size=8, n_jobs=2)
+        )
+        pairs = list(beer_dataset[:30])
+        barrier = threading.Barrier(4)
+        failures: list[BaseException] = []
+
+        def hammer() -> None:
+            barrier.wait()
+            try:
+                engine.predict_pairs(pairs)
+            except BaseException as error:  # noqa: BLE001 - collected
+                failures.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures
+        stats = engine.stats
+        assert stats.calls_issued + stats.calls_saved == stats.requested

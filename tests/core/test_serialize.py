@@ -85,3 +85,88 @@ class TestVersioning:
 
         text = json.dumps(dual_to_dict(dual))
         assert "left_landmark" in text
+
+
+class TestMatcherArtifacts:
+    def test_save_load_round_trip(self, beer_matcher, match_pair, tmp_path):
+        from repro.core.serialize import load_matcher, save_matcher
+
+        path = tmp_path / "matcher.pkl"
+        save_matcher(beer_matcher, path)
+        restored = load_matcher(path)
+        assert restored.predict_one(match_pair) == beer_matcher.predict_one(
+            match_pair
+        )
+
+    def test_fingerprint_stable_across_retrain(self, beer_dataset):
+        from repro.core.serialize import matcher_fingerprint
+        from repro.matchers.logistic import LogisticRegressionMatcher
+
+        a = LogisticRegressionMatcher().fit(beer_dataset)
+        b = LogisticRegressionMatcher().fit(beer_dataset)
+        assert matcher_fingerprint(a) == matcher_fingerprint(b)
+
+    def test_fingerprint_changes_with_training_data(self, beer_dataset):
+        from repro.core.serialize import matcher_fingerprint
+        from repro.data.synthetic.magellan import load_dataset
+        from repro.matchers.logistic import LogisticRegressionMatcher
+
+        a = LogisticRegressionMatcher().fit(beer_dataset)
+        other = load_dataset("S-BR", seed=1, size_cap=300)
+        b = LogisticRegressionMatcher().fit(other)
+        assert matcher_fingerprint(a) != matcher_fingerprint(b)
+
+    def test_save_creates_parent_directories(self, beer_matcher, tmp_path):
+        from repro.core.serialize import save_matcher
+
+        path = tmp_path / "deep" / "nested" / "matcher.pkl"
+        fingerprint = save_matcher(beer_matcher, path)
+        assert path.exists()
+        assert len(fingerprint) == 64
+
+    def test_missing_artifact(self, tmp_path):
+        from repro.core.serialize import load_matcher
+        from repro.exceptions import ArtifactError
+
+        with pytest.raises(ArtifactError, match="no matcher artifact"):
+            load_matcher(tmp_path / "absent.pkl")
+
+    def test_corrupt_artifact(self, beer_matcher, tmp_path):
+        from repro.core.serialize import load_matcher, save_matcher
+        from repro.exceptions import ArtifactError
+
+        path = tmp_path / "matcher.pkl"
+        save_matcher(beer_matcher, path)
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(ArtifactError):
+            load_matcher(path)
+
+    def test_tampered_state_fails_fingerprint_check(
+        self, beer_matcher, tmp_path
+    ):
+        import pickle
+
+        from repro.core.serialize import load_matcher, save_matcher
+        from repro.exceptions import ArtifactError
+
+        path = tmp_path / "matcher.pkl"
+        save_matcher(beer_matcher, path)
+        envelope = pickle.loads(path.read_bytes())
+        envelope["matcher"].coef_ = envelope["matcher"].coef_ + 1.0
+        path.write_bytes(pickle.dumps(envelope, protocol=4))
+        with pytest.raises(ArtifactError, match="fingerprint"):
+            load_matcher(path)
+
+    def test_unsupported_format_version(self, beer_matcher, tmp_path):
+        import pickle
+
+        from repro.core.serialize import load_matcher, save_matcher
+        from repro.exceptions import ArtifactError
+
+        path = tmp_path / "matcher.pkl"
+        save_matcher(beer_matcher, path)
+        envelope = pickle.loads(path.read_bytes())
+        envelope["format_version"] = 99
+        path.write_bytes(pickle.dumps(envelope, protocol=4))
+        with pytest.raises(ArtifactError, match="version"):
+            load_matcher(path)

@@ -1,0 +1,132 @@
+"""Tests for explain requests and their content-addressed keys."""
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.service.request import (
+    ExplainRequest,
+    request_from_payload,
+    request_key,
+)
+
+FP = "a" * 64  # a stand-in matcher fingerprint
+
+
+class TestValidation:
+    def test_bad_method(self, toy_pair):
+        with pytest.raises(ConfigurationError):
+            ExplainRequest(pair=toy_pair, method="triple")
+
+    def test_bad_explainer(self, toy_pair):
+        with pytest.raises(ConfigurationError):
+            ExplainRequest(pair=toy_pair, explainer="anchors")
+
+    def test_tiny_sample_budget(self, toy_pair):
+        with pytest.raises(ConfigurationError):
+            ExplainRequest(pair=toy_pair, samples=2)
+
+    def test_generations(self, toy_pair):
+        assert ExplainRequest(pair=toy_pair, method="both").generations() == (
+            "single",
+            "double",
+        )
+        assert ExplainRequest(pair=toy_pair, method="auto").generations() == (
+            "auto",
+        )
+
+
+class TestRequestKey:
+    def test_stable_across_equal_requests(self, toy_pair):
+        a = ExplainRequest(pair=toy_pair, method="single", samples=64)
+        b = ExplainRequest(pair=toy_pair, method="single", samples=64)
+        assert request_key(FP, a) == request_key(FP, b)
+
+    def test_priority_excluded(self, toy_pair):
+        a = ExplainRequest(pair=toy_pair, priority=1)
+        b = ExplainRequest(pair=toy_pair, priority=99)
+        assert request_key(FP, a) == request_key(FP, b)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"method": "single"},
+            {"samples": 256},
+            {"explainer": "shap"},
+            {"seed": 7},
+        ],
+    )
+    def test_every_result_affecting_field_changes_the_key(
+        self, toy_pair, change
+    ):
+        base = ExplainRequest(pair=toy_pair)
+        varied = dataclasses.replace(base, **change)
+        assert request_key(FP, base) != request_key(FP, varied)
+
+    def test_matcher_fingerprint_changes_the_key(self, toy_pair):
+        request = ExplainRequest(pair=toy_pair)
+        assert request_key(FP, request) != request_key("b" * 64, request)
+
+    def test_pair_content_changes_the_key(self, toy_pair):
+        other = toy_pair.with_side("left", {"name": "other", "price": "1"})
+        assert request_key(FP, ExplainRequest(pair=toy_pair)) != request_key(
+            FP, ExplainRequest(pair=other)
+        )
+
+
+class TestRequestFromPayload:
+    def test_record_index(self, beer_dataset):
+        request = request_from_payload({"record": 3}, beer_dataset)
+        assert request.pair.pair_id == beer_dataset[3].pair_id
+
+    def test_record_index_out_of_range(self, beer_dataset):
+        with pytest.raises(ServiceError):
+            request_from_payload({"record": 10_000}, beer_dataset)
+
+    def test_record_without_dataset(self):
+        with pytest.raises(ServiceError):
+            request_from_payload({"record": 0}, None)
+
+    def test_inline_pair(self):
+        payload = {
+            "pair": {
+                "attributes": ["name", "price"],
+                "left": {"name": "sony camera", "price": "849"},
+                "right": {"name": "nikon case", "price": "7"},
+            },
+            "method": "single",
+            "samples": 32,
+        }
+        request = request_from_payload(payload)
+        assert request.pair.left["name"] == "sony camera"
+        assert request.method == "single"
+        assert request.samples == 32
+
+    def test_inline_pair_borrows_dataset_schema(self, beer_dataset):
+        attrs = beer_dataset.schema.attributes
+        payload = {
+            "pair": {
+                "left": {a: "x" for a in attrs},
+                "right": {a: "y" for a in attrs},
+            }
+        }
+        request = request_from_payload(payload, beer_dataset)
+        assert request.pair.schema == beer_dataset.schema
+
+    def test_defaults_applied(self, beer_dataset):
+        defaults = {"samples": 48, "explainer": "shap", "seed": 5}
+        request = request_from_payload({"record": 0}, beer_dataset, defaults)
+        assert request.samples == 48
+        assert request.explainer == "shap"
+        assert request.seed == 5
+
+    def test_missing_record_and_pair(self, beer_dataset):
+        with pytest.raises(ServiceError):
+            request_from_payload({"op": "explain"}, beer_dataset)
+
+    def test_invalid_field_becomes_service_error(self, beer_dataset):
+        with pytest.raises(ServiceError):
+            request_from_payload(
+                {"record": 0, "method": "bogus"}, beer_dataset
+            )

@@ -1,0 +1,194 @@
+"""Tests for the persistent explanation store.
+
+The store's contract: a valid entry is served byte-for-byte; anything
+else — absent, expired, corrupt, truncated, stale-format — is deleted and
+reported as a miss so the service recomputes it.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.config import StoreConfig
+from repro.service.store import (
+    STORE_DB_NAME,
+    STORE_FORMAT_VERSION,
+    ExplanationStore,
+)
+
+
+def payload_for(index: int) -> dict:
+    return {"format_version": 1, "key": f"k{index}", "value": index}
+
+
+class FakeClock:
+    """A manually advanced epoch clock for deterministic TTL tests."""
+
+    def __init__(self, start: float = 1_000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ExplanationStore(tmp_path / "store") as s:
+        yield s
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        store.put("k1", payload_for(1))
+        assert store.get("k1") == payload_for(1)
+        assert store.stats.hits == 1
+        assert store.stats.puts == 1
+
+    def test_miss(self, store):
+        assert store.get("absent") is None
+        assert store.stats.misses == 1
+
+    def test_overwrite(self, store):
+        store.put("k1", payload_for(1))
+        store.put("k1", payload_for(2))
+        assert store.get("k1") == payload_for(2)
+        assert len(store) == 1
+
+    def test_persists_across_reopen(self, tmp_path):
+        with ExplanationStore(tmp_path / "store") as first:
+            first.put("k1", payload_for(1))
+        with ExplanationStore(tmp_path / "store") as second:
+            assert second.get("k1") == payload_for(1)
+
+    def test_contains_does_not_touch_counters(self, store):
+        store.put("k1", payload_for(1))
+        assert store.contains("k1")
+        assert not store.contains("absent")
+        assert store.stats.hits == 0
+        assert store.stats.misses == 0
+
+
+class TestLRUEviction:
+    def test_capacity_bound(self, tmp_path):
+        clock = FakeClock()
+        store = ExplanationStore(
+            tmp_path / "store", StoreConfig(max_entries=3), clock=clock
+        )
+        for index in range(5):
+            clock.advance(1)
+            store.put(f"k{index}", payload_for(index))
+        assert len(store) == 3
+        assert store.stats.evictions == 2
+        # The two oldest-accessed entries are the ones evicted.
+        assert store.get("k0") is None
+        assert store.get("k1") is None
+        assert store.get("k4") == payload_for(4)
+
+    def test_get_refreshes_recency(self, tmp_path):
+        clock = FakeClock()
+        store = ExplanationStore(
+            tmp_path / "store", StoreConfig(max_entries=2), clock=clock
+        )
+        clock.advance(1)
+        store.put("old", payload_for(0))
+        clock.advance(1)
+        store.put("new", payload_for(1))
+        clock.advance(1)
+        assert store.get("old") is not None  # touch: old is now most recent
+        clock.advance(1)
+        store.put("newest", payload_for(2))
+        assert store.get("old") is not None
+        assert store.get("new") is None
+
+
+class TestTTL:
+    def test_expired_entry_is_a_miss(self, tmp_path):
+        clock = FakeClock()
+        store = ExplanationStore(
+            tmp_path / "store",
+            StoreConfig(ttl_seconds=60.0),
+            clock=clock,
+        )
+        store.put("k1", payload_for(1))
+        clock.advance(30)
+        assert store.get("k1") == payload_for(1)
+        clock.advance(61)
+        assert store.get("k1") is None
+        assert store.stats.expirations == 1
+        assert len(store) == 0  # expired rows are deleted, not kept
+
+    def test_no_ttl_never_expires(self, tmp_path):
+        clock = FakeClock()
+        store = ExplanationStore(tmp_path / "store", clock=clock)
+        store.put("k1", payload_for(1))
+        clock.advance(10_000_000)
+        assert store.get("k1") == payload_for(1)
+
+
+class TestCorruption:
+    def _tamper(self, store, key: str, **columns) -> None:
+        sets = ", ".join(f"{name} = ?" for name in columns)
+        with sqlite3.connect(str(store.path)) as conn:
+            conn.execute(
+                f"UPDATE explanations SET {sets} WHERE key = ?",
+                (*columns.values(), key),
+            )
+            conn.commit()
+
+    def test_bit_flip_detected(self, store):
+        store.put("k1", payload_for(1))
+        text = json.dumps(payload_for(999))
+        self._tamper(store, "k1", payload=text)
+        assert store.get("k1") is None  # checksum mismatch, not wrong data
+        assert store.stats.corruptions == 1
+        assert len(store) == 0
+
+    def test_truncated_payload_detected(self, store):
+        store.put("k1", payload_for(1))
+        self._tamper(store, "k1", payload='{"format_version": 1, "ke')
+        assert store.get("k1") is None
+        assert store.stats.corruptions == 1
+
+    def test_stale_format_version_recomputed(self, store):
+        store.put("k1", payload_for(1))
+        self._tamper(store, "k1", format_version=STORE_FORMAT_VERSION + 1)
+        assert store.get("k1") is None
+        assert store.stats.corruptions == 1
+
+    def test_corrupt_entry_can_be_rewritten(self, store):
+        store.put("k1", payload_for(1))
+        self._tamper(store, "k1", payload="garbage")
+        assert store.get("k1") is None
+        store.put("k1", payload_for(1))
+        assert store.get("k1") == payload_for(1)
+
+
+class TestIntrospection:
+    def test_keys_most_recent_first(self, tmp_path):
+        clock = FakeClock()
+        store = ExplanationStore(tmp_path / "store", clock=clock)
+        for index in range(3):
+            clock.advance(1)
+            store.put(f"k{index}", payload_for(index))
+        assert store.keys() == ["k2", "k1", "k0"]
+
+    def test_clear(self, store):
+        store.put("k1", payload_for(1))
+        store.clear()
+        assert len(store) == 0
+
+    def test_hit_rate(self, store):
+        store.put("k1", payload_for(1))
+        store.get("k1")
+        store.get("absent")
+        assert store.stats.hit_rate == 0.5
+
+    def test_db_file_location(self, tmp_path):
+        store = ExplanationStore(tmp_path / "store")
+        assert store.path == tmp_path / "store" / STORE_DB_NAME
+        assert store.path.exists()
+        store.close()

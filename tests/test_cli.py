@@ -265,3 +265,101 @@ class TestParallelExperiment:
         assert main([*base, "--output", str(serial)]) == 0
         assert main([*base, "--jobs", "2", "--output", str(parallel)]) == 0
         assert serial.read_text() == parallel.read_text()
+
+
+class TestModelDir:
+    def test_artifact_saved_then_reused(self, tmp_path, capsys):
+        base = [
+            "train", "--dataset", "S-BR", "--size-cap", "150",
+            "--model-dir", str(tmp_path),
+        ]
+        assert main(base) == 0
+        artifacts = list(tmp_path.glob("*.pkl"))
+        assert len(artifacts) == 1
+        assert "logistic-S-BR-seed0-cap150" in artifacts[0].name
+        # Second run loads the artifact instead of writing a new one.
+        before = artifacts[0].stat().st_mtime_ns
+        assert main(base) == 0
+        assert artifacts[0].stat().st_mtime_ns == before
+
+    def test_corrupt_artifact_retrained(self, tmp_path, capsys):
+        base = [
+            "explain", "--dataset", "S-BR", "--size-cap", "150",
+            "--samples", "32", "--model-dir", str(tmp_path),
+        ]
+        assert main(base) == 0
+        artifact = next(tmp_path.glob("*.pkl"))
+        artifact.write_bytes(b"not a pickle")
+        assert main(base) == 0  # degrades to retraining, not an error
+        out = capsys.readouterr().out
+        assert "landmark=left" in out
+
+
+class TestServe:
+    def test_stdio_round_trip(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+
+        lines = "\n".join(
+            [
+                json.dumps({"record": 0, "method": "single", "samples": 32}),
+                json.dumps({"record": 0, "method": "single", "samples": 32}),
+                json.dumps({"op": "stats"}),
+                json.dumps({"op": "shutdown"}),
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        code = main(
+            [
+                "serve", "--dataset", "S-BR", "--size-cap", "150",
+                "--store-dir", str(tmp_path / "store"),
+                "--model-dir", str(tmp_path / "models"),
+            ]
+        )
+        assert code == 0
+        responses = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(responses) == 4
+        first, second, stats, shutdown = responses
+        assert first["ok"] and second["ok"]
+        # Bit-identical duplicate answered from the store.
+        assert second["result"] == first["result"]
+        assert stats["stats"]["service"]["store_hits"] == 1
+        assert shutdown["shutdown"]
+        assert (tmp_path / "store" / "service_stats.json").exists()
+
+
+class TestPrecomputeCommand:
+    def test_warm_and_resume(self, tmp_path, capsys):
+        base = [
+            "precompute", "--dataset", "S-BR", "--size-cap", "150",
+            "--per-label", "2", "--samples", "32",
+            "--store-dir", str(tmp_path / "store"),
+            "--model-dir", str(tmp_path / "models"),
+        ]
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "4 submitted" in out
+        assert main([*base, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "4 skipped" in out
+        assert "0 submitted" in out
+
+    def test_stats_json_written(self, tmp_path):
+        import json
+
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "precompute", "--dataset", "S-BR", "--size-cap", "150",
+                "--per-label", "1", "--samples", "32",
+                "--store-dir", str(store_dir),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((store_dir / "service_stats.json").read_text())
+        assert payload["service"]["computed"] == 2
+        assert payload["store"]["puts"] == 2
