@@ -9,23 +9,39 @@ mixed request batch through it:
 2. a **duplicate** in the same session that must be answered by the
    store (or coalesced) without recomputing;
 3. a **restart**: a second server process over the same store directory
-   must answer the same request bit-identically with zero computations.
+   must answer the same request bit-identically with zero computations;
+4. an **HTTP session** (``--http`` + ``--trace``) whose ``GET /metrics``
+   endpoint is scraped twice: every line must parse as Prometheus text
+   and every counter must be monotone between scrapes.
 
 Exit code 0 = every response ok, nonzero store hits, restart answers
-from disk.  Run locally with::
+from disk, metrics scrape well-formed.  Run locally with::
 
     PYTHONPATH=src python scripts/service_smoke.py
+
+Pass ``--artifacts-dir DIR`` to keep the observability outputs (trace
+JSON, metrics snapshots, the raw Prometheus scrape) for CI upload.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import re
+import shutil
+import signal
 import subprocess
 import sys
 import tempfile
+import time
+import urllib.request
 from pathlib import Path
 
 DATASET_ARGS = ["--dataset", "S-BR", "--size-cap", "150", "--samples", "32"]
+
+PROMETHEUS_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
 
 
 def run_serve(store_dir: Path, model_dir: Path, requests: list[dict]) -> list[dict]:
@@ -48,7 +64,116 @@ def run_serve(store_dir: Path, model_dir: Path, requests: list[dict]) -> list[di
     return [json.loads(line) for line in process.stdout.splitlines()]
 
 
-def main() -> int:
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text into ``{series-with-labels: value}``.
+
+    Raises ``ValueError`` on any line that is not a comment and does not
+    match the ``name{labels} value`` shape — the scrape-validity check.
+    """
+    series: dict[str, float] = {}
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        if not PROMETHEUS_LINE.match(line):
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        key, raw = line.rsplit(" ", 1)
+        series[key] = float(raw)
+    return series
+
+
+def http_session(
+    store_dir: Path, model_dir: Path, trace_path: Path, check
+) -> tuple[str, str]:
+    """Boot ``serve --http``, drive it, scrape /metrics twice.
+
+    Returns the two raw scrapes so the caller can archive them.
+    """
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", *DATASET_ARGS,
+            "--store-dir", str(store_dir), "--model-dir", str(model_dir),
+            "--workers", "2", "--http", "127.0.0.1:0",
+            "--trace", str(trace_path),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # The CLI announces the bound ephemeral port on stderr.
+        address = None
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            line = process.stderr.readline()
+            if line.startswith("serving on "):
+                address = line.split()[2]
+                break
+            if not line and process.poll() is not None:
+                break
+        check(address is not None, "HTTP server announced its address")
+        if address is None:
+            raise SystemExit("serve --http did not come up")
+
+        def get(path: str) -> tuple[int, str]:
+            with urllib.request.urlopen(address + path, timeout=60) as resp:
+                return resp.status, resp.read().decode("utf-8")
+
+        status, body = get("/healthz")
+        check(
+            status == 200 and json.loads(body) == {"ok": True},
+            "healthz reports ok",
+        )
+
+        explain = json.dumps({"record": 2, "method": "single"}).encode()
+        request = urllib.request.Request(
+            address + "/explain", data=explain, method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            check(
+                json.loads(resp.read())["ok"], "HTTP explain request ok"
+            )
+        _, scrape1 = get("/metrics")
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            resp.read()
+        _, scrape2 = get("/metrics")
+
+        try:
+            first, second = parse_prometheus(scrape1), parse_prometheus(scrape2)
+            check(True, "both /metrics scrapes parse as Prometheus text")
+        except ValueError as exc:
+            check(False, str(exc))
+            return scrape1, scrape2
+        counters = [k for k in first if "_total{" in k or k.endswith("_total")]
+        check(bool(counters), "scrape exposes counters")
+        regressed = [
+            k for k in counters if second.get(k, 0.0) < first[k]
+        ]
+        check(not regressed, f"counters monotone between scrapes {regressed}")
+        requests_key = next(
+            k for k in counters if k.startswith("repro_service_requests_total")
+        )
+        check(
+            second[requests_key] > first[requests_key],
+            "service request counter advanced",
+        )
+        return scrape1, scrape2
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts-dir", type=Path, default=None,
+        help="keep trace/metrics outputs here for CI artifact upload",
+    )
+    args = parser.parse_args(argv)
     failures: list[str] = []
 
     def check(condition: bool, what: str) -> None:
@@ -106,6 +231,33 @@ def main() -> int:
             responses2["cached-0"]["result"] == responses["cold-0"]["result"],
             "restart result bit-identical to the cold computation",
         )
+
+        print("session 3: HTTP endpoint, /metrics scrape, trace export")
+        trace_path = Path(root) / "trace.json"
+        scrape1, scrape2 = http_session(
+            store_dir, model_dir, trace_path, check
+        )
+        check(trace_path.exists(), "trace JSON written on shutdown")
+        metrics_path = store_dir / "metrics.json"
+        check(metrics_path.exists(), "metrics snapshot written on shutdown")
+        if metrics_path.exists():
+            snapshot = json.loads(metrics_path.read_text())
+            check(
+                any(
+                    f["name"] == "repro_service_requests_total"
+                    for f in snapshot["metrics"]
+                ),
+                "metrics snapshot carries the service counters",
+            )
+
+        if args.artifacts_dir is not None:
+            args.artifacts_dir.mkdir(parents=True, exist_ok=True)
+            for source in (trace_path, metrics_path):
+                if source.exists():
+                    shutil.copy(source, args.artifacts_dir / source.name)
+            (args.artifacts_dir / "metrics_scrape_1.prom").write_text(scrape1)
+            (args.artifacts_dir / "metrics_scrape_2.prom").write_text(scrape2)
+            print(f"artifacts kept in {args.artifacts_dir}")
 
     print("service_smoke", "FAILED" if failures else "passed")
     return 1 if failures else 0

@@ -85,6 +85,42 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", nargs="?", const="trace.json", default=None, metavar="PATH",
+        help="record pipeline trace spans and write them as JSON on exit "
+             "(default path: trace.json); results are identical either way",
+    )
+    parser.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the metrics registry (every counter becomes a no-op)",
+    )
+
+
+def _obs_registry(args: argparse.Namespace):
+    """The run's metrics registry, honouring --trace / --no-metrics."""
+    from repro.obs import MetricsRegistry, trace
+
+    if getattr(args, "trace", None) is not None:
+        trace.enable()
+    return MetricsRegistry(enabled=not getattr(args, "no_metrics", False))
+
+
+def _obs_finish(args: argparse.Namespace, registry,
+                metrics_path: Path | None = None) -> None:
+    """Write the trace / metrics artifacts the flags asked for."""
+    from repro.evaluation.persistence import save_metrics
+    from repro.obs import trace
+
+    if getattr(args, "trace", None) is not None:
+        path = trace.save(args.trace)
+        trace.disable()
+        print(f"wrote {path}", file=sys.stderr)
+    if metrics_path is not None and registry.enabled:
+        save_metrics(registry, metrics_path)
+        print(f"wrote {metrics_path}", file=sys.stderr)
+
+
 def _add_model_dir_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--model-dir", type=Path, default=None,
@@ -134,6 +170,7 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         help="abandon a matcher call after this many seconds (guard)",
     )
     _add_engine_arguments(parser)
+    _add_obs_arguments(parser)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -176,6 +213,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baselines", action="store_true", help="also run LIME drop / Mojito copy"
     )
     _add_engine_arguments(explain)
+    _add_obs_arguments(explain)
 
     experiment = subparsers.add_parser("experiment", help="run Tables 2-4")
     experiment.add_argument(
@@ -207,6 +245,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="abandon a matcher call after this many seconds (guard)",
     )
     _add_engine_arguments(experiment)
+    _add_obs_arguments(experiment)
 
     serve = subparsers.add_parser(
         "serve", help="long-running explanation service (JSONL stdio / HTTP)"
@@ -374,9 +413,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     pair = dataset[args.record]
     matcher = _resolve_matcher(args, dataset)
     lime_config = LimeConfig(n_samples=args.samples, seed=args.seed)
+    registry = _obs_registry(args)
     engine = PredictionEngine(
         matcher,
         EngineConfig(cache=not args.no_cache, n_jobs=args.n_jobs),
+        metrics=registry,
     )
     print(pair.describe())
     print(f"model match probability: {matcher.predict_one(pair):.3f}")
@@ -405,6 +446,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         )
         print(copy.explain(pair).render(args.top))
     print(engine.stats.summary())
+    _obs_finish(args, registry)
     return 0
 
 
@@ -426,7 +468,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             guard_max_retries=args.max_retries,
             guard_call_timeout=args.call_timeout,
         )
-    runner = ExperimentRunner(config)
+    registry = _obs_registry(args)
+    runner = ExperimentRunner(config, metrics=registry)
     result = runner.run(
         args.datasets,
         n_jobs=args.jobs,
@@ -444,6 +487,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.output:
         args.output.write_text(report + "\n", encoding="utf-8")
         print(f"wrote {args.output}")
+    # metrics.json lands next to the run's checkpoint journal (or the
+    # report, when only --output was given).  With --jobs > 1 the worker
+    # processes accumulate into their own registry copies, so only the
+    # serial path yields a complete snapshot — same rule as checkpoints.
+    metrics_path = None
+    if args.run_dir is not None:
+        metrics_path = Path(args.run_dir) / "metrics.json"
+    elif args.output is not None:
+        metrics_path = args.output.parent / "metrics.json"
+    _obs_finish(args, registry, metrics_path)
     return 0
 
 
@@ -539,6 +592,7 @@ def _build_service(args: argparse.Namespace, dataset):
     from repro.service import ExplanationService, ExplanationStore
 
     matcher = _resolve_matcher(args, dataset)
+    registry = _obs_registry(args)
     store = None
     if args.store_dir is not None:
         store = ExplanationStore(
@@ -547,6 +601,7 @@ def _build_service(args: argparse.Namespace, dataset):
                 max_entries=args.store_max_entries,
                 ttl_seconds=args.store_ttl,
             ),
+            metrics=registry,
         )
     service = ExplanationService(
         matcher,
@@ -560,6 +615,7 @@ def _build_service(args: argparse.Namespace, dataset):
             max_retries=args.max_retries,
             call_timeout=args.call_timeout,
         ),
+        metrics=registry,
     )
     defaults = {
         "method": "both",
@@ -607,6 +663,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.close()
         print(service.stats.summary(), file=sys.stderr)
         _write_service_stats(service, args.store_dir)
+        metrics_path = (
+            Path(args.store_dir) / "metrics.json"
+            if args.store_dir is not None else None
+        )
+        _obs_finish(args, service.metrics, metrics_path)
         if store is not None:
             store.close()
     return 0
@@ -634,6 +695,11 @@ def _cmd_precompute(args: argparse.Namespace) -> int:
     print(report.summary())
     print(service.stats.summary())
     _write_service_stats(service, args.store_dir)
+    metrics_path = (
+        Path(args.store_dir) / "metrics.json"
+        if args.store_dir is not None else None
+    )
+    _obs_finish(args, service.metrics, metrics_path)
     if store is not None:
         store.close()
     return 0 if report.n_failed == 0 else 1

@@ -23,6 +23,17 @@ full request.  Because every matcher in this library scores pairs
 row-independently and deterministically, the scattered probabilities are
 byte-identical to the naive path — equivalence is enforced by
 ``tests/core/test_engine.py`` and ``benchmarks/bench_prediction_engine.py``.
+
+Observability
+-------------
+Engine accounting lives in :class:`~repro.obs.metrics.MetricsRegistry`
+instruments labeled ``component="engine"`` (counters for the dedup/cache
+bookkeeping, ``repro_stage_seconds`` histograms for the rebuild and
+predict stages, a cache-size gauge); :class:`EngineStats` is a plain
+snapshot view over them, taken atomically so concurrent workers can
+never observe mixed counter generations.  The rebuild and matcher-call
+sections also open ``reconstruction`` / ``prediction`` trace spans (see
+:mod:`repro.obs.tracing`) — no-ops unless ``--trace`` is on.
 """
 
 from __future__ import annotations
@@ -41,6 +52,8 @@ from repro.core.guard import GUARD_COUNTER_FIELDS, GuardConfig, MatcherGuard
 from repro.data.records import EMDataset, RecordPair
 from repro.exceptions import ConfigurationError, ExplanationError
 from repro.matchers.base import EntityMatcher
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import trace
 from repro.text.tokenize import Tokenizer
 
 #: Raw counter field names (everything in :class:`EngineStats` that can be
@@ -59,7 +72,12 @@ _COUNTER_FIELDS = (
 
 @dataclass
 class EngineStats:
-    """Observability counters of one :class:`PredictionEngine`.
+    """Counter snapshot of one :class:`PredictionEngine`.
+
+    Since the observability refactor the live counters are
+    :mod:`repro.obs.metrics` instruments; an ``EngineStats`` is the
+    plain-dataclass view over them that run JSON, checkpoints and the
+    table footers consume (``engine.stats`` takes one atomically).
 
     The accounting invariant — checked by the test suite — is::
 
@@ -242,6 +260,122 @@ def pair_fingerprint(pair: RecordPair) -> PairKey:
     )
 
 
+class _EngineInstruments:
+    """The registry instruments one engine records into.
+
+    Attribute names match the :class:`EngineStats` counter fields, so
+    the guard (which writes ``guard_*``) and the snapshot code address
+    them uniformly.  All instruments carry ``component="engine"`` plus a
+    per-registry ``instance`` label so several engines can share one
+    registry (one per dataset in an experiment run) without colliding.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        instance = registry.next_instance("engine")
+        labels = {"component": "engine", "instance": instance}
+
+        def counter(name: str, help: str):
+            return registry.counter(name, help, **labels)
+
+        self.requested = counter(
+            "repro_engine_requests_total",
+            "Predictions requested through any engine entry point",
+        )
+        self.calls_issued = counter(
+            "repro_engine_calls_issued_total",
+            "Predictions actually forwarded to the matcher",
+        )
+        self.dedup_saved = counter(
+            "repro_engine_dedup_saved_total",
+            "Requests answered by an identical request in the same batch",
+        )
+        self.cache_hits = counter(
+            "repro_engine_cache_hits_total",
+            "Unique requests answered from the LRU cache",
+        )
+        self.cache_misses = counter(
+            "repro_engine_cache_misses_total",
+            "Unique requests that missed the cache",
+        )
+        self.batches = counter(
+            "repro_engine_batches_total",
+            "Chunks sent to the matcher's predict_proba",
+        )
+        self.guard_retries = counter(
+            "repro_guard_retries_total",
+            "Matcher-guard re-invocations after a failed attempt",
+        )
+        self.guard_timeouts = counter(
+            "repro_guard_timeouts_total",
+            "Matcher-guard attempts abandoned on timeout",
+        )
+        self.guard_failures = counter(
+            "repro_guard_failures_total",
+            "Matcher-guard failed attempts of any kind",
+        )
+        self.guard_trips = counter(
+            "repro_guard_trips_total",
+            "Times the matcher circuit breaker tripped open",
+        )
+        self.guard_fast_failures = counter(
+            "repro_guard_fast_failures_total",
+            "Calls rejected while the matcher circuit was open",
+        )
+        self.guard_recoveries = counter(
+            "repro_guard_recoveries_total",
+            "Half-open probes that closed the matcher circuit",
+        )
+        self.rebuild_seconds = registry.histogram(
+            "repro_stage_seconds",
+            "Wall time per pipeline stage",
+            stage="rebuild", **labels,
+        )
+        self.predict_seconds = registry.histogram(
+            "repro_stage_seconds",
+            "Wall time per pipeline stage",
+            stage="predict", **labels,
+        )
+        self.cache_entries = registry.gauge(
+            "repro_engine_cache_entries",
+            "Entries currently held by the prediction LRU cache",
+            **labels,
+        )
+
+    #: Instrument attributes, in EngineStats field order (counters first,
+    #: then the two stage histograms whose sums are the *_seconds fields).
+    COUNTERS = (
+        "requested", "calls_issued", "dedup_saved", "cache_hits",
+        "cache_misses", "batches",
+    ) + GUARD_COUNTER_FIELDS
+
+    def instruments(self) -> list:
+        """All instruments backing an :class:`EngineStats`, in order."""
+        bundle = [getattr(self, name) for name in self.COUNTERS]
+        bundle += [self.rebuild_seconds, self.predict_seconds]
+        return bundle
+
+    def build(self, values: list) -> EngineStats:
+        """An :class:`EngineStats` from one :meth:`instruments` read."""
+        counters = {
+            name: int(value)
+            for name, value in zip(self.COUNTERS, values)
+        }
+        return EngineStats(
+            rebuild_seconds=values[-2]["sum"],
+            predict_seconds=values[-1]["sum"],
+            **counters,
+        )
+
+    def snapshot(self) -> EngineStats:
+        """An :class:`EngineStats` read atomically from the registry."""
+        return self.build(self.registry.read(*self.instruments()))
+
+    def drain(self) -> EngineStats:
+        """Atomic snapshot-and-zero (``PredictionEngine.reset_stats``)."""
+        return self.build(self.registry.drain(*self.instruments()))
+
+
 class _EngineMatcher(EntityMatcher):
     """An :class:`EntityMatcher` view of an engine.
 
@@ -282,6 +416,7 @@ class PredictionEngine:
         matcher: EntityMatcher,
         config: EngineConfig | None = None,
         tokenizer: Tokenizer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         # Imported here: reconstruction builds engines by default, so a
         # module-level import would be circular.
@@ -290,19 +425,32 @@ class PredictionEngine:
         self.matcher = matcher
         self.config = config or EngineConfig()
         self.reconstructor = PairReconstructor(tokenizer=tokenizer)
-        self.stats = EngineStats()
-        # The guard writes its counters straight into the engine's stats
-        # (EngineStats carries the guard_* fields), so they land in the
-        # same run JSON as the dedup/cache accounting.
+        # *metrics* is the registry this engine's instruments live in —
+        # pass the service's (or runner's) registry to surface engine
+        # accounting on its /metrics endpoint and metrics.json.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._instruments = _EngineInstruments(self.metrics)
+        # The guard writes its guard_* counters straight into the same
+        # instrument bundle, so they land in the same registry (and the
+        # same run JSON) as the dedup/cache accounting.
         self.guard = MatcherGuard(
             matcher.predict_proba,
             config=self.config.guard_config(),
-            stats=self.stats,
+            stats=self._instruments,
         )
         self._cache: OrderedDict[PairKey, float] = OrderedDict()
-        # Protects the stats counters and the LRU cache; guard_* counters
-        # are updated under the guard's own lock (disjoint fields).
+        # Protects the LRU cache; counters live in the metrics registry
+        # and are synchronized by its own lock.
         self._lock = threading.Lock()
+
+    @property
+    def stats(self) -> EngineStats:
+        """An atomic :class:`EngineStats` snapshot of this engine.
+
+        Taken under the registry lock, so the returned counters all
+        belong to one generation even while workers are mid-request.
+        """
+        return self._instruments.snapshot()
 
     # ------------------------------------------------------------------
     # Public API
@@ -311,13 +459,11 @@ class PredictionEngine:
     def predict_pairs(self, pairs: Sequence[RecordPair]) -> np.ndarray:
         """Probabilities for *pairs*, deduplicated and cached by content."""
         pairs = list(pairs)
-        with self._lock:
-            self.stats.requested += len(pairs)
+        self._instruments.requested.inc(len(pairs))
         if not pairs:
             return np.empty(0, dtype=np.float64)
         if not self.config.dedup and not self.config.cache:
-            with self._lock:
-                self.stats.calls_issued += len(pairs)
+            self._instruments.calls_issued.inc(len(pairs))
             return self._predict_batches(pairs)
         entries = self._group(pair_fingerprint(pair) for pair in pairs)
         return self._resolve(entries, len(pairs), lambda key, index: pairs[index])
@@ -335,19 +481,24 @@ class PredictionEngine:
         """
         masks = np.asarray(masks)
         n_masks = masks.shape[0]
-        with self._lock:
-            self.stats.requested += n_masks
+        self._instruments.requested.inc(n_masks)
         if n_masks == 0:
             return np.empty(0, dtype=np.float64)
         if not self.config.dedup and not self.config.cache:
             started = time.perf_counter()
-            rebuilt = self.reconstructor.rebuild_many(instance, masks)
-            with self._lock:
-                self.stats.rebuild_seconds += time.perf_counter() - started
-                self.stats.calls_issued += n_masks
+            with trace.span("reconstruction", n_masks=n_masks):
+                rebuilt = self.reconstructor.rebuild_many(instance, masks)
+            self.metrics.bulk(
+                (
+                    (self._instruments.rebuild_seconds,
+                     time.perf_counter() - started),
+                    (self._instruments.calls_issued, n_masks),
+                )
+            )
             return self._predict_batches(rebuilt)
 
         started = time.perf_counter()
+        rebuild_span = trace.span("reconstruction", n_masks=n_masks)
         attributes = instance.pair.schema.attributes
         landmark_values = tuple(
             instance.landmark_entity[attribute] for attribute in attributes
@@ -355,16 +506,16 @@ class PredictionEngine:
         varying_side = instance.varying_side
         keys: list[PairKey] = []
         values_of: dict[PairKey, tuple[str, ...]] = {}
-        for row in masks:
-            values = self.reconstructor.varying_values(instance, row)
-            if varying_side == "left":
-                key = (attributes, values, landmark_values)
-            else:
-                key = (attributes, landmark_values, values)
-            keys.append(key)
-            values_of[key] = values
-        with self._lock:
-            self.stats.rebuild_seconds += time.perf_counter() - started
+        with rebuild_span:
+            for row in masks:
+                values = self.reconstructor.varying_values(instance, row)
+                if varying_side == "left":
+                    key = (attributes, values, landmark_values)
+                else:
+                    key = (attributes, landmark_values, values)
+                keys.append(key)
+                values_of[key] = values
+        self._instruments.rebuild_seconds.observe(time.perf_counter() - started)
 
         def build(key: PairKey, index: int) -> RecordPair:
             entity = dict(zip(attributes, values_of[key]))
@@ -383,13 +534,11 @@ class PredictionEngine:
     def cache_clear(self) -> None:
         with self._lock:
             self._cache.clear()
+        self._instruments.cache_entries.set(0)
 
     def reset_stats(self) -> EngineStats:
-        """Return the accumulated stats and start a fresh counter set."""
-        with self._lock:
-            stats, self.stats = self.stats, EngineStats()
-            self.guard.stats = self.stats
-        return stats
+        """Return the accumulated stats and zero the counters atomically."""
+        return self._instruments.drain()
 
     @property
     def cache_len(self) -> int:
@@ -417,22 +566,29 @@ class PredictionEngine:
     ) -> np.ndarray:
         """Answer grouped requests from the cache, then the matcher."""
         config = self.config
+        instruments = self._instruments
         out = np.empty(n_requests, dtype=np.float64)
         miss_keys: list[PairKey] = []
         miss_slots: list[list[int]] = []
+        hits = 0
         with self._lock:
-            self.stats.dedup_saved += n_requests - len(entries)
             for key, indices in entries:
                 cached = self._cache_get(key) if config.cache else None
                 if cached is not None:
-                    self.stats.cache_hits += 1
+                    hits += 1
                     out[indices] = cached
                     continue
-                if config.cache:
-                    self.stats.cache_misses += 1
                 miss_keys.append(key)
                 miss_slots.append(indices)
-            self.stats.calls_issued += len(miss_keys)
+        # One registry-lock hold for the whole accounting batch.
+        updates = [
+            (instruments.dedup_saved, n_requests - len(entries)),
+            (instruments.cache_hits, hits),
+            (instruments.calls_issued, len(miss_keys)),
+        ]
+        if config.cache:
+            updates.append((instruments.cache_misses, len(miss_keys)))
+        self.metrics.bulk(updates)
         if miss_keys:
             # Pairs are built and predicted outside the lock; concurrent
             # callers may race to compute the same key, but matchers are
@@ -449,6 +605,9 @@ class PredictionEngine:
                     out[indices] = probability
                     if config.cache:
                         self._cache_put(key, float(probability))
+                size = len(self._cache)
+            if config.cache:
+                instruments.cache_entries.set(size)
         return out
 
     def _predict_batches(self, pairs: list[RecordPair]) -> np.ndarray:
@@ -459,26 +618,26 @@ class PredictionEngine:
             pairs[offset : offset + config.batch_size]
             for offset in range(0, len(pairs), config.batch_size)
         ]
-        with self._lock:
-            self.stats.batches += len(chunks)
-        results: list[np.ndarray] | None = None
-        if config.n_jobs > 1 and len(chunks) > 1:
-            try:
-                from concurrent.futures import ThreadPoolExecutor
+        self._instruments.batches.inc(len(chunks))
+        with trace.span("prediction", n_pairs=len(pairs), n_batches=len(chunks)):
+            results: list[np.ndarray] | None = None
+            if config.n_jobs > 1 and len(chunks) > 1:
+                try:
+                    from concurrent.futures import ThreadPoolExecutor
 
-                workers = min(config.n_jobs, len(chunks))
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    results = list(pool.map(self.guard.call, chunks))
-            except Exception:
-                if self.guard.config.active:
-                    # With an active guard a parallel failure is a real
-                    # matcher fault (retries exhausted / circuit open),
-                    # not a pool problem — re-raising it serially would
-                    # just hammer the matcher again.
-                    raise
-                results = None  # pragma: no cover - defensive serial fallback
-        if results is None:
-            results = [self.guard.call(chunk) for chunk in chunks]
+                    workers = min(config.n_jobs, len(chunks))
+                    with ThreadPoolExecutor(max_workers=workers) as pool:
+                        results = list(pool.map(self.guard.call, chunks))
+                except Exception:
+                    if self.guard.config.active:
+                        # With an active guard a parallel failure is a real
+                        # matcher fault (retries exhausted / circuit open),
+                        # not a pool problem — re-raising it serially would
+                        # just hammer the matcher again.
+                        raise
+                    results = None  # pragma: no cover - defensive serial fallback
+            if results is None:
+                results = [self.guard.call(chunk) for chunk in chunks]
         for chunk, result in zip(chunks, results):
             if np.shape(result) != (len(chunk),):
                 raise ExplanationError(
@@ -486,8 +645,7 @@ class PredictionEngine:
                     f"{np.shape(result)} for {len(chunk)} pairs; expected "
                     f"({len(chunk)},)"
                 )
-        with self._lock:
-            self.stats.predict_seconds += time.perf_counter() - started
+        self._instruments.predict_seconds.observe(time.perf_counter() - started)
         if len(results) == 1:
             return np.asarray(results[0], dtype=np.float64)
         return np.concatenate(

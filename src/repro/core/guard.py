@@ -37,11 +37,14 @@ from repro.exceptions import (
     MatcherTimeoutError,
     MatcherUnavailableError,
 )
+from repro.obs.tracing import trace
 
 #: Counter attribute names a guard increments on its stats object.  The
-#: prediction engine's ``EngineStats`` carries fields of the same names, so
-#: a guard can write straight into engine accounting; :class:`GuardStats`
-#: is the standalone equivalent.
+#: stats object is duck-typed: each attribute may be a plain integer
+#: (:class:`GuardStats`) or a :class:`repro.obs.metrics.Counter`
+#: instrument (the engine's registry-backed bundle), so guard counters
+#: land either in a standalone dataclass or in the same metrics registry
+#: as the engine accounting.
 GUARD_COUNTER_FIELDS = (
     "guard_retries",
     "guard_timeouts",
@@ -127,8 +130,9 @@ class MatcherGuard:
 
     *predict_fn* is any ``pairs -> probabilities`` callable (typically a
     bound ``EntityMatcher.predict_proba``).  *stats* is any object carrying
-    the :data:`GUARD_COUNTER_FIELDS` attributes — an engine's
-    ``EngineStats`` or a plain :class:`GuardStats`.
+    the :data:`GUARD_COUNTER_FIELDS` attributes — a plain
+    :class:`GuardStats`, or the engine's registry-backed instrument
+    bundle whose attributes are :class:`repro.obs.metrics.Counter`\\ s.
     """
 
     def __init__(
@@ -146,6 +150,20 @@ class MatcherGuard:
         self._consecutive = 0
         self._cooldown_left = 0
 
+    def _bump(self, field: str, amount: int = 1) -> None:
+        """Increment a stats counter, plain attribute or instrument alike.
+
+        Callers hold ``self._lock``; plain-integer stats rely on that,
+        :class:`~repro.obs.metrics.Counter` instruments synchronize on
+        their registry's own lock (acquired nested, never the reverse).
+        """
+        value = getattr(self.stats, field)
+        inc = getattr(value, "inc", None)
+        if inc is not None:
+            inc(amount)
+        else:
+            setattr(self.stats, field, value + amount)
+
     # ------------------------------------------------------------------
 
     @property
@@ -157,7 +175,13 @@ class MatcherGuard:
         """Invoke the guarded callable on *pairs*, applying all policies."""
         config = self.config
         if not config.active:
-            return self.predict_fn(pairs)
+            with trace.span("guard_call", n_pairs=len(pairs), active=False):
+                return self.predict_fn(pairs)
+        with trace.span("guard_call", n_pairs=len(pairs), active=True):
+            return self._call_guarded(pairs)
+
+    def _call_guarded(self, pairs):
+        config = self.config
         self._gate()
         attempts = config.max_retries + 1
         for attempt in range(attempts):
@@ -175,7 +199,7 @@ class MatcherGuard:
                     ) from error
                 if attempt + 1 < attempts:
                     with self._lock:
-                        self.stats.guard_retries += 1
+                        self._bump("guard_retries")
                     self._sleep(attempt)
                     continue
                 try:
@@ -197,7 +221,7 @@ class MatcherGuard:
                 return
             if self._cooldown_left > 0:
                 self._cooldown_left -= 1
-                self.stats.guard_fast_failures += 1
+                self._bump("guard_fast_failures")
                 raise MatcherUnavailableError(
                     f"matcher circuit is open; retrying after "
                     f"{self._cooldown_left + 1} more rejected calls"
@@ -235,9 +259,9 @@ class MatcherGuard:
     def _record_failure(self, error: Exception) -> bool:
         """Count one failed attempt; return True when the breaker trips."""
         with self._lock:
-            self.stats.guard_failures += 1
+            self._bump("guard_failures")
             if isinstance(error, MatcherTimeoutError):
-                self.stats.guard_timeouts += 1
+                self._bump("guard_timeouts")
             self._consecutive += 1
             should_trip = (
                 self._state == _HALF_OPEN
@@ -247,13 +271,13 @@ class MatcherGuard:
                 self._state = _OPEN
                 self._cooldown_left = self.config.cooldown
                 self._consecutive = 0
-                self.stats.guard_trips += 1
+                self._bump("guard_trips")
             return should_trip
 
     def _record_success(self) -> None:
         with self._lock:
             if self._state == _HALF_OPEN:
-                self.stats.guard_recoveries += 1
+                self._bump("guard_recoveries")
             self._state = _CLOSED
             self._consecutive = 0
 

@@ -30,6 +30,7 @@ from repro.data.records import RecordPair
 from repro.exceptions import ConfigurationError, ExplanationError
 from repro.explainers.lime_text import LimeConfig, LimeTextExplainer
 from repro.matchers.base import DEFAULT_THRESHOLD, EntityMatcher
+from repro.obs.tracing import trace
 from repro.text.tokenize import Tokenizer
 
 GENERATION_AUTO = "auto"
@@ -134,17 +135,24 @@ class LandmarkExplainer:
         """Explain *pair* from the perspective of one landmark side."""
         resolved = self.resolve_generation(pair, generation)
         try:
-            instance = self.generator.generate(pair, landmark_side, resolved)
-            if not instance.tokens:
-                raise ExplanationError(
-                    f"the {instance.varying_side} entity of pair "
-                    f"#{pair.pair_id} has no tokens to perturb"
+            with trace.span(
+                "landmark", side=landmark_side, pair_id=pair.pair_id,
+                generation=resolved,
+            ):
+                with trace.span("generation", side=landmark_side):
+                    instance = self.generator.generate(
+                        pair, landmark_side, resolved
+                    )
+                if not instance.tokens:
+                    raise ExplanationError(
+                        f"the {instance.varying_side} entity of pair "
+                        f"#{pair.pair_id} has no tokens to perturb"
+                    )
+                explanation = self.explainer.explain(
+                    instance.feature_names,
+                    self.dataset_reconstructor.predict_masks_fn(instance),
+                    rng=self._rng_for(pair, landmark_side),
                 )
-            explanation = self.explainer.explain(
-                instance.feature_names,
-                self.dataset_reconstructor.predict_masks_fn(instance),
-                rng=self._rng_for(pair, landmark_side),
-            )
         except Exception as error:
             # Tag the failure with the landmark side for the failure
             # ledger; the exception itself propagates unchanged.
@@ -163,8 +171,9 @@ class LandmarkExplainer:
     ) -> DualExplanation:
         """The paper's dual explanation: both landmark sides."""
         resolved = self.resolve_generation(pair, generation)
-        return DualExplanation(
-            pair=pair,
-            left_landmark=self.explain_landmark(pair, "left", resolved),
-            right_landmark=self.explain_landmark(pair, "right", resolved),
-        )
+        with trace.span("explain", pair_id=pair.pair_id, generation=resolved):
+            return DualExplanation(
+                pair=pair,
+                left_landmark=self.explain_landmark(pair, "left", resolved),
+                right_landmark=self.explain_landmark(pair, "right", resolved),
+            )

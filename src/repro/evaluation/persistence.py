@@ -412,6 +412,16 @@ def save_service_stats(payload: dict, path: str | Path) -> None:
     )
 
 
+def save_metrics(registry, path: str | Path) -> Path:
+    """Write a :class:`~repro.obs.metrics.MetricsRegistry` snapshot as
+    ``metrics.json`` (the run-level observability artifact the
+    ``experiment`` and ``serve`` CLI commands drop next to their run
+    JSON)."""
+    from repro.obs.export import save_json
+
+    return save_json(registry, path)
+
+
 def load_service_stats(path: str | Path) -> dict:
     """Read a stats JSON written by :func:`save_service_stats`."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))

@@ -59,6 +59,8 @@ from repro.explainers.lime_text import LimeConfig
 from repro.matchers.base import EntityMatcher
 from repro.matchers.evaluate import MatchQuality, evaluate_matcher
 from repro.matchers.logistic import LogisticRegressionMatcher
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import trace
 
 logger = logging.getLogger("repro.evaluation")
 
@@ -148,15 +150,45 @@ class ExperimentRunner:
         config: ExperimentConfig = FAST,
         matcher_factory: Callable[[], EntityMatcher] | None = None,
         on_cell: Callable[[str, int, str], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """*on_cell*, when given, is called as ``on_cell(code, label,
         method)`` after every attempted grid cell (after its checkpoint is
         written).  The fault-tolerance tests use it to kill a run at cell K
         and resume it; exceptions it raises propagate.
+
+        *metrics* is the registry the run records into (cell counters and
+        durations here, plus every per-dataset prediction engine); the
+        ``experiment`` CLI writes it out as ``metrics.json`` next to the
+        run JSON.  Both the registry and the runner stay picklable, so
+        ``n_jobs > 1`` still works — each worker process accumulates
+        into its own copy.
         """
         self.config = config
         self.matcher_factory = matcher_factory or LogisticRegressionMatcher
         self.on_cell = on_cell
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        labels = {"component": "runner"}
+        self._cells_total = self.metrics.counter(
+            "repro_runner_cells_total",
+            "Grid cells attempted (checkpointed cells excluded)",
+            **labels,
+        )
+        self._cells_failed = self.metrics.counter(
+            "repro_runner_cells_failed_total",
+            "Grid cells whose evaluation stage failed entirely",
+            **labels,
+        )
+        self._records_total = self.metrics.counter(
+            "repro_runner_records_total",
+            "Records successfully explained across all grid cells",
+            **labels,
+        )
+        self._cell_seconds = self.metrics.histogram(
+            "repro_stage_seconds",
+            "Wall time per pipeline stage",
+            stage="cell", **labels,
+        )
 
     # ------------------------------------------------------------------
 
@@ -211,6 +243,16 @@ class ExperimentRunner:
                 )
             explained.append(record)
         return explained
+
+    def _record_cell(self, metrics: MethodMetrics | None) -> None:
+        """Account one attempted grid cell in the run registry."""
+        updates = [(self._cells_total, 1)]
+        if metrics is None:
+            updates.append((self._cells_failed, 1))
+        else:
+            updates.append((self._records_total, metrics.n_records))
+            updates.append((self._cell_seconds, metrics.seconds))
+        self.metrics.bulk(updates)
 
     # ------------------------------------------------------------------
 
@@ -331,7 +373,9 @@ class ExperimentRunner:
         # One prediction engine per dataset: its cache persists across
         # landmark sides, methods AND the evaluation stages below, which
         # all re-predict overlapping records.
-        engine = PredictionEngine(matcher, config.engine_config())
+        engine = PredictionEngine(
+            matcher, config.engine_config(), metrics=self.metrics
+        )
         eval_matcher = engine.as_matcher()
         # Matcher quality is measured through the engine too, so the guard
         # covers the scoring pass and its predictions pre-warm the cache.
@@ -356,39 +400,47 @@ class ExperimentRunner:
         result.metrics.update(done)
         if resumed is not None:
             result.failures.extend(resumed.failures)
-        for label in (MATCH, NON_MATCH):
-            pairs = sample.by_label(label).pairs
-            for method in self._methods_for_label(label):
-                if (label, method) in done:
-                    logger.info(
-                        "  %s/%s/%s: checkpointed, skipping",
-                        code, LABEL_KEYS[label], method,
-                    )
-                    continue
-                metrics, failures = self._run_cell(
-                    code, label, method, pairs, explainers,
-                    eval_matcher, model_importance,
-                )
-                result.failures.extend(failures)
-                if metrics is not None:
-                    result.metrics[(label, method)] = metrics
-                    if checkpoint is not None:
-                        checkpoint.record_cell(code, label, method, metrics, failures)
-                    logger.info(
-                        "  %s/%s/%s: acc=%.3f mae=%.3f tau=%.3f interest=%.3f "
-                        "(%d records, %.1fs)",
-                        code,
-                        LABEL_KEYS[label],
-                        method,
-                        metrics.token_accuracy,
-                        metrics.token_mae,
-                        metrics.kendall,
-                        metrics.interest,
-                        metrics.n_records,
-                        metrics.seconds,
-                    )
-                if self.on_cell is not None:
-                    self.on_cell(code, label, method)
+        with trace.span("dataset", code=code):
+            for label in (MATCH, NON_MATCH):
+                pairs = sample.by_label(label).pairs
+                for method in self._methods_for_label(label):
+                    if (label, method) in done:
+                        logger.info(
+                            "  %s/%s/%s: checkpointed, skipping",
+                            code, LABEL_KEYS[label], method,
+                        )
+                        continue
+                    with trace.span(
+                        "cell", code=code, label=LABEL_KEYS[label],
+                        method=method,
+                    ):
+                        metrics, failures = self._run_cell(
+                            code, label, method, pairs, explainers,
+                            eval_matcher, model_importance,
+                        )
+                    self._record_cell(metrics)
+                    result.failures.extend(failures)
+                    if metrics is not None:
+                        result.metrics[(label, method)] = metrics
+                        if checkpoint is not None:
+                            checkpoint.record_cell(
+                                code, label, method, metrics, failures
+                            )
+                        logger.info(
+                            "  %s/%s/%s: acc=%.3f mae=%.3f tau=%.3f "
+                            "interest=%.3f (%d records, %.1fs)",
+                            code,
+                            LABEL_KEYS[label],
+                            method,
+                            metrics.token_accuracy,
+                            metrics.token_mae,
+                            metrics.kendall,
+                            metrics.interest,
+                            metrics.n_records,
+                            metrics.seconds,
+                        )
+                    if self.on_cell is not None:
+                        self.on_cell(code, label, method)
         result.engine_stats = engine.stats.as_dict()
         if checkpoint is not None:
             checkpoint.record_engine(code, result.engine_stats)

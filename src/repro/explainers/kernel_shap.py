@@ -27,6 +27,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, ExplanationError
 from repro.explainers.base import Explanation
 from repro.explainers.lime_text import PredictMasksFn
+from repro.obs.tracing import trace
 from repro.surrogate.linear_model import WeightedRidge
 
 #: Finite stand-in for the kernel's infinite weight at |z| ∈ {0, d}.
@@ -109,12 +110,18 @@ class KernelShapExplainer:
             raise ExplanationError(
                 "black-box model returned non-finite probabilities"
             )
-        weights = shapley_kernel_weights(masks)
-        model = WeightedRidge(alpha=self.alpha).fit(
-            masks.astype(np.float64), probabilities, weights
-        )
-        assert model.coef_ is not None
-        surrogate_at_original = float(model.coef_.sum() + model.intercept_)
+        with trace.span(
+            "surrogate_fit",
+            surrogate="kernel_shap",
+            n_samples=int(masks.shape[0]),
+            n_features=len(names),
+        ):
+            weights = shapley_kernel_weights(masks)
+            model = WeightedRidge(alpha=self.alpha).fit(
+                masks.astype(np.float64), probabilities, weights
+            )
+            assert model.coef_ is not None
+            surrogate_at_original = float(model.coef_.sum() + model.intercept_)
         return Explanation(
             feature_names=names,
             weights=model.coef_,

@@ -19,6 +19,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, ExplanationError
 from repro.explainers.base import Explanation
 from repro.explainers.perturbation import sample_masks
+from repro.obs.tracing import trace
 from repro.surrogate.feature_selection import forward_selection, highest_weights
 from repro.surrogate.kernels import (
     DEFAULT_KERNEL_WIDTH,
@@ -109,48 +110,56 @@ class LimeTextExplainer:
                 "surrogate fit would silently produce garbage weights"
             )
 
-        distances = cosine_distance_to_ones(masks)
-        sample_weights = exponential_kernel(distances, config.kernel_width)
+        with trace.span(
+            "surrogate_fit",
+            surrogate=config.surrogate,
+            n_samples=int(masks.shape[0]),
+            n_features=len(names),
+        ):
+            distances = cosine_distance_to_ones(masks)
+            sample_weights = exponential_kernel(distances, config.kernel_width)
 
-        features = masks.astype(np.float64)
-        selected = np.arange(len(names))
-        if config.num_features is not None and config.num_features < len(names):
-            if config.selection == "highest_weights":
-                selected = highest_weights(
-                    features, probabilities, sample_weights,
-                    config.num_features, config.alpha,
+            features = masks.astype(np.float64)
+            selected = np.arange(len(names))
+            if config.num_features is not None and config.num_features < len(names):
+                if config.selection == "highest_weights":
+                    selected = highest_weights(
+                        features, probabilities, sample_weights,
+                        config.num_features, config.alpha,
+                    )
+                else:
+                    selected = forward_selection(
+                        features, probabilities, sample_weights,
+                        config.num_features, config.alpha,
+                    )
+
+            if config.surrogate == "ridge":
+                model = WeightedRidge(alpha=config.alpha)
+            else:
+                model = WeightedLasso(alpha=config.alpha)
+            model.fit(features[:, selected], probabilities, sample_weights)
+            assert model.coef_ is not None
+
+            weights = np.zeros(len(names))
+            weights[selected] = model.coef_
+            surrogate_at_original = float(
+                np.ones(len(selected)) @ model.coef_ + model.intercept_
+            )
+            if isinstance(model, WeightedRidge):
+                score = model.score(
+                    features[:, selected], probabilities, sample_weights
                 )
             else:
-                selected = forward_selection(
-                    features, probabilities, sample_weights,
-                    config.num_features, config.alpha,
+                residual = probabilities - model.predict(features[:, selected])
+                mean = float(
+                    (sample_weights * probabilities).sum() / sample_weights.sum()
                 )
-
-        if config.surrogate == "ridge":
-            model = WeightedRidge(alpha=config.alpha)
-        else:
-            model = WeightedLasso(alpha=config.alpha)
-        model.fit(features[:, selected], probabilities, sample_weights)
-        assert model.coef_ is not None
-
-        weights = np.zeros(len(names))
-        weights[selected] = model.coef_
-        surrogate_at_original = float(
-            np.ones(len(selected)) @ model.coef_ + model.intercept_
-        )
-        if isinstance(model, WeightedRidge):
-            score = model.score(features[:, selected], probabilities, sample_weights)
-        else:
-            residual = probabilities - model.predict(features[:, selected])
-            mean = float(
-                (sample_weights * probabilities).sum() / sample_weights.sum()
-            )
-            total = float(np.sum(sample_weights * (probabilities - mean) ** 2))
-            score = (
-                1.0 - float(np.sum(sample_weights * residual**2)) / total
-                if total > 0
-                else 1.0
-            )
+                total = float(np.sum(sample_weights * (probabilities - mean) ** 2))
+                score = (
+                    1.0 - float(np.sum(sample_weights * residual**2)) / total
+                    if total > 0
+                    else 1.0
+                )
 
         return Explanation(
             feature_names=names,

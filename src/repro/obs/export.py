@@ -1,0 +1,126 @@
+"""Exporters over a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Two wire formats, both rendered from one atomic
+:meth:`~repro.obs.metrics.MetricsRegistry.collect` snapshot:
+
+* :func:`to_prometheus` — the Prometheus text exposition format served
+  by ``GET /metrics`` (``# HELP`` / ``# TYPE`` headers, ``_total``
+  counters, cumulative ``_bucket{le=...}`` histogram series);
+* :func:`to_json` / :func:`save_json` — a nested JSON document, the
+  ``metrics.json`` artifact written next to run output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Format version stamped on JSON metric snapshots.
+METRICS_FORMAT_VERSION = 1
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _label_text(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (version 0.0.4)."""
+    lines: list[str] = []
+    for family in registry.collect():
+        name, kind, help = family["name"], family["kind"], family["help"]
+        if help:
+            lines.append(f"# HELP {name} {help}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in family["samples"]:
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in value["buckets"]:
+                    cumulative = count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_text(labels, {'le': _format_value(bound)})}"
+                        f" {count}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_label_text(labels, {'le': '+Inf'})}"
+                    f" {value['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_label_text(labels)}"
+                    f" {_format_value(value['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_text(labels)} {value['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_text(labels)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: MetricsRegistry) -> dict:
+    """The registry as a nested, JSON-serializable snapshot."""
+    families = []
+    for family in registry.collect():
+        samples = []
+        for labels, value in family["samples"]:
+            if family["kind"] == "histogram":
+                value = {
+                    "sum": value["sum"],
+                    "count": value["count"],
+                    "max": value["max"],
+                    "buckets": [
+                        {"le": bound, "count": count}
+                        for bound, count in value["buckets"]
+                    ],
+                }
+            samples.append({"labels": labels, "value": value})
+        families.append(
+            {
+                "name": family["name"],
+                "kind": family["kind"],
+                "help": family["help"],
+                "samples": samples,
+            }
+        )
+    return {"format_version": METRICS_FORMAT_VERSION, "metrics": families}
+
+
+def save_json(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write :func:`to_json` to *path* (the ``metrics.json`` artifact)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(to_json(registry), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return path

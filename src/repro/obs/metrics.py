@@ -1,0 +1,398 @@
+"""The metrics registry: thread-safe counters, gauges and histograms.
+
+Every layer of the serving stack — prediction engine, matcher guard,
+evaluation runner, explanation service and store — records its counters
+as **instruments** owned by one :class:`MetricsRegistry`.  Instruments
+are identified by a Prometheus-style name plus a label set (by
+convention ``component`` and, for duration histograms, ``stage``), so
+one scrape of the registry answers *where time and matcher calls go per
+stage* across the whole process.
+
+Design constraints, in order:
+
+1. **Correctness under threads.**  All instruments of a registry share
+   one lock; increments and observations are exact under any
+   interleaving (enforced by the hammer tests in
+   ``tests/obs/test_metrics.py``), and a snapshot taken through
+   :meth:`MetricsRegistry.read` or :meth:`MetricsRegistry.collect` is
+   atomic across *all* instruments — concurrent writers can never tear
+   a snapshot or mix counter generations.
+2. **Cheap.**  An update is one lock acquisition and one float add;
+   batched updates (:meth:`MetricsRegistry.bulk`) pay the lock once for
+   any number of instruments.  A registry built with ``enabled=False``
+   turns every update into a no-op attribute check, which is what the
+   ``--no-metrics`` CLI flag uses.
+3. **Inert.**  Instruments never feed back into computation: results
+   are bit-identical with metrics on, off or absent
+   (``benchmarks/bench_obs_overhead.py`` gates both the equivalence and
+   the <3% overhead budget).
+
+The registry is picklable (the experiment runner crosses process-pool
+boundaries); locks are dropped on serialization and rebuilt on load.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+
+from repro.exceptions import ConfigurationError
+
+#: Default duration buckets (seconds) — spans matcher micro-batches
+#: (sub-millisecond) through full evaluation cells (minutes).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+_COUNTER = "counter"
+_GAUGE = "gauge"
+_HISTOGRAM = "histogram"
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Instrument:
+    """Common behaviour of one (name, labels) time series.
+
+    Instruments are created through a :class:`MetricsRegistry` and share
+    its lock; they never take it themselves inside ``_apply`` (the
+    registry's bulk path holds it already).
+    """
+
+    kind = "abstract"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 labels: dict[str, str]) -> None:
+        self._registry = registry
+        self.name = name
+        self.labels = dict(labels)
+
+    # -- mutation (public entry points take the registry lock) ---------
+
+    def _apply(self, value: float) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _read(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _reset(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- convenience ----------------------------------------------------
+
+    @property
+    def value(self):
+        """Current value, read atomically."""
+        registry = self._registry
+        with registry._lock:
+            return self._read()
+
+
+class Counter(Instrument):
+    """A monotonically increasing count."""
+
+    kind = _COUNTER
+
+    def __init__(self, registry, name, labels) -> None:
+        super().__init__(registry, name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        registry = self._registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self._value += amount
+
+    def _apply(self, value: float) -> None:
+        self._value += value
+
+    def _read(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Gauge(Instrument):
+    """A value that can go up and down (queue depth, cache size)."""
+
+    kind = _GAUGE
+
+    def __init__(self, registry, name, labels) -> None:
+        super().__init__(registry, name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to *value* if it is higher (high-water marks)."""
+        registry = self._registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def _apply(self, value: float) -> None:
+        self._value = float(value)
+
+    def _read(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram(Instrument):
+    """Fixed-bucket histogram of observations (durations, sizes).
+
+    Tracks cumulative bucket counts (Prometheus ``le`` semantics), the
+    running sum and the observation count; ``max`` is kept as an extra
+    convenience for latency reporting.
+    """
+
+    kind = _HISTOGRAM
+
+    def __init__(self, registry, name, labels,
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(registry, name, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name} needs at least one bucket bound"
+            )
+        self.bounds = bounds
+        self._bucket_counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self._apply(value)
+
+    def _apply(self, value: float) -> None:
+        value = float(value)
+        self._sum += value
+        self._count += 1
+        if value > self._max:
+            self._max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._bucket_counts[index] += 1
+                break
+
+    def _read(self) -> dict:
+        cumulative = []
+        running = 0
+        for count in self._bucket_counts:
+            running += count
+            cumulative.append(running)
+        return {
+            "buckets": list(zip(self.bounds, cumulative)),
+            "sum": self._sum,
+            "count": self._count,
+            "max": self._max,
+        }
+
+    def _reset(self) -> None:
+        self._bucket_counts = [0] * len(self.bounds)
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    @property
+    def sum(self) -> float:
+        with self._registry._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        with self._registry._lock:
+            return self._count
+
+    @property
+    def max(self) -> float:
+        with self._registry._lock:
+            return self._max
+
+
+class MetricsRegistry:
+    """Owner of a process-local set of instruments.
+
+    ``counter`` / ``gauge`` / ``histogram`` create-or-return the
+    instrument for a (name, labels) pair — calling twice with the same
+    coordinates yields the same object, so components can re-attach
+    after a restart or share series deliberately.  A name is bound to
+    one instrument kind and help string on first use; conflicting
+    re-registration raises :class:`~repro.exceptions.ConfigurationError`.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        #: name -> (kind, help string)
+        self._families: dict[str, tuple[str, str]] = {}
+        #: (name, label key) -> instrument
+        self._instruments: dict[tuple, Instrument] = {}
+        self._sequences: dict[str, int] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def _register(self, factory, kind: str, name: str, help: str,
+                  labels: dict[str, str]):
+        key = (name, _label_key(labels))
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None and family[0] != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {family[0]}, "
+                    f"cannot re-register as a {kind}"
+                )
+            if family is None:
+                self._families[name] = (kind, help)
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._register(
+            lambda: Counter(self, name, labels), _COUNTER, name, help, labels
+        )
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._register(
+            lambda: Gauge(self, name, labels), _GAUGE, name, help, labels
+        )
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        return self._register(
+            lambda: Histogram(self, name, labels, buckets=buckets),
+            _HISTOGRAM, name, help, labels,
+        )
+
+    def next_instance(self, component: str) -> str:
+        """A unique per-registry instance id for *component*.
+
+        Components that can exist several times in one process (e.g. a
+        prediction engine per dataset) label their instruments with this
+        so their series never collide.
+        """
+        with self._lock:
+            index = self._sequences.get(component, 0)
+            self._sequences[component] = index + 1
+            return str(index)
+
+    # -- atomic multi-instrument operations -----------------------------
+
+    def bulk(self, updates: Iterable[tuple[Instrument, float]]) -> None:
+        """Apply many (instrument, value) updates under one lock hold.
+
+        Counters add, gauges set, histograms observe.  This is the hot
+        path of the prediction engine: one acquisition per request
+        regardless of how many counters move.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            for instrument, value in updates:
+                instrument._apply(value)
+
+    def read(self, *instruments: Instrument) -> list:
+        """Read several instruments in one atomic snapshot."""
+        with self._lock:
+            return [instrument._read() for instrument in instruments]
+
+    def drain(self, *instruments: Instrument) -> list:
+        """Atomically read *and zero* several instruments.
+
+        Backs ``PredictionEngine.reset_stats``: the returned values and
+        the fresh zeros belong to the same generation.
+        """
+        with self._lock:
+            values = [instrument._read() for instrument in instruments]
+            for instrument in instruments:
+                instrument._reset()
+            return values
+
+    def reset(self) -> None:
+        """Zero every instrument (tests / long-lived service rollover)."""
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument._reset()
+
+    # -- export ---------------------------------------------------------
+
+    def collect(self) -> list[dict]:
+        """An atomic snapshot of every family, sorted by name.
+
+        Each entry: ``{"name", "kind", "help", "samples": [(labels,
+        value-or-histogram-dict), ...]}`` with samples sorted by label
+        key.  Both exporters (:mod:`repro.obs.export`) render from this.
+        """
+        with self._lock:
+            families: dict[str, dict] = {}
+            for name in sorted(self._families):
+                kind, help = self._families[name]
+                families[name] = {
+                    "name": name, "kind": kind, "help": help, "samples": [],
+                }
+            for (name, label_key), instrument in sorted(
+                self._instruments.items(), key=lambda item: item[0]
+            ):
+                families[name]["samples"].append(
+                    (dict(label_key), instrument._read())
+                )
+            return list(families.values())
+
+    # -- pickling (runner crosses process pools) ------------------------
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            state = self.__dict__.copy()
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+#: A process-wide default registry for callers that don't thread their
+#: own through (CLI front-ends share it across subsystems).
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _GLOBAL

@@ -1,0 +1,207 @@
+"""Lightweight hierarchical pipeline tracing.
+
+One explanation walks generation → reconstruction → prediction →
+surrogate fit, and one evaluation run walks that per (dataset, label,
+method) cell.  The tracer records that walk as a tree of **spans**::
+
+    with trace.span("landmark", side="left"):
+        with trace.span("generation"):
+            ...
+
+Spans nest through a thread-local stack, so a worker thread's spans form
+their own tree and never interleave with another thread's.  Completed
+*root* spans land in a bounded ring buffer (old traces fall off —
+long-lived services cannot leak), and :meth:`Tracer.export` /
+:meth:`Tracer.save` turn the buffer into the ``trace.json`` written by
+the ``--trace`` CLI flag.
+
+Tracing is **off by default** and, when off, a ``span()`` entry is one
+attribute check returning a shared no-op context manager — cheap enough
+to leave in every hot path (gated by
+``benchmarks/bench_obs_overhead.py``).  On or off, tracing never touches
+the science: wall-clock timestamps are recorded, nothing is fed back, so
+explanations are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+#: Format version stamped on exported traces.
+TRACE_FORMAT_VERSION = 1
+
+#: Default bound of the completed-root-span ring buffer.
+DEFAULT_RING_SIZE = 256
+
+
+class Span:
+    """One timed, attributed node of a trace tree."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "_tracer")
+
+    def __init__(self, name: str, attrs: dict, tracer: "Tracer") -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to an open span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- export ---------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "start": round(self.start, 6),
+            "duration": round(self.duration, 6),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendants (and self) called *name*, depth-first."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Thread-aware span recorder with a bounded ring buffer."""
+
+    def __init__(self, enabled: bool = False,
+                 ring_size: int = DEFAULT_RING_SIZE) -> None:
+        self.enabled = enabled
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._completed: deque[Span] = deque(maxlen=ring_size)
+
+    # -- recording ------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Open a span as a context manager; no-op while disabled.
+
+        A span opened with another span active *on the same thread*
+        becomes its child; otherwise it is a root that will be pushed to
+        the ring buffer when it closes.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        span = Span(name, attrs, self)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        return span
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = self._stack()
+        # Pop up to (and including) the span: exceptions can unwind
+        # several frames at once without unbalancing the stack.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if not stack and span.end is not None:
+            with self._lock:
+                self._completed.append(span)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def enable(self, ring_size: int | None = None) -> None:
+        if ring_size is not None:
+            with self._lock:
+                self._completed = deque(self._completed, maxlen=ring_size)
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._completed.clear()
+        self._local = threading.local()
+
+    # -- export ---------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """Completed root spans, oldest first (a snapshot)."""
+        with self._lock:
+            return list(self._completed)
+
+    def export(self) -> dict:
+        """JSON-friendly dump of every completed trace tree."""
+        return {
+            "format_version": TRACE_FORMAT_VERSION,
+            "spans": [span.to_dict() for span in self.roots()],
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Write :meth:`export` to *path* as indented JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.export(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        return path
+
+
+#: The process-wide tracer every instrumented module records into.  The
+#: ``--trace`` CLI flag enables it; tests enable/clear it per-case.
+trace = Tracer()
+
+
+def span(name: str, **attrs):
+    """Shorthand for ``trace.span(...)`` on the global tracer."""
+    return trace.span(name, **attrs)

@@ -6,12 +6,18 @@ The wire protocol is one JSON object per request:
 * ``{"record": 3, "method": "both", "samples": 128}`` — explain a record
   of the served dataset (or ``"pair": {...}`` for an inline pair);
 * ``{"op": "stats"}`` — the service / store / engine counters;
+* ``{"op": "metrics"}`` — the full metrics-registry snapshot (JSON form
+  of the Prometheus families);
 * ``{"op": "shutdown"}`` — drain and stop (stdio mode).
 
 Responses echo the request ``id`` (if any) and carry ``"ok"`` plus either
 ``"result"`` or ``"error"``.  The HTTP flavour exposes the same payloads
 at ``POST /explain``, ``GET /stats`` and ``GET /healthz`` on a stdlib
-:class:`~http.server.ThreadingHTTPServer`.
+:class:`~http.server.ThreadingHTTPServer`, plus ``GET /metrics`` in the
+Prometheus text exposition format.  ``/healthz`` degrades to HTTP 503
+with ``{"ok": false, "degraded": "breaker_open"}`` while the engine's
+matcher circuit breaker is open — load balancers and probes see a dead
+matcher before piling more requests onto it.
 
 :func:`precompute` warms the store for a dataset split.  Completion is
 journaled per request key through the crash-safe
@@ -34,6 +40,7 @@ from repro.data.records import EMDataset
 from repro.data.splits import sample_per_label
 from repro.evaluation.persistence import JournalWriter, read_journal
 from repro.exceptions import CheckpointError, ReproError, ServiceError
+from repro.obs.export import to_json, to_prometheus
 from repro.service.request import ExplainRequest, request_from_payload
 from repro.service.service import ExplanationService
 
@@ -60,6 +67,12 @@ def handle_payload(
         op = payload.get("op", "explain") if isinstance(payload, dict) else "explain"
         if op == "stats":
             return {"ok": True, "id": request_id, "stats": service.stats_payload()}
+        if op == "metrics":
+            return {
+                "ok": True,
+                "id": request_id,
+                "metrics": to_json(service.metrics),
+            }
         if op == "shutdown":
             return {"ok": True, "id": request_id, "shutdown": True}
         if op != "explain":
@@ -119,7 +132,7 @@ def serve_http(
     """A configured localhost HTTP server (caller runs ``serve_forever``).
 
     Endpoints: ``POST /explain`` (request payload as JSON body),
-    ``GET /stats``, ``GET /healthz``.
+    ``GET /stats``, ``GET /healthz``, ``GET /metrics`` (Prometheus text).
     """
 
     class Handler(BaseHTTPRequestHandler):
@@ -134,13 +147,28 @@ def serve_http(
             self.end_headers()
             self.wfile.write(body)
 
+        def _respond_text(self, status: int, text: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def do_GET(self) -> None:  # noqa: N802 - stdlib naming
             if self.path == "/healthz":
-                self._respond(200, {"ok": True})
+                if service.engine.guard.state == "open":
+                    self._respond(
+                        503, {"ok": False, "degraded": "breaker_open"}
+                    )
+                else:
+                    self._respond(200, {"ok": True})
             elif self.path == "/stats":
                 self._respond(
                     200, {"ok": True, "stats": service.stats_payload()}
                 )
+            elif self.path == "/metrics":
+                self._respond_text(200, to_prometheus(service.metrics))
             else:
                 self._respond(404, {"ok": False, "error": "not found"})
 

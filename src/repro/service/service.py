@@ -37,6 +37,7 @@ from repro.core.serialize import dual_digest, dual_to_dict, matcher_fingerprint
 from repro.exceptions import ServiceError
 from repro.explainers.lime_text import LimeConfig
 from repro.matchers.base import EntityMatcher
+from repro.obs.metrics import MetricsRegistry
 from repro.service.request import ExplainRequest, request_key
 from repro.service.store import ExplanationStore
 
@@ -49,7 +50,14 @@ _SHUTDOWN_PRIORITY = float("inf")
 
 @dataclass
 class ServiceStats:
-    """Observability counters of one :class:`ExplanationService`."""
+    """Counter snapshot of one :class:`ExplanationService`.
+
+    The live counters are :mod:`repro.obs.metrics` instruments labeled
+    ``component="service"`` (request latency is a
+    ``repro_service_request_seconds`` histogram whose sum/max/count back
+    ``latency_seconds`` / ``latency_max`` / ``computed``);
+    ``service.stats`` reads them into this plain dataclass atomically.
+    """
 
     #: Requests accepted by :meth:`ExplanationService.submit`.
     requests: int = 0
@@ -97,6 +105,80 @@ class ServiceStats:
         )
 
 
+#: ServiceStats plain-counter fields, in instrument order.
+_SERVICE_COUNTERS = (
+    "requests", "store_hits", "coalesced", "errors", "rejected",
+)
+
+
+class _ServiceInstruments:
+    """The registry instruments one service records into.
+
+    ``computed`` / ``latency_seconds`` / ``latency_max`` all come from
+    one ``repro_service_request_seconds`` histogram (count / sum / max),
+    so a worker finishing a computation moves them together.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        labels = {
+            "component": "service",
+            "instance": registry.next_instance("service"),
+        }
+        helps = {
+            "requests": "Requests accepted by ExplanationService.submit",
+            "store_hits": "Requests answered from the persistent store",
+            "coalesced": "Requests coalesced onto an in-flight computation",
+            "errors": "Computations that raised",
+            "rejected": "Non-blocking submissions rejected on a full queue",
+        }
+        for field in _SERVICE_COUNTERS:
+            setattr(
+                self,
+                field,
+                registry.counter(
+                    f"repro_service_{field}_total", helps[field], **labels
+                ),
+            )
+        self.queue_depth = registry.gauge(
+            "repro_service_queue_depth",
+            "Work items pending on the service queue",
+            **labels,
+        )
+        self.queue_peak = registry.gauge(
+            "repro_service_queue_peak",
+            "Highest queue depth observed at submission time",
+            **labels,
+        )
+        self.request_seconds = registry.histogram(
+            "repro_service_request_seconds",
+            "Wall time of completed explanation computations",
+            **labels,
+        )
+
+    def instruments(self) -> list:
+        bundle = [getattr(self, field) for field in _SERVICE_COUNTERS]
+        bundle += [self.queue_peak, self.request_seconds]
+        return bundle
+
+    def build(self, values: list) -> ServiceStats:
+        counters = {
+            name: int(value)
+            for name, value in zip(_SERVICE_COUNTERS, values)
+        }
+        histogram = values[-1]
+        return ServiceStats(
+            queue_peak=int(values[-2]),
+            computed=histogram["count"],
+            latency_seconds=histogram["sum"],
+            latency_max=histogram["max"],
+            **counters,
+        )
+
+    def snapshot(self) -> ServiceStats:
+        return self.build(self.registry.read(*self.instruments()))
+
+
 class ExplanationService:
     """Worker-pool front-end serving landmark explanations.
 
@@ -112,13 +194,25 @@ class ExplanationService:
         store: ExplanationStore | None = None,
         config: ServiceConfig | None = None,
         engine_config: EngineConfig | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.matcher = matcher
         self.store = store
         self.config = config or ServiceConfig()
-        self.engine = PredictionEngine(matcher, engine_config)
+        # One registry for the whole serving stack: default to the
+        # store's (so store counters appear on this service's /metrics
+        # endpoint) and hand the same registry to the shared engine.
+        if metrics is not None:
+            self.metrics = metrics
+        elif store is not None:
+            self.metrics = store.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        self.engine = PredictionEngine(
+            matcher, engine_config, metrics=self.metrics
+        )
         self.fingerprint = matcher_fingerprint(matcher)
-        self.stats = ServiceStats()
+        self._instruments = _ServiceInstruments(self.metrics)
         self._queue: queue.PriorityQueue = queue.PriorityQueue(
             maxsize=self.config.queue_size
         )
@@ -157,17 +251,18 @@ class ExplanationService:
         if self._closed:
             raise ServiceError("explanation service is closed")
         key = request_key(self.fingerprint, request)
+        instruments = self._instruments
         with self._lock:
-            self.stats.requests += 1
+            instruments.requests.inc()
             if self.store is not None:
                 payload = self.store.get(key)
                 if payload is not None:
-                    self.stats.store_hits += 1
+                    instruments.store_hits.inc()
                     future: Future = Future()
                     future.set_result(payload)
                     return future
             if self.config.coalesce and key in self._inflight:
-                self.stats.coalesced += 1
+                instruments.coalesced.inc()
                 return self._inflight[key]
             future = Future()
             self._inflight[key] = future
@@ -178,15 +273,14 @@ class ExplanationService:
             self._queue.put(item, block=block, timeout=timeout)
         except queue.Full:
             with self._lock:
-                self.stats.rejected += 1
+                instruments.rejected.inc()
                 self._inflight.pop(key, None)
             raise ServiceError(
                 f"service queue is full ({self.config.queue_size} pending)"
             ) from None
-        with self._lock:
-            self.stats.queue_peak = max(
-                self.stats.queue_peak, self._queue.qsize()
-            )
+        depth = self._queue.qsize()
+        instruments.queue_depth.set(depth)
+        instruments.queue_peak.set_max(depth)
         return future
 
     def explain(
@@ -199,13 +293,44 @@ class ExplanationService:
         """The content-addressed key this service assigns to *request*."""
         return request_key(self.fingerprint, request)
 
+    @property
+    def stats(self) -> ServiceStats:
+        """An atomic :class:`ServiceStats` snapshot of this service."""
+        return self._instruments.snapshot()
+
     def stats_payload(self) -> dict:
-        """Service + store + engine counters, run-JSON shaped."""
+        """Service + store + engine counters, run-JSON shaped.
+
+        When every component records into this service's registry (the
+        default wiring) all three snapshots are read under **one** lock
+        hold, so the payload is a single consistent generation — a
+        worker finishing mid-call can never make the engine counters
+        disagree with the service ones.
+        """
+        bundles = [self._instruments, self.engine._instruments]
+        if self.store is not None:
+            bundles.append(self.store._instruments)
+        if all(bundle.registry is self.metrics for bundle in bundles):
+            flat: list = []
+            slices = []
+            for bundle in bundles:
+                instruments = bundle.instruments()
+                slices.append((bundle, len(flat), len(instruments)))
+                flat.extend(instruments)
+            values = self.metrics.read(*flat)
+            snapshots = [
+                bundle.build(values[start:start + length])
+                for bundle, start, length in slices
+            ]
+        else:  # split registries: three independently-atomic snapshots
+            snapshots = [bundle.snapshot() for bundle in bundles]
+        service_stats, engine_stats = snapshots[0], snapshots[1]
+        store_stats = snapshots[2] if self.store is not None else None
         return {
             "matcher_fingerprint": self.fingerprint,
-            "service": self.stats.as_dict(),
-            "store": self.store.stats.as_dict() if self.store else None,
-            "engine": self.engine.stats.as_dict(),
+            "service": service_stats.as_dict(),
+            "store": store_stats.as_dict() if store_stats else None,
+            "engine": engine_stats.as_dict(),
         }
 
     def close(self, wait: bool = True) -> None:
@@ -233,6 +358,7 @@ class ExplanationService:
     # ------------------------------------------------------------------
 
     def _worker_loop(self) -> None:
+        instruments = self._instruments
         while True:
             _, _, key, request, future = self._queue.get()
             if key is None:
@@ -242,7 +368,7 @@ class ExplanationService:
                 payload = self._compute(key, request)
             except BaseException as error:  # noqa: BLE001 - relayed to waiters
                 with self._lock:
-                    self.stats.errors += 1
+                    instruments.errors.inc()
                     self._inflight.pop(key, None)
                 future.set_exception(error)
                 continue
@@ -254,9 +380,14 @@ class ExplanationService:
                 if self.store is not None:
                     self.store.put(key, payload)
                 self._inflight.pop(key, None)
-                self.stats.computed += 1
-                self.stats.latency_seconds += elapsed
-                self.stats.latency_max = max(self.stats.latency_max, elapsed)
+            # One registry-lock hold: the latency histogram backs the
+            # computed/latency counters, the gauge tracks drain.
+            self.metrics.bulk(
+                (
+                    (instruments.request_seconds, elapsed),
+                    (instruments.queue_depth, self._queue.qsize()),
+                )
+            )
             future.set_result(payload)
 
     def _compute(self, key: str, request: ExplainRequest) -> dict:

@@ -26,6 +26,7 @@ from pathlib import Path
 
 from repro.config import StoreConfig
 from repro.exceptions import ServiceError
+from repro.obs.metrics import MetricsRegistry
 
 #: Format version stamped on every stored row; rows written by an
 #: incompatible version are treated as misses and recomputed.
@@ -50,7 +51,12 @@ CREATE INDEX IF NOT EXISTS idx_explanations_accessed
 
 @dataclass
 class StoreStats:
-    """Observability counters of one :class:`ExplanationStore`."""
+    """Counter snapshot of one :class:`ExplanationStore`.
+
+    The live counters are :mod:`repro.obs.metrics` instruments labeled
+    ``component="store"``; ``store.stats`` reads them into this plain
+    dataclass atomically.
+    """
 
     #: Lookups answered from a valid stored entry.
     hits: int = 0
@@ -78,6 +84,50 @@ class StoreStats:
         return payload
 
 
+#: StoreStats counter fields, in instrument order.
+_STORE_COUNTERS = (
+    "hits", "misses", "puts", "evictions", "expirations", "corruptions",
+)
+
+
+class _StoreInstruments:
+    """The registry instruments one store records into."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        labels = {
+            "component": "store",
+            "instance": registry.next_instance("store"),
+        }
+        helps = {
+            "hits": "Lookups answered from a valid stored entry",
+            "misses": "Lookups with no servable entry",
+            "puts": "Entries written (inserts and overwrites)",
+            "evictions": "Entries removed by the LRU capacity bound",
+            "expirations": "Entries dropped at read time past their TTL",
+            "corruptions": "Entries dropped on checksum/JSON/format failure",
+        }
+        for field in _STORE_COUNTERS:
+            setattr(
+                self,
+                field,
+                registry.counter(
+                    f"repro_store_{field}_total", helps[field], **labels
+                ),
+            )
+
+    def instruments(self) -> list:
+        return [getattr(self, field) for field in _STORE_COUNTERS]
+
+    def build(self, values: list) -> StoreStats:
+        return StoreStats(
+            **{f: int(v) for f, v in zip(_STORE_COUNTERS, values)}
+        )
+
+    def snapshot(self) -> StoreStats:
+        return self.build(self.registry.read(*self.instruments()))
+
+
 class ExplanationStore:
     """SQLite-backed LRU/TTL cache of serialized explanation payloads.
 
@@ -90,12 +140,17 @@ class ExplanationStore:
         store_dir: str | Path,
         config: StoreConfig | None = None,
         clock=time.time,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.store_dir = Path(store_dir)
         self.store_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.store_dir / STORE_DB_NAME
         self.config = config or StoreConfig()
-        self.stats = StoreStats()
+        # *metrics* is the registry the hit/miss/eviction counters live
+        # in — pass the serving layer's registry so store accounting
+        # shows up on its /metrics endpoint.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._instruments = _StoreInstruments(self.metrics)
         self._clock = clock
         self._lock = threading.Lock()
         try:
@@ -123,10 +178,15 @@ class ExplanationStore:
         with self._lock:
             payload = self._validated_payload(key, touch=True)
             if payload is None:
-                self.stats.misses += 1
+                self._instruments.misses.inc()
             else:
-                self.stats.hits += 1
+                self._instruments.hits.inc()
             return payload
+
+    @property
+    def stats(self) -> StoreStats:
+        """An atomic :class:`StoreStats` snapshot of this store."""
+        return self._instruments.snapshot()
 
     def contains(self, key: str) -> bool:
         """Whether a *servable* (valid, unexpired) entry exists for *key*.
@@ -150,7 +210,7 @@ class ExplanationStore:
                 "VALUES (?, ?, ?, ?, ?, ?)",
                 (key, STORE_FORMAT_VERSION, checksum, now, now, text),
             )
-            self.stats.puts += 1
+            self._instruments.puts.inc()
             self._evict_over_capacity()
             self._conn.commit()
 
@@ -204,22 +264,22 @@ class ExplanationStore:
         now = self._clock()
         if version != STORE_FORMAT_VERSION:
             self._delete(key)
-            self.stats.corruptions += 1
+            self._instruments.corruptions.inc()
             return None
         ttl = self.config.ttl_seconds
         if ttl is not None and now - created > ttl:
             self._delete(key)
-            self.stats.expirations += 1
+            self._instruments.expirations.inc()
             return None
         if hashlib.sha256(text.encode("utf-8")).hexdigest() != checksum:
             self._delete(key)
-            self.stats.corruptions += 1
+            self._instruments.corruptions.inc()
             return None
         try:
             payload = json.loads(text)
         except json.JSONDecodeError:
             self._delete(key)
-            self.stats.corruptions += 1
+            self._instruments.corruptions.inc()
             return None
         if touch:
             self._conn.execute(
@@ -247,4 +307,4 @@ class ExplanationStore:
             ")",
             (excess,),
         )
-        self.stats.evictions += excess
+        self._instruments.evictions.inc(excess)

@@ -1,0 +1,247 @@
+"""Tests of the metrics registry: instruments, atomicity, exporters."""
+
+import json
+import pickle
+import re
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.export import (
+    METRICS_FORMAT_VERSION,
+    save_json,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "a counter", component="x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec_and_high_water(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == 8
+        gauge.set_max(5)
+        assert gauge.value == 8
+        gauge.set_max(11)
+        assert gauge.value == 11
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = MetricsRegistry().histogram(
+            "h_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snapshot = histogram.value
+        assert snapshot["buckets"] == [(0.1, 1), (1.0, 3), (10.0, 4)]
+        assert snapshot["count"] == 5
+        assert snapshot["sum"] == pytest.approx(56.05)
+        assert snapshot["max"] == 50.0
+
+    def test_same_coordinates_return_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", component="x")
+        b = registry.counter("c_total", component="x")
+        c = registry.counter("c_total", component="y")
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("name")
+
+    def test_next_instance_is_sequential_per_component(self):
+        registry = MetricsRegistry()
+        assert registry.next_instance("engine") == "0"
+        assert registry.next_instance("engine") == "1"
+        assert registry.next_instance("store") == "0"
+
+
+class TestDisabledRegistry:
+    def test_updates_are_no_ops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total")
+        gauge = registry.gauge("g")
+        histogram = registry.histogram("h")
+        counter.inc(5)
+        gauge.set(3)
+        gauge.set_max(9)
+        histogram.observe(1.0)
+        registry.bulk([(counter, 7), (histogram, 2.0)])
+        assert counter.value == 0
+        assert gauge.value == 0
+        assert histogram.value["count"] == 0
+
+
+class TestAtomicOperations:
+    def test_bulk_read_drain(self):
+        registry = MetricsRegistry()
+        a = registry.counter("a_total")
+        b = registry.counter("b_total")
+        registry.bulk([(a, 2), (b, 3)])
+        assert registry.read(a, b) == [2, 3]
+        assert registry.drain(a, b) == [2, 3]
+        assert registry.read(a, b) == [0, 0]
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        histogram = registry.histogram("h")
+        counter.inc()
+        histogram.observe(1.0)
+        registry.reset()
+        assert counter.value == 0
+        assert histogram.value["count"] == 0
+
+    def test_hammer_exact_counts(self):
+        """N threads hammering shared instruments lose no update."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", component="test")
+        histogram = registry.histogram(
+            "latency_seconds", component="test", buckets=DEFAULT_BUCKETS
+        )
+        n_threads, n_iterations = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(n_iterations):
+                counter.inc()
+                registry.bulk([(counter, 2), (histogram, 0.01)])
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 3 * n_threads * n_iterations
+        snapshot = histogram.value
+        assert snapshot["count"] == n_threads * n_iterations
+        assert snapshot["sum"] == pytest.approx(0.01 * snapshot["count"])
+
+    def test_snapshot_never_tears(self):
+        """a and b move together under bulk; every read sees a == b."""
+        registry = MetricsRegistry()
+        a = registry.counter("a_total")
+        b = registry.counter("b_total")
+        stop = threading.Event()
+        torn: list[tuple] = []
+
+        def writer() -> None:
+            while not stop.is_set():
+                registry.bulk([(a, 1), (b, 1)])
+
+        def reader() -> None:
+            for _ in range(2000):
+                seen_a, seen_b = registry.read(a, b)
+                if seen_a != seen_b:
+                    torn.append((seen_a, seen_b))
+            stop.set()
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=reader),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert torn == []
+
+
+class TestPickling:
+    def test_registry_roundtrip_keeps_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", component="engine")
+        counter.inc(7)
+        restored = pickle.loads(pickle.dumps(registry))
+        copy = restored.counter("c_total", component="engine")
+        assert copy.value == 7
+        copy.inc()  # the rebuilt lock works
+        assert copy.value == 8
+
+
+class TestExporters:
+    @pytest.fixture()
+    def registry(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_requests_total", "Requests", component="engine", instance="0"
+        ).inc(3)
+        registry.gauge("repro_depth", "Depth", component="service").set(2)
+        histogram = registry.histogram(
+            "repro_stage_seconds", "Stage time",
+            buckets=(0.1, 1.0), component="engine", stage="predict",
+        )
+        histogram.observe(0.05)
+        histogram.observe(5.0)
+        return registry
+
+    def test_prometheus_text_structure(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_requests_total counter" in text
+        assert (
+            'repro_requests_total{component="engine",instance="0"} 3' in text
+        )
+        assert "# TYPE repro_depth gauge" in text
+        assert 'repro_depth{component="service"} 2' in text
+        assert "# TYPE repro_stage_seconds histogram" in text
+        assert (
+            'repro_stage_seconds_bucket{component="engine",le="1",'
+            'stage="predict"} 1' in text
+        )
+        assert (
+            'repro_stage_seconds_bucket{component="engine",le="+Inf",'
+            'stage="predict"} 2' in text
+        )
+        assert (
+            'repro_stage_seconds_count{component="engine",stage="predict"} 2'
+            in text
+        )
+        # Every non-comment line parses as "<series>{labels} <value>".
+        pattern = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+        )
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            assert pattern.match(line), line
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", component='we"ird\\x').inc()
+        text = to_prometheus(registry)
+        assert 'component="we\\"ird\\\\x"' in text
+
+    def test_json_export_and_save(self, registry, tmp_path):
+        payload = to_json(registry)
+        assert payload["format_version"] == METRICS_FORMAT_VERSION
+        by_name = {f["name"]: f for f in payload["metrics"]}
+        assert by_name["repro_requests_total"]["samples"][0]["value"] == 3
+        histogram = by_name["repro_stage_seconds"]["samples"][0]["value"]
+        assert histogram["count"] == 2
+        assert histogram["buckets"] == [
+            {"le": 0.1, "count": 1},
+            {"le": 1.0, "count": 1},
+        ]
+        path = save_json(registry, tmp_path / "sub" / "metrics.json")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(payload)
+        )

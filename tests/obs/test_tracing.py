@@ -1,0 +1,129 @@
+"""Tests of the span tracer: nesting, ring buffer, thread isolation."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    TRACE_FORMAT_VERSION,
+    Tracer,
+    _NULL_SPAN,
+    trace as global_trace,
+)
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestNesting:
+    def test_children_nest_under_open_parent(self, tracer):
+        with tracer.span("root", kind="outer"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        roots = tracer.roots()
+        assert [span.name for span in roots] == ["root"]
+        root = roots[0]
+        assert root.attrs == {"kind": "outer"}
+        assert [child.name for child in root.children] == ["child", "sibling"]
+        assert [g.name for g in root.children[0].children] == ["grandchild"]
+        assert root.end is not None and root.duration >= 0
+
+    def test_find_walks_depth_first(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("a"):
+                    pass
+        root = tracer.roots()[0]
+        assert len(root.find("a")) == 2
+        assert len(root.find("b")) == 1
+        assert root.find("missing") == []
+
+    def test_exception_tags_error_and_unwinds(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("root"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        root = tracer.roots()[0]
+        assert root.attrs["error"] == "ValueError"
+        assert root.children[0].attrs["error"] == "ValueError"
+        # The stack unwound fully: the next span is a fresh root.
+        with tracer.span("next"):
+            pass
+        assert [span.name for span in tracer.roots()] == ["root", "next"]
+
+    def test_set_attaches_attributes(self, tracer):
+        with tracer.span("root") as span:
+            span.set(n=3).set(side="left")
+        assert tracer.roots()[0].attrs == {"n": 3, "side": "left"}
+
+
+class TestLifecycle:
+    def test_disabled_tracer_hands_out_the_null_span(self):
+        tracer = Tracer()
+        assert tracer.span("anything", n=1) is _NULL_SPAN
+        with tracer.span("anything") as span:
+            assert span.set(x=1) is _NULL_SPAN
+        assert tracer.roots() == []
+
+    def test_global_tracer_is_disabled_by_default(self):
+        assert global_trace.enabled is False
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(enabled=True, ring_size=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [span.name for span in tracer.roots()] == ["s2", "s3", "s4"]
+
+    def test_enable_can_resize_and_clear_empties(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.enable(ring_size=8)
+        assert len(tracer.roots()) == 1
+        tracer.clear()
+        assert tracer.roots() == []
+
+    def test_thread_spans_form_separate_trees(self, tracer):
+        barrier = threading.Barrier(2)
+
+        def worker(name: str) -> None:
+            with tracer.span(name):
+                barrier.wait()  # both spans are open simultaneously
+                with tracer.span(f"{name}-child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        roots = tracer.roots()
+        assert sorted(span.name for span in roots) == ["t0", "t1"]
+        for root in roots:
+            assert [c.name for c in root.children] == [f"{root.name}-child"]
+
+
+class TestExport:
+    def test_export_shape_and_save(self, tracer, tmp_path):
+        with tracer.span("root", side="left"):
+            with tracer.span("child"):
+                pass
+        payload = tracer.export()
+        assert payload["format_version"] == TRACE_FORMAT_VERSION
+        (root,) = payload["spans"]
+        assert root["name"] == "root"
+        assert root["attrs"] == {"side": "left"}
+        assert root["children"][0]["name"] == "child"
+        assert root["duration"] >= root["children"][0]["duration"]
+        path = tracer.save(tmp_path / "sub" / "trace.json")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(payload)
+        )
