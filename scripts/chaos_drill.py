@@ -1,0 +1,328 @@
+#!/usr/bin/env python
+"""Seeded chaos drill of the request-lifecycle machinery (CI chaos job).
+
+Boots the real ``repro-em serve`` CLI and drives it through the failure
+modes the lifecycle layer exists for:
+
+1. **overload** — a simultaneous burst against a 1-worker server with a
+   shed threshold of 1: some requests must be admitted (200), the rest
+   shed with HTTP 429 + ``Retry-After`` + ``code: "overloaded"``, and
+   the ``shed`` counter must account for them;
+2. **deadlines** — a cold request carrying a 1 ms budget must fail with
+   ``code: "deadline_exceeded"`` (HTTP 504 / JSONL alike), must leave no
+   store entry behind, and the same request re-sent without a deadline
+   must compute normally;
+3. **graceful drain** — SIGTERM must stop the server within its drain
+   budget with exit code 0 and a drain summary on stderr;
+4. **store corruption** — a truncated SQLite file must be quarantined to
+   ``*.corrupt-<ts>`` on the next boot, the store rebuilt empty, and the
+   recomputed explanations must be bit-identical to the pre-corruption
+   ones;
+5. **mid-request kill** — SIGKILL while a computation is in flight must
+   not poison the store: the next boot over the same directory serves
+   correctly.
+
+Everything is seeded; a failure reproduces.  Run locally with::
+
+    PYTHONPATH=src python scripts/chaos_drill.py
+
+Pass ``--artifacts-dir DIR`` to keep server logs for CI upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.testing.chaos import kill_after, overload_burst, truncate_file
+
+SEED = 7
+DATASET_ARGS = [
+    "--dataset", "S-BR", "--size-cap", "150", "--samples", "32",
+    "--seed", str(SEED),
+]
+STORE_DB = "explanations.sqlite"
+
+
+def serve_jsonl(
+    store_dir: Path, model_dir: Path, requests: list[dict], extra=()
+) -> tuple[list[dict], str]:
+    """One stdio server session; returns (responses, stderr)."""
+    lines = "".join(json.dumps(r) + "\n" for r in requests)
+    process = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "serve", *DATASET_ARGS,
+            "--store-dir", str(store_dir), "--model-dir", str(model_dir),
+            "--workers", "2", *extra,
+        ],
+        input=lines, capture_output=True, text=True, timeout=150,
+    )
+    if process.returncode != 0:
+        print(process.stderr, file=sys.stderr)
+        raise SystemExit(f"serve exited with {process.returncode}")
+    return [json.loads(line) for line in process.stdout.splitlines()], process.stderr
+
+
+def boot_http(store_dir: Path, model_dir: Path, extra=()) -> tuple:
+    """Boot ``serve --http`` on an ephemeral port; returns (process, url)."""
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", *DATASET_ARGS,
+            "--store-dir", str(store_dir), "--model-dir", str(model_dir),
+            "--http", "127.0.0.1:0", *extra,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    address = None
+    stderr_lines: list[str] = []
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        stderr_lines.append(line)
+        if line.startswith("serving on "):
+            address = line.split()[2]
+            break
+        if not line and process.poll() is not None:
+            break
+    if address is None:
+        print("".join(stderr_lines), file=sys.stderr)
+        raise SystemExit("serve --http did not come up")
+    return process, address
+
+
+def stop_http(process) -> str:
+    """SIGINT the server and return its remaining stderr."""
+    if process.poll() is None:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+    return process.stderr.read() if process.stderr else ""
+
+
+def post_explain(url: str, payload: dict, timeout: float = 120.0) -> dict:
+    """POST /explain; returns ``{"status", "body", "retry_after"}``."""
+    request = urllib.request.Request(
+        url + "/explain",
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return {
+                "status": response.status,
+                "body": json.loads(response.read()),
+                "retry_after": None,
+            }
+    except urllib.error.HTTPError as error:
+        return {
+            "status": error.code,
+            "body": json.loads(error.read()),
+            "retry_after": error.headers.get("Retry-After"),
+        }
+
+
+def drill_overload_and_deadline(root: Path, model_dir: Path, check) -> None:
+    print("drill 1+2: overload shedding and deadlines over HTTP")
+    store_dir = root / "store-overload"
+    process, url = boot_http(
+        store_dir, model_dir,
+        extra=["--workers", "1", "--shed-threshold", "1", "--drain-timeout", "20"],
+    )
+    try:
+        outcomes = overload_burst(
+            lambda slot: post_explain(
+                url, {"record": slot, "method": "single"}
+            ),
+            n=8,
+        )
+        statuses = [o["status"] for o in outcomes if isinstance(o, dict)]
+        check(len(statuses) == 8, "burst: every request got an HTTP response")
+        admitted = [s for s in statuses if s == 200]
+        shed = [o for o in outcomes
+                if isinstance(o, dict) and o["status"] == 429]
+        check(bool(admitted), f"burst: some requests admitted ({len(admitted)})")
+        check(bool(shed), f"burst: some requests shed with 429 ({len(shed)})")
+        check(
+            all(o["body"].get("code") == "overloaded" for o in shed),
+            "shed responses carry code=overloaded",
+        )
+        check(
+            all(o["retry_after"] is not None for o in shed),
+            "shed responses carry a Retry-After header",
+        )
+        with urllib.request.urlopen(url + "/stats", timeout=30) as response:
+            stats = json.loads(response.read())["stats"]["service"]
+        check(stats["shed"] == len(shed), "shed counter matches 429 count")
+
+        # Deadline: 1 ms budget on a cold record cannot be met.
+        doomed = {"record": 20, "method": "single", "deadline_seconds": 0.001}
+        outcome = post_explain(url, doomed)
+        check(outcome["status"] == 504, "deadline miss maps to HTTP 504")
+        check(
+            outcome["body"].get("code") == "deadline_exceeded",
+            "deadline miss carries code=deadline_exceeded",
+        )
+        # No partial store entry: the same request minus the deadline
+        # must actually compute (a poisoned store would answer instantly).
+        before = json.loads(
+            urllib.request.urlopen(url + "/stats", timeout=30).read()
+        )["stats"]["service"]["computed"]
+        retry = post_explain(url, {"record": 20, "method": "single"})
+        check(retry["status"] == 200, "same request without deadline succeeds")
+        after = json.loads(
+            urllib.request.urlopen(url + "/stats", timeout=30).read()
+        )["stats"]["service"]["computed"]
+        check(
+            after == before + 1,
+            "deadline-aborted request left no store entry (recomputed)",
+        )
+    finally:
+        stop_http(process)
+
+
+def drill_sigterm_drain(root: Path, model_dir: Path, check) -> str:
+    print("drill 3: SIGTERM drains within its budget")
+    store_dir = root / "store-drain"
+    process, url = boot_http(
+        store_dir, model_dir, extra=["--drain-timeout", "20"]
+    )
+    outcome = post_explain(url, {"record": 0, "method": "single"})
+    check(outcome["status"] == 200, "pre-drain request succeeds")
+    started = time.monotonic()
+    process.send_signal(signal.SIGTERM)
+    try:
+        code = process.wait(timeout=40)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+        check(False, "SIGTERM: server exited within the drain budget")
+        return ""
+    elapsed = time.monotonic() - started
+    stderr = process.stderr.read() if process.stderr else ""
+    check(code == 0, f"SIGTERM: clean exit code (got {code})")
+    check(elapsed < 30, f"SIGTERM: exited in {elapsed:.1f}s (< 30s)")
+    check("drain:" in stderr, "SIGTERM: drain summary printed")
+    return stderr
+
+
+def drill_store_recovery(root: Path, model_dir: Path, check) -> None:
+    print("drill 4: corrupt store is quarantined; results bit-identical")
+    store_dir = root / "store-recovery"
+    batch = [
+        {"id": "a", "record": 0, "method": "single"},
+        {"id": "b", "record": 1, "method": "single"},
+        {"id": "stats", "op": "stats"},
+        {"id": "bye", "op": "shutdown"},
+    ]
+    responses, _ = serve_jsonl(store_dir, model_dir, batch)
+    baseline = {r["id"]: r for r in responses}
+    check(
+        all(r["ok"] for r in baseline.values()), "baseline session all ok"
+    )
+
+    truncate_file(store_dir / STORE_DB, keep_fraction=0.25)
+    responses2, _ = serve_jsonl(store_dir, model_dir, batch)
+    after = {r["id"]: r for r in responses2}
+    check(
+        all(r["ok"] for r in after.values()),
+        "post-corruption session all ok (no crash, no garbage)",
+    )
+    quarantined = list(store_dir.glob(f"{STORE_DB}.corrupt-*"))
+    check(bool(quarantined), "corrupt database quarantined to *.corrupt-<ts>")
+    store_stats = after["stats"]["stats"]["store"]
+    check(
+        store_stats["recoveries"] >= 1, "recovery counted in store stats"
+    )
+    check(
+        after["a"]["result"] == baseline["a"]["result"]
+        and after["b"]["result"] == baseline["b"]["result"],
+        "recomputed explanations bit-identical after recovery",
+    )
+
+
+def drill_midrequest_kill(root: Path, model_dir: Path, check) -> None:
+    print("drill 5: SIGKILL mid-request does not poison the store")
+    store_dir = root / "store-kill"
+    lines = json.dumps({"id": "doomed", "record": 2, "method": "single"}) + "\n"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", *DATASET_ARGS,
+            "--store-dir", str(store_dir), "--model-dir", str(model_dir),
+        ],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, text=True,
+    )
+    # The kill lands while the server is somewhere between model load and
+    # mid-computation — any point must leave a recoverable store.
+    timer = kill_after(process, delay=2.0)
+    try:
+        process.communicate(input=lines, timeout=120)
+    except subprocess.TimeoutExpired:
+        process.kill()
+    finally:
+        timer.cancel()
+    batch = [
+        {"id": "after", "record": 2, "method": "single"},
+        {"id": "bye", "op": "shutdown"},
+    ]
+    responses, _ = serve_jsonl(store_dir, model_dir, batch)
+    after = {r["id"]: r for r in responses}
+    check(
+        after["after"]["ok"],
+        "restart over the killed store serves correctly",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts-dir", type=Path, default=None,
+        help="keep drill outputs here for CI artifact upload",
+    )
+    args = parser.parse_args(argv)
+    failures: list[str] = []
+    transcript: list[str] = []
+
+    def check(condition: bool, what: str) -> None:
+        line = f"  [{'ok' if condition else 'FAIL'}] {what}"
+        print(line)
+        transcript.append(line)
+        if not condition:
+            failures.append(what)
+
+    started = time.monotonic()
+    with tempfile.TemporaryDirectory() as root_text:
+        root = Path(root_text)
+        model_dir = root / "models"
+        drill_overload_and_deadline(root, model_dir, check)
+        drain_stderr = drill_sigterm_drain(root, model_dir, check)
+        drill_store_recovery(root, model_dir, check)
+        drill_midrequest_kill(root, model_dir, check)
+        if args.artifacts_dir is not None:
+            args.artifacts_dir.mkdir(parents=True, exist_ok=True)
+            (args.artifacts_dir / "chaos_transcript.txt").write_text(
+                "\n".join(transcript) + "\n"
+            )
+            (args.artifacts_dir / "drain_stderr.txt").write_text(drain_stderr)
+            print(f"artifacts kept in {args.artifacts_dir}")
+
+    elapsed = time.monotonic() - started
+    print(f"chaos_drill {'FAILED' if failures else 'passed'} in {elapsed:.0f}s")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,8 +119,9 @@ def http_session(
                 return resp.status, resp.read().decode("utf-8")
 
         status, body = get("/healthz")
+        health = json.loads(body)
         check(
-            status == 200 and json.loads(body) == {"ok": True},
+            status == 200 and health["ok"] is True,
             "healthz reports ok",
         )
 

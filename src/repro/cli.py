@@ -169,6 +169,25 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         "--call-timeout", type=float, default=None,
         help="abandon a matcher call after this many seconds (guard)",
     )
+    parser.add_argument(
+        "--shed-threshold", type=int, default=None,
+        help="shed new requests (HTTP 429) once this many are queued",
+    )
+    parser.add_argument(
+        "--max-queue-wait", type=float, default=None,
+        help="shed new requests once the estimated queue wait exceeds "
+             "this many seconds",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-request latency budget in seconds; a request "
+             "past its deadline aborts between matcher chunks",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds a graceful shutdown (SIGTERM / close) may spend "
+             "finishing queued work before cancelling it",
+    )
     _add_engine_arguments(parser)
     _add_obs_arguments(parser)
 
@@ -607,7 +626,12 @@ def _build_service(args: argparse.Namespace, dataset):
         matcher,
         store=store,
         config=ServiceConfig(
-            n_workers=args.workers, queue_size=args.queue_size
+            n_workers=args.workers,
+            queue_size=args.queue_size,
+            shed_threshold=args.shed_threshold,
+            max_queue_wait=args.max_queue_wait,
+            default_deadline=args.deadline,
+            drain_timeout=args.drain_timeout,
         ),
         engine_config=EngineConfig(
             cache=not args.no_cache,
@@ -636,11 +660,31 @@ def _write_service_stats(service, store_dir: Path | None) -> None:
     print(f"wrote {path}", file=sys.stderr)
 
 
+def _install_drain_handler() -> None:
+    """Turn SIGTERM into a graceful drain (via the serve cleanup path).
+
+    Raising ``SystemExit`` in the main thread unwinds ``serve_forever`` /
+    the stdio loop into ``_cmd_serve``'s ``finally`` block, which closes
+    the service with its drain budget and prints the drain summary.
+    """
+    import signal
+
+    def _on_sigterm(signum, frame):
+        print("received SIGTERM: draining...", file=sys.stderr)
+        raise SystemExit(0)
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - not in the main thread
+        pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve_http, serve_stdio
 
     dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
     service, store, defaults = _build_service(args, dataset)
+    _install_drain_handler()
     try:
         if args.http:
             host, _, port = args.http.rpartition(":")
@@ -660,7 +704,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             serve_stdio(service, dataset, defaults)
     finally:
-        service.close()
+        drain = service.close()
+        print(
+            f"drain: {drain.get('pending_at_close', 0)} pending at close, "
+            f"{drain.get('cancelled', 0)} cancelled, "
+            f"{drain.get('seconds', 0.0)}s",
+            file=sys.stderr,
+        )
         print(service.stats.summary(), file=sys.stderr)
         _write_service_stats(service, args.store_dir)
         metrics_path = (

@@ -128,6 +128,10 @@ class StoreConfig:
 
     max_entries: int = 10_000
     ttl_seconds: float | None = None
+    #: Consecutive failed reads (checksum / JSON / SQLite errors) that
+    #: mark the backing file systemically corrupt: the store quarantines
+    #: it to ``*.corrupt-<ts>`` and rebuilds empty instead of failing.
+    recover_after: int = 3
 
     def __post_init__(self) -> None:
         if self.max_entries < 1:
@@ -137,6 +141,10 @@ class StoreConfig:
         if self.ttl_seconds is not None and self.ttl_seconds <= 0:
             raise ConfigurationError(
                 f"ttl_seconds must be > 0, got {self.ttl_seconds}"
+            )
+        if self.recover_after < 1:
+            raise ConfigurationError(
+                f"recover_after must be >= 1, got {self.recover_after}"
             )
 
 
@@ -148,11 +156,24 @@ class ServiceConfig:
     ``queue_size`` pending requests; ``coalesce`` collapses duplicate
     in-flight requests onto one computation.  None of these change a
     single bit of any explanation — only how requests are scheduled.
+
+    The lifecycle knobs bound tail latency under overload:
+    ``shed_threshold`` / ``max_queue_wait`` are the admission-control
+    limits (queue depth, estimated queue wait in seconds) above which
+    ``submit`` rejects with
+    :class:`~repro.exceptions.ServiceOverloadedError` (HTTP 429);
+    ``default_deadline`` applies to requests that carry none;
+    ``drain_timeout`` is the budget of a graceful ``close(drain=True)``
+    before still-queued work is cancelled instead of computed.
     """
 
     n_workers: int = 2
     queue_size: int = 256
     coalesce: bool = True
+    shed_threshold: int | None = None
+    max_queue_wait: float | None = None
+    default_deadline: float | None = None
+    drain_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -162,6 +183,22 @@ class ServiceConfig:
         if self.queue_size < 1:
             raise ConfigurationError(
                 f"queue_size must be >= 1, got {self.queue_size}"
+            )
+        if self.shed_threshold is not None and self.shed_threshold < 1:
+            raise ConfigurationError(
+                f"shed_threshold must be >= 1, got {self.shed_threshold}"
+            )
+        if self.max_queue_wait is not None and self.max_queue_wait <= 0:
+            raise ConfigurationError(
+                f"max_queue_wait must be > 0, got {self.max_queue_wait}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ConfigurationError(
+                f"default_deadline must be > 0, got {self.default_deadline}"
+            )
+        if self.drain_timeout < 0:
+            raise ConfigurationError(
+                f"drain_timeout must be >= 0, got {self.drain_timeout}"
             )
 
 

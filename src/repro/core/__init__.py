@@ -26,6 +26,12 @@ from repro.core.counterfactual import (
     TokenEdit,
     greedy_counterfactual,
 )
+from repro.core.deadline import (
+    CancelToken,
+    Deadline,
+    checkpoint,
+    request_scope,
+)
 from repro.core.engine import (
     ENGINE_OFF,
     EngineConfig,
@@ -61,8 +67,10 @@ from repro.core.serialize import (
 from repro.core.summarize import GlobalSummary, summarize_explanations
 
 __all__ = [
+    "CancelToken",
     "Counterfactual",
     "DatasetReconstructor",
+    "Deadline",
     "DualExplanation",
     "ENGINE_OFF",
     "EngineConfig",
@@ -82,6 +90,7 @@ __all__ = [
     "PairReconstructor",
     "PairTokenWeights",
     "TokenEdit",
+    "checkpoint",
     "dual_digest",
     "dual_from_dict",
     "dual_to_dict",
@@ -90,6 +99,7 @@ __all__ = [
     "load_matcher",
     "matcher_fingerprint",
     "pair_digest",
+    "request_scope",
     "save_explanation",
     "save_matcher",
     "save_html",

@@ -47,6 +47,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.deadline import checkpoint
 from repro.core.generation import GeneratedInstance
 from repro.core.guard import GUARD_COUNTER_FIELDS, GuardConfig, MatcherGuard
 from repro.data.records import EMDataset, RecordPair
@@ -611,9 +612,17 @@ class PredictionEngine:
         return out
 
     def _predict_batches(self, pairs: list[RecordPair]) -> np.ndarray:
-        """Chunked (optionally thread-parallel) matcher execution."""
+        """Chunked (optionally thread-parallel) matcher execution.
+
+        Polls the ambient request scope (:func:`repro.core.deadline.
+        checkpoint`) between chunks: a request whose deadline passed or
+        whose waiters cancelled aborts at the next chunk boundary instead
+        of paying for the rest of the batch.  The poll is a no-op outside
+        a serving scope and never changes results.
+        """
         config = self.config
         started = time.perf_counter()
+        checkpoint("prediction")
         chunks = [
             pairs[offset : offset + config.batch_size]
             for offset in range(0, len(pairs), config.batch_size)
@@ -637,7 +646,11 @@ class PredictionEngine:
                         raise
                     results = None  # pragma: no cover - defensive serial fallback
             if results is None:
-                results = [self.guard.call(chunk) for chunk in chunks]
+                results = []
+                for index, chunk in enumerate(chunks):
+                    if index:
+                        checkpoint("prediction")
+                    results.append(self.guard.call(chunk))
         for chunk, result in zip(chunks, results):
             if np.shape(result) != (len(chunk),):
                 raise ExplanationError(

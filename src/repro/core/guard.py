@@ -32,6 +32,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.core.deadline import checkpoint
 from repro.exceptions import (
     ConfigurationError,
     MatcherTimeoutError,
@@ -172,7 +173,13 @@ class MatcherGuard:
         return self._state
 
     def call(self, pairs):
-        """Invoke the guarded callable on *pairs*, applying all policies."""
+        """Invoke the guarded callable on *pairs*, applying all policies.
+
+        Polls the ambient request scope first: an expired deadline or a
+        cancelled request fails here instead of spending a matcher call
+        (and instead of burning retries on work nobody is waiting for).
+        """
+        checkpoint("matcher call")
         config = self.config
         if not config.active:
             with trace.span("guard_call", n_pairs=len(pairs), active=False):
@@ -201,6 +208,9 @@ class MatcherGuard:
                     with self._lock:
                         self._bump("guard_retries")
                     self._sleep(attempt)
+                    # A retry is new spend: don't re-attempt a call whose
+                    # request already expired or lost all its waiters.
+                    checkpoint("matcher retry")
                     continue
                 try:
                     error.guard_attempts = attempts

@@ -18,8 +18,18 @@ clause while still being able to discriminate finer-grained failures::
     │                              #   config mismatch on resume
     ├── ArtifactError              # saved model artifact missing/corrupt/
     │                              #   fingerprint mismatch
+    ├── DeadlineExceededError      # request deadline passed mid-compute
     └── ServiceError               # explanation service: bad request,
-                                   #   queue full, or service closed
+        │                          #   queue full, or service closed
+        ├── ServiceOverloadedError # admission control shed the request
+        └── RequestCancelledError  # every waiter abandoned the request
+
+Error taxonomy
+--------------
+Every class carries a stable, machine-readable ``code`` (a class
+attribute, also available via :func:`error_code`).  The serving layer
+stamps that code on JSONL / HTTP error responses, so clients dispatch on
+``code`` — never on the human-readable message, which may change.
 """
 
 from __future__ import annotations
@@ -36,57 +46,133 @@ __all__ = [
     "MatcherUnavailableError",
     "CheckpointError",
     "ArtifactError",
+    "DeadlineExceededError",
     "ServiceError",
+    "ServiceOverloadedError",
+    "RequestCancelledError",
+    "error_code",
 ]
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the repro package."""
+    """Base class for every error raised by the repro package.
+
+    ``code`` is the stable machine-readable identity of the failure mode;
+    subclasses override it.  Wire protocols (JSONL / HTTP) carry it
+    verbatim so clients can dispatch without parsing messages.
+    """
+
+    code = "internal"
 
 
 class SchemaError(ReproError):
     """A record, pair or dataset violates its declared schema."""
 
+    code = "schema_error"
+
 
 class TokenizationError(ReproError):
     """A token string could not be produced or parsed back."""
+
+    code = "tokenization_error"
 
 
 class DatasetError(ReproError):
     """A dataset is malformed, empty, or inconsistent with its labels."""
 
+    code = "dataset_error"
+
 
 class ModelNotFittedError(ReproError):
     """A matcher or surrogate model was used before being fitted."""
+
+    code = "model_not_fitted"
 
 
 class ExplanationError(ReproError):
     """An explanation could not be generated for the given record."""
 
+    code = "explanation_error"
+
 
 class ConfigurationError(ReproError):
     """Invalid experiment or component configuration."""
 
+    code = "configuration_error"
+
 
 class MatcherTimeoutError(ReproError):
     """A guarded matcher call did not return within the call timeout."""
+
+    code = "matcher_timeout"
 
 
 class MatcherUnavailableError(ReproError):
     """The matcher guard's circuit breaker is open: calls fail fast
     instead of hammering a matcher that keeps failing."""
 
+    code = "matcher_unavailable"
+
 
 class CheckpointError(ReproError):
     """A checkpoint journal is missing, corrupt, or belongs to a
     different experiment configuration."""
+
+    code = "checkpoint_error"
 
 
 class ArtifactError(ReproError):
     """A persisted model artifact is missing, unreadable, or fails its
     fingerprint check."""
 
+    code = "artifact_error"
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline passed before its computation finished.
+
+    Raised cooperatively — the prediction engine checks the ambient
+    :class:`~repro.core.deadline.Deadline` between matcher chunks, so an
+    expired request aborts without paying for the rest of its batch and
+    without writing a partial store entry.
+    """
+
+    code = "deadline_exceeded"
+
 
 class ServiceError(ReproError):
     """The explanation service rejected a request: the payload was
     malformed, the work queue was full, or the service is shut down."""
+
+    code = "bad_request"
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control shed the request: the queue is too deep or the
+    estimated wait exceeds the configured bound.
+
+    ``retry_after`` is the server's estimate (seconds) of when capacity
+    returns; the HTTP front-end forwards it as a ``Retry-After`` header
+    on the 429 response.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class RequestCancelledError(ServiceError):
+    """Every waiter abandoned the request before a worker started it, so
+    the service dropped it without computing."""
+
+    code = "cancelled"
+
+
+def error_code(error: BaseException) -> str:
+    """The stable wire code of *error* (``"internal"`` for foreign ones)."""
+    code = getattr(error, "code", None)
+    if isinstance(code, str) and code:
+        return code
+    return ReproError.code

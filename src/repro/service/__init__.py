@@ -35,9 +35,11 @@ from repro.service.request import (
     request_key,
 )
 from repro.service.server import (
+    ERROR_STATUS,
     PRECOMPUTE_JOURNAL,
     PrecomputeReport,
     handle_payload,
+    http_status_for,
     precompute,
     serve_http,
     serve_stdio,
@@ -55,6 +57,7 @@ from repro.service.store import (
 )
 
 __all__ = [
+    "ERROR_STATUS",
     "ExplainRequest",
     "ExplanationService",
     "ExplanationStore",
@@ -70,6 +73,7 @@ __all__ = [
     "StoreStats",
     "duals_from_result",
     "handle_payload",
+    "http_status_for",
     "precompute",
     "request_from_payload",
     "request_key",

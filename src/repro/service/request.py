@@ -36,8 +36,12 @@ class ExplainRequest:
     """One servable explanation request.
 
     ``priority`` orders the work queue (lower runs first; interactive
-    callers use small values, warming jobs large ones).  It is the one
-    field excluded from the request key: scheduling never changes results.
+    callers use small values, warming jobs large ones).
+    ``deadline_seconds`` is the request's latency budget, measured from
+    admission: once it passes, the computation aborts between engine
+    chunks with :class:`~repro.exceptions.DeadlineExceededError` instead
+    of finishing work nobody will read (``None`` = no deadline).  Both
+    are excluded from the request key: scheduling never changes results.
     """
 
     pair: RecordPair
@@ -46,6 +50,7 @@ class ExplainRequest:
     explainer: str = "lime"
     seed: int = 0
     priority: int = 10
+    deadline_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.method not in REQUEST_METHODS:
@@ -60,6 +65,10 @@ class ExplainRequest:
         if self.samples < 4:
             raise ConfigurationError(
                 f"samples must be >= 4, got {self.samples}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
             )
 
     def generations(self) -> tuple[str, ...]:
@@ -120,6 +129,9 @@ def request_from_payload(
         pair = _pair_from_payload(payload["pair"], dataset)
     else:
         raise ServiceError("request needs a 'record' index or an inline 'pair'")
+    deadline = payload.get(
+        "deadline_seconds", defaults.get("deadline_seconds")
+    )
     try:
         return ExplainRequest(
             pair=pair,
@@ -130,6 +142,7 @@ def request_from_payload(
             ),
             seed=int(payload.get("seed", defaults.get("seed", 0))),
             priority=int(payload.get("priority", 10)),
+            deadline_seconds=None if deadline is None else float(deadline),
         )
     except (ConfigurationError, TypeError, ValueError) as error:
         raise ServiceError(f"invalid request: {error}") from error

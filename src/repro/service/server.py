@@ -11,13 +11,23 @@ The wire protocol is one JSON object per request:
 * ``{"op": "shutdown"}`` — drain and stop (stdio mode).
 
 Responses echo the request ``id`` (if any) and carry ``"ok"`` plus either
-``"result"`` or ``"error"``.  The HTTP flavour exposes the same payloads
-at ``POST /explain``, ``GET /stats`` and ``GET /healthz`` on a stdlib
+``"result"`` or, on failure, ``"error"`` (human text) **and** ``"code"``
+(the stable machine identifier from :func:`repro.exceptions.error_code`
+— ``overloaded``, ``deadline_exceeded``, ``bad_request``, ...).  The
+HTTP flavour exposes the same payloads at ``POST /explain``,
+``GET /stats`` and ``GET /healthz`` on a stdlib
 :class:`~http.server.ThreadingHTTPServer`, plus ``GET /metrics`` in the
-Prometheus text exposition format.  ``/healthz`` degrades to HTTP 503
-with ``{"ok": false, "degraded": "breaker_open"}`` while the engine's
-matcher circuit breaker is open — load balancers and probes see a dead
-matcher before piling more requests onto it.
+Prometheus text exposition format, and maps error codes onto statuses
+(:data:`ERROR_STATUS`): shed requests get **429 + Retry-After**, blown
+deadlines 504, malformed payloads a structured 400.  Connections are
+bounded: request bodies above ``max_body_bytes`` are refused with 413
+and idle sockets are dropped after ``read_timeout`` seconds, so a slow
+or hostile client cannot pin a handler thread.  ``/healthz`` degrades to
+HTTP 503 with ``{"ok": false, "degraded": ...}`` while the matcher
+circuit breaker is open (``breaker_open``), admission control is
+shedding (``overloaded``) or the service is draining for shutdown
+(``draining``) — load balancers and probes see a sick server before
+piling more requests onto it.
 
 :func:`precompute` warms the store for a dataset split.  Completion is
 journaled per request key through the crash-safe
@@ -39,7 +49,13 @@ from pathlib import Path
 from repro.data.records import EMDataset
 from repro.data.splits import sample_per_label
 from repro.evaluation.persistence import JournalWriter, read_journal
-from repro.exceptions import CheckpointError, ReproError, ServiceError
+from repro.exceptions import (
+    CheckpointError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    error_code,
+)
 from repro.obs.export import to_json, to_prometheus
 from repro.service.request import ExplainRequest, request_from_payload
 from repro.service.service import ExplanationService
@@ -48,6 +64,31 @@ logger = logging.getLogger("repro.service")
 
 #: Journal file name used by :func:`precompute` inside a store directory.
 PRECOMPUTE_JOURNAL = "precompute.jsonl"
+
+#: Largest request body ``POST /explain`` accepts by default (bytes).
+DEFAULT_MAX_BODY_BYTES = 1_048_576
+
+#: Default seconds an HTTP connection may sit idle mid-request.
+DEFAULT_READ_TIMEOUT = 30.0
+
+#: Error-code → HTTP status mapping of the serving layer.  Codes not
+#: listed are internal faults and map to 500.
+ERROR_STATUS = {
+    "bad_request": 400,
+    "schema_error": 400,
+    "configuration_error": 400,
+    "tokenization_error": 400,
+    "overloaded": 429,
+    "cancelled": 503,
+    "matcher_unavailable": 503,
+    "matcher_timeout": 504,
+    "deadline_exceeded": 504,
+}
+
+
+def http_status_for(code: str | None) -> int:
+    """The HTTP status an error *code* maps to (500 when unknown)."""
+    return ERROR_STATUS.get(code or "", 500)
 
 
 # ---------------------------------------------------------------------------
@@ -81,7 +122,15 @@ def handle_payload(
         result = service.explain(request)
         return {"ok": True, "id": request_id, "result": result}
     except ReproError as error:
-        return {"ok": False, "id": request_id, "error": str(error)}
+        response = {
+            "ok": False,
+            "id": request_id,
+            "error": str(error),
+            "code": error_code(error),
+        }
+        if isinstance(error, ServiceOverloadedError):
+            response["retry_after"] = round(error.retry_after, 3)
+        return response
 
 
 def serve_stdio(
@@ -106,7 +155,12 @@ def serve_stdio(
         try:
             payload = json.loads(line)
         except json.JSONDecodeError as error:
-            response: dict = {"ok": False, "id": None, "error": f"bad JSON: {error}"}
+            response: dict = {
+                "ok": False,
+                "id": None,
+                "error": f"bad JSON: {error}",
+                "code": "bad_request",
+            }
         else:
             response = handle_payload(service, payload, dataset, defaults)
         output_stream.write(json.dumps(response, sort_keys=True) + "\n")
@@ -128,22 +182,44 @@ def serve_http(
     defaults: dict | None = None,
     host: str = "127.0.0.1",
     port: int = 8377,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    read_timeout: float = DEFAULT_READ_TIMEOUT,
 ) -> ThreadingHTTPServer:
     """A configured localhost HTTP server (caller runs ``serve_forever``).
 
     Endpoints: ``POST /explain`` (request payload as JSON body),
     ``GET /stats``, ``GET /healthz``, ``GET /metrics`` (Prometheus text).
+    *max_body_bytes* bounds the ``/explain`` body (413 above it);
+    *read_timeout* is the per-connection socket timeout, dropping clients
+    that stall mid-request instead of pinning a handler thread.
     """
 
     class Handler(BaseHTTPRequestHandler):
+        # Socket timeout for each connection: a client that stops sending
+        # mid-request is disconnected instead of holding a thread.
+        timeout = read_timeout
+
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             logger.info("http %s", format % args)
 
-        def _respond(self, status: int, payload: dict) -> None:
+        def handle_one_request(self) -> None:
+            try:
+                super().handle_one_request()
+            except TimeoutError:
+                self.close_connection = True
+
+        def _respond(
+            self,
+            status: int,
+            payload: dict,
+            headers: dict[str, str] | None = None,
+        ) -> None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -157,12 +233,7 @@ def serve_http(
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib naming
             if self.path == "/healthz":
-                if service.engine.guard.state == "open":
-                    self._respond(
-                        503, {"ok": False, "degraded": "breaker_open"}
-                    )
-                else:
-                    self._respond(200, {"ok": True})
+                self._respond(*_healthz(service))
             elif self.path == "/stats":
                 self._respond(
                     200, {"ok": True, "stats": service.stats_payload()}
@@ -170,22 +241,90 @@ def serve_http(
             elif self.path == "/metrics":
                 self._respond_text(200, to_prometheus(service.metrics))
             else:
-                self._respond(404, {"ok": False, "error": "not found"})
+                self._respond(
+                    404, {"ok": False, "error": "not found", "code": "not_found"}
+                )
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib naming
             if self.path != "/explain":
-                self._respond(404, {"ok": False, "error": "not found"})
+                self._respond(
+                    404, {"ok": False, "error": "not found", "code": "not_found"}
+                )
                 return
-            length = int(self.headers.get("Content-Length") or 0)
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self._respond(
+                    400,
+                    {
+                        "ok": False,
+                        "error": "invalid Content-Length header",
+                        "code": "bad_request",
+                    },
+                )
+                return
+            if length > max_body_bytes:
+                # Refuse before reading: don't buffer a hostile body.
+                self.close_connection = True
+                self._respond(
+                    413,
+                    {
+                        "ok": False,
+                        "error": (
+                            f"request body of {length} bytes exceeds the "
+                            f"{max_body_bytes}-byte limit"
+                        ),
+                        "code": "body_too_large",
+                    },
+                )
+                return
             try:
                 payload = json.loads(self.rfile.read(length) or b"{}")
             except json.JSONDecodeError as error:
-                self._respond(400, {"ok": False, "error": f"bad JSON: {error}"})
+                self._respond(
+                    400,
+                    {
+                        "ok": False,
+                        "error": f"bad JSON: {error}",
+                        "code": "bad_request",
+                    },
+                )
                 return
             response = handle_payload(service, payload, dataset, defaults)
-            self._respond(200 if response["ok"] else 400, response)
+            if response["ok"]:
+                self._respond(200, response)
+                return
+            headers = {}
+            if "retry_after" in response:
+                headers["Retry-After"] = str(
+                    max(1, int(-(-response["retry_after"] // 1)))
+                )
+            self._respond(
+                http_status_for(response.get("code")), response, headers
+            )
 
     return ThreadingHTTPServer((host, port), Handler)
+
+
+def _healthz(service: ExplanationService) -> tuple[int, dict]:
+    """``(status, payload)`` of the health endpoint right now."""
+    depth, estimated_wait = service.queue_estimate()
+    payload: dict = {
+        "ok": True,
+        "queue_depth": depth,
+        "estimated_wait": round(estimated_wait, 3),
+    }
+    if service.closed:
+        degraded = "draining"
+    elif service.engine.guard.state == "open":
+        degraded = "breaker_open"
+    elif service.overloaded:
+        degraded = "overloaded"
+    else:
+        return 200, payload
+    payload["ok"] = False
+    payload["degraded"] = degraded
+    return 503, payload
 
 
 # ---------------------------------------------------------------------------

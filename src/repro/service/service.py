@@ -14,6 +14,30 @@ serving path:
    :class:`~repro.core.engine.PredictionEngine`, so matcher-call dedup and
    the prediction cache span concurrent requests.
 
+Request lifecycle
+-----------------
+Every queued request rides a *ticket* that carries its admission time, a
+:class:`~repro.core.deadline.Deadline` and a
+:class:`~repro.core.deadline.CancelToken`:
+
+* **admission control** — when the queue is deeper than
+  ``ServiceConfig.shed_threshold`` or the estimated queue wait exceeds
+  ``max_queue_wait``, :meth:`submit` sheds the request with
+  :class:`~repro.exceptions.ServiceOverloadedError` (HTTP 429 +
+  ``Retry-After``) instead of letting it wait unboundedly;
+* **deadlines** — a worker installs the ticket's deadline as the ambient
+  request scope, so the prediction engine aborts between matcher chunks
+  with :class:`~repro.exceptions.DeadlineExceededError` once it passes
+  (and an already-expired ticket is dropped before computing at all);
+* **cancellation** — :meth:`cancel` detaches one waiter; when the last
+  waiter leaves, the token fires and the ticket is skipped (queued) or
+  aborted at the next chunk boundary (computing).  Coalesced waiters
+  are independent: one impatient caller never kills the others.
+* **drain shutdown** — :meth:`close` stops admission and finishes queued
+  work within ``drain_timeout`` seconds; work still pending when the
+  budget expires is cancelled, the store is flushed, and a drain summary
+  is returned.
+
 Scheduling never changes results: a service-path explanation is
 bit-identical to the direct :class:`~repro.core.landmark.LandmarkExplainer`
 API for the same pair, seed and config (enforced by
@@ -28,13 +52,19 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 
 from repro.config import ServiceConfig
+from repro.core.deadline import CancelToken, Deadline, request_scope
 from repro.core.engine import EngineConfig, PredictionEngine
 from repro.core.landmark import LandmarkExplainer
 from repro.core.serialize import dual_digest, dual_to_dict, matcher_fingerprint
-from repro.exceptions import ServiceError
+from repro.exceptions import (
+    DeadlineExceededError,
+    RequestCancelledError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.explainers.lime_text import LimeConfig
 from repro.matchers.base import EntityMatcher
 from repro.obs.metrics import MetricsRegistry
@@ -47,6 +77,9 @@ RESULT_FORMAT_VERSION = 1
 #: Queue priority of the shutdown sentinel — drains after all real work.
 _SHUTDOWN_PRIORITY = float("inf")
 
+#: Weight of the newest sample in the queue-wait latency estimate.
+_LATENCY_EMA_ALPHA = 0.2
+
 
 @dataclass
 class ServiceStats:
@@ -55,7 +88,8 @@ class ServiceStats:
     The live counters are :mod:`repro.obs.metrics` instruments labeled
     ``component="service"`` (request latency is a
     ``repro_service_request_seconds`` histogram whose sum/max/count back
-    ``latency_seconds`` / ``latency_max`` / ``computed``);
+    ``latency_seconds`` / ``latency_max`` / ``computed``; queue wait is
+    the ``repro_service_queue_wait_seconds`` histogram);
     ``service.stats`` reads them into this plain dataclass atomically.
     """
 
@@ -71,11 +105,21 @@ class ServiceStats:
     errors: int = 0
     #: Non-blocking submissions rejected because the queue was full.
     rejected: int = 0
+    #: Submissions shed by admission control (queue depth / wait bound).
+    shed: int = 0
+    #: Tickets dropped or aborted because every waiter cancelled.
+    cancelled: int = 0
+    #: Tickets that blew their deadline (before or during computation).
+    deadline_exceeded: int = 0
     #: Highest queue depth observed at submission time.
     queue_peak: int = 0
     #: Total and worst-case wall time of completed computations.
     latency_seconds: float = 0.0
     latency_max: float = 0.0
+    #: Total and worst-case time tickets spent queued before a worker
+    #: picked them up (sheds excluded — they never enter the queue).
+    queue_wait_seconds: float = 0.0
+    queue_wait_max: float = 0.0
 
     @property
     def served_without_compute(self) -> int:
@@ -96,18 +140,25 @@ class ServiceStats:
 
     def summary(self) -> str:
         """One log-friendly line."""
-        return (
+        text = (
             f"explanation service: {self.requests} requests, "
             f"{self.store_hits} store hits, {self.coalesced} coalesced, "
             f"{self.computed} computed, {self.errors} errors "
             f"(mean latency {self.latency_mean:.3f}s, "
             f"max {self.latency_max:.3f}s, queue peak {self.queue_peak})"
         )
+        if self.shed or self.cancelled or self.deadline_exceeded:
+            text += (
+                f"; lifecycle: {self.shed} shed, {self.cancelled} cancelled, "
+                f"{self.deadline_exceeded} deadline-exceeded"
+            )
+        return text
 
 
 #: ServiceStats plain-counter fields, in instrument order.
 _SERVICE_COUNTERS = (
     "requests", "store_hits", "coalesced", "errors", "rejected",
+    "shed", "cancelled", "deadline_exceeded",
 )
 
 
@@ -116,7 +167,8 @@ class _ServiceInstruments:
 
     ``computed`` / ``latency_seconds`` / ``latency_max`` all come from
     one ``repro_service_request_seconds`` histogram (count / sum / max),
-    so a worker finishing a computation moves them together.
+    so a worker finishing a computation moves them together; queue wait
+    comes from the ``repro_service_queue_wait_seconds`` histogram.
     """
 
     def __init__(self, registry: MetricsRegistry) -> None:
@@ -131,13 +183,18 @@ class _ServiceInstruments:
             "coalesced": "Requests coalesced onto an in-flight computation",
             "errors": "Computations that raised",
             "rejected": "Non-blocking submissions rejected on a full queue",
+            "shed": "Submissions shed by admission control",
+            "cancelled": "Tickets dropped because every waiter cancelled",
+            "deadline_exceeded": "Tickets that blew their deadline",
         }
-        for field in _SERVICE_COUNTERS:
+        for field_name in _SERVICE_COUNTERS:
             setattr(
                 self,
-                field,
+                field_name,
                 registry.counter(
-                    f"repro_service_{field}_total", helps[field], **labels
+                    f"repro_service_{field_name}_total",
+                    helps[field_name],
+                    **labels,
                 ),
             )
         self.queue_depth = registry.gauge(
@@ -150,6 +207,11 @@ class _ServiceInstruments:
             "Highest queue depth observed at submission time",
             **labels,
         )
+        self.queue_wait_seconds = registry.histogram(
+            "repro_service_queue_wait_seconds",
+            "Time tickets spent queued before a worker picked them up",
+            **labels,
+        )
         self.request_seconds = registry.histogram(
             "repro_service_request_seconds",
             "Wall time of completed explanation computations",
@@ -157,8 +219,8 @@ class _ServiceInstruments:
         )
 
     def instruments(self) -> list:
-        bundle = [getattr(self, field) for field in _SERVICE_COUNTERS]
-        bundle += [self.queue_peak, self.request_seconds]
+        bundle = [getattr(self, field_name) for field_name in _SERVICE_COUNTERS]
+        bundle += [self.queue_peak, self.queue_wait_seconds, self.request_seconds]
         return bundle
 
     def build(self, values: list) -> ServiceStats:
@@ -166,17 +228,39 @@ class _ServiceInstruments:
             name: int(value)
             for name, value in zip(_SERVICE_COUNTERS, values)
         }
+        wait = values[-2]
         histogram = values[-1]
         return ServiceStats(
-            queue_peak=int(values[-2]),
+            queue_peak=int(values[-3]),
             computed=histogram["count"],
             latency_seconds=histogram["sum"],
             latency_max=histogram["max"],
+            queue_wait_seconds=wait["sum"],
+            queue_wait_max=wait["max"],
             **counters,
         )
 
     def snapshot(self) -> ServiceStats:
         return self.build(self.registry.read(*self.instruments()))
+
+
+@dataclass
+class _Ticket:
+    """One queued computation and its lifecycle state.
+
+    ``waiters`` counts the futures handed out for this key (first submit
+    plus coalesces); :meth:`ExplanationService.cancel` decrements it and
+    only fires the token when the last waiter leaves.  All mutation of
+    ``waiters`` happens under the service lock.
+    """
+
+    key: str
+    request: ExplainRequest
+    future: Future
+    deadline: Deadline
+    enqueued_at: float
+    cancel: CancelToken = field(default_factory=CancelToken)
+    waiters: int = 1
 
 
 class ExplanationService:
@@ -216,10 +300,19 @@ class ExplanationService:
         self._queue: queue.PriorityQueue = queue.PriorityQueue(
             maxsize=self.config.queue_size
         )
-        self._inflight: dict[str, Future] = {}
+        self._inflight: dict[str, _Ticket] = {}
         self._lock = threading.Lock()
         self._seq = itertools.count()
         self._closed = False
+        self._close_summary: dict | None = None
+        # EMA of computation latency, feeding the estimated-wait shed
+        # policy (updated by workers under the service lock).
+        self._latency_ema = 0.0
+        # Tickets admitted but not yet resolved (queued OR computing).
+        # The wait estimate is built on this, not on raw queue depth: a
+        # request behind one busy worker waits just as surely as one
+        # behind a queued ticket.
+        self._pending = 0
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -244,7 +337,11 @@ class ExplanationService:
         """Enqueue *request*; returns a future resolving to its payload.
 
         Store hits resolve immediately; duplicate in-flight requests share
-        one future.  With ``block=False`` a full queue raises
+        one future.  When admission control is configured
+        (``shed_threshold`` / ``max_queue_wait``) an overloaded queue
+        sheds the request with
+        :class:`~repro.exceptions.ServiceOverloadedError` before it is
+        enqueued.  With ``block=False`` a full queue raises
         :class:`~repro.exceptions.ServiceError` (counted as rejected)
         instead of applying backpressure.
         """
@@ -263,35 +360,113 @@ class ExplanationService:
                     return future
             if self.config.coalesce and key in self._inflight:
                 instruments.coalesced.inc()
-                return self._inflight[key]
-            future = Future()
-            self._inflight[key] = future
+                ticket = self._inflight[key]
+                ticket.waiters += 1
+                return ticket.future
+            # Admission control: shed before committing queue capacity.
+            # Store hits and coalesces never shed — they cost nothing.
+            overload = self._overload_check()
+            if overload is not None:
+                instruments.shed.inc()
+                raise overload
+            ticket = _Ticket(
+                key=key,
+                request=request,
+                future=Future(),
+                deadline=Deadline.after(
+                    request.deadline_seconds
+                    if request.deadline_seconds is not None
+                    else self.config.default_deadline
+                ),
+                enqueued_at=time.monotonic(),
+            )
+            self._inflight[key] = ticket
+            self._pending += 1
         # Enqueue outside the lock: put() may block on a full queue, and
         # the workers' completion path needs the lock to make progress.
-        item = (request.priority, next(self._seq), key, request, future)
+        item = (request.priority, next(self._seq), ticket)
         try:
             self._queue.put(item, block=block, timeout=timeout)
         except queue.Full:
             with self._lock:
                 instruments.rejected.inc()
                 self._inflight.pop(key, None)
+                self._pending -= 1
             raise ServiceError(
                 f"service queue is full ({self.config.queue_size} pending)"
             ) from None
         depth = self._queue.qsize()
         instruments.queue_depth.set(depth)
         instruments.queue_peak.set_max(depth)
-        return future
+        return ticket.future
 
     def explain(
         self, request: ExplainRequest, timeout: float | None = None
     ) -> dict:
-        """Synchronous :meth:`submit` — returns the result payload."""
-        return self.submit(request).result(timeout)
+        """Synchronous :meth:`submit` — returns the result payload.
+
+        When ``result(timeout)`` expires, this waiter **cancels** its
+        claim on the ticket before re-raising: an abandoned request whose
+        other waiters (if any) also left is dropped by the workers
+        instead of being computed at full cost for nobody.
+        """
+        future = self.submit(request)
+        try:
+            return future.result(timeout)
+        except TimeoutError:
+            self.cancel(request)
+            raise
+
+    def cancel(self, request_or_key: ExplainRequest | str) -> bool:
+        """Detach one waiter from the in-flight ticket for this request.
+
+        Returns ``True`` when this was the *last* waiter and the ticket
+        is now cancelled: a queued ticket will be skipped by the workers,
+        a computing one aborts at the next engine chunk boundary.  With
+        other coalesced waiters still attached (or no matching in-flight
+        ticket) it returns ``False`` and the computation proceeds.
+        """
+        if isinstance(request_or_key, str):
+            key = request_or_key
+        else:
+            key = request_key(self.fingerprint, request_or_key)
+        with self._lock:
+            ticket = self._inflight.get(key)
+            if ticket is None or ticket.waiters <= 0:
+                return False
+            ticket.waiters -= 1
+            if ticket.waiters > 0:
+                return False
+        ticket.cancel.cancel()
+        return True
 
     def key_for(self, request: ExplainRequest) -> str:
         """The content-addressed key this service assigns to *request*."""
         return request_key(self.fingerprint, request)
+
+    def queue_estimate(self) -> tuple[int, float]:
+        """``(queue depth, estimated seconds of wait)`` right now.
+
+        The wait estimate is ``pending × EMA(computation latency) /
+        n_workers`` — the same quantity the shed policy bounds — where
+        *pending* counts every admitted-but-unfinished ticket, queued or
+        already computing.
+        """
+        depth = self._queue.qsize()
+        with self._lock:
+            estimated = self._pending * self._latency_ema / self.config.n_workers
+        return depth, estimated
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether a compute submission arriving now would be shed."""
+        with self._lock:
+            return self._overload_check() is not None
+
+    @property
+    def closed(self) -> bool:
+        """Whether the service stopped admitting requests (draining)."""
+        return self._closed
 
     @property
     def stats(self) -> ServiceStats:
@@ -333,19 +508,72 @@ class ExplanationService:
             "engine": engine_stats.as_dict(),
         }
 
-    def close(self, wait: bool = True) -> None:
-        """Stop accepting requests; drain queued work, stop the workers."""
+    def close(
+        self,
+        wait: bool = True,
+        drain: bool = True,
+        drain_timeout: float | None = None,
+    ) -> dict:
+        """Stop admission and shut the workers down; returns a summary.
+
+        With ``drain=True`` (the default) queued work keeps computing for
+        up to ``drain_timeout`` seconds (``ServiceConfig.drain_timeout``
+        when ``None``); whatever is still pending when the budget expires
+        is cancelled so the workers exit promptly.  ``drain=False``
+        cancels all pending tickets immediately.  The store is flushed
+        either way.  The summary dict reports ``pending_at_close``,
+        ``cancelled``, ``drained`` (no work was cut short) and
+        ``seconds``; calling :meth:`close` again returns the same
+        summary.
+        """
+        started = time.monotonic()
         with self._lock:
             if self._closed:
-                return
+                return dict(self._close_summary or {})
             self._closed = True
+            pending = list(self._inflight.values())
+        budget = (
+            self.config.drain_timeout if drain_timeout is None else drain_timeout
+        )
+        if not drain:
+            for ticket in pending:
+                ticket.cancel.cancel()
         for _ in self._workers:
-            self._queue.put(
-                (_SHUTDOWN_PRIORITY, next(self._seq), None, None, None)
-            )
+            self._queue.put((_SHUTDOWN_PRIORITY, next(self._seq), None))
+        cancelled = 0
         if wait:
+            deadline = started + budget if drain else None
             for worker in self._workers:
-                worker.join()
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                worker.join(remaining)
+            stragglers = [w for w in self._workers if w.is_alive()]
+            if stragglers:
+                # Drain budget exhausted: cancel everything still
+                # in-flight (computing tickets abort at the next chunk)
+                # and wait for the workers to actually exit.
+                with self._lock:
+                    leftovers = list(self._inflight.values())
+                for ticket in leftovers:
+                    if not ticket.cancel.cancelled:
+                        ticket.cancel.cancel()
+                        cancelled += 1
+                for worker in stragglers:
+                    worker.join()
+        if self.store is not None:
+            self.store.flush()
+        summary = {
+            "pending_at_close": len(pending),
+            "cancelled": cancelled if drain else len(pending),
+            "drained": cancelled == 0 if drain else not pending,
+            "seconds": round(time.monotonic() - started, 3),
+        }
+        with self._lock:
+            self._close_summary = summary
+        return dict(summary)
 
     def __enter__(self) -> "ExplanationService":
         return self
@@ -354,41 +582,122 @@ class ExplanationService:
         self.close()
 
     # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _overload_check(self) -> ServiceOverloadedError | None:
+        """The shed decision for one would-be computation (lock held)."""
+        config = self.config
+        if config.shed_threshold is None and config.max_queue_wait is None:
+            return None
+        depth = self._queue.qsize()
+        # Pending counts queued AND computing tickets: a new request
+        # behind a busy worker waits for it exactly as it would for a
+        # queued ticket, so the estimate must see both.
+        estimated = self._pending * self._latency_ema / config.n_workers
+        retry_after = max(0.1, estimated / 2.0) if estimated else 1.0
+        if config.shed_threshold is not None and depth >= config.shed_threshold:
+            return ServiceOverloadedError(
+                f"service overloaded: queue depth {depth} >= shed "
+                f"threshold {config.shed_threshold}",
+                retry_after=retry_after,
+            )
+        if (
+            config.max_queue_wait is not None
+            and estimated > config.max_queue_wait
+        ):
+            return ServiceOverloadedError(
+                f"service overloaded: estimated wait "
+                f"{estimated:.2f}s > {config.max_queue_wait:.2f}s",
+                retry_after=retry_after,
+            )
+        return None
+
+    # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
 
     def _worker_loop(self) -> None:
-        instruments = self._instruments
         while True:
-            _, _, key, request, future = self._queue.get()
-            if key is None:
+            _, _, ticket = self._queue.get()
+            if ticket is None:
                 return
-            started = time.perf_counter()
-            try:
-                payload = self._compute(key, request)
-            except BaseException as error:  # noqa: BLE001 - relayed to waiters
-                with self._lock:
-                    instruments.errors.inc()
-                    self._inflight.pop(key, None)
-                future.set_exception(error)
-                continue
-            elapsed = time.perf_counter() - started
-            with self._lock:
-                # Store before un-registering the in-flight future: a
-                # concurrent submit always finds the result in exactly one
-                # of the two places.
-                if self.store is not None:
-                    self.store.put(key, payload)
-                self._inflight.pop(key, None)
-            # One registry-lock hold: the latency histogram backs the
-            # computed/latency counters, the gauge tracks drain.
-            self.metrics.bulk(
-                (
-                    (instruments.request_seconds, elapsed),
-                    (instruments.queue_depth, self._queue.qsize()),
-                )
+            self._run_ticket(ticket)
+
+    def _run_ticket(self, ticket: _Ticket) -> None:
+        instruments = self._instruments
+        waited = time.monotonic() - ticket.enqueued_at
+        self.metrics.bulk(
+            (
+                (instruments.queue_wait_seconds, waited),
+                (instruments.queue_depth, self._queue.qsize()),
             )
-            future.set_result(payload)
+        )
+        # Skip tickets nobody waits for / that already blew their budget
+        # BEFORE paying for any computation.
+        if ticket.cancel.cancelled:
+            self._fail_ticket(
+                ticket,
+                RequestCancelledError(
+                    "request dropped: every waiter cancelled while it "
+                    "was queued"
+                ),
+            )
+            return
+        if ticket.deadline.expired():
+            self._fail_ticket(
+                ticket,
+                DeadlineExceededError(
+                    f"request spent {waited:.3f}s queued and its deadline "
+                    f"passed before computation started"
+                ),
+            )
+            return
+        started = time.perf_counter()
+        try:
+            with request_scope(ticket.deadline, ticket.cancel):
+                payload = self._compute(ticket.key, ticket.request)
+        except BaseException as error:  # noqa: BLE001 - relayed to waiters
+            self._fail_ticket(ticket, error)
+            return
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            # Store before un-registering the in-flight ticket: a
+            # concurrent submit always finds the result in exactly one
+            # of the two places.
+            if self.store is not None:
+                self.store.put(ticket.key, payload)
+            self._inflight.pop(ticket.key, None)
+            self._pending -= 1
+            ema = self._latency_ema
+            self._latency_ema = (
+                elapsed
+                if ema == 0.0
+                else (1 - _LATENCY_EMA_ALPHA) * ema + _LATENCY_EMA_ALPHA * elapsed
+            )
+        # One registry-lock hold: the latency histogram backs the
+        # computed/latency counters, the gauge tracks drain.
+        self.metrics.bulk(
+            (
+                (instruments.request_seconds, elapsed),
+                (instruments.queue_depth, self._queue.qsize()),
+            )
+        )
+        ticket.future.set_result(payload)
+
+    def _fail_ticket(self, ticket: _Ticket, error: BaseException) -> None:
+        """Relay *error* to the ticket's waiters, with typed accounting."""
+        instruments = self._instruments
+        with self._lock:
+            self._inflight.pop(ticket.key, None)
+            self._pending -= 1
+        if isinstance(error, RequestCancelledError):
+            instruments.cancelled.inc()
+        elif isinstance(error, DeadlineExceededError):
+            instruments.deadline_exceeded.inc()
+        else:
+            instruments.errors.inc()
+        ticket.future.set_exception(error)
 
     def _compute(self, key: str, request: ExplainRequest) -> dict:
         explainer = self._landmark_explainer(request)

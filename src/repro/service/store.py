@@ -4,14 +4,27 @@ Completed explanations land here keyed by :func:`~repro.service.request.
 request_key`, so a repeat request — today, or from a process started next
 week — is served without touching the matcher.  The backing file is a
 single SQLite database under ``store_dir`` (stdlib only, safe for
-concurrent readers/writers through one connection guarded by a lock).
+concurrent readers/writers through one connection guarded by a lock),
+opened in WAL mode with a busy timeout so a crash mid-write never leaves
+a half-applied transaction behind.
 
 Every row carries the store format version and a SHA-256 checksum of its
 payload.  Reads verify both: a corrupt, truncated or stale-format entry is
 *deleted and reported as a miss* — the service recomputes it — never
-served.  Capacity is bounded by ``max_entries`` with least-recently-
-*accessed* eviction, and entries can expire by age (``ttl_seconds``);
-hit/miss/eviction counters feed the serving layer's run JSON.
+served.  Damage is handled at two scales:
+
+* **row-level** — an isolated bad row is dropped and recomputed
+  (``corruptions`` counter);
+* **file-level** — ``recover_after`` *consecutive* validation failures,
+  or a :class:`sqlite3.DatabaseError` (e.g. a truncated or overwritten
+  database file, at open time or mid-operation), mark the file
+  systemically corrupt: it is quarantined to ``<name>.corrupt-<ts>`` and
+  the store rebuilds empty (``recoveries`` counter).  Serving degrades
+  to recomputation; it never crashes and never serves garbage.
+
+Capacity is bounded by ``max_entries`` with least-recently-*accessed*
+eviction, and entries can expire by age (``ttl_seconds``);
+hit/miss/eviction/recovery counters feed the serving layer's run JSON.
 """
 
 from __future__ import annotations
@@ -34,6 +47,14 @@ STORE_FORMAT_VERSION = 1
 
 #: Database file name inside a store directory.
 STORE_DB_NAME = "explanations.sqlite"
+
+#: Milliseconds a connection waits on a locked database before failing.
+_BUSY_TIMEOUT_MS = 5_000
+
+#: Exceptions that mean "the database file itself is damaged".  SQLite
+#: raises :class:`UnicodeDecodeError` (not a ``DatabaseError``) when a
+#: corrupted header or payload mangles the file's text encoding.
+_CORRUPTION_ERRORS = (sqlite3.DatabaseError, UnicodeDecodeError)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS explanations (
@@ -70,6 +91,9 @@ class StoreStats:
     expirations: int = 0
     #: Entries dropped because their checksum / JSON / format failed.
     corruptions: int = 0
+    #: Times a systemically-corrupt database file was quarantined and
+    #: the store rebuilt empty.
+    recoveries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -87,6 +111,7 @@ class StoreStats:
 #: StoreStats counter fields, in instrument order.
 _STORE_COUNTERS = (
     "hits", "misses", "puts", "evictions", "expirations", "corruptions",
+    "recoveries",
 )
 
 
@@ -106,6 +131,7 @@ class _StoreInstruments:
             "evictions": "Entries removed by the LRU capacity bound",
             "expirations": "Entries dropped at read time past their TTL",
             "corruptions": "Entries dropped on checksum/JSON/format failure",
+            "recoveries": "Corrupt database files quarantined and rebuilt",
         }
         for field in _STORE_COUNTERS:
             setattr(
@@ -153,16 +179,49 @@ class ExplanationStore:
         self._instruments = _StoreInstruments(self.metrics)
         self._clock = clock
         self._lock = threading.Lock()
+        #: Consecutive validation/SQLite failures; resets on any healthy
+        #: read or write, triggers quarantine at ``recover_after``.
+        self._failure_streak = 0
         try:
-            self._conn = sqlite3.connect(
-                str(self.path), check_same_thread=False
-            )
-            self._conn.executescript(_SCHEMA)
-            self._conn.commit()
+            self._conn = self._connect()
+        except _CORRUPTION_ERRORS:
+            # The file exists but SQLite cannot read it (truncated,
+            # overwritten, not a database).  Quarantine and start fresh.
+            self._quarantine()
+            try:
+                self._conn = self._connect()
+            except sqlite3.Error as error:
+                raise ServiceError(
+                    f"cannot open explanation store at {self.path}: {error}"
+                ) from error
+            self._instruments.recoveries.inc()
         except sqlite3.Error as error:
             raise ServiceError(
                 f"cannot open explanation store at {self.path}: {error}"
             ) from error
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open + configure a connection; raises on unreadable files.
+
+        WAL journaling makes a crash mid-``put`` recoverable (the torn
+        transaction rolls back on the next open) and lets concurrent
+        processes read while one writes; the busy timeout turns brief
+        cross-process lock contention into a wait instead of an error.
+        """
+        conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        try:
+            conn.execute(f"PRAGMA busy_timeout = {_BUSY_TIMEOUT_MS}")
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+            conn.executescript(_SCHEMA)
+            # Probe the data pages, not just the header: a file truncated
+            # past page one opens fine and explodes on first real query.
+            conn.execute("SELECT COUNT(*) FROM explanations").fetchone()
+            conn.commit()
+        except BaseException:
+            conn.close()
+            raise
+        return conn
 
     # ------------------------------------------------------------------
     # Lookup / write
@@ -173,10 +232,16 @@ class ExplanationStore:
 
         Validates format version, TTL and checksum; any failure deletes
         the row and reports a miss, so a damaged store degrades to
-        recomputation instead of serving garbage.
+        recomputation instead of serving garbage.  A systemically corrupt
+        file (``recover_after`` consecutive failures, or SQLite unable to
+        read its own pages) is quarantined and rebuilt empty.
         """
         with self._lock:
-            payload = self._validated_payload(key, touch=True)
+            try:
+                payload = self._validated_payload(key, touch=True)
+            except _CORRUPTION_ERRORS:
+                self._record_failure()
+                payload = None
             if payload is None:
                 self._instruments.misses.inc()
             else:
@@ -196,23 +261,47 @@ class ExplanationStore:
         distorting serving metrics.
         """
         with self._lock:
-            return self._validated_payload(key, touch=False) is not None
+            try:
+                return self._validated_payload(key, touch=False) is not None
+            except _CORRUPTION_ERRORS:
+                self._record_failure()
+                return False
 
     def put(self, key: str, payload: dict) -> None:
-        """Insert or overwrite the entry for *key*, then enforce capacity."""
+        """Insert or overwrite the entry for *key*, then enforce capacity.
+
+        A write that fails because the database file itself is damaged
+        triggers quarantine-and-rebuild, then retries once into the fresh
+        store, so completed computations are not lost to a corrupt file.
+        """
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         checksum = hashlib.sha256(text.encode("utf-8")).hexdigest()
         now = self._clock()
+        row = (key, STORE_FORMAT_VERSION, checksum, now, now, text)
         with self._lock:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO explanations "
-                "(key, format_version, checksum, created, accessed, payload) "
-                "VALUES (?, ?, ?, ?, ?, ?)",
-                (key, STORE_FORMAT_VERSION, checksum, now, now, text),
-            )
-            self._instruments.puts.inc()
-            self._evict_over_capacity()
-            self._conn.commit()
+            try:
+                self._put_row(row)
+            except _CORRUPTION_ERRORS:
+                self._recover()
+                try:
+                    self._put_row(row)
+                except sqlite3.Error as error:
+                    raise ServiceError(
+                        f"explanation store write failed even after "
+                        f"recovery: {error}"
+                    ) from error
+
+    def _put_row(self, row: tuple) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO explanations "
+            "(key, format_version, checksum, created, accessed, payload) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            row,
+        )
+        self._instruments.puts.inc()
+        self._evict_over_capacity()
+        self._conn.commit()
+        self._failure_streak = 0
 
     # ------------------------------------------------------------------
     # Maintenance / introspection
@@ -220,23 +309,45 @@ class ExplanationStore:
 
     def __len__(self) -> int:
         with self._lock:
-            row = self._conn.execute(
-                "SELECT COUNT(*) FROM explanations"
-            ).fetchone()
+            try:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM explanations"
+                ).fetchone()
+            except _CORRUPTION_ERRORS:
+                self._record_failure()
+                return 0
             return int(row[0])
 
     def keys(self) -> list[str]:
         """All stored keys, most recently accessed first."""
         with self._lock:
-            rows = self._conn.execute(
-                "SELECT key FROM explanations ORDER BY accessed DESC, key"
-            ).fetchall()
+            try:
+                rows = self._conn.execute(
+                    "SELECT key FROM explanations ORDER BY accessed DESC, key"
+                ).fetchall()
+            except _CORRUPTION_ERRORS:
+                self._record_failure()
+                return []
             return [row[0] for row in rows]
 
     def clear(self) -> None:
         with self._lock:
             self._conn.execute("DELETE FROM explanations")
             self._conn.commit()
+
+    def flush(self) -> None:
+        """Commit and checkpoint the WAL into the main database file.
+
+        Called on graceful shutdown so a subsequent process (or a copy of
+        the bare ``.sqlite`` file) sees every completed write without the
+        ``-wal`` sidecar.
+        """
+        with self._lock:
+            try:
+                self._conn.commit()
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:
+                pass  # flush is best-effort; close() still works
 
     def close(self) -> None:
         with self._lock:
@@ -264,7 +375,7 @@ class ExplanationStore:
         now = self._clock()
         if version != STORE_FORMAT_VERSION:
             self._delete(key)
-            self._instruments.corruptions.inc()
+            self._record_failure()
             return None
         ttl = self.config.ttl_seconds
         if ttl is not None and now - created > ttl:
@@ -273,13 +384,13 @@ class ExplanationStore:
             return None
         if hashlib.sha256(text.encode("utf-8")).hexdigest() != checksum:
             self._delete(key)
-            self._instruments.corruptions.inc()
+            self._record_failure()
             return None
         try:
             payload = json.loads(text)
         except json.JSONDecodeError:
             self._delete(key)
-            self._instruments.corruptions.inc()
+            self._record_failure()
             return None
         if touch:
             self._conn.execute(
@@ -287,7 +398,49 @@ class ExplanationStore:
                 (now, key),
             )
             self._conn.commit()
+        self._failure_streak = 0
         return payload
+
+    def _record_failure(self) -> None:
+        """Count one validation/SQLite failure; recover past the streak.
+
+        Isolated bad rows stay row-level events (deleted + recomputed);
+        ``recover_after`` failures *in a row* — nothing healthy read in
+        between — mean the file itself is suspect, and the whole store is
+        quarantined and rebuilt.
+        """
+        self._instruments.corruptions.inc()
+        self._failure_streak += 1
+        if self._failure_streak >= self.config.recover_after:
+            self._recover()
+
+    def _recover(self) -> None:
+        """Quarantine the damaged database file and rebuild empty."""
+        try:
+            self._conn.close()
+        except sqlite3.Error:
+            pass
+        self._quarantine()
+        self._conn = self._connect()
+        self._instruments.recoveries.inc()
+        self._failure_streak = 0
+
+    def _quarantine(self) -> None:
+        """Move the database (and WAL/SHM sidecars) aside for forensics."""
+        stamp = int(self._clock())
+        target = self.path.with_name(f"{self.path.name}.corrupt-{stamp}")
+        suffix = 1
+        while target.exists():
+            suffix += 1
+            target = self.path.with_name(
+                f"{self.path.name}.corrupt-{stamp}.{suffix}"
+            )
+        if self.path.exists():
+            self.path.rename(target)
+        for sidecar in ("-wal", "-shm"):
+            side = self.path.with_name(self.path.name + sidecar)
+            if side.exists():
+                side.rename(target.with_name(target.name + sidecar))
 
     def _delete(self, key: str) -> None:
         self._conn.execute("DELETE FROM explanations WHERE key = ?", (key,))

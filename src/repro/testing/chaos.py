@@ -1,0 +1,217 @@
+"""Seeded chaos primitives for lifecycle and crash-safety testing.
+
+Complements :mod:`repro.testing.faults` (which injects *matcher* faults)
+with the infrastructure half of the failure model: damaged store files,
+processes killed mid-request, hostile/slow network clients and overload
+bursts.  Everything is driven by explicit seeds — a chaos run is exactly
+reproducible, so a drill failure is a bug report, not a flake.
+
+File damage (the store's crash model):
+
+* :func:`truncate_file` — a crash mid-write that cut the file short;
+* :func:`flip_bytes` — bit rot / a torn sector inside the file;
+* :func:`overwrite_with_garbage` — the path exists but was never a
+  SQLite database (operator error, wrong volume mount).
+
+Process/network chaos:
+
+* :func:`kill_after` — SIGKILL a subprocess after a delay, on a timer
+  thread (simulates an OOM kill mid-computation);
+* :class:`SlowClient` — opens a TCP connection, dribbles a partial HTTP
+  request and stalls, to verify per-connection read timeouts;
+* :func:`overload_burst` — N callables released simultaneously through a
+  barrier, results and exceptions collected per slot (admission-control
+  drills).
+
+Used by ``tests/service/test_lifecycle.py``, the store-recovery tests and
+``scripts/chaos_drill.py`` (the CI chaos job).
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import socket
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "SlowClient",
+    "chaos_rng",
+    "flip_bytes",
+    "kill_after",
+    "overload_burst",
+    "overwrite_with_garbage",
+    "truncate_file",
+]
+
+
+def chaos_rng(seed: int) -> random.Random:
+    """A dedicated stream for chaos decisions.
+
+    Mixes the seed the same way :class:`repro.testing.faults.FaultSchedule`
+    does (distinct multiplier), so chaos draws never collide with fault
+    schedules or science RNGs built from the same experiment seed.
+    """
+    return random.Random((seed + 1) * 7_368_787)
+
+
+# ---------------------------------------------------------------------------
+# File damage
+# ---------------------------------------------------------------------------
+
+
+def truncate_file(path: str | Path, keep_fraction: float = 0.5) -> int:
+    """Cut *path* short, as a crash mid-write would; returns the new size.
+
+    ``keep_fraction`` of the current bytes survive (at least 1 — an empty
+    file is a *different* failure mode: SQLite treats it as a fresh
+    database, not a corrupt one).
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(1, int(size * keep_fraction))
+    with path.open("rb+") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def flip_bytes(path: str | Path, n: int = 64, seed: int = 0) -> list[int]:
+    """XOR-invert *n* seeded-random bytes of *path*; returns the offsets.
+
+    Models bit rot or a torn sector: the file keeps its size and header,
+    but interior pages are garbage.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return []
+    rng = chaos_rng(seed)
+    offsets = sorted(rng.randrange(len(data)) for _ in range(n))
+    for offset in offsets:
+        data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return offsets
+
+
+def overwrite_with_garbage(
+    path: str | Path, size: int = 1024, seed: int = 0
+) -> None:
+    """Replace *path* with *size* seeded-random bytes (not a database)."""
+    Path(path).write_bytes(chaos_rng(seed).randbytes(size))
+
+
+# ---------------------------------------------------------------------------
+# Process / network chaos
+# ---------------------------------------------------------------------------
+
+
+def kill_after(process, delay: float) -> threading.Timer:
+    """SIGKILL *process* (a ``subprocess.Popen``) after *delay* seconds.
+
+    Returns the started timer so callers can ``cancel()`` it when the
+    process wins the race.  SIGKILL (not SIGTERM) on purpose: this models
+    the death the graceful-drain path never sees.
+    """
+
+    def _kill() -> None:
+        if process.poll() is None:
+            process.send_signal(signal.SIGKILL)
+
+    timer = threading.Timer(delay, _kill)
+    timer.daemon = True
+    timer.start()
+    return timer
+
+
+class SlowClient:
+    """A TCP client that sends a partial HTTP request and then stalls.
+
+    Use to verify the server's per-connection read timeout: the
+    connection must be dropped by the *server* within its budget instead
+    of pinning a handler thread forever::
+
+        with SlowClient(host, port) as client:
+            client.send_partial_post("/explain", total_length=1000)
+            assert client.server_closed(within=5.0)
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 10.0):
+        self.socket = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+
+    def send_partial_post(self, path: str, total_length: int = 4096) -> None:
+        """Send headers claiming *total_length* bytes, then one byte."""
+        head = (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: localhost\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {total_length}\r\n"
+            f"\r\n"
+            f"{{"
+        )
+        self.socket.sendall(head.encode("ascii"))
+
+    def server_closed(self, within: float) -> bool:
+        """Whether the server closes this connection in *within* seconds."""
+        self.socket.settimeout(within)
+        try:
+            return self.socket.recv(4096) == b"" or self._drain_to_eof(within)
+        except (TimeoutError, OSError):
+            return False
+
+    def _drain_to_eof(self, within: float) -> bool:
+        # The server may send an error response before closing; keep
+        # reading until EOF (closed) or the budget runs out.
+        deadline = time.monotonic() + within
+        while time.monotonic() < deadline:
+            self.socket.settimeout(max(0.05, deadline - time.monotonic()))
+            try:
+                if self.socket.recv(4096) == b"":
+                    return True
+            except (TimeoutError, OSError):
+                return False
+        return False
+
+    def close(self) -> None:
+        try:
+            self.socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SlowClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def overload_burst(make_call, n: int, timeout: float = 120.0) -> list:
+    """Release *n* calls of ``make_call(slot_index)`` simultaneously.
+
+    All threads block on a barrier, fire together, and each slot records
+    either its return value or the exception it raised.  Returns the
+    per-slot list — the admission-control drills sort the outcomes into
+    admitted / shed afterwards.
+    """
+    results: list = [None] * n
+    barrier = threading.Barrier(n)
+
+    def _run(slot: int) -> None:
+        barrier.wait()
+        try:
+            results[slot] = make_call(slot)
+        except Exception as error:  # noqa: BLE001 - outcome data, not a crash
+            results[slot] = error
+
+    threads = [
+        threading.Thread(target=_run, args=(slot,), daemon=True)
+        for slot in range(n)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+    return results

@@ -1,0 +1,397 @@
+"""Tests for the request lifecycle: shedding, cancellation, deadlines, drain.
+
+These exercise the scheduling layer only — every path either serves the
+bit-identical payload or fails with a typed lifecycle error; no partial
+result ever lands in the store.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.exceptions import (
+    DeadlineExceededError,
+    RequestCancelledError,
+    ServiceOverloadedError,
+    error_code,
+)
+from repro.service.request import ExplainRequest
+from repro.service.service import ExplanationService
+from repro.service.store import ExplanationStore
+
+SAMPLES = 32
+
+
+class GatedMatcher:
+    """Delegates to a fitted matcher, but blocks until released."""
+
+    def __init__(self, matcher):
+        self.matcher = matcher
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+
+    def predict_proba(self, pairs):
+        self.calls += 1
+        self.entered.set()
+        if not self.release.wait(timeout=30):
+            raise RuntimeError("gate never released")
+        return self.matcher.predict_proba(pairs)
+
+    def predict_one(self, pair):
+        return float(self.predict_proba([pair])[0])
+
+
+def request_for(pair, seed=0, **kwargs):
+    return ExplainRequest(
+        pair=pair, method="single", samples=SAMPLES, seed=seed, **kwargs
+    )
+
+
+class TestShedding:
+    def test_depth_threshold_sheds_with_retry_after(
+        self, beer_matcher, non_match_pair
+    ):
+        gated = GatedMatcher(beer_matcher)
+        service = ExplanationService(
+            gated,
+            config=ServiceConfig(n_workers=1, shed_threshold=1),
+        )
+        try:
+            first = service.submit(request_for(non_match_pair, seed=0))
+            assert gated.entered.wait(timeout=10)
+            # Worker busy on seed=0; seed=1 queues (depth 0 -> admitted),
+            # seed=2 then sees depth 1 >= threshold 1 and is shed.
+            second = service.submit(request_for(non_match_pair, seed=1))
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                service.submit(request_for(non_match_pair, seed=2))
+            assert error_code(excinfo.value) == "overloaded"
+            assert excinfo.value.retry_after > 0
+            assert service.overloaded
+            gated.release.set()
+            assert first.result(timeout=30) and second.result(timeout=30)
+            stats = service.stats
+            assert stats.shed == 1
+            assert stats.requests == 3
+            assert stats.computed == 2
+        finally:
+            gated.release.set()
+            service.close()
+
+    def test_wait_estimate_sheds_when_ema_is_warm(
+        self, beer_matcher, non_match_pair
+    ):
+        gated = GatedMatcher(beer_matcher)
+        service = ExplanationService(
+            gated,
+            config=ServiceConfig(n_workers=1, max_queue_wait=1e-6),
+        )
+        try:
+            # A cold EMA estimates zero wait: the first request is
+            # always admitted, and completing it warms the estimate.
+            gated.release.set()
+            service.explain(request_for(non_match_pair, seed=0), timeout=30)
+            assert not service.overloaded  # idle: nothing pending
+            gated.release.clear()
+            gated.entered.clear()
+            blocked = service.submit(request_for(non_match_pair, seed=1))
+            assert gated.entered.wait(timeout=10)
+            # One pending ticket x a warm EMA exceeds the 1us budget.
+            depth, estimated = service.queue_estimate()
+            assert estimated > 1e-6
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(request_for(non_match_pair, seed=2))
+            gated.release.set()
+            blocked.result(timeout=30)
+            assert service.stats.shed == 1
+        finally:
+            gated.release.set()
+            service.close()
+
+    def test_store_hits_and_coalesces_never_shed(
+        self, beer_matcher, non_match_pair, tmp_path
+    ):
+        gated = GatedMatcher(beer_matcher)
+        store = ExplanationStore(tmp_path / "store")
+        service = ExplanationService(
+            gated,
+            store=store,
+            config=ServiceConfig(n_workers=1, shed_threshold=1),
+        )
+        try:
+            gated.release.set()
+            warm = request_for(non_match_pair, seed=0)
+            payload = service.explain(warm, timeout=30)
+            gated.release.clear()
+            gated.entered.clear()
+            inflight = request_for(non_match_pair, seed=1)
+            first = service.submit(inflight)
+            assert gated.entered.wait(timeout=10)
+            service.submit(request_for(non_match_pair, seed=2))  # fills queue
+            # Saturated: a fresh computation would shed...
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(request_for(non_match_pair, seed=3))
+            # ...but a store hit answers immediately and a duplicate of
+            # the in-flight request coalesces onto the same future.
+            assert service.submit(warm).result(timeout=1) == payload
+            assert service.submit(inflight) is first
+            gated.release.set()
+            stats = service.stats
+            assert stats.store_hits == 1
+            assert stats.coalesced == 1
+            assert stats.shed == 1
+        finally:
+            gated.release.set()
+            service.close()
+            store.close()
+
+
+class TestCancellation:
+    def test_explain_timeout_cancels_sole_waiter(
+        self, beer_matcher, non_match_pair
+    ):
+        gated = GatedMatcher(beer_matcher)
+        service = ExplanationService(gated, config=ServiceConfig(n_workers=1))
+        try:
+            blocker = service.submit(request_for(non_match_pair, seed=0))
+            assert gated.entered.wait(timeout=10)
+            abandoned = request_for(non_match_pair, seed=1)
+            with pytest.raises(TimeoutError):
+                service.explain(abandoned, timeout=0.05)
+            gated.release.set()
+            blocker.result(timeout=30)
+            # The queued ticket is skipped, never computed: only the
+            # blocker's explanation touched the matcher, and the drop is
+            # accounted as a cancellation.
+            deadline = time.monotonic() + 10
+            while (
+                service.stats.cancelled == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            calls_for_blocker = gated.calls
+            stats = service.stats
+            assert stats.computed == 1
+            assert stats.cancelled == 1
+            assert gated.calls == calls_for_blocker  # nothing more ran
+        finally:
+            gated.release.set()
+            service.close()
+
+    def test_coalesced_waiter_survives_another_waiters_cancel(
+        self, beer_matcher, non_match_pair
+    ):
+        gated = GatedMatcher(beer_matcher)
+        service = ExplanationService(gated, config=ServiceConfig(n_workers=1))
+        try:
+            request = request_for(non_match_pair, seed=0)
+            first = service.submit(request)
+            assert gated.entered.wait(timeout=10)
+            second = service.submit(request)  # coalesced: waiters == 2
+            assert second is first
+            assert service.cancel(request) is False  # one waiter remains
+            gated.release.set()
+            assert first.result(timeout=30)["duals"]
+            assert service.stats.cancelled == 0
+        finally:
+            gated.release.set()
+            service.close()
+
+    def test_last_waiter_leaving_cancels(self, beer_matcher, non_match_pair):
+        gated = GatedMatcher(beer_matcher)
+        service = ExplanationService(gated, config=ServiceConfig(n_workers=1))
+        try:
+            service.submit(request_for(non_match_pair, seed=0))
+            assert gated.entered.wait(timeout=10)
+            queued = request_for(non_match_pair, seed=1)
+            service.submit(queued)
+            service.submit(queued)  # waiters == 2
+            assert service.cancel(queued) is False
+            assert service.cancel(queued) is True  # last one out
+            assert service.cancel(queued) is False  # already detached
+        finally:
+            gated.release.set()
+            service.close()
+
+
+class TestDeadlines:
+    def test_queued_past_deadline_fails_without_store_entry(
+        self, beer_matcher, non_match_pair, tmp_path
+    ):
+        gated = GatedMatcher(beer_matcher)
+        store = ExplanationStore(tmp_path / "store")
+        service = ExplanationService(
+            gated, store=store, config=ServiceConfig(n_workers=1)
+        )
+        try:
+            blocker = service.submit(request_for(non_match_pair, seed=0))
+            assert gated.entered.wait(timeout=10)
+            doomed = request_for(
+                non_match_pair, seed=1, deadline_seconds=0.01
+            )
+            future = service.submit(doomed)
+            time.sleep(0.05)  # let the 10ms budget lapse while queued
+            gated.release.set()
+            blocker.result(timeout=30)
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                future.result(timeout=30)
+            assert error_code(excinfo.value) == "deadline_exceeded"
+            assert service.stats.deadline_exceeded == 1
+            # Nothing was stored: re-submitting computes from scratch.
+            retried = request_for(non_match_pair, seed=1)
+            assert service.explain(retried, timeout=30)["duals"]
+            assert service.stats.store_hits == 0
+        finally:
+            gated.release.set()
+            service.close()
+            store.close()
+
+    def test_default_deadline_applies_to_bare_requests(
+        self, beer_matcher, non_match_pair
+    ):
+        gated = GatedMatcher(beer_matcher)
+        service = ExplanationService(
+            gated,
+            config=ServiceConfig(n_workers=1, default_deadline=0.01),
+        )
+        try:
+            blocker = service.submit(
+                request_for(non_match_pair, seed=0, deadline_seconds=60.0)
+            )
+            assert gated.entered.wait(timeout=10)
+            future = service.submit(request_for(non_match_pair, seed=1))
+            time.sleep(0.05)
+            gated.release.set()
+            blocker.result(timeout=30)
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=30)
+        finally:
+            gated.release.set()
+            service.close()
+
+
+class TestDrain:
+    def test_drain_close_finishes_queued_work(
+        self, beer_matcher, non_match_pair
+    ):
+        gated = GatedMatcher(beer_matcher)
+        service = ExplanationService(gated, config=ServiceConfig(n_workers=1))
+        first = service.submit(request_for(non_match_pair, seed=0))
+        assert gated.entered.wait(timeout=10)
+        second = service.submit(request_for(non_match_pair, seed=1))
+        threading.Timer(0.1, gated.release.set).start()
+        summary = service.close(drain=True, drain_timeout=30)
+        assert summary["pending_at_close"] == 2
+        assert summary["cancelled"] == 0
+        assert summary["drained"] is True
+        assert first.result(timeout=1) and second.result(timeout=1)
+        with pytest.raises(Exception, match="closed"):
+            service.submit(request_for(non_match_pair, seed=2))
+
+    def test_drain_budget_expiry_cancels_stragglers(
+        self, beer_matcher, non_match_pair
+    ):
+        gated = GatedMatcher(beer_matcher)
+        service = ExplanationService(gated, config=ServiceConfig(n_workers=1))
+        computing = service.submit(request_for(non_match_pair, seed=0))
+        assert gated.entered.wait(timeout=10)
+        # A tiny budget expires while the gate still blocks: close()
+        # cancels the in-flight ticket and the worker aborts at its next
+        # cooperative poll once released.
+        threading.Timer(0.3, gated.release.set).start()
+        summary = service.close(drain=True, drain_timeout=0.05)
+        assert summary["pending_at_close"] == 1
+        assert summary["cancelled"] == 1
+        assert summary["drained"] is False
+        with pytest.raises(RequestCancelledError):
+            computing.result(timeout=1)
+
+    def test_immediate_close_cancels_queued_work(
+        self, beer_matcher, non_match_pair
+    ):
+        gated = GatedMatcher(beer_matcher)
+        service = ExplanationService(gated, config=ServiceConfig(n_workers=1))
+        service.submit(request_for(non_match_pair, seed=0))
+        assert gated.entered.wait(timeout=10)
+        queued = service.submit(request_for(non_match_pair, seed=1))
+        gated.release.set()
+        summary = service.close(drain=False)
+        assert summary["pending_at_close"] == 2
+        assert summary["cancelled"] == 2
+        with pytest.raises(RequestCancelledError):
+            queued.result(timeout=1)
+
+    def test_close_is_idempotent(self, beer_matcher, non_match_pair):
+        service = ExplanationService(
+            beer_matcher, config=ServiceConfig(n_workers=1)
+        )
+        service.explain(request_for(non_match_pair), timeout=30)
+        first = service.close()
+        again = service.close(drain=False, drain_timeout=0.0)
+        assert again == first
+
+
+class TestAccounting:
+    def test_lifecycle_counters_close_the_identity(
+        self, beer_matcher, non_match_pair, tmp_path
+    ):
+        """store_hits + coalesced + computed + failures == requests."""
+        gated = GatedMatcher(beer_matcher)
+        store = ExplanationStore(tmp_path / "store")
+        service = ExplanationService(
+            gated,
+            store=store,
+            config=ServiceConfig(n_workers=1, shed_threshold=2),
+        )
+        try:
+            gated.release.set()
+            warm = request_for(non_match_pair, seed=0)
+            service.explain(warm, timeout=30)  # computed
+            service.explain(warm, timeout=30)  # store hit
+            gated.release.clear()
+            gated.entered.clear()
+            inflight = request_for(non_match_pair, seed=1)
+            blocked = service.submit(inflight)  # computed (later)
+            assert gated.entered.wait(timeout=10)
+            service.submit(inflight)  # coalesced
+            doomed = request_for(
+                non_match_pair, seed=2, deadline_seconds=0.01
+            )
+            expired = service.submit(doomed)  # deadline_exceeded
+            abandoned = request_for(non_match_pair, seed=3)
+            dropped = service.submit(abandoned)  # cancelled
+            service.cancel(abandoned)
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(request_for(non_match_pair, seed=4))  # shed
+            time.sleep(0.05)
+            gated.release.set()
+            blocked.result(timeout=30)
+            with pytest.raises(DeadlineExceededError):
+                expired.result(timeout=30)
+            with pytest.raises(RequestCancelledError):
+                dropped.result(timeout=30)
+            stats = service.stats
+            assert stats.requests == 7
+            assert stats.store_hits == 1
+            assert stats.coalesced == 1
+            assert stats.computed == 2
+            assert stats.shed == 1
+            assert stats.cancelled == 1
+            assert stats.deadline_exceeded == 1
+            accounted = (
+                stats.store_hits
+                + stats.coalesced
+                + stats.computed
+                + stats.shed
+                + stats.cancelled
+                + stats.deadline_exceeded
+                + stats.errors
+            )
+            assert accounted == stats.requests
+            assert "lifecycle:" in stats.summary()
+        finally:
+            gated.release.set()
+            service.close()
+            store.close()

@@ -129,7 +129,10 @@ class TestServeHTTP:
             return json.loads(response.read())
 
     def test_healthz(self, http_server):
-        assert self._get(f"{http_server}/healthz") == {"ok": True}
+        payload = self._get(f"{http_server}/healthz")
+        assert payload["ok"] is True
+        assert payload["queue_depth"] == 0
+        assert "degraded" not in payload
 
     def test_explain_and_stats(self, http_server, beer_dataset):
         body = json.dumps({"record": 0}).encode("utf-8")

@@ -1,0 +1,204 @@
+"""Tests for the hardened HTTP front-end: limits, codes, degradation.
+
+Every refusal the server issues is structured — a JSON body with a
+stable ``code`` and the matching HTTP status — and no client behaviour
+(oversized bodies, stalled sockets, malformed framing) can pin a worker
+or crash the listener.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.service.request import ExplainRequest
+from repro.service.server import http_status_for, serve_http
+from repro.service.service import ExplanationService
+from repro.testing.chaos import SlowClient
+
+SAMPLES = 32
+DEFAULTS = {"method": "single", "samples": SAMPLES, "explainer": "lime", "seed": 0}
+
+
+def start(server):
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return host, port
+
+
+def post(url, payload, timeout=60):
+    """(status, body, headers) of a POST; HTTP errors become values."""
+    data = (
+        payload if isinstance(payload, bytes)
+        else json.dumps(payload).encode("utf-8")
+    )
+    request = urllib.request.Request(url, data=data, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+
+
+class TestStatusMapping:
+    def test_error_codes_map_to_their_status(self):
+        assert http_status_for("bad_request") == 400
+        assert http_status_for("overloaded") == 429
+        assert http_status_for("matcher_unavailable") == 503
+        assert http_status_for("deadline_exceeded") == 504
+        assert http_status_for("matcher_timeout") == 504
+        assert http_status_for(None) == 500
+        assert http_status_for("something_novel") == 500
+
+
+class TestBodyLimits:
+    @pytest.fixture()
+    def small_server(self, beer_matcher, beer_dataset):
+        with ExplanationService(beer_matcher) as service:
+            server = serve_http(
+                service, beer_dataset, DEFAULTS, port=0, max_body_bytes=512
+            )
+            host, port = start(server)
+            yield f"http://{host}:{port}"
+            server.shutdown()
+            server.server_close()
+
+    def test_oversized_body_is_413_with_code(self, small_server):
+        padding = {"record": 0, "note": "x" * 2048}
+        status, body, _ = post(f"{small_server}/explain", padding)
+        assert status == 413
+        assert body["ok"] is False
+        assert body["code"] == "body_too_large"
+
+    def test_bad_json_is_structured_400(self, small_server):
+        status, body, _ = post(f"{small_server}/explain", b"{not json")
+        assert status == 400
+        assert body["ok"] is False
+        assert body["code"] == "bad_request"
+
+    def test_under_limit_still_serves(self, small_server):
+        status, body, _ = post(f"{small_server}/explain", {"record": 0})
+        assert status == 200
+        assert body["ok"] is True
+
+
+class TestMalformedFraming:
+    @pytest.fixture()
+    def server_address(self, beer_matcher, beer_dataset):
+        with ExplanationService(beer_matcher) as service:
+            server = serve_http(
+                service, beer_dataset, DEFAULTS, port=0, read_timeout=1.0
+            )
+            host, port = start(server)
+            yield host, port
+            server.shutdown()
+            server.server_close()
+
+    def test_invalid_content_length_is_400(self, server_address):
+        host, port = server_address
+        client = SlowClient(host, port)
+        client.socket.sendall(
+            b"POST /explain HTTP/1.1\r\n"
+            b"Host: test\r\n"
+            b"Content-Length: banana\r\n"
+            b"\r\n"
+        )
+        client.socket.settimeout(10)
+        chunks = []
+        while True:  # read to EOF: status line + JSON body
+            chunk = client.socket.recv(4096)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        response = b"".join(chunks).decode("utf-8", "replace")
+        client.close()
+        assert " 400 " in response.splitlines()[0]
+        assert "bad_request" in response
+
+    def test_stalled_body_is_dropped_at_read_timeout(self, server_address):
+        host, port = server_address
+        client = SlowClient(host, port)
+        # Claim a large body, send one byte, stall.  The 1s read timeout
+        # must close the connection instead of pinning the worker.
+        client.send_partial_post("/explain", total_length=4096)
+        assert client.server_closed(within=10)
+        client.close()
+
+    def test_server_survives_a_dropped_client(self, server_address):
+        host, port = server_address
+        client = SlowClient(host, port)
+        client.send_partial_post("/explain", total_length=4096)
+        client.close()  # disconnect mid-body
+        status, body, _ = post(
+            f"http://{host}:{port}/explain", {"record": 0}
+        )
+        assert status == 200 and body["ok"] is True
+
+
+class TestDegradation:
+    def test_overloaded_service_sheds_with_429_and_healthz_503(
+        self, beer_matcher, beer_dataset
+    ):
+        import tests.service.test_lifecycle as lifecycle
+
+        gated = lifecycle.GatedMatcher(beer_matcher)
+        service = ExplanationService(
+            gated, config=ServiceConfig(n_workers=1, shed_threshold=1)
+        )
+        server = serve_http(service, beer_dataset, DEFAULTS, port=0)
+        host, port = start(server)
+        url = f"http://{host}:{port}"
+        try:
+            # Saturate: one computing, one queued.
+            service.submit(
+                ExplainRequest(pair=beer_dataset[0], **DEFAULTS)
+            )
+            assert gated.entered.wait(timeout=10)
+            service.submit(
+                ExplainRequest(pair=beer_dataset[1], **DEFAULTS)
+            )
+            status, body, headers = post(f"{url}/explain", {"record": 2})
+            assert status == 429
+            assert body["code"] == "overloaded"
+            assert float(body["retry_after"]) > 0
+            assert int(headers["Retry-After"]) >= 1
+            health_status, health, _ = get_healthz(url)
+            assert health_status == 503
+            assert health["ok"] is False
+            assert health["degraded"] == "overloaded"
+        finally:
+            gated.release.set()
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_draining_service_reports_503(self, beer_matcher, beer_dataset):
+        service = ExplanationService(
+            beer_matcher, config=ServiceConfig(n_workers=1)
+        )
+        server = serve_http(service, beer_dataset, DEFAULTS, port=0)
+        host, port = start(server)
+        url = f"http://{host}:{port}"
+        try:
+            status, health, _ = get_healthz(url)
+            assert status == 200 and health["ok"] is True
+            service.close()
+            status, health, _ = get_healthz(url)
+            assert status == 503
+            assert health["degraded"] == "draining"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+
+def get_healthz(url):
+    try:
+        with urllib.request.urlopen(f"{url}/healthz", timeout=30) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers

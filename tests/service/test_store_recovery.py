@@ -1,0 +1,229 @@
+"""Tests for store crash-safety: quarantine, rebuild, and failure streaks.
+
+The store's recovery contract: damage never crashes the serving layer
+and never serves garbage.  Isolated bad rows are row-level events
+(deleted + miss); a file SQLite cannot read — or ``recover_after``
+consecutive validation failures — quarantines the whole database to
+``*.corrupt-<ts>`` and rebuilds it empty.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.config import StoreConfig
+from repro.service.store import STORE_DB_NAME, ExplanationStore
+from repro.testing.chaos import (
+    flip_bytes,
+    overwrite_with_garbage,
+    truncate_file,
+)
+
+
+def payload_for(index: int) -> dict:
+    return {"format_version": 1, "key": f"k{index}", "value": index}
+
+
+def fill(store_dir, n=5):
+    with ExplanationStore(store_dir) as store:
+        for index in range(n):
+            store.put(f"k{index}", payload_for(index))
+        store.flush()
+    return store_dir / STORE_DB_NAME
+
+
+def quarantined(store_dir):
+    return sorted(store_dir.glob(f"{STORE_DB_NAME}.corrupt-*"))
+
+
+class TestOpenTimeRecovery:
+    def test_truncated_file_is_quarantined_at_open(self, tmp_path):
+        db = fill(tmp_path)
+        truncate_file(db, keep_fraction=0.2)
+        with ExplanationStore(tmp_path) as store:
+            assert store.stats.recoveries == 1
+            assert len(store) == 0
+            # The rebuilt store is fully usable.
+            store.put("fresh", payload_for(9))
+            assert store.get("fresh") == payload_for(9)
+        assert len(quarantined(tmp_path)) == 1
+
+    def test_garbage_file_is_quarantined_at_open(self, tmp_path):
+        db = tmp_path / STORE_DB_NAME
+        tmp_path.mkdir(exist_ok=True)
+        overwrite_with_garbage(db, size=4096, seed=3)
+        with ExplanationStore(tmp_path) as store:
+            assert store.stats.recoveries == 1
+            store.put("k", payload_for(0))
+            assert store.get("k") == payload_for(0)
+        assert quarantined(tmp_path)
+
+    def test_quarantine_preserves_the_damaged_bytes(self, tmp_path):
+        db = tmp_path / STORE_DB_NAME
+        overwrite_with_garbage(db, size=1024, seed=5)
+        damaged = db.read_bytes()
+        with ExplanationStore(tmp_path):
+            pass
+        (kept,) = quarantined(tmp_path)
+        assert kept.read_bytes() == damaged
+
+    def test_repeated_recoveries_get_distinct_quarantine_names(
+        self, tmp_path
+    ):
+        clock_now = [1_000.0]
+        for _ in range(2):
+            overwrite_with_garbage(tmp_path / STORE_DB_NAME, seed=1)
+            store = ExplanationStore(tmp_path, clock=lambda: clock_now[0])
+            store.close()
+        names = [p.name for p in quarantined(tmp_path)]
+        assert len(names) == 2
+        assert len(set(names)) == 2  # same timestamp, still distinct
+
+
+class TestMidOperationRecovery:
+    def test_reads_degrade_to_misses_then_recover(self, tmp_path):
+        db = fill(tmp_path)
+        store = ExplanationStore(
+            tmp_path, config=StoreConfig(recover_after=3)
+        )
+        try:
+            # Corrupt the file behind the open connection so the next
+            # queries fail inside SQLite, not at open time.
+            store._conn.close()
+            truncate_file(db, keep_fraction=0.1)
+            store._conn = sqlite3.connect(str(db), check_same_thread=False)
+            assert store.get("k0") is None  # miss, never an exception
+            assert store.get("k1") is None
+            assert store.get("k2") is None  # streak hits recover_after
+            stats = store.stats
+            assert stats.recoveries == 1
+            assert stats.corruptions == 3
+            assert stats.misses == 3
+            # Rebuilt and writable again.
+            store.put("k0", payload_for(0))
+            assert store.get("k0") == payload_for(0)
+        finally:
+            store.close()
+        assert quarantined(tmp_path)
+
+    def test_torn_put_recovers_and_retries(self, tmp_path):
+        db = fill(tmp_path)
+        store = ExplanationStore(tmp_path)
+        try:
+            store._conn.close()
+            truncate_file(db, keep_fraction=0.1)
+            store._conn = sqlite3.connect(str(db), check_same_thread=False)
+            # The write fails mid-flight, the store rebuilds, and the
+            # SAME payload lands in the fresh database — a completed
+            # computation is never lost to a corrupt file.
+            store.put("survivor", payload_for(7))
+            assert store.get("survivor") == payload_for(7)
+            assert store.stats.recoveries == 1
+        finally:
+            store.close()
+
+    def test_consecutive_checksum_failures_trigger_file_recovery(
+        self, tmp_path
+    ):
+        db = fill(tmp_path, n=4)
+        store = ExplanationStore(
+            tmp_path, config=StoreConfig(recover_after=2)
+        )
+        try:
+            store._conn.execute("UPDATE explanations SET payload = '{}'")
+            store._conn.commit()
+            assert store.get("k0") is None  # streak 1 (row deleted)
+            assert store.get("k1") is None  # streak 2 -> quarantine
+            assert store.stats.recoveries == 1
+            assert len(store) == 0
+        finally:
+            store.close()
+
+    def test_healthy_read_resets_the_failure_streak(self, tmp_path):
+        store = ExplanationStore(
+            tmp_path, config=StoreConfig(recover_after=2)
+        )
+        try:
+            store.put("good1", payload_for(1))
+            store.put("good2", payload_for(2))
+            store.put("bad", payload_for(3))
+            store._conn.execute(
+                "UPDATE explanations SET payload = '{]' WHERE key = 'bad'"
+            )
+            store._conn.commit()
+            assert store.get("bad") is None      # streak 1
+            assert store.get("good1") == payload_for(1)  # streak resets
+            store._conn.execute(
+                "UPDATE explanations SET payload = 'x' WHERE key = 'good2'"
+            )
+            store._conn.commit()
+            assert store.get("good2") is None    # streak 1 again, not 2
+            assert store.stats.recoveries == 0   # never went file-level
+            assert store.stats.corruptions == 2
+        finally:
+            store.close()
+
+    def test_stale_format_row_stays_row_level(self, tmp_path):
+        store = ExplanationStore(
+            tmp_path, config=StoreConfig(recover_after=3)
+        )
+        try:
+            for index in range(3):
+                store.put(f"k{index}", payload_for(index))
+            store._conn.execute(
+                "UPDATE explanations SET format_version = 999 "
+                "WHERE key = 'k1'"
+            )
+            store._conn.commit()
+            assert store.get("k1") is None
+            assert store.get("k0") == payload_for(0)
+            assert store.get("k2") == payload_for(2)
+            stats = store.stats
+            assert stats.corruptions == 1
+            assert stats.recoveries == 0
+        finally:
+            store.close()
+        assert not quarantined(tmp_path)
+
+    def test_flipped_row_bytes_never_serve_garbage(self, tmp_path):
+        db = fill(tmp_path, n=8)
+        flip_bytes(db, n=128, seed=11)
+        # Whatever the damage hit — header, b-tree pages or payload
+        # bytes — every get() returns either a byte-perfect payload or a
+        # miss; nothing in between, and no exception escapes.
+        store = ExplanationStore(tmp_path, config=StoreConfig(recover_after=2))
+        try:
+            for index in range(8):
+                result = store.get(f"k{index}")
+                assert result is None or result == payload_for(index)
+            store.put("after", payload_for(99))
+            assert store.get("after") == payload_for(99)
+        finally:
+            store.close()
+
+
+class TestFlush:
+    def test_flush_checkpoints_the_wal(self, tmp_path):
+        store = ExplanationStore(tmp_path)
+        store.put("k", payload_for(1))
+        wal = tmp_path / (STORE_DB_NAME + "-wal")
+        assert wal.exists() and wal.stat().st_size > 0
+        store.flush()
+        assert wal.stat().st_size == 0
+        store.close()
+        # The bare .sqlite file alone now carries the entry.
+        with ExplanationStore(tmp_path) as reopened:
+            assert reopened.get("k") == payload_for(1)
+
+    def test_flush_on_a_broken_connection_is_best_effort(self, tmp_path):
+        store = ExplanationStore(tmp_path)
+        store._conn.close()
+        store.flush()  # no exception
+
+    def test_unreadable_directory_raises_service_error(self, tmp_path):
+        from repro.exceptions import ServiceError
+
+        target = tmp_path / "not-a-dir"
+        target.write_text("a file where the store dir should be")
+        with pytest.raises((ServiceError, OSError, NotADirectoryError)):
+            ExplanationStore(target / "store")
