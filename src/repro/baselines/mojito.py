@@ -21,6 +21,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.columnar import (
+    ColumnarPairBatch,
+    mojito_attr_drop_batch,
+    mojito_copy_batch,
+    mojito_drop_batch,
+)
 from repro.core.explanation import (
     PairTokenWeights,
     TokenEntry,
@@ -34,6 +40,52 @@ from repro.matchers.base import EntityMatcher
 from repro.text.tokenize import PrefixedToken, Tokenizer
 
 _SIDES = ("left", "right")
+
+#: Per-method tags mixed into the perturbation RNG seed.  Formerly every
+#: method derived its generator from ``seed * 1_000_003 + max(pair_id, 0)``,
+#: which (a) collapsed all negative pair ids onto one stream and (b) gave
+#: the Drop / AttrDrop / Copy explainers *the same* stream for the same
+#: pair — their perturbations were correlated instead of independent.
+_METHOD_TAGS = {
+    "mojito_drop": 1,
+    "mojito_attr_drop": 2,
+    "mojito_copy": 3,
+}
+
+
+def _pair_rng(seed: int, method: str, pair_id: int) -> np.random.Generator:
+    """An independent, reproducible perturbation stream per (seed, method,
+    pair).
+
+    ``SeedSequence`` entropy tuples hash collision-free, unlike the old
+    affine formula (see :data:`_METHOD_TAGS`); masking to 32 bits matches
+    the convention in :mod:`repro.core.landmark`.
+    """
+    sequence = np.random.SeedSequence(
+        [seed & 0xFFFFFFFF, _METHOD_TAGS[method], pair_id & 0xFFFFFFFF]
+    )
+    return np.random.default_rng(sequence)
+
+
+def _predict_batch(
+    engine: PredictionEngine | None,
+    matcher: EntityMatcher,
+    batch: ColumnarPairBatch,
+) -> np.ndarray:
+    """Score a columnar perturbation batch through the best available path.
+
+    Engine present → :meth:`~repro.core.engine.PredictionEngine.
+    predict_columnar` (dedup/cache accounting identical to the old
+    per-pair route; the engine materializes pairs itself when
+    ``vectorize`` is off).  Engineless → the matcher's columnar entry
+    point when it has one, else the rebuilt pairs.  All four routes are
+    bit-identical.
+    """
+    if engine is not None:
+        return engine.predict_columnar(batch)
+    if getattr(matcher, "supports_columnar", False):
+        return matcher.predict_proba_columnar(batch)
+    return matcher.predict_proba(batch.pairs())
 
 
 @dataclass(frozen=True)
@@ -82,11 +134,6 @@ class MojitoDropExplainer:
         self.seed = seed
         self.engine = engine
 
-    def _predict_pairs(self, pairs: list[RecordPair]) -> np.ndarray:
-        if self.engine is not None:
-            return self.engine.predict_pairs(pairs)
-        return self.matcher.predict_proba(pairs)
-
     def _pair_tokens(self, pair: RecordPair) -> list[tuple[str, PrefixedToken]]:
         """All (side, token) of the record, left side first."""
         tokens: list[tuple[str, PrefixedToken]] = []
@@ -122,10 +169,10 @@ class MojitoDropExplainer:
         )
 
         def predict_masks(masks: np.ndarray) -> np.ndarray:
-            pairs = [self._rebuild(pair, tokens, row) for row in masks]
-            return self._predict_pairs(pairs)
+            batch = mojito_drop_batch(pair, tokens, np.asarray(masks))
+            return _predict_batch(self.engine, self.matcher, batch)
 
-        rng = np.random.default_rng(self.seed * 1_000_003 + max(pair.pair_id, 0))
+        rng = _pair_rng(self.seed, self.method, pair.pair_id)
         explanation = self.explainer.explain(feature_names, predict_masks, rng=rng)
         entries = [
             TokenEntry(
@@ -172,11 +219,6 @@ class MojitoAttributeDropExplainer:
         self.seed = seed
         self.engine = engine
 
-    def _predict_pairs(self, pairs: list[RecordPair]) -> np.ndarray:
-        if self.engine is not None:
-            return self.engine.predict_pairs(pairs)
-        return self.matcher.predict_proba(pairs)
-
     def _cells(self, pair: RecordPair) -> list[tuple[str, str]]:
         """Non-empty (side, attribute) cells, left side first."""
         cells = []
@@ -202,10 +244,10 @@ class MojitoAttributeDropExplainer:
         feature_names = tuple(f"{side}.{attribute}" for side, attribute in cells)
 
         def predict_masks(masks: np.ndarray) -> np.ndarray:
-            pairs = [self._rebuild(pair, cells, row) for row in masks]
-            return self._predict_pairs(pairs)
+            batch = mojito_attr_drop_batch(pair, cells, np.asarray(masks))
+            return _predict_batch(self.engine, self.matcher, batch)
 
-        rng = np.random.default_rng(self.seed * 1_000_003 + max(pair.pair_id, 0))
+        rng = _pair_rng(self.seed, self.method, pair.pair_id)
         explanation = self.explainer.explain(feature_names, predict_masks, rng=rng)
 
         entries: list[TokenEntry] = []
@@ -266,11 +308,6 @@ class MojitoCopyExplainer:
         self.seed = seed
         self.engine = engine
 
-    def _predict_pairs(self, pairs: list[RecordPair]) -> np.ndarray:
-        if self.engine is not None:
-            return self.engine.predict_pairs(pairs)
-        return self.matcher.predict_proba(pairs)
-
     @property
     def copy_to(self) -> str:
         return "right" if self.copy_from == "left" else "left"
@@ -287,10 +324,10 @@ class MojitoCopyExplainer:
         attributes = pair.schema.attributes
 
         def predict_masks(masks: np.ndarray) -> np.ndarray:
-            pairs = [self._rebuild(pair, row) for row in masks]
-            return self._predict_pairs(pairs)
+            batch = mojito_copy_batch(pair, self.copy_from, np.asarray(masks))
+            return _predict_batch(self.engine, self.matcher, batch)
 
-        rng = np.random.default_rng(self.seed * 1_000_003 + max(pair.pair_id, 0))
+        rng = _pair_rng(self.seed, self.method, pair.pair_id)
         explanation = self.explainer.explain(attributes, predict_masks, rng=rng)
 
         # Mojito "treats attributes atomically, distributing its impact

@@ -83,6 +83,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the prediction cache (results are identical either way)",
     )
+    parser.add_argument(
+        "--no-vectorize", action="store_true",
+        help="disable columnar mask application and batch-matrix matcher "
+             "calls, falling back to per-pair rebuilds (results are "
+             "bit-identical either way)",
+    )
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -187,6 +193,17 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         "--drain-timeout", type=float, default=30.0,
         help="seconds a graceful shutdown (SIGTERM / close) may spend "
              "finishing queued work before cancelling it",
+    )
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=0.0,
+        help="coalesce concurrent requests' matcher batches within this "
+             "window (0 disables cross-request batching; results are "
+             "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--batch-max-size", type=int, default=1024,
+        help="flush a coalesced matcher batch once this many rows are "
+             "pending (only with --batch-window-ms > 0)",
     )
     _add_engine_arguments(parser)
     _add_obs_arguments(parser)
@@ -435,7 +452,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     registry = _obs_registry(args)
     engine = PredictionEngine(
         matcher,
-        EngineConfig(cache=not args.no_cache, n_jobs=args.n_jobs),
+        EngineConfig(
+            cache=not args.no_cache,
+            n_jobs=args.n_jobs,
+            vectorize=not args.no_vectorize,
+        ),
         metrics=registry,
     )
     print(pair.describe())
@@ -484,6 +505,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             get_preset(args.preset),
             engine_n_jobs=args.n_jobs,
             engine_cache=not args.no_cache,
+            engine_vectorize=not args.no_vectorize,
             guard_max_retries=args.max_retries,
             guard_call_timeout=args.call_timeout,
         )
@@ -632,10 +654,13 @@ def _build_service(args: argparse.Namespace, dataset):
             max_queue_wait=args.max_queue_wait,
             default_deadline=args.deadline,
             drain_timeout=args.drain_timeout,
+            batch_window_ms=args.batch_window_ms,
+            batch_max_size=args.batch_max_size,
         ),
         engine_config=EngineConfig(
             cache=not args.no_cache,
             n_jobs=args.n_jobs,
+            vectorize=not args.no_vectorize,
             max_retries=args.max_retries,
             call_timeout=args.call_timeout,
         ),

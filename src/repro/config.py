@@ -51,6 +51,7 @@ class ExperimentConfig:
     engine_cache: bool = True
     engine_batch_size: int = 512
     engine_n_jobs: int = 1
+    engine_vectorize: bool = True
     #: Matcher-guard knobs (see :mod:`repro.core.guard`).  With the
     #: defaults the guard is a pass-through; retries/timeouts never change
     #: successful results, only whether transient faults kill the run.
@@ -108,6 +109,7 @@ class ExperimentConfig:
             cache=self.engine_cache,
             batch_size=self.engine_batch_size,
             n_jobs=self.engine_n_jobs,
+            vectorize=self.engine_vectorize,
             max_retries=self.guard_max_retries,
             call_timeout=self.guard_call_timeout,
             trip_after=self.guard_trip_after,
@@ -165,6 +167,14 @@ class ServiceConfig:
     ``default_deadline`` applies to requests that carry none;
     ``drain_timeout`` is the budget of a graceful ``close(drain=True)``
     before still-queued work is cancelled instead of computed.
+
+    ``batch_window_ms > 0`` turns on the cross-request batch scheduler
+    (:class:`~repro.core.batching.CrossRequestBatcher`): concurrent
+    workers' cache-miss sets are buffered up to that window (or until
+    ``batch_max_size`` rows accumulate) and sent to the matcher as one
+    merged batch.  Like everything above, batching never changes a
+    result bit — every matcher scores rows independently — it only
+    trades a bounded latency for wider, fewer matcher calls.
     """
 
     n_workers: int = 2
@@ -174,6 +184,8 @@ class ServiceConfig:
     max_queue_wait: float | None = None
     default_deadline: float | None = None
     drain_timeout: float = 30.0
+    batch_window_ms: float = 0.0
+    batch_max_size: int = 1024
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -199,6 +211,14 @@ class ServiceConfig:
         if self.drain_timeout < 0:
             raise ConfigurationError(
                 f"drain_timeout must be >= 0, got {self.drain_timeout}"
+            )
+        if self.batch_window_ms < 0:
+            raise ConfigurationError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.batch_max_size < 1:
+            raise ConfigurationError(
+                f"batch_max_size must be >= 1, got {self.batch_max_size}"
             )
 
 

@@ -21,6 +21,12 @@ The pipeline (Figure 2, bottom row):
 :class:`~repro.core.landmark.LandmarkExplainer` is the public entry point.
 """
 
+from repro.core.batching import CrossRequestBatcher
+from repro.core.columnar import (
+    ColumnarPairBatch,
+    ValueColumn,
+    landmark_batch,
+)
 from repro.core.counterfactual import (
     Counterfactual,
     TokenEdit,
@@ -68,7 +74,9 @@ from repro.core.summarize import GlobalSummary, summarize_explanations
 
 __all__ = [
     "CancelToken",
+    "ColumnarPairBatch",
     "Counterfactual",
+    "CrossRequestBatcher",
     "DatasetReconstructor",
     "Deadline",
     "DualExplanation",
@@ -90,7 +98,9 @@ __all__ = [
     "PairReconstructor",
     "PairTokenWeights",
     "TokenEdit",
+    "ValueColumn",
     "checkpoint",
+    "landmark_batch",
     "dual_digest",
     "dual_from_dict",
     "dual_to_dict",

@@ -47,6 +47,8 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.batching import CrossRequestBatcher
+from repro.core.columnar import ColumnarPairBatch, landmark_batch
 from repro.core.deadline import checkpoint
 from repro.core.generation import GeneratedInstance
 from repro.core.guard import GUARD_COUNTER_FIELDS, GuardConfig, MatcherGuard
@@ -199,6 +201,14 @@ class EngineConfig:
     :class:`~repro.core.guard.MatcherGuard` every matcher chunk goes
     through; with the defaults (no retries, no timeout) the guard is a
     plain pass-through and runs are bit-identical to unguarded ones.
+
+    ``vectorize`` (default on) applies perturbation masks as columnar
+    batches — one vectorized rebuild per instance instead of a Python
+    loop per mask row — and, for matchers with ``supports_columnar``,
+    scores cache-miss sets through ``predict_proba_columnar``.  Results
+    are bit-identical either way (the columnar path re-encodes the same
+    strings and the same float64 features); the flag exists for A/B
+    benchmarking and as an escape hatch.
     """
 
     dedup: bool = True
@@ -206,6 +216,7 @@ class EngineConfig:
     cache_size: int = 100_000
     batch_size: int = 512
     n_jobs: int = 1
+    vectorize: bool = True
     max_retries: int = 0
     call_timeout: float | None = None
     trip_after: int = 5
@@ -342,6 +353,23 @@ class _EngineInstruments:
             "Entries currently held by the prediction LRU cache",
             **labels,
         )
+        # Batch-shape observability (registry-only; not part of the
+        # EngineStats counter snapshot, so checkpoint compatibility and
+        # the accounting invariant are untouched).
+        self.batch_width = registry.histogram(
+            "repro_engine_batch_width",
+            "Rows per matcher batch actually issued",
+            **labels,
+        )
+        self.batch_wait_seconds = registry.histogram(
+            "repro_engine_batch_wait_seconds",
+            "Seconds a miss set waited in the cross-request batcher",
+            **labels,
+        )
+        self.batch_merges = counter(
+            "repro_engine_batch_merges_total",
+            "Cross-request flushes that merged more than one miss set",
+        )
 
     #: Instrument attributes, in EngineStats field order (counters first,
     #: then the two stage histograms whose sums are the *_seconds fields).
@@ -443,6 +471,35 @@ class PredictionEngine:
         # Protects the LRU cache; counters live in the metrics registry
         # and are synchronized by its own lock.
         self._lock = threading.Lock()
+        self._supports_columnar = bool(
+            getattr(matcher, "supports_columnar", False)
+        )
+        # Optional cross-request batch scheduler (serving layer attaches
+        # one when ServiceConfig.batch_window_ms is set).
+        self._batcher: CrossRequestBatcher | None = None
+
+    def attach_batcher(self, window_seconds: float, max_rows: int) -> None:
+        """Coalesce concurrent miss sets into merged matcher batches.
+
+        Submissions from different threads within *window_seconds* (or
+        until *max_rows* rows accumulate) execute as one merged batch —
+        see :class:`~repro.core.batching.CrossRequestBatcher`.  Row
+        probabilities are bit-identical with or without merging; only
+        matcher-call shapes change.
+        """
+        instruments = self._instruments
+        self._batcher = CrossRequestBatcher(
+            execute_pairs=self._execute_pairs,
+            execute_columnar=self._execute_columnar,
+            window_seconds=window_seconds,
+            max_rows=max_rows,
+            observe_wait=instruments.batch_wait_seconds.observe,
+            count_merge=instruments.batch_merges.inc,
+        )
+
+    def detach_batcher(self) -> None:
+        """Stop coalescing; in-flight flushes complete normally."""
+        self._batcher = None
 
     @property
     def stats(self) -> EngineStats:
@@ -467,7 +524,12 @@ class PredictionEngine:
             self._instruments.calls_issued.inc(len(pairs))
             return self._predict_batches(pairs)
         entries = self._group(pair_fingerprint(pair) for pair in pairs)
-        return self._resolve(entries, len(pairs), lambda key, index: pairs[index])
+
+        def predict_misses(miss_keys, miss_slots):
+            miss_pairs = [pairs[slots[0]] for slots in miss_slots]
+            return self._predict_batches(miss_pairs)
+
+        return self._resolve(entries, len(pairs), predict_misses)
 
     def predict_instance(
         self, instance: GeneratedInstance, masks: np.ndarray
@@ -479,12 +541,26 @@ class PredictionEngine:
         whose removal does not change the rebuilt value (duplicate words,
         already-covered injections).  Pairs are only materialized for
         groups that miss the cache.
+
+        With ``config.vectorize`` (the default) the mask matrix is applied
+        as one columnar rebuild (:func:`~repro.core.columnar.
+        landmark_batch`) instead of a Python loop per row, and miss sets
+        reach vectorizing matchers through ``predict_proba_columnar``;
+        keys, accounting and probabilities are bit-identical either way.
         """
         masks = np.asarray(masks)
         n_masks = masks.shape[0]
         self._instruments.requested.inc(n_masks)
         if n_masks == 0:
             return np.empty(0, dtype=np.float64)
+        if self.config.vectorize:
+            started = time.perf_counter()
+            with trace.span("reconstruction", n_masks=n_masks):
+                batch = landmark_batch(instance, masks)
+            self._instruments.rebuild_seconds.observe(
+                time.perf_counter() - started
+            )
+            return self._answer_columnar(batch, n_masks)
         if not self.config.dedup and not self.config.cache:
             started = time.perf_counter()
             with trace.span("reconstruction", n_masks=n_masks):
@@ -518,11 +594,31 @@ class PredictionEngine:
                 values_of[key] = values
         self._instruments.rebuild_seconds.observe(time.perf_counter() - started)
 
-        def build(key: PairKey, index: int) -> RecordPair:
-            entity = dict(zip(attributes, values_of[key]))
-            return instance.pair.with_side(varying_side, entity)
+        def predict_misses(miss_keys, miss_slots):
+            miss_pairs = [
+                instance.pair.with_side(
+                    varying_side, dict(zip(attributes, values_of[key]))
+                )
+                for key in miss_keys
+            ]
+            return self._predict_batches(miss_pairs)
 
-        return self._resolve(self._group(keys), n_masks, build)
+        return self._resolve(self._group(keys), n_masks, predict_misses)
+
+    def predict_columnar(self, batch: ColumnarPairBatch) -> np.ndarray:
+        """Probabilities for a columnar perturbation batch.
+
+        The baselines' entry point: rows are fingerprinted by content
+        (the same :data:`PairKey` tuples as :meth:`predict_pairs`, so the
+        cache interoperates across methods), deduplicated, and miss sets
+        are scored columnar when the matcher supports it — materialized
+        as pairs otherwise.
+        """
+        n_rows = batch.n_rows
+        self._instruments.requested.inc(n_rows)
+        if n_rows == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._answer_columnar(batch, n_rows)
 
     def predict_one(self, pair: RecordPair) -> float:
         """Cached probability of a single pair."""
@@ -559,13 +655,51 @@ class PredictionEngine:
             return list(grouped.items())
         return [(key, [index]) for index, key in enumerate(keys)]
 
+    def _answer_columnar(
+        self, batch: ColumnarPairBatch, n_requests: int
+    ) -> np.ndarray:
+        """Dedup/cache resolution of a columnar batch (requested counted).
+
+        With ``vectorize`` off (a directly handed-in batch on a
+        non-vectorizing engine), miss rows are materialized as pairs and
+        follow the per-pair path — accounting and results are identical.
+        """
+        config = self.config
+        if not config.dedup and not config.cache:
+            self._instruments.calls_issued.inc(n_requests)
+            if config.vectorize:
+                return self._predict_columnar(batch)
+            return self._predict_batches(batch.pairs())
+        attributes = batch.schema.attributes
+        left_rows = batch.value_rows("left")
+        right_rows = batch.value_rows("right")
+        keys: list[PairKey] = [
+            (attributes, left, right)
+            for left, right in zip(left_rows, right_rows)
+        ]
+
+        def predict_misses(miss_keys, miss_slots):
+            rows = [slots[0] for slots in miss_slots]
+            sub = batch.take(rows)
+            if config.vectorize:
+                return self._predict_columnar(sub)
+            return self._predict_batches(sub.pairs())
+
+        return self._resolve(self._group(keys), n_requests, predict_misses)
+
     def _resolve(
         self,
         entries: list[tuple[PairKey, list[int]]],
         n_requests: int,
-        build_pair,
+        predict_misses,
     ) -> np.ndarray:
-        """Answer grouped requests from the cache, then the matcher."""
+        """Answer grouped requests from the cache, then the matcher.
+
+        *predict_misses* maps ``(miss_keys, miss_slots)`` — the keys that
+        missed the cache and their request-index groups — to one
+        probability per key; callers close it over whatever representation
+        (pair list, columnar batch) the request arrived in.
+        """
         config = self.config
         instruments = self._instruments
         out = np.empty(n_requests, dtype=np.float64)
@@ -591,14 +725,10 @@ class PredictionEngine:
             updates.append((instruments.cache_misses, len(miss_keys)))
         self.metrics.bulk(updates)
         if miss_keys:
-            # Pairs are built and predicted outside the lock; concurrent
+            # Misses are built and predicted outside the lock; concurrent
             # callers may race to compute the same key, but matchers are
             # deterministic so both writers cache the same value.
-            miss_pairs = [
-                build_pair(key, indices[0])
-                for key, indices in zip(miss_keys, miss_slots)
-            ]
-            probabilities = self._predict_batches(miss_pairs)
+            probabilities = predict_misses(miss_keys, miss_slots)
             with self._lock:
                 for key, indices, probability in zip(
                     miss_keys, miss_slots, probabilities
@@ -612,6 +742,19 @@ class PredictionEngine:
         return out
 
     def _predict_batches(self, pairs: list[RecordPair]) -> np.ndarray:
+        """Matcher execution for a pair list, via the batcher when attached."""
+        if self._batcher is not None:
+            return self._batcher.submit(list(pairs))
+        return self._execute_pairs(pairs)
+
+    def _predict_columnar(self, batch: ColumnarPairBatch) -> np.ndarray:
+        """Matcher execution for a columnar batch, via the batcher when
+        attached."""
+        if self._batcher is not None:
+            return self._batcher.submit(batch)
+        return self._execute_columnar(batch)
+
+    def _execute_pairs(self, pairs: list[RecordPair]) -> np.ndarray:
         """Chunked (optionally thread-parallel) matcher execution.
 
         Polls the ambient request scope (:func:`repro.core.deadline.
@@ -627,7 +770,10 @@ class PredictionEngine:
             pairs[offset : offset + config.batch_size]
             for offset in range(0, len(pairs), config.batch_size)
         ]
-        self._instruments.batches.inc(len(chunks))
+        instruments = self._instruments
+        instruments.batches.inc(len(chunks))
+        for chunk in chunks:
+            instruments.batch_width.observe(len(chunk))
         with trace.span("prediction", n_pairs=len(pairs), n_batches=len(chunks)):
             results: list[np.ndarray] | None = None
             if config.n_jobs > 1 and len(chunks) > 1:
@@ -658,7 +804,69 @@ class PredictionEngine:
                     f"{np.shape(result)} for {len(chunk)} pairs; expected "
                     f"({len(chunk)},)"
                 )
-        self._instruments.predict_seconds.observe(time.perf_counter() - started)
+        instruments.predict_seconds.observe(time.perf_counter() - started)
+        if len(results) == 1:
+            return np.asarray(results[0], dtype=np.float64)
+        return np.concatenate(
+            [np.asarray(result, dtype=np.float64) for result in results]
+        )
+
+    def _execute_columnar(self, batch: ColumnarPairBatch) -> np.ndarray:
+        """Chunked columnar matcher execution (same policies as pairs).
+
+        Falls back to the per-pair path for matchers without columnar
+        support — test doubles, wrappers and the token-level matchers keep
+        their exact pre-vectorization call patterns.
+        """
+        if not self._supports_columnar:
+            return self._execute_pairs(batch.pairs())
+        if batch.n_rows == 0:
+            return np.empty(0, dtype=np.float64)
+        config = self.config
+        started = time.perf_counter()
+        checkpoint("prediction")
+        chunks = [
+            batch.slice_rows(offset, offset + config.batch_size)
+            for offset in range(0, batch.n_rows, config.batch_size)
+        ]
+        instruments = self._instruments
+        instruments.batches.inc(len(chunks))
+        for chunk in chunks:
+            instruments.batch_width.observe(chunk.n_rows)
+        predict_fn = self.matcher.predict_proba_columnar
+
+        def call(chunk: ColumnarPairBatch) -> np.ndarray:
+            return self.guard.call_with(predict_fn, chunk, chunk.n_rows)
+
+        with trace.span(
+            "prediction", n_pairs=batch.n_rows, n_batches=len(chunks)
+        ):
+            results: list[np.ndarray] | None = None
+            if config.n_jobs > 1 and len(chunks) > 1:
+                try:
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    workers = min(config.n_jobs, len(chunks))
+                    with ThreadPoolExecutor(max_workers=workers) as pool:
+                        results = list(pool.map(call, chunks))
+                except Exception:
+                    if self.guard.config.active:
+                        raise
+                    results = None  # pragma: no cover - defensive serial fallback
+            if results is None:
+                results = []
+                for index, chunk in enumerate(chunks):
+                    if index:
+                        checkpoint("prediction")
+                    results.append(call(chunk))
+        for chunk, result in zip(chunks, results):
+            if np.shape(result) != (chunk.n_rows,):
+                raise ExplanationError(
+                    f"matcher returned probabilities of shape "
+                    f"{np.shape(result)} for {chunk.n_rows} rows; expected "
+                    f"({chunk.n_rows},)"
+                )
+        instruments.predict_seconds.observe(time.perf_counter() - started)
         if len(results) == 1:
             return np.asarray(results[0], dtype=np.float64)
         return np.concatenate(

@@ -179,21 +179,33 @@ class MatcherGuard:
         cancelled request fails here instead of spending a matcher call
         (and instead of burning retries on work nobody is waiting for).
         """
+        return self.call_with(self.predict_fn, pairs, len(pairs))
+
+    def call_with(self, predict_fn, payload, size: int):
+        """Like :meth:`call`, but for an alternative matcher entry point.
+
+        The prediction engine routes columnar batches through here with
+        the matcher's ``predict_proba_columnar`` — same timeout, retry and
+        circuit-breaker policies, same counters, same breaker state as the
+        per-pair calls (a matcher that is down is down on every entry
+        point).  *size* is the row count, used for trace spans and error
+        messages.
+        """
         checkpoint("matcher call")
         config = self.config
         if not config.active:
-            with trace.span("guard_call", n_pairs=len(pairs), active=False):
-                return self.predict_fn(pairs)
-        with trace.span("guard_call", n_pairs=len(pairs), active=True):
-            return self._call_guarded(pairs)
+            with trace.span("guard_call", n_pairs=size, active=False):
+                return predict_fn(payload)
+        with trace.span("guard_call", n_pairs=size, active=True):
+            return self._call_guarded(predict_fn, payload, size)
 
-    def _call_guarded(self, pairs):
+    def _call_guarded(self, predict_fn, payload, size: int):
         config = self.config
         self._gate()
         attempts = config.max_retries + 1
         for attempt in range(attempts):
             try:
-                result = self._invoke(pairs)
+                result = self._invoke(predict_fn, payload, size)
             except MatcherUnavailableError:
                 raise
             except Exception as error:
@@ -238,16 +250,16 @@ class MatcherGuard:
                 )
             self._state = _HALF_OPEN
 
-    def _invoke(self, pairs):
+    def _invoke(self, predict_fn, payload, size: int):
         timeout = self.config.call_timeout
         if timeout is None:
-            return self.predict_fn(pairs)
+            return predict_fn(payload)
         box: dict[str, object] = {}
         done = threading.Event()
 
         def runner() -> None:
             try:
-                box["value"] = self.predict_fn(pairs)
+                box["value"] = predict_fn(payload)
             except BaseException as error:  # noqa: BLE001 - relayed below
                 box["error"] = error
             finally:
@@ -259,7 +271,7 @@ class MatcherGuard:
         thread.start()
         if not done.wait(timeout):
             raise MatcherTimeoutError(
-                f"matcher call on {len(pairs)} pairs exceeded "
+                f"matcher call on {size} pairs exceeded "
                 f"{timeout:.3g}s"
             )
         if "error" in box:

@@ -39,18 +39,12 @@ class PairReconstructor:
         Mask bit *i* keeps token *i* of the varying entity; the landmark
         entity is copied through unchanged.  Attributes whose tokens were
         all dropped become empty strings (the schema is always complete).
+
+        Delegates to :meth:`varying_values` so the pair-building and
+        fingerprinting paths can never silently diverge.
         """
-        if len(mask) != len(instance.tokens):
-            raise ValueError(
-                f"mask length {len(mask)} != token count {len(instance.tokens)}"
-            )
-        kept = [
-            token
-            for token, bit in zip(instance.tokens, mask)
-            if bit
-        ]
-        partial_values = self.tokenizer.detokenize(kept)
-        varying_entity = instance.pair.schema.conform(partial_values)
+        values = self.varying_values(instance, mask)
+        varying_entity = dict(zip(instance.pair.schema.attributes, values))
         return instance.pair.with_side(instance.varying_side, varying_entity)
 
     def varying_values(

@@ -234,9 +234,20 @@ def _canonical_state(value, depth: int = 0):
         return value
     if hasattr(value, "__dict__"):
         cls = type(value)
+        # Honor a class's own __getstate__ (e.g. the feature extractor
+        # drops its volatile memo caches there) so the fingerprint covers
+        # exactly the state an artifact would persist.
+        state = vars(value)
+        getstate = getattr(cls, "__getstate__", None)
+        if getstate is not None and getstate is not getattr(
+            object, "__getstate__", None
+        ):
+            candidate = value.__getstate__()
+            if isinstance(candidate, Mapping):
+                state = candidate
         return (
             f"{cls.__module__}.{cls.__qualname__}",
-            _canonical_state(vars(value), depth + 1),
+            _canonical_state(state, depth + 1),
         )
     return repr(value)
 

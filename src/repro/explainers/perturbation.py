@@ -44,18 +44,30 @@ def _missing_rows(
     count: int,
     rng: np.random.Generator,
 ) -> list[np.ndarray]:
-    """*count* not-yet-seen masks (≥ 1 removal), in rng-shuffled order."""
-    candidates: list[np.ndarray] = []
-    for pattern in range((1 << n_features) - 1):  # excludes the all-ones mask
-        row = np.fromiter(
-            ((pattern >> bit) & 1 for bit in range(n_features)),
-            dtype=np.int8,
-            count=n_features,
-        )
-        if row.tobytes() not in seen:
-            candidates.append(row)
-    order = rng.permutation(len(candidates))
-    return [candidates[index] for index in order[:count]]
+    """*count* not-yet-seen masks (≥ 1 removal), in rng-shuffled order.
+
+    The candidate block is built with one vectorized bit-unpack over the
+    unseen patterns instead of ``2^d`` per-bit Python generators; candidate
+    order (ascending pattern) and rng consumption (one full-length
+    permutation) are unchanged, so sampled masks are bit-identical to the
+    old enumeration.
+    """
+    capacity = (1 << n_features) - 1  # excludes the all-ones mask
+    unseen = np.ones(capacity, dtype=bool)
+    if seen:
+        # ``seen`` keys are the little-endian int8 rows; decode them back
+        # to hypercube patterns in one shot.
+        rows = np.frombuffer(b"".join(seen), dtype=np.int8)
+        rows = rows.reshape(len(seen), n_features)
+        weights = np.int64(1) << np.arange(n_features, dtype=np.int64)
+        codes = rows.astype(np.int64) @ weights
+        unseen[codes[codes < capacity]] = False
+    patterns = np.flatnonzero(unseen)
+    bits = (
+        (patterns[:, None] >> np.arange(n_features, dtype=np.int64)) & 1
+    ).astype(np.int8)
+    order = rng.permutation(len(patterns))
+    return [bits[index] for index in order[:count]]
 
 
 def sample_masks(

@@ -10,10 +10,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.data.records import EMDataset, RecordPair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.columnar import ColumnarPairBatch
 
 #: The decision threshold the paper uses (it also discusses 0.4).
 DEFAULT_THRESHOLD = 0.5
@@ -22,6 +26,14 @@ DEFAULT_THRESHOLD = 0.5
 class EntityMatcher(ABC):
     """Abstract base class of every EM model."""
 
+    #: Whether :meth:`predict_proba_columnar` is implemented.  Matchers
+    #: that can score a perturbation batch straight from its columnar
+    #: form (without materializing pairs) set this to True; callers fall
+    #: back to :meth:`predict_proba` otherwise.  Wrappers (test doubles,
+    #: counting/fault-injection shims) inherit the False default, which
+    #: safely routes them through the per-pair path.
+    supports_columnar: bool = False
+
     @abstractmethod
     def fit(self, dataset: EMDataset) -> "EntityMatcher":
         """Train on a labelled dataset and return self."""
@@ -29,6 +41,20 @@ class EntityMatcher(ABC):
     @abstractmethod
     def predict_proba(self, pairs: Sequence[RecordPair]) -> np.ndarray:
         """Match probabilities, shape ``(len(pairs),)``, values in [0, 1]."""
+
+    def predict_proba_columnar(self, batch: "ColumnarPairBatch") -> np.ndarray:
+        """Match probabilities for a columnar perturbation batch.
+
+        The contract mirrors :meth:`predict_proba` — shape
+        ``(batch.n_rows,)`` — with one hard extra requirement: row *i*'s
+        probability must be **bit-identical** to what ``predict_proba``
+        would return for the materialized pair of row *i*, whatever batch
+        it rides in (the prediction engine's equivalence bar).  Only
+        matchers with ``supports_columnar = True`` implement this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support columnar prediction"
+        )
 
     def predict(
         self,

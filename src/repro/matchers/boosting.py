@@ -50,6 +50,8 @@ class Stump:
 class GradientBoostedStumpsMatcher(EntityMatcher):
     """Boosted-stump classifier on per-attribute similarity features."""
 
+    supports_columnar = True
+
     def __init__(
         self,
         n_stumps: int = 80,
@@ -162,6 +164,14 @@ class GradientBoostedStumpsMatcher(EntityMatcher):
 
     # ------------------------------------------------------------------
 
+    def _score_features(self, features: np.ndarray) -> np.ndarray:
+        # Stump predictions are np.where lookups — row-independent, so
+        # scores are bit-identical whatever batch shape carries a row.
+        scores = np.full(features.shape[0], self.prior_)
+        for stump in self.stumps_:
+            scores += self.learning_rate * stump.predict(features)
+        return _sigmoid(scores)
+
     def predict_proba(self, pairs: Sequence[RecordPair]) -> np.ndarray:
         if self.extractor is None or not self.stumps_:
             raise ModelNotFittedError(
@@ -169,11 +179,16 @@ class GradientBoostedStumpsMatcher(EntityMatcher):
             )
         if not pairs:
             return np.empty(0, dtype=np.float64)
-        features = self.extractor.transform(pairs)
-        scores = np.full(len(pairs), self.prior_)
-        for stump in self.stumps_:
-            scores += self.learning_rate * stump.predict(features)
-        return _sigmoid(scores)
+        return self._score_features(self.extractor.transform(pairs))
+
+    def predict_proba_columnar(self, batch) -> np.ndarray:
+        if self.extractor is None or not self.stumps_:
+            raise ModelNotFittedError(
+                "GradientBoostedStumpsMatcher used before fit()"
+            )
+        if batch.n_rows == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._score_features(self.extractor.transform_columnar(batch))
 
     def feature_usage(self) -> dict[str, int]:
         """How often each feature was chosen by a stump (a crude global

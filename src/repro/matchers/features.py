@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.data.records import RecordPair
 from repro.data.schema import PairSchema
+from repro.text.batch_similarity import char_similarities_batch
 from repro.text.normalize import normalize_value
 from repro.text.similarity import (
     dice_coefficient,
@@ -79,6 +80,9 @@ class PairFeatureExtractor:
         if self.config.use_monge_elkan:
             self._measures.append("monge_elkan")
         self._cache: dict[tuple[str, str, str], np.ndarray] = {}
+        # Raw value → normalized value memo for the columnar path (the
+        # same value recurs across combinations, rows and batches).
+        self._norm_cache: dict[str, str] = {}
 
     @property
     def measures(self) -> tuple[str, ...]:
@@ -108,6 +112,17 @@ class PairFeatureExtractor:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._norm_cache.clear()
+
+    def __getstate__(self) -> dict:
+        # Memo caches are volatile accelerators, not state: excluding them
+        # keeps matcher artifacts lean and — because pickle memoizes shared
+        # strings — keeps :func:`repro.core.serialize.matcher_fingerprint`
+        # independent of whatever was scored before saving.
+        state = dict(self.__dict__)
+        state["_cache"] = {}
+        state["_norm_cache"] = {}
+        return state
 
     def _attribute_features(self, attribute: str, left: str, right: str) -> np.ndarray:
         key = (attribute, left, right)
@@ -156,6 +171,111 @@ class PairFeatureExtractor:
         self._cache[key] = features
         return features
 
+    def _attribute_features_many(
+        self, attribute: str, combos: list[tuple[str, str]]
+    ) -> np.ndarray:
+        """Feature rows for distinct ``(left, right)`` value combinations.
+
+        The columnar fast path of :meth:`_attribute_features`: cache hits
+        are gathered first; the remaining combinations normalize each
+        distinct raw value once and run the quadratic character measures
+        through the batched kernels (:mod:`repro.text.batch_similarity`),
+        which are bit-identical to the scalar ones.  Every row — and every
+        cache entry written — is exactly what the scalar method produces.
+        """
+        width = len(self._measures)
+        rows = np.empty((len(combos), width), dtype=np.float64)
+        missing: list[int] = []
+        for index, (left, right) in enumerate(combos):
+            cached = self._cache.get((attribute, left, right))
+            if cached is not None:
+                rows[index] = cached
+            else:
+                missing.append(index)
+        if not missing:
+            return rows
+        norm_cache = self._norm_cache
+        normalized: dict[str, str] = {}
+        token_sets: dict[str, frozenset[str]] = {}
+        token_lists: dict[str, list[str]] = {}
+        for index in missing:
+            for value in combos[index]:
+                if value not in normalized:
+                    norm = norm_cache.get(value)
+                    if norm is None:
+                        if len(norm_cache) >= self.config.cache_size:
+                            norm_cache.clear()
+                        norm = norm_cache[value] = normalize_value(value)
+                    normalized[value] = norm
+                    words = norm.split(" ") if norm else []
+                    token_lists[value] = words
+                    token_sets[value] = frozenset(words)
+
+        def store(index: int, features: np.ndarray) -> None:
+            rows[index] = features
+            if len(self._cache) >= self.config.cache_size:
+                self._cache.clear()
+            self._cache[(attribute,) + combos[index]] = features
+
+        live: list[int] = []
+        for index in missing:
+            left, right = combos[index]
+            if not normalized[left] and not normalized[right]:
+                store(index, np.zeros(width, dtype=np.float64))
+            else:
+                live.append(index)
+        if not live:
+            return rows
+        cap = self.config.char_cap
+        levenshtein_block, jaro_winkler_block = char_similarities_batch(
+            [normalized[combos[i][0]][:cap] for i in live],
+            [normalized[combos[i][1]][:cap] for i in live],
+        )
+        token_cap = self.config.monge_elkan_token_cap
+        for position, index in enumerate(live):
+            left, right = combos[index]
+            left_norm, right_norm = normalized[left], normalized[right]
+            set_left, set_right = token_sets[left], token_sets[right]
+            # Inlined jaccard / overlap / dice sharing one intersection:
+            # same integer cardinalities, same float expressions as the
+            # scalar functions in repro.text.similarity.
+            n_left, n_right = len(set_left), len(set_right)
+            intersection = len(set_left & set_right)
+            if not n_left and not n_right:
+                jaccard = overlap = dice = 1.0
+            else:
+                union = n_left + n_right - intersection
+                jaccard = intersection / union
+                overlap = (
+                    intersection / min(n_left, n_right)
+                    if n_left and n_right
+                    else 0.0
+                )
+                dice = 2.0 * intersection / (n_left + n_right)
+            values = [
+                jaccard,
+                overlap,
+                dice,
+                levenshtein_block[position],
+                jaro_winkler_block[position],
+                numeric_similarity(left_norm, right_norm),
+                exact_match(left_norm, right_norm),
+            ]
+            if self.config.use_monge_elkan:
+                values.append(
+                    monge_elkan_similarity(
+                        token_lists[left][:token_cap],
+                        token_lists[right][:token_cap],
+                    )
+                )
+            features = np.array(values, dtype=np.float64)
+            if not np.isfinite(features).all():
+                features = np.nan_to_num(
+                    features, nan=0.0, posinf=1.0, neginf=0.0
+                )
+            store(index, features)
+        return rows
+
     def transform_pair(self, pair: RecordPair) -> np.ndarray:
         """Feature vector of one pair, shape ``(n_features,)``."""
         chunks = [
@@ -171,3 +291,42 @@ class PairFeatureExtractor:
         if not pairs:
             return np.empty((0, self.n_features), dtype=np.float64)
         return np.vstack([self.transform_pair(pair) for pair in pairs])
+
+    def transform_columnar(self, batch) -> np.ndarray:
+        """Feature matrix of a :class:`~repro.core.columnar.ColumnarPairBatch`.
+
+        Per attribute, features are computed once per **distinct** (left,
+        right) value combination — found by uniquing the batch's integer
+        index codes, never by touching the strings row-wise — and gathered
+        back onto the full row set.  Each distinct combination goes through
+        :meth:`_attribute_features` (the same scalar code, the same memo
+        cache, the same float64 values as the per-pair path), so row *i* of
+        the result is bit-identical to ``transform_pair`` of row *i*'s
+        materialized pair.
+        """
+        if batch.schema.attributes != self.schema.attributes:
+            raise ValueError(
+                f"batch schema {batch.schema.attributes} does not match "
+                f"extractor schema {self.schema.attributes}"
+            )
+        width = len(self._measures)
+        out = np.empty((batch.n_rows, self.n_features), dtype=np.float64)
+        if batch.n_rows == 0:
+            return out
+        for position, attribute in enumerate(self.schema.attributes):
+            left = batch.columns[("left", attribute)]
+            right = batch.columns[("right", attribute)]
+            codes = left.index * len(right.values) + right.index
+            _, first, inverse = np.unique(
+                codes, return_index=True, return_inverse=True
+            )
+            combos = [
+                (
+                    left.values[left.index[representative]],
+                    right.values[right.index[representative]],
+                )
+                for representative in first
+            ]
+            block = self._attribute_features_many(attribute, combos)
+            out[:, position * width : (position + 1) * width] = block[inverse]
+        return out

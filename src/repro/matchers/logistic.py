@@ -36,6 +36,8 @@ def _sigmoid(z: np.ndarray) -> np.ndarray:
 class LogisticRegressionMatcher(EntityMatcher):
     """Logistic regression over per-attribute similarity features."""
 
+    supports_columnar = True
+
     def __init__(
         self,
         l2: float = 10.0,
@@ -131,17 +133,25 @@ class LogisticRegressionMatcher(EntityMatcher):
             raise ModelNotFittedError("LogisticRegressionMatcher used before fit()")
         return self.extractor
 
-    def predict_proba(self, pairs: Sequence[RecordPair]) -> np.ndarray:
-        extractor = self._require_fitted()
-        if not pairs:
-            return np.empty(0, dtype=np.float64)
-        features = extractor.transform(pairs)
+    def _score_features(self, features: np.ndarray) -> np.ndarray:
         standardized = (features - self._mean) / self._scale
         # Row-wise reduction rather than a BLAS matvec: dgemv may pick a
         # different summation order per batch shape, and the prediction
         # engine's bit-for-bit equivalence guarantee needs every row to
         # score identically whatever batch it rides in.
         return _sigmoid((standardized * self.coef_).sum(axis=1) + self.intercept_)
+
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        extractor = self._require_fitted()
+        if not pairs:
+            return np.empty(0, dtype=np.float64)
+        return self._score_features(extractor.transform(pairs))
+
+    def predict_proba_columnar(self, batch) -> np.ndarray:
+        extractor = self._require_fitted()
+        if batch.n_rows == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._score_features(extractor.transform_columnar(batch))
 
     # ------------------------------------------------------------------
     # Introspection (Table 3 needs this)

@@ -26,6 +26,8 @@ from repro.matchers.logistic import _sigmoid
 class MLPMatcher(EntityMatcher):
     """Feed-forward network: features → hidden tanh layers → sigmoid."""
 
+    supports_columnar = True
+
     def __init__(
         self,
         hidden_sizes: tuple[int, ...] = (32, 16),
@@ -149,6 +151,16 @@ class MLPMatcher(EntityMatcher):
         if not pairs:
             return np.empty(0, dtype=np.float64)
         features = self.extractor.transform(pairs)
+        standardized = (features - self._mean) / self._scale
+        probabilities, _ = self._forward(standardized)
+        return probabilities
+
+    def predict_proba_columnar(self, batch) -> np.ndarray:
+        if self.extractor is None or not self._weights:
+            raise ModelNotFittedError("MLPMatcher used before fit()")
+        if batch.n_rows == 0:
+            return np.empty(0, dtype=np.float64)
+        features = self.extractor.transform_columnar(batch)
         standardized = (features - self._mean) / self._scale
         probabilities, _ = self._forward(standardized)
         return probabilities

@@ -295,6 +295,14 @@ class ExplanationService:
         self.engine = PredictionEngine(
             matcher, engine_config, metrics=self.metrics
         )
+        if self.config.batch_window_ms > 0:
+            # Cross-request batching: concurrent workers' miss sets merge
+            # into one matcher batch inside the window.  Purely a call-
+            # shape optimization — results are bit-identical.
+            self.engine.attach_batcher(
+                self.config.batch_window_ms / 1000.0,
+                self.config.batch_max_size,
+            )
         self.fingerprint = matcher_fingerprint(matcher)
         self._instruments = _ServiceInstruments(self.metrics)
         self._queue: queue.PriorityQueue = queue.PriorityQueue(

@@ -10,11 +10,19 @@ relies on:
   can always be reassembled into well-formed entities.
 * :mod:`repro.text.similarity` — from-scratch string similarity measures
   (Levenshtein, Jaro, Jaro-Winkler, Jaccard, overlap, Monge-Elkan, ...).
+* :mod:`repro.text.batch_similarity` — numpy-vectorized batch kernels for
+  the quadratic character measures, bit-identical to the scalar ones.
 * :mod:`repro.text.vectorize` — a small TF-IDF vectorizer with cosine
   similarity, used by the feature extractor and by hard-negative mining in
   the synthetic data generator.
 """
 
+from repro.text.batch_similarity import (
+    char_similarities_batch,
+    jaro_winkler_similarity_batch,
+    levenshtein_distance_batch,
+    levenshtein_similarity_batch,
+)
 from repro.text.normalize import normalize_value, normalize_whitespace
 from repro.text.tokenize import (
     PrefixedToken,
@@ -42,6 +50,7 @@ __all__ = [
     "PrefixedToken",
     "TfidfVectorizer",
     "Tokenizer",
+    "char_similarities_batch",
     "cosine_token_similarity",
     "dice_coefficient",
     "exact_match",
@@ -49,8 +58,11 @@ __all__ = [
     "jaccard_similarity",
     "jaro_similarity",
     "jaro_winkler_similarity",
+    "jaro_winkler_similarity_batch",
     "levenshtein_distance",
+    "levenshtein_distance_batch",
     "levenshtein_similarity",
+    "levenshtein_similarity_batch",
     "monge_elkan_similarity",
     "normalize_value",
     "normalize_whitespace",

@@ -36,6 +36,11 @@ def strip_accents(text: str) -> str:
     works for any script that decomposes into base character + combining
     mark.
     """
+    if text.isascii():
+        # ASCII is closed under NFKD and contains no combining marks, so
+        # the decomposition pass is the identity — skip it.  The vast
+        # majority of attribute values take this path.
+        return text
     decomposed = unicodedata.normalize("NFKD", text)
     return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
 

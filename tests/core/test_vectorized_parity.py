@@ -1,0 +1,163 @@
+"""Bit-identity of the columnar hot path against the per-pair path.
+
+The vectorized perturbation → reconstruction → predict pipeline promises
+*identical* explanation weights — same float64 bits — no matter how the
+work is batched: vectorization on or off, any engine chunk size, one
+request at a time or N coalesced through the service's cross-request
+batch scheduler.  These tests pin that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ServiceConfig
+from repro.core.engine import EngineConfig, PredictionEngine
+from repro.core.landmark import LandmarkExplainer
+from repro.baselines.mojito import (
+    MojitoAttributeDropExplainer,
+    MojitoCopyExplainer,
+    MojitoDropExplainer,
+)
+from repro.data.records import NON_MATCH, RecordPair
+from repro.data.schema import PairSchema
+from repro.explainers.lime_text import LimeConfig
+from repro.service.request import ExplainRequest
+from repro.service.service import ExplanationService, duals_from_result
+
+
+def landmark_weights(matcher, pair, engine_config, samples=48):
+    engine = PredictionEngine(matcher, engine_config)
+    explainer = LandmarkExplainer(
+        matcher,
+        engine=engine,
+        lime_config=LimeConfig(n_samples=samples, seed=0),
+        seed=0,
+    )
+    dual = explainer.explain(pair)
+    return tuple(
+        (entry.key, entry.weight) for entry in dual.combined().entries
+    )
+
+
+def dual_cells(payload):
+    return tuple(
+        (
+            generation,
+            tuple(
+                (entry.key, entry.weight)
+                for entry in dual.combined().entries
+            ),
+        )
+        for generation, dual in sorted(duals_from_result(payload).items())
+    )
+
+
+class TestEngineParity:
+    def test_vectorized_weights_equal_per_pair_weights(
+        self, beer_matcher, non_match_pair
+    ):
+        off = landmark_weights(
+            beer_matcher, non_match_pair, EngineConfig(vectorize=False)
+        )
+        on = landmark_weights(
+            beer_matcher, non_match_pair, EngineConfig(vectorize=True)
+        )
+        assert off == on
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 4096])
+    def test_weights_invariant_to_chunk_size(
+        self, beer_matcher, non_match_pair, batch_size
+    ):
+        reference = landmark_weights(
+            beer_matcher, non_match_pair, EngineConfig(vectorize=True)
+        )
+        chunked = landmark_weights(
+            beer_matcher,
+            non_match_pair,
+            EngineConfig(vectorize=True, batch_size=batch_size),
+        )
+        assert reference == chunked
+
+    @pytest.mark.parametrize("dedup,cache", [(False, False), (True, False), (False, True)])
+    def test_weights_invariant_to_dedup_and_cache(
+        self, beer_matcher, non_match_pair, dedup, cache
+    ):
+        reference = landmark_weights(
+            beer_matcher, non_match_pair, EngineConfig(vectorize=True)
+        )
+        other = landmark_weights(
+            beer_matcher,
+            non_match_pair,
+            EngineConfig(vectorize=True, dedup=dedup, cache=cache),
+        )
+        assert reference == other
+
+    @pytest.mark.parametrize(
+        "factory",
+        [MojitoDropExplainer, MojitoAttributeDropExplainer, MojitoCopyExplainer],
+    )
+    def test_mojito_weights_equal_across_paths(
+        self, beer_matcher, beer_dataset, factory, non_match_pair
+    ):
+        config = LimeConfig(n_samples=32, seed=0)
+
+        def weights(vectorize):
+            engine = PredictionEngine(
+                beer_matcher, EngineConfig(vectorize=vectorize)
+            )
+            explainer = factory(beer_matcher, config, seed=0, engine=engine)
+            record = explainer.explain(non_match_pair)
+            return tuple(
+                (entry.key, entry.weight)
+                for entry in record.token_weights.entries
+            )
+
+        assert weights(False) == weights(True)
+
+    def test_capacity_branch_beyond_62_tokens(self, beer_matcher):
+        # n_features > 62 drops sample_masks into the unbounded-capacity
+        # branch; the columnar path must still agree bit for bit.
+        schema = PairSchema(beer_matcher.extractor.schema.attributes)
+        wide = {
+            attribute: " ".join(f"tok{i}{attribute}" for i in range(17))
+            for attribute in schema.attributes
+        }
+        narrow = {attribute: "tok0" for attribute in schema.attributes}
+        pair = RecordPair(
+            schema=schema, left=wide, right=narrow, label=NON_MATCH
+        )
+        off = landmark_weights(
+            beer_matcher, pair, EngineConfig(vectorize=False), samples=24
+        )
+        on = landmark_weights(
+            beer_matcher, pair, EngineConfig(vectorize=True), samples=24
+        )
+        assert off == on
+
+
+class TestServiceParity:
+    def test_coalesced_batches_equal_sequential(self, beer_matcher, beer_dataset):
+        requests = [
+            ExplainRequest(pair=beer_dataset[index], samples=32, seed=0)
+            for index in range(4)
+        ]
+        with ExplanationService(
+            beer_matcher, config=ServiceConfig(n_workers=1, coalesce=False)
+        ) as sequential:
+            baseline = [
+                dual_cells(sequential.explain(request)) for request in requests
+            ]
+        with ExplanationService(
+            beer_matcher,
+            config=ServiceConfig(
+                n_workers=4,
+                coalesce=False,
+                batch_window_ms=5.0,
+                batch_max_size=4096,
+            ),
+        ) as batched:
+            futures = [batched.submit(request) for request in requests]
+            merged = [dual_cells(future.result(60)) for future in futures]
+        assert baseline == merged

@@ -73,6 +73,27 @@ class TestSampleMasks:
         masks = sample_masks(8, 40, np.random.default_rng(2), include_original=False)
         assert len({row.tobytes() for row in masks}) == 40
 
+    def test_near_capacity_d16(self):
+        # Regression for the vectorized deterministic top-up
+        # (_missing_rows): at d=16 a request close to the 2^16 - 1
+        # hypercube capacity must still produce fully distinct rows with
+        # >= 1 removal each, with no pattern emitted twice.
+        d, capacity = 16, (1 << 16) - 1
+        n = capacity - 100
+        masks = sample_masks(d, n, np.random.default_rng(5))
+        assert masks.shape == (n, d)
+        assert masks[0].sum() == d
+        assert np.all(masks[1:].sum(axis=1) < d)
+        assert len({row.tobytes() for row in masks}) == n
+
+    def test_near_capacity_overflow_d16(self):
+        # One past capacity: exactly the anchor + every hypercube pattern,
+        # then duplicates.
+        d, capacity = 16, (1 << 16) - 1
+        masks = sample_masks(d, capacity + 2, np.random.default_rng(6))
+        distinct = {row.tobytes() for row in masks}
+        assert len(distinct) == capacity + 1
+
     @given(
         st.integers(min_value=1, max_value=20),
         st.integers(min_value=2, max_value=64),

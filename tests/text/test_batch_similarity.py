@@ -1,0 +1,114 @@
+"""Bit-identity of the batched character kernels vs the scalar reference.
+
+The columnar feature extractor routes Levenshtein and Jaro-Winkler
+through :mod:`repro.text.batch_similarity`; these tests pin the contract
+that every batched result equals the scalar function's result exactly —
+same bits, not "close".
+"""
+
+import numpy as np
+import pytest
+
+from repro.text.batch_similarity import (
+    char_similarities_batch,
+    jaro_winkler_similarity_batch,
+    levenshtein_distance_batch,
+    levenshtein_similarity_batch,
+)
+from repro.text.similarity import (
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+
+
+def random_strings(rng, count, alphabet, max_len):
+    out = []
+    for _ in range(count):
+        length = int(rng.integers(0, max_len + 1))
+        out.append("".join(rng.choice(alphabet, size=length)))
+    return out
+
+
+ALPHABETS = {
+    "binary": list("ab"),
+    "ascii": list("abcdefgh xyz0123"),
+    "unicode": list("abcé欧ラø水 '"),
+}
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("alphabet", sorted(ALPHABETS))
+    def test_distance_matches_scalar(self, alphabet):
+        rng = np.random.default_rng(hash(alphabet) % (2**32))
+        a = random_strings(rng, 300, ALPHABETS[alphabet], 24)
+        b = random_strings(rng, 300, ALPHABETS[alphabet], 24)
+        batched = levenshtein_distance_batch(a, b)
+        for index, (left, right) in enumerate(zip(a, b)):
+            assert batched[index] == levenshtein_distance(left, right)
+
+    def test_similarity_bit_identical(self):
+        rng = np.random.default_rng(1)
+        a = random_strings(rng, 300, ALPHABETS["ascii"], 20)
+        b = random_strings(rng, 300, ALPHABETS["ascii"], 20)
+        batched = levenshtein_similarity_batch(a, b)
+        for index, (left, right) in enumerate(zip(a, b)):
+            assert batched[index] == levenshtein_similarity(left, right)
+
+    def test_empty_cases(self):
+        a = ["", "abc", "", "a"]
+        b = ["", "", "xy", "a"]
+        assert levenshtein_distance_batch(a, b).tolist() == [0, 3, 2, 0]
+        assert levenshtein_similarity_batch(a, b).tolist() == [1.0, 0.0, 0.0, 1.0]
+
+    def test_empty_batch(self):
+        assert levenshtein_distance_batch([], []).shape == (0,)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            levenshtein_distance_batch(["a"], [])
+
+
+class TestJaroWinkler:
+    @pytest.mark.parametrize("alphabet", sorted(ALPHABETS))
+    def test_bit_identical_to_scalar(self, alphabet):
+        rng = np.random.default_rng(hash(alphabet) % (2**31))
+        a = random_strings(rng, 300, ALPHABETS[alphabet], 24)
+        b = random_strings(rng, 300, ALPHABETS[alphabet], 24)
+        batched = jaro_winkler_similarity_batch(a, b)
+        for index, (left, right) in enumerate(zip(a, b)):
+            assert batched[index] == jaro_winkler_similarity(left, right)
+
+    def test_equal_strings_are_exactly_one(self):
+        values = ["", "a", "hello world", "é水"]
+        batched = jaro_winkler_similarity_batch(values, list(values))
+        assert batched.tolist() == [1.0] * len(values)
+
+    def test_transposition_heavy_pairs(self):
+        a = ["martha", "dixon", "crate", "ab"]
+        b = ["marhta", "dicksonx", "trace", "ba"]
+        batched = jaro_winkler_similarity_batch(a, b)
+        for index, (left, right) in enumerate(zip(a, b)):
+            assert batched[index] == jaro_winkler_similarity(left, right)
+
+
+class TestCombinedEntryPoint:
+    def test_matches_individual_kernels(self):
+        rng = np.random.default_rng(9)
+        a = random_strings(rng, 200, ALPHABETS["unicode"], 24)
+        b = random_strings(rng, 200, ALPHABETS["unicode"], 24)
+        lev, jw = char_similarities_batch(a, b)
+        assert (lev == levenshtein_similarity_batch(a, b)).all()
+        assert (jw == jaro_winkler_similarity_batch(a, b)).all()
+
+    def test_scalar_parity_on_short_strings(self):
+        pairs = [
+            ("", ""), ("", "x"), ("x", ""), ("a", "b"),
+            ("ab", "ab"), ("abc", "acb"), ("aaaa", "aa"),
+        ]
+        a = [left for left, _ in pairs]
+        b = [right for _, right in pairs]
+        lev, jw = char_similarities_batch(a, b)
+        for index, (left, right) in enumerate(pairs):
+            assert lev[index] == levenshtein_similarity(left, right)
+            assert jw[index] == jaro_winkler_similarity(left, right)
