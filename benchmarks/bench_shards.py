@@ -1,0 +1,179 @@
+"""Benchmark: multi-process shard scaling of the explanation service.
+
+Pushes one CPU-bound workload — distinct records, no store, no repeats,
+so neither caching nor coalescing can flatter the numbers — through
+:class:`~repro.service.supervisor.ShardedService` at 1 shard and at
+``--shards`` (default 4) shards, and compares sustained throughput.
+
+Python threads share one GIL, so the single-process service cannot use a
+second core for the numpy-light parts of the pipeline; shard *processes*
+can.  Two assertions gate the exit code:
+
+* every N-shard result is **bit-identical** to the 1-shard result for
+  the same record (process placement never changes a bit);
+* with at least ``--shards`` CPU cores available, N shards sustain at
+  least ``--min-speedup`` (default 2.5×) the 1-shard throughput.
+
+On machines with fewer cores than shards (e.g. a 1-CPU container) the
+speedup is *reported* but not gated — there is nothing to scale onto —
+so the benchmark still exercises the full sharded path everywhere.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py --smoke
+
+``--smoke`` is the CI configuration (~2 min): 24 requests, 48 samples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.config import ServiceConfig, ShardConfig
+from repro.data.synthetic.magellan import load_dataset
+from repro.matchers.logistic import LogisticRegressionMatcher
+from repro.service import ExplainRequest, ShardedService
+
+
+def run_fleet(matcher, requests, n_shards: int, workers: int):
+    """The workload through *n_shards* shards; returns (results, seconds)."""
+    service = ShardedService(
+        matcher,
+        config=ServiceConfig(n_workers=workers, queue_size=4096),
+        shard_config=ShardConfig(n_shards=n_shards),
+    )
+    try:
+        started = time.perf_counter()
+        futures = [service.submit(request) for request in requests]
+        payloads = [future.result() for future in futures]
+        seconds = time.perf_counter() - started
+        stats = service.stats_payload()
+    finally:
+        service.close()
+    return payloads, seconds, stats
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="S-BR")
+    parser.add_argument("--requests", type=int, default=48,
+                        help="distinct records to explain")
+    parser.add_argument("--samples", type=int, default=96)
+    parser.add_argument("--size-cap", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--method", default="single",
+                        choices=("single", "double", "both"))
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count to compare against 1 shard")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker threads inside every shard")
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.5,
+        help="required N-shard/1-shard throughput ratio (exit 1 below "
+             "it; only gated when the machine has >= --shards cores)",
+    )
+    parser.add_argument("--output", default=None,
+                        help="write the run JSON (timings + stats) here")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI scale: 24 requests, 48 samples, 300 pairs",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.requests, args.samples, args.size_cap = 24, 48, 300
+
+    cores = os.cpu_count() or 1
+    gated = cores >= args.shards
+    dataset = load_dataset(args.dataset, seed=args.seed, size_cap=args.size_cap)
+    matcher = LogisticRegressionMatcher().fit(dataset)
+    requests = [
+        ExplainRequest(
+            pair=dataset[i], method=args.method,
+            samples=args.samples, seed=args.seed,
+        )
+        for i in range(min(args.requests, len(dataset)))
+    ]
+    print(
+        f"workload: {args.dataset}, {len(requests)} distinct requests, "
+        f"method={args.method}, {args.samples} samples; "
+        f"{cores} CPU core(s), speedup gate "
+        f"{'ON' if gated else 'OFF (needs >= %d cores)' % args.shards}"
+    )
+
+    single, single_seconds, _ = run_fleet(matcher, requests, 1, args.workers)
+    print(
+        f"1 shard:  {single_seconds:.2f}s "
+        f"({len(requests) / single_seconds:.2f} req/s)"
+    )
+    fleet, fleet_seconds, fleet_stats = run_fleet(
+        matcher, requests, args.shards, args.workers
+    )
+    speedup = single_seconds / fleet_seconds
+    print(
+        f"{args.shards} shards: {fleet_seconds:.2f}s "
+        f"({len(requests) / fleet_seconds:.2f} req/s)"
+    )
+    per_shard = {
+        shard_id: stats["service"]["requests"]
+        for shard_id, stats in sorted(fleet_stats["shards"].items())
+    }
+    print(f"distribution across shards: {per_shard}")
+    print(f"speedup: {speedup:.2f}x (required: {args.min_speedup}x, "
+          f"{'gated' if gated else 'report-only'})")
+
+    failures = []
+    mismatched = sum(a != b for a, b in zip(single, fleet))
+    if mismatched:
+        failures.append(f"{mismatched} sharded results differ from 1-shard")
+    else:
+        print(f"results: all {len(fleet)} bit-identical across shard counts")
+    if min(per_shard.values() or [0]) == 0:
+        failures.append(f"a shard served nothing: {per_shard}")
+    if gated and speedup < args.min_speedup:
+        failures.append(
+            f"speedup {speedup:.2f}x below {args.min_speedup}x "
+            f"on a {cores}-core machine"
+        )
+
+    if args.output:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(
+            json.dumps(
+                {
+                    "workload": {
+                        "dataset": args.dataset,
+                        "requests": len(requests),
+                        "method": args.method,
+                        "samples": args.samples,
+                        "shards": args.shards,
+                        "workers_per_shard": args.workers,
+                        "cpu_cores": cores,
+                        "speedup_gated": gated,
+                    },
+                    "single_shard_seconds": round(single_seconds, 4),
+                    "fleet_seconds": round(fleet_seconds, 4),
+                    "speedup": round(speedup, 3),
+                    "per_shard_requests": per_shard,
+                    "fleet_stats": fleet_stats,
+                },
+                indent=2,
+                sort_keys=True,
+            ),
+            encoding="utf-8",
+        )
+        print(f"wrote {args.output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("bench_shards", "FAILED" if failures else "passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,316 @@
+#!/usr/bin/env python
+"""Kill-a-shard chaos drill of multi-process serving (CI shard-chaos job).
+
+Boots the real ``repro-em serve --http --shards 3`` CLI, puts it under
+sustained load, SIGKILLs one shard *process* (pid taken from
+``/healthz``, exactly what an OOM killer would do), and asserts the
+supervisor's contract:
+
+1. **zero lost requests** — every admitted request gets a terminal
+   response; waiters stranded on the dead shard either fail over
+   transparently or receive the *retryable* ``shard_failed`` 503, and
+   every retry succeeds — no client is ever left hanging and no request
+   silently vanishes;
+2. **degraded, not down** — while the shard is dead, ``/healthz`` stays
+   200 with the victim listed in ``degraded`` (the ring routes around
+   it); it never reports the whole service down;
+3. **recovery** — the supervisor restarts the shard (capped backoff) and
+   ``/healthz`` returns to fully healthy with ``restarts`` incremented;
+4. **observability** — ``/metrics`` rolls up per-shard series
+   (``shard="N"`` labels) and counts the death and restart;
+5. **clean drain** — SIGTERM still drains the whole fleet within its
+   budget, exit code 0.
+
+Everything is observable from the outside; a failure reproduces.  Run
+locally with::
+
+    PYTHONPATH=src python scripts/shard_drill.py
+
+Pass ``--artifacts-dir DIR`` to keep the supervisor log and the final
+metrics JSON for CI upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SEED = 11
+N_SHARDS = 3
+DATASET_ARGS = [
+    "--dataset", "S-BR", "--size-cap", "150", "--samples", "32",
+    "--seed", str(SEED),
+]
+SHARD_ARGS = [
+    "--shards", str(N_SHARDS),
+    "--heartbeat-interval", "0.1",
+    "--heartbeat-timeout", "2.0",
+    "--restart-backoff", "0.2",
+    "--drain-timeout", "30",
+]
+#: Retryable wire codes: the drill retries these, and the retries must
+#: succeed — anything else is a lost request.
+RETRYABLE = {"shard_failed", "overloaded", "cancelled"}
+
+
+def boot_http(store_dir: Path, model_dir: Path) -> tuple:
+    """Boot the sharded server on an ephemeral port; (process, url, stderr)."""
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", *DATASET_ARGS,
+            "--store-dir", str(store_dir), "--model-dir", str(model_dir),
+            "--http", "127.0.0.1:0", *SHARD_ARGS,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    stderr_lines: list[str] = []
+    address = None
+    deadline = time.monotonic() + 180
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        stderr_lines.append(line)
+        if line.startswith("serving on "):
+            address = line.split()[2]
+            break
+        if not line and process.poll() is not None:
+            break
+    if address is None:
+        print("".join(stderr_lines), file=sys.stderr)
+        raise SystemExit("serve --http --shards did not come up")
+    collected: list[str] = stderr_lines
+
+    def pump() -> None:  # keep draining so the server never blocks on stderr
+        for line in process.stderr:
+            collected.append(line)
+
+    threading.Thread(target=pump, daemon=True).start()
+    return process, address, collected
+
+
+def get_json(url: str, timeout: float = 30.0) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post_explain(url: str, payload: dict, timeout: float = 120.0) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url + "/explain",
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class LoadResult:
+    """Per-request outcome ledger of the sustained load."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.completed = 0
+        self.retried = 0
+        self.lost: list[str] = []
+
+
+def run_load(url: str, n_requests: int, result: LoadResult, threads: int = 4):
+    """*n_requests* explain calls with retry-on-retryable, concurrently."""
+
+    def one(record: int) -> None:
+        payload = {"record": record % 100, "method": "single"}
+        for attempt in range(6):
+            try:
+                status, body = post_explain(url, payload)
+            except Exception as error:  # noqa: BLE001 - connection-level loss
+                with result.lock:
+                    result.lost.append(f"record {record}: transport {error}")
+                return
+            if status == 200:
+                with result.lock:
+                    result.completed += 1
+                    if attempt:
+                        result.retried += 1
+                return
+            if body.get("code") in RETRYABLE:
+                time.sleep(0.2 * (attempt + 1))
+                continue
+            with result.lock:
+                result.lost.append(
+                    f"record {record}: terminal {status} {body.get('code')}"
+                )
+            return
+        with result.lock:
+            result.lost.append(f"record {record}: retries exhausted")
+
+    pending = list(range(n_requests))
+    pool: list[threading.Thread] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if not pending:
+                    return
+                record = pending.pop()
+            one(record)
+
+    for _ in range(threads):
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        pool.append(thread)
+    return pool
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts-dir", type=Path, default=None,
+        help="keep the supervisor log and metrics JSON here for CI upload",
+    )
+    parser.add_argument("--requests", type=int, default=40)
+    args = parser.parse_args(argv)
+    failures: list[str] = []
+    transcript: list[str] = []
+
+    def check(condition: bool, what: str) -> None:
+        line = f"  [{'ok' if condition else 'FAIL'}] {what}"
+        print(line, flush=True)
+        transcript.append(line)
+        if not condition:
+            failures.append(what)
+
+    started = time.monotonic()
+    metrics_document: dict = {}
+    with tempfile.TemporaryDirectory() as root_text:
+        root = Path(root_text)
+        process, url, server_log = boot_http(root / "store", root / "models")
+        try:
+            print("drill: sharded server up; priming and reading /healthz")
+            status, body = post_explain(url, {"record": 0, "method": "single"})
+            check(status == 200, "priming request succeeds")
+            status, health = get_json(url + "/healthz")
+            check(status == 200, "healthz is 200 with all shards live")
+            check(
+                len(health.get("shards", {})) == N_SHARDS,
+                f"healthz reports {N_SHARDS} shards",
+            )
+            victim_id = "0"
+            victim_pid = health["shards"][victim_id]["pid"]
+            check(bool(victim_pid), "healthz exposes the victim shard's pid")
+
+            print(f"drill: sustained load, then SIGKILL shard {victim_id} "
+                  f"(pid {victim_pid})")
+            result = LoadResult()
+            pool = run_load(url, args.requests, result)
+            time.sleep(1.0)  # let the load reach every shard
+            os.kill(victim_pid, signal.SIGKILL)
+
+            # While the victim is down (slow-ish restart backoff would
+            # widen this window; with 0.2s it's tight), the service must
+            # not report itself down.
+            degraded_seen = False
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                status, health = get_json(url + "/healthz")
+                check_now = health.get("degraded")
+                if status == 200 and check_now and victim_id in check_now:
+                    degraded_seen = True
+                    break
+                if health.get("shards", {}).get(victim_id, {}).get("restarts"):
+                    break  # already recovered — window missed, not a failure
+                time.sleep(0.05)
+            for thread in pool:
+                thread.join(timeout=300)
+            check(
+                result.completed == args.requests,
+                f"zero lost requests: {result.completed}/{args.requests} "
+                f"completed ({result.retried} retried, "
+                f"{len(result.lost)} lost: {result.lost[:3]})",
+            )
+            if degraded_seen:
+                check(True, "healthz reported degraded (not down) while dead")
+
+            print("drill: waiting for supervisor restart")
+            recovered = False
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                status, health = get_json(url + "/healthz")
+                shard = health.get("shards", {}).get(victim_id, {})
+                if (
+                    status == 200
+                    and shard.get("state") == "live"
+                    and shard.get("restarts", 0) >= 1
+                    and not health.get("degraded")
+                ):
+                    recovered = True
+                    break
+                time.sleep(0.1)
+            check(recovered, "killed shard restarted and healthz fully healthy")
+            status, body = post_explain(url, {"record": 0, "method": "single"})
+            check(status == 200, "post-recovery request succeeds")
+
+            with urllib.request.urlopen(url + "/metrics", timeout=30) as resp:
+                metrics_text = resp.read().decode("utf-8")
+            check(
+                all(f'shard="{i}"' in metrics_text for i in range(N_SHARDS)),
+                "metrics roll up every shard with shard labels",
+            )
+            check(
+                "repro_shard_restarts" in metrics_text,
+                "metrics count the supervisor restart",
+            )
+            status, body = post_explain(url, {"op": "metrics"})
+            check(status == 200, "metrics op returns the fleet JSON document")
+            metrics_document = body.get("metrics", {})
+
+            print("drill: SIGTERM drains the fleet")
+            process.send_signal(signal.SIGTERM)
+            try:
+                code = process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+                code = None
+            check(code == 0, f"SIGTERM: clean exit code (got {code})")
+            log_text = "".join(server_log)
+            check("drain:" in log_text, "drain summary printed")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+        if args.artifacts_dir is not None:
+            args.artifacts_dir.mkdir(parents=True, exist_ok=True)
+            (args.artifacts_dir / "shard_transcript.txt").write_text(
+                "\n".join(transcript) + "\n"
+            )
+            (args.artifacts_dir / "supervisor_log.txt").write_text(
+                "".join(server_log)
+            )
+            (args.artifacts_dir / "shard_metrics.json").write_text(
+                json.dumps(metrics_document, indent=2, sort_keys=True)
+            )
+            print(f"artifacts kept in {args.artifacts_dir}")
+
+    elapsed = time.monotonic() - started
+    print(f"shard_drill {'FAILED' if failures else 'passed'} in {elapsed:.0f}s")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -205,6 +205,37 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         help="flush a coalesced matcher batch once this many rows are "
              "pending (only with --batch-window-ms > 0)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes, each owning a matcher, a prediction "
+             "engine and its own store partition, fronted by a "
+             "consistent-hash router and a supervising shard manager; "
+             "1 (the default) keeps the single-process service, "
+             "bit-identical to previous releases",
+    )
+    parser.add_argument(
+        "--virtual-nodes", type=int, default=64,
+        help="ring positions per shard on the consistent-hash router "
+             "(only with --shards > 1)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=0.5,
+        help="seconds between shard liveness heartbeats",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0,
+        help="a shard silent this long is declared hung and restarted",
+    )
+    parser.add_argument(
+        "--restart-backoff", type=float, default=0.5,
+        help="base seconds of the capped exponential backoff between "
+             "shard restarts",
+    )
+    parser.add_argument(
+        "--max-failovers", type=int, default=1,
+        help="times an in-flight request may fail over to another shard "
+             "after a crash before returning a retryable 503",
+    )
     _add_engine_arguments(parser)
     _add_obs_arguments(parser)
 
@@ -628,43 +659,38 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _build_service(args: argparse.Namespace, dataset):
-    """Assemble (service, store, defaults) from the shared service flags."""
-    from repro.config import ServiceConfig, StoreConfig
+    """Assemble (service, store, defaults) from the shared service flags.
+
+    ``--shards N`` with N > 1 builds the multi-process
+    :class:`~repro.service.supervisor.ShardedService`; each shard then
+    owns its own store partition, so the returned ``store`` is ``None``
+    (shutdown is entirely ``service.close()``'s job).
+    """
+    from repro.config import ServiceConfig, ShardConfig, StoreConfig
     from repro.service import ExplanationService, ExplanationStore
 
     matcher = _resolve_matcher(args, dataset)
     registry = _obs_registry(args)
-    store = None
-    if args.store_dir is not None:
-        store = ExplanationStore(
-            args.store_dir,
-            StoreConfig(
-                max_entries=args.store_max_entries,
-                ttl_seconds=args.store_ttl,
-            ),
-            metrics=registry,
-        )
-    service = ExplanationService(
-        matcher,
-        store=store,
-        config=ServiceConfig(
-            n_workers=args.workers,
-            queue_size=args.queue_size,
-            shed_threshold=args.shed_threshold,
-            max_queue_wait=args.max_queue_wait,
-            default_deadline=args.deadline,
-            drain_timeout=args.drain_timeout,
-            batch_window_ms=args.batch_window_ms,
-            batch_max_size=args.batch_max_size,
-        ),
-        engine_config=EngineConfig(
-            cache=not args.no_cache,
-            n_jobs=args.n_jobs,
-            vectorize=not args.no_vectorize,
-            max_retries=args.max_retries,
-            call_timeout=args.call_timeout,
-        ),
-        metrics=registry,
+    service_config = ServiceConfig(
+        n_workers=args.workers,
+        queue_size=args.queue_size,
+        shed_threshold=args.shed_threshold,
+        max_queue_wait=args.max_queue_wait,
+        default_deadline=args.deadline,
+        drain_timeout=args.drain_timeout,
+        batch_window_ms=args.batch_window_ms,
+        batch_max_size=args.batch_max_size,
+    )
+    engine_config = EngineConfig(
+        cache=not args.no_cache,
+        n_jobs=args.n_jobs,
+        vectorize=not args.no_vectorize,
+        max_retries=args.max_retries,
+        call_timeout=args.call_timeout,
+    )
+    store_config = StoreConfig(
+        max_entries=args.store_max_entries,
+        ttl_seconds=args.store_ttl,
     )
     defaults = {
         "method": "both",
@@ -672,6 +698,40 @@ def _build_service(args: argparse.Namespace, dataset):
         "explainer": args.explainer,
         "seed": args.seed,
     }
+    if getattr(args, "shards", 1) > 1:
+        from repro.service import ShardedService
+
+        service = ShardedService(
+            matcher,
+            store_dir=args.store_dir,
+            config=service_config,
+            engine_config=engine_config,
+            store_config=store_config if args.store_dir is not None else None,
+            shard_config=ShardConfig(
+                n_shards=args.shards,
+                virtual_nodes=args.virtual_nodes,
+                heartbeat_interval=args.heartbeat_interval,
+                heartbeat_timeout=args.heartbeat_timeout,
+                restart_backoff_base=args.restart_backoff,
+                max_failovers=args.max_failovers,
+            ),
+            metrics=registry,
+        )
+        return service, None, defaults
+    store = None
+    if args.store_dir is not None:
+        store = ExplanationStore(
+            args.store_dir,
+            store_config,
+            metrics=registry,
+        )
+    service = ExplanationService(
+        matcher,
+        store=store,
+        config=service_config,
+        engine_config=engine_config,
+        metrics=registry,
+    )
     return service, store, defaults
 
 
@@ -730,19 +790,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             serve_stdio(service, dataset, defaults)
     finally:
         drain = service.close()
-        print(
-            f"drain: {drain.get('pending_at_close', 0)} pending at close, "
-            f"{drain.get('cancelled', 0)} cancelled, "
-            f"{drain.get('seconds', 0.0)}s",
-            file=sys.stderr,
-        )
+        if "shards" in drain:
+            print(
+                f"drain: {len(drain['shards'])} shard(s) drained, "
+                f"{drain.get('abandoned', 0)} request(s) abandoned",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"drain: {drain.get('pending_at_close', 0)} pending at close, "
+                f"{drain.get('cancelled', 0)} cancelled, "
+                f"{drain.get('seconds', 0.0)}s",
+                file=sys.stderr,
+            )
         print(service.stats.summary(), file=sys.stderr)
         _write_service_stats(service, args.store_dir)
         metrics_path = (
             Path(args.store_dir) / "metrics.json"
             if args.store_dir is not None else None
         )
-        _obs_finish(args, service.metrics, metrics_path)
+        _obs_finish(args, service.metrics, None)
+        if metrics_path is not None and service.metrics.enabled:
+            # service.metrics_json() is fleet-aware: sharded, it merges
+            # every shard's final families next to the router's own.
+            import json as _json
+
+            metrics_path.write_text(
+                _json.dumps(
+                    service.metrics_json(), indent=2, sort_keys=True
+                ),
+                encoding="utf-8",
+            )
+            print(f"wrote {metrics_path}", file=sys.stderr)
         if store is not None:
             store.close()
     return 0

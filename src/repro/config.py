@@ -222,6 +222,104 @@ class ServiceConfig:
             )
 
 
+@dataclass(frozen=True)
+class ShardConfig:
+    """Knobs of multi-process sharded serving (:mod:`repro.service`).
+
+    ``n_shards`` worker *processes* each own a guarded prediction engine,
+    a matcher and (when a store directory is configured) their own SQLite
+    store partition.  Requests are routed onto shards by consistent
+    hashing of the content-addressed request key (``virtual_nodes``
+    positions per shard on the hash ring), so coalescing, cross-request
+    batching and store locality all survive the split.  Like every
+    scheduling knob, sharding never changes a result bit: ``n_shards=1``
+    routes everything through one shard whose inner loop is the exact
+    single-process :class:`~repro.service.service.ExplanationService`.
+
+    The supervisor half:
+
+    * shards report liveness every ``heartbeat_interval`` seconds over
+      the control pipe; a shard silent for ``heartbeat_timeout`` seconds
+      is declared hung and killed;
+    * a dead shard (crash, kill, hang) is restarted with capped
+      exponential backoff — ``restart_backoff_base * 2**failures`` up to
+      ``restart_backoff_max`` — and the failure count resets after the
+      shard stays up ``backoff_reset_after`` seconds;
+    * requests in flight on a dead shard fail over to the next live
+      shard on the ring at most ``max_failovers`` times (so a poison
+      request cannot cascade through the fleet) before failing with the
+      retryable :class:`~repro.exceptions.ShardFailedError`.
+
+    ``start_method`` is the :mod:`multiprocessing` start method.  The
+    default is ``"spawn"`` on purpose: the supervisor restarts shards
+    from a thread, and forking a threaded process can inherit held locks
+    (logging, BLAS) into the child — a deadlock class this subsystem
+    exists to remove.  ``ready_timeout`` bounds how long a spawned shard
+    may take to import, load its matcher and report ready.
+    """
+
+    n_shards: int = 1
+    virtual_nodes: int = 64
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 5.0
+    check_interval: float = 0.25
+    ready_timeout: float = 120.0
+    restart_backoff_base: float = 0.5
+    restart_backoff_max: float = 30.0
+    backoff_reset_after: float = 60.0
+    max_failovers: int = 1
+    start_method: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if self.virtual_nodes < 1:
+            raise ConfigurationError(
+                f"virtual_nodes must be >= 1, got {self.virtual_nodes}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+            )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ConfigurationError(
+                f"heartbeat_timeout ({self.heartbeat_timeout}) must exceed "
+                f"heartbeat_interval ({self.heartbeat_interval})"
+            )
+        if self.check_interval <= 0:
+            raise ConfigurationError(
+                f"check_interval must be > 0, got {self.check_interval}"
+            )
+        if self.ready_timeout <= 0:
+            raise ConfigurationError(
+                f"ready_timeout must be > 0, got {self.ready_timeout}"
+            )
+        if self.restart_backoff_base < 0 or self.restart_backoff_max < 0:
+            raise ConfigurationError(
+                "restart_backoff_base and restart_backoff_max must be >= 0"
+            )
+        if self.restart_backoff_max < self.restart_backoff_base:
+            raise ConfigurationError(
+                f"restart_backoff_max ({self.restart_backoff_max}) must be "
+                f">= restart_backoff_base ({self.restart_backoff_base})"
+            )
+        if self.backoff_reset_after <= 0:
+            raise ConfigurationError(
+                f"backoff_reset_after must be > 0, got {self.backoff_reset_after}"
+            )
+        if self.max_failovers < 0:
+            raise ConfigurationError(
+                f"max_failovers must be >= 0, got {self.max_failovers}"
+            )
+        if self.start_method not in ("spawn", "fork", "forkserver"):
+            raise ConfigurationError(
+                f"start_method must be spawn, fork or forkserver, "
+                f"got {self.start_method!r}"
+            )
+
+
 FAST = ExperimentConfig(
     name="fast",
     per_label=15,

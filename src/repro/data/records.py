@@ -57,6 +57,28 @@ class RecordPair:
         object.__setattr__(self, "left", _frozen_entity(self.schema, self.left))
         object.__setattr__(self, "right", _frozen_entity(self.schema, self.right))
 
+    def __getstate__(self) -> dict:
+        # The frozen read-only entity maps (MappingProxyType) do not
+        # pickle; thaw them so pairs can cross process boundaries (shard
+        # request pipes, experiment worker pools).
+        return {
+            "schema": self.schema,
+            "left": dict(self.left),
+            "right": dict(self.right),
+            "label": self.label,
+            "pair_id": self.pair_id,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name in ("schema", "label", "pair_id"):
+            object.__setattr__(self, name, state[name])
+        object.__setattr__(
+            self, "left", MappingProxyType(dict(state["left"]))
+        )
+        object.__setattr__(
+            self, "right", MappingProxyType(dict(state["right"]))
+        )
+
     @property
     def is_match(self) -> bool:
         return self.label == MATCH

@@ -22,7 +22,9 @@ clause while still being able to discriminate finer-grained failures::
     └── ServiceError               # explanation service: bad request,
         │                          #   queue full, or service closed
         ├── ServiceOverloadedError # admission control shed the request
-        └── RequestCancelledError  # every waiter abandoned the request
+        ├── RequestCancelledError  # every waiter abandoned the request
+        └── ShardFailedError       # the shard computing the request died
+                                   #   and no live shard could absorb it
 
 Error taxonomy
 --------------
@@ -50,6 +52,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "RequestCancelledError",
+    "ShardFailedError",
     "error_code",
 ]
 
@@ -168,6 +171,20 @@ class RequestCancelledError(ServiceError):
     the service dropped it without computing."""
 
     code = "cancelled"
+
+
+class ShardFailedError(ServiceError):
+    """The shard process computing this request died (crash, OOM kill or
+    missed heartbeats) and the request could not be absorbed by a live
+    shard.
+
+    Always *retryable*: the request was never partially persisted, and by
+    the time the client retries the supervisor has either restarted the
+    shard or the router will assign a different one.  The HTTP front-end
+    maps this to 503.
+    """
+
+    code = "shard_failed"
 
 
 def error_code(error: BaseException) -> str:

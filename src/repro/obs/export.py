@@ -8,6 +8,14 @@ Two wire formats, both rendered from one atomic
   counters, cumulative ``_bucket{le=...}`` histogram series);
 * :func:`to_json` / :func:`save_json` — a nested JSON document, the
   ``metrics.json`` artifact written next to run output.
+
+Both renderers also accept a pre-collected *families* list (the
+picklable output of ``registry.collect()``) via
+:func:`families_to_prometheus` / :func:`families_to_json`.  That is the
+multi-process path: each shard ships its collected families over the
+control pipe, and :func:`merge_families` folds them into one family set
+with a distinguishing label (``shard="3"``) per sample — one scrape, one
+document, every process visible.
 """
 
 from __future__ import annotations
@@ -51,10 +59,44 @@ def _format_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def merge_families(tagged: list[tuple[dict, list]]) -> list[dict]:
+    """Fold several ``collect()`` snapshots into one family list.
+
+    *tagged* is ``[(extra_labels, families), ...]`` — typically one entry
+    per shard plus one for the router, with ``{"shard": "2"}``-style
+    labels.  Families with the same name merge their samples (first
+    occurrence wins the kind/help text); every sample gains its source's
+    extra labels, so identically-named series from different processes
+    stay distinguishable.
+    """
+    merged: dict[str, dict] = {}
+    for extra, families in tagged:
+        for family in families:
+            bucket = merged.setdefault(
+                family["name"],
+                {
+                    "name": family["name"],
+                    "kind": family["kind"],
+                    "help": family["help"],
+                    "samples": [],
+                },
+            )
+            for labels, value in family["samples"]:
+                labelled = dict(labels)
+                labelled.update(extra)
+                bucket["samples"].append((labelled, value))
+    return list(merged.values())
+
+
 def to_prometheus(registry: MetricsRegistry) -> str:
     """The registry as Prometheus text exposition (version 0.0.4)."""
+    return families_to_prometheus(registry.collect())
+
+
+def families_to_prometheus(families: list[dict]) -> str:
+    """Pre-collected families as Prometheus text exposition."""
     lines: list[str] = []
-    for family in registry.collect():
+    for family in families:
         name, kind, help = family["name"], family["kind"], family["help"]
         if help:
             lines.append(f"# HELP {name} {help}")
@@ -89,8 +131,13 @@ def to_prometheus(registry: MetricsRegistry) -> str:
 
 def to_json(registry: MetricsRegistry) -> dict:
     """The registry as a nested, JSON-serializable snapshot."""
+    return families_to_json(registry.collect())
+
+
+def families_to_json(collected: list[dict]) -> dict:
+    """Pre-collected families as the ``metrics.json`` document."""
     families = []
-    for family in registry.collect():
+    for family in collected:
         samples = []
         for labels, value in family["samples"]:
             if family["kind"] == "histogram":

@@ -13,7 +13,14 @@ reproduction into that shape:
   pool with request coalescing over one shared, guarded
   :class:`~repro.core.engine.PredictionEngine`;
 * :mod:`repro.service.server` — the ``serve`` (JSONL stdio / localhost
-  HTTP) and resumable ``precompute`` front-ends behind the CLI.
+  HTTP) and resumable ``precompute`` front-ends behind the CLI;
+* :mod:`repro.service.router` / :mod:`repro.service.shard` /
+  :mod:`repro.service.supervisor` — multi-process sharded serving:
+  :class:`ShardedService` fronts N shard processes (each a complete
+  :class:`ExplanationService` with its own store partition) behind a
+  consistent-hash router (:class:`HashRing`) and a supervising shard
+  manager with heartbeat monitoring, capped-backoff crash restarts and
+  in-flight failover.
 
 Quickstart::
 
@@ -26,7 +33,7 @@ Quickstart::
         payload = svc.explain(ExplainRequest(pair=dataset[0], method="both"))
 """
 
-from repro.config import ServiceConfig, StoreConfig
+from repro.config import ServiceConfig, ShardConfig, StoreConfig
 from repro.service.request import (
     REQUEST_EXPLAINERS,
     REQUEST_METHODS,
@@ -44,17 +51,21 @@ from repro.service.server import (
     serve_http,
     serve_stdio,
 )
+from repro.service.router import HashRing
 from repro.service.service import (
     RESULT_FORMAT_VERSION,
     ExplanationService,
     ServiceStats,
     duals_from_result,
 )
+from repro.service.shard import ShardSpec
 from repro.service.store import (
     STORE_FORMAT_VERSION,
     ExplanationStore,
     StoreStats,
+    shard_store_dir,
 )
+from repro.service.supervisor import ShardedService
 
 __all__ = [
     "ERROR_STATUS",
@@ -65,13 +76,18 @@ __all__ = [
     "PRECOMPUTE_JOURNAL",
     "REQUEST_EXPLAINERS",
     "REQUEST_METHODS",
+    "HashRing",
     "RESULT_FORMAT_VERSION",
     "STORE_FORMAT_VERSION",
     "ServiceConfig",
     "ServiceStats",
+    "ShardConfig",
+    "ShardSpec",
+    "ShardedService",
     "StoreConfig",
     "StoreStats",
     "duals_from_result",
+    "shard_store_dir",
     "handle_payload",
     "http_status_for",
     "precompute",

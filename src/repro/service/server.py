@@ -22,12 +22,16 @@ Prometheus text exposition format, and maps error codes onto statuses
 deadlines 504, malformed payloads a structured 400.  Connections are
 bounded: request bodies above ``max_body_bytes`` are refused with 413
 and idle sockets are dropped after ``read_timeout`` seconds, so a slow
-or hostile client cannot pin a handler thread.  ``/healthz`` degrades to
-HTTP 503 with ``{"ok": false, "degraded": ...}`` while the matcher
-circuit breaker is open (``breaker_open``), admission control is
-shedding (``overloaded``) or the service is draining for shutdown
-(``draining``) — load balancers and probes see a sick server before
-piling more requests onto it.
+or hostile client cannot pin a handler thread.  ``/healthz`` delegates to
+the service's own ``health()``: single-process, it degrades to HTTP 503
+with ``{"ok": false, "degraded": ...}`` while the matcher circuit
+breaker is open (``breaker_open``), admission control is shedding
+(``overloaded``) or the service is draining (``draining``); sharded
+(:class:`~repro.service.supervisor.ShardedService`), it stays 200 with a
+``degraded`` shard list while at least one shard is live — one tripped
+breaker or mid-restart shard reads degraded, not down — and only zero
+live shards or drain is a 503.  Load balancers and probes see a sick
+server before piling more requests onto it.
 
 :func:`precompute` warms the store for a dataset split.  Completion is
 journaled per request key through the crash-safe
@@ -56,7 +60,6 @@ from repro.exceptions import (
     ServiceOverloadedError,
     error_code,
 )
-from repro.obs.export import to_json, to_prometheus
 from repro.service.request import ExplainRequest, request_from_payload
 from repro.service.service import ExplanationService
 
@@ -81,6 +84,7 @@ ERROR_STATUS = {
     "overloaded": 429,
     "cancelled": 503,
     "matcher_unavailable": 503,
+    "shard_failed": 503,
     "matcher_timeout": 504,
     "deadline_exceeded": 504,
 }
@@ -112,7 +116,7 @@ def handle_payload(
             return {
                 "ok": True,
                 "id": request_id,
-                "metrics": to_json(service.metrics),
+                "metrics": service.metrics_json(),
             }
         if op == "shutdown":
             return {"ok": True, "id": request_id, "shutdown": True}
@@ -233,13 +237,13 @@ def serve_http(
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib naming
             if self.path == "/healthz":
-                self._respond(*_healthz(service))
+                self._respond(*service.health())
             elif self.path == "/stats":
                 self._respond(
                     200, {"ok": True, "stats": service.stats_payload()}
                 )
             elif self.path == "/metrics":
-                self._respond_text(200, to_prometheus(service.metrics))
+                self._respond_text(200, service.metrics_text())
             else:
                 self._respond(
                     404, {"ok": False, "error": "not found", "code": "not_found"}
@@ -304,27 +308,6 @@ def serve_http(
             )
 
     return ThreadingHTTPServer((host, port), Handler)
-
-
-def _healthz(service: ExplanationService) -> tuple[int, dict]:
-    """``(status, payload)`` of the health endpoint right now."""
-    depth, estimated_wait = service.queue_estimate()
-    payload: dict = {
-        "ok": True,
-        "queue_depth": depth,
-        "estimated_wait": round(estimated_wait, 3),
-    }
-    if service.closed:
-        degraded = "draining"
-    elif service.engine.guard.state == "open":
-        degraded = "breaker_open"
-    elif service.overloaded:
-        degraded = "overloaded"
-    else:
-        return 200, payload
-    payload["ok"] = False
-    payload["degraded"] = degraded
-    return 503, payload
 
 
 # ---------------------------------------------------------------------------

@@ -48,6 +48,7 @@ API for the same pair, seed and config (enforced by
 from __future__ import annotations
 
 import itertools
+import math
 import queue
 import threading
 import time
@@ -79,6 +80,47 @@ _SHUTDOWN_PRIORITY = float("inf")
 
 #: Weight of the newest sample in the queue-wait latency estimate.
 _LATENCY_EMA_ALPHA = 0.2
+
+#: Upper bound of any queue-wait estimate / Retry-After hint (seconds).
+#: The estimate is advice for clients, not a promise — during the
+#: zero-live-workers window (drain, shard restart) the raw formula is
+#: undefined, and an unclamped estimate would tell clients to go away
+#: for hours over a restart that takes seconds.
+MAX_WAIT_ESTIMATE = 60.0
+
+
+def estimate_queue_wait(pending: int, latency_ema: float, workers: int) -> float:
+    """The ``pending × EMA / workers`` wait estimate, made total.
+
+    Guards the windows where the raw formula divides by zero or returns
+    nonsense: *workers* can be ``0`` while a drain or a shard restart has
+    no live worker (the estimate saturates at :data:`MAX_WAIT_ESTIMATE`
+    instead of raising), *pending* can race negative around ticket
+    completion, and *latency_ema* can be non-finite after a pathological
+    sample.  Every path returns a finite value in
+    ``[0, MAX_WAIT_ESTIMATE]``.
+    """
+    pending = max(0, pending)
+    if not math.isfinite(latency_ema) or latency_ema < 0.0:
+        latency_ema = 0.0
+    if pending == 0 or latency_ema == 0.0:
+        return 0.0
+    if workers <= 0:
+        return MAX_WAIT_ESTIMATE
+    return min(MAX_WAIT_ESTIMATE, pending * latency_ema / workers)
+
+
+def retry_after_hint(estimated_wait: float) -> float:
+    """The Retry-After seconds advertised for *estimated_wait*.
+
+    Half the estimated wait (retrying into a half-drained queue beats
+    retrying into a still-full one), floored at 0.1 s so clients do not
+    busy-spin, ceilinged at :data:`MAX_WAIT_ESTIMATE`, and 1.0 s when no
+    latency sample exists yet.
+    """
+    if not math.isfinite(estimated_wait) or estimated_wait <= 0.0:
+        return 1.0
+    return min(MAX_WAIT_ESTIMATE, max(0.1, estimated_wait / 2.0))
 
 
 @dataclass
@@ -452,17 +494,32 @@ class ExplanationService:
         """The content-addressed key this service assigns to *request*."""
         return request_key(self.fingerprint, request)
 
+    def live_workers(self) -> int:
+        """Worker threads currently able to pick up queued tickets.
+
+        Equals ``config.n_workers`` in steady state but honestly reports
+        the drain/shutdown window, where workers have already exited and
+        the naive ``pending × EMA / n_workers`` estimate would promise
+        service capacity that no longer exists.
+        """
+        return sum(1 for worker in self._workers if worker.is_alive())
+
     def queue_estimate(self) -> tuple[int, float]:
         """``(queue depth, estimated seconds of wait)`` right now.
 
         The wait estimate is ``pending × EMA(computation latency) /
-        n_workers`` — the same quantity the shed policy bounds — where
+        live workers`` — the same quantity the shed policy bounds — where
         *pending* counts every admitted-but-unfinished ticket, queued or
-        already computing.
+        already computing.  Guarded by :func:`estimate_queue_wait`: with
+        zero live workers (drain in progress) it saturates at
+        :data:`MAX_WAIT_ESTIMATE` instead of dividing by zero.
         """
         depth = self._queue.qsize()
+        workers = self.live_workers()
         with self._lock:
-            estimated = self._pending * self._latency_ema / self.config.n_workers
+            estimated = estimate_queue_wait(
+                self._pending, self._latency_ema, workers
+            )
         return depth, estimated
 
     @property
@@ -515,6 +572,47 @@ class ExplanationService:
             "store": store_stats.as_dict() if store_stats else None,
             "engine": engine_stats.as_dict(),
         }
+
+    def health(self) -> tuple[int, dict]:
+        """``(http_status, payload)`` of this service's health right now.
+
+        The payload always carries the matcher circuit-breaker state
+        (``"breaker"``) and live-worker count, not just a boolean —
+        aggregators (the shard supervisor, load balancers) distinguish
+        "degraded" from "down".  Status is 503 while the service drains,
+        the breaker is open, or admission control would shed.
+        """
+        depth, estimated_wait = self.queue_estimate()
+        payload: dict = {
+            "ok": True,
+            "queue_depth": depth,
+            "estimated_wait": round(estimated_wait, 3),
+            "breaker": self.engine.guard.state,
+            "workers": self.live_workers(),
+        }
+        if self.closed:
+            degraded = "draining"
+        elif payload["breaker"] == "open":
+            degraded = "breaker_open"
+        elif self.overloaded:
+            degraded = "overloaded"
+        else:
+            return 200, payload
+        payload["ok"] = False
+        payload["degraded"] = degraded
+        return 503, payload
+
+    def metrics_text(self) -> str:
+        """This service's registry in Prometheus text exposition form."""
+        from repro.obs.export import to_prometheus
+
+        return to_prometheus(self.metrics)
+
+    def metrics_json(self) -> dict:
+        """This service's registry as the ``metrics.json`` document."""
+        from repro.obs.export import to_json
+
+        return to_json(self.metrics)
 
     def close(
         self,
@@ -602,8 +700,10 @@ class ExplanationService:
         # Pending counts queued AND computing tickets: a new request
         # behind a busy worker waits for it exactly as it would for a
         # queued ticket, so the estimate must see both.
-        estimated = self._pending * self._latency_ema / config.n_workers
-        retry_after = max(0.1, estimated / 2.0) if estimated else 1.0
+        estimated = estimate_queue_wait(
+            self._pending, self._latency_ema, self.live_workers()
+        )
+        retry_after = retry_after_hint(estimated)
         if config.shed_threshold is not None and depth >= config.shed_threshold:
             return ServiceOverloadedError(
                 f"service overloaded: queue depth {depth} >= shed "

@@ -1,0 +1,338 @@
+"""One shard of the multi-process explanation service.
+
+A shard is a separate OS process owning a complete single-process serving
+stack — a guarded :class:`~repro.core.engine.PredictionEngine`, a matcher
+unpickled from the spec (or loaded from a model artifact), and its own
+SQLite store partition under the shared store directory.  The existing
+:class:`~repro.service.service.ExplanationService` *is* the shard's inner
+loop, untouched: coalescing, admission control, deadlines, cross-request
+batching and drain all work per shard exactly as they do single-process,
+which is what keeps ``--shards 1`` bit-identical to the pre-shard
+service.
+
+The shard talks to its parent over one duplex control pipe
+(:func:`multiprocessing.Pipe`) carrying small typed dict messages:
+
+========== =========== ==================================================
+direction  kind        meaning
+========== =========== ==================================================
+parent →   request     an :class:`~repro.service.request.ExplainRequest`
+                       plus the parent's correlation id
+parent →   cancel      detach the waiter of an earlier request id
+parent →   drain       stop admission, finish queued work within the
+                       budget, reply ``drained`` and exit
+parent →   metrics     reply ``info`` with ``registry.collect()`` families
+parent →   stats       reply ``info`` with the service stats payload
+child  →   ready       the service is built; requests may be routed here
+child  →   heartbeat   liveness + health summary, every
+                       ``spec.heartbeat_interval`` seconds
+child  →   response    result payload or error taxonomy for a request id
+child  →   info        reply to a metrics/stats round trip
+child  →   drained     drain summary + final stats; the process exits next
+========== =========== ==================================================
+
+Crash semantics: the shard never tries to outlive a broken pipe — when
+the parent disappears (EOF on the control pipe) the shard drains quickly
+and exits, so an orphaned shard cannot hold the store partition open.
+Chaos specs (:class:`~repro.testing.chaos.ShardChaos`) arm real
+in-process faults for the supervisor drills: ``worker_crash`` SIGKILLs
+the shard mid-request, ``heartbeat_stall`` silences heartbeats while the
+request loop keeps serving.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import signal
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.config import ServiceConfig, StoreConfig
+from repro.core.engine import EngineConfig
+from repro.exceptions import ServiceOverloadedError, error_code
+from repro.obs.metrics import MetricsRegistry
+from repro.service.service import ExplanationService, retry_after_hint
+from repro.service.store import ExplanationStore, shard_store_dir
+from repro.testing.chaos import ShardChaos, crash_self
+
+logger = logging.getLogger("repro.service.shard")
+
+#: How long a shard waits for queued work during a pipe-loss drain.
+_ORPHAN_DRAIN_TIMEOUT = 5.0
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one shard process needs, picklable for ``spawn``.
+
+    The matcher travels as pickle bytes (``matcher_blob``) so spawn-mode
+    children — which share no memory with the parent — rebuild the exact
+    serving matcher without retraining; the fingerprint, and therefore
+    every request key, is identical on both sides.  ``store_dir`` is the
+    *shared* root; the shard derives its own partition from its id.
+    """
+
+    shard_id: int
+    matcher_blob: bytes
+    service_config: ServiceConfig = field(default_factory=ServiceConfig)
+    engine_config: EngineConfig | None = None
+    store_dir: str | None = None
+    store_config: StoreConfig | None = None
+    heartbeat_interval: float = 0.5
+    metrics_enabled: bool = True
+    #: Armed in-process fault for supervisor drills (``None`` = healthy).
+    chaos: ShardChaos | None = None
+
+    def without_chaos(self) -> "ShardSpec":
+        """The same spec with any one-shot chaos disarmed (restarts)."""
+        if self.chaos is None or self.chaos.repeat:
+            return self
+        return replace(self, chaos=None)
+
+
+def shard_main(spec: ShardSpec, conn) -> None:
+    """Entry point of a shard process (the ``Process`` target).
+
+    Builds the inner service, reports ready, then serves the control
+    pipe until a drain message or pipe loss.  Exit code 0 means a clean
+    drain; anything else is a crash the supervisor handles.
+    """
+    # SIGINT goes to the whole foreground process group on Ctrl-C; the
+    # parent coordinates shutdown over the pipe, so shards ignore it.
+    # SIGTERM (Process.terminate(), or a group-wide TERM from an init
+    # system) must still work: it unwinds the recv loop via SystemExit
+    # into the same quick-drain path as pipe loss.  SIG_IGN here would
+    # hang a crashing parent forever in its terminate-and-join cleanup.
+    def _on_sigterm(signum, frame):
+        raise SystemExit(0)
+
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    matcher = pickle.loads(spec.matcher_blob)
+    registry = MetricsRegistry(enabled=spec.metrics_enabled)
+    store = None
+    if spec.store_dir is not None:
+        store = ExplanationStore(
+            shard_store_dir(spec.store_dir, spec.shard_id),
+            spec.store_config,
+            metrics=registry,
+        )
+    service = ExplanationService(
+        matcher,
+        store=store,
+        config=spec.service_config,
+        engine_config=spec.engine_config,
+        metrics=registry,
+    )
+    worker = _ShardWorker(spec, conn, service)
+    try:
+        worker.run()
+    finally:
+        if store is not None:
+            store.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _ShardWorker:
+    """The shard-side pipe loop around one inner service."""
+
+    def __init__(self, spec: ShardSpec, conn, service: ExplanationService):
+        self.spec = spec
+        self.conn = conn
+        self.service = service
+        self._send_lock = threading.Lock()
+        self._started_at = time.monotonic()
+        self._requests_admitted = 0
+        #: Parent correlation id → inner request key, for cancels.
+        self._keys: dict[int, str] = {}
+        self._keys_lock = threading.Lock()
+        self._stop_heartbeat = threading.Event()
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, message: dict) -> bool:
+        with self._send_lock:
+            try:
+                self.conn.send(message)
+                return True
+            except (OSError, ValueError, BrokenPipeError):
+                return False
+
+    def _heartbeat_loop(self) -> None:
+        chaos = self.spec.chaos
+        while not self._stop_heartbeat.wait(self.spec.heartbeat_interval):
+            if (
+                chaos is not None
+                and chaos.mode == "heartbeat_stall"
+                and time.monotonic() - self._started_at >= chaos.after_seconds
+            ):
+                # The wedge drill: the process lives, requests still
+                # flow, but the supervisor hears nothing.
+                continue
+            status, health = self.service.health()
+            self._send(
+                {
+                    "kind": "heartbeat",
+                    "shard": self.spec.shard_id,
+                    "status": status,
+                    "health": health,
+                }
+            )
+
+    # -- request handling ----------------------------------------------
+
+    def _respond_error(self, rid: int, error: BaseException) -> None:
+        message: dict = {
+            "kind": "response",
+            "id": rid,
+            "ok": False,
+            "error": str(error),
+            "code": error_code(error),
+        }
+        if isinstance(error, ServiceOverloadedError):
+            message["retry_after"] = round(error.retry_after, 3)
+        self._send(message)
+
+    def _handle_request(self, rid: int, request) -> None:
+        chaos = self.spec.chaos
+        self._requests_admitted += 1
+        if (
+            chaos is not None
+            and chaos.mode == "worker_crash"
+            and self._requests_admitted >= chaos.after_requests
+        ):
+            # Mid-request: the parent has committed this request to us
+            # and will only see the pipe die.  Exactly an OOM kill.
+            crash_self()
+        try:
+            future = self.service.submit(request, block=False)
+        except ServiceOverloadedError as error:
+            self._respond_error(rid, error)
+            return
+        except Exception as error:  # noqa: BLE001 - relayed to the parent
+            # A full queue raises plain ServiceError before admission
+            # control would shed; over the shard boundary both mean the
+            # same thing to clients: overloaded, retry later.
+            if "queue is full" in str(error):
+                _, estimated = self.service.queue_estimate()
+                error = ServiceOverloadedError(
+                    str(error), retry_after=retry_after_hint(estimated)
+                )
+            self._respond_error(rid, error)
+            return
+        with self._keys_lock:
+            self._keys[rid] = self.service.key_for(request)
+
+        def _done(done_future, rid=rid) -> None:
+            with self._keys_lock:
+                self._keys.pop(rid, None)
+            try:
+                payload = done_future.result()
+            except BaseException as error:  # noqa: BLE001 - taxonomy relay
+                self._respond_error(rid, error)
+            else:
+                self._send(
+                    {"kind": "response", "id": rid, "ok": True, "result": payload}
+                )
+
+        future.add_done_callback(_done)
+
+    def _handle_cancel(self, rid: int) -> None:
+        with self._keys_lock:
+            key = self._keys.get(rid)
+        if key is not None:
+            self.service.cancel(key)
+
+    def _handle_drain(self, drain: bool, timeout: float | None) -> None:
+        summary = self.service.close(drain=drain, drain_timeout=timeout)
+        # close() resolves every future, so every response callback has
+        # already run; the drain summary is the last message out.
+        self._send(
+            {
+                "kind": "drained",
+                "shard": self.spec.shard_id,
+                "summary": summary,
+                # Final counters ride along: the parent stashes them so
+                # post-shutdown stats/metrics artifacts still include
+                # the work this (now exiting) process did.
+                "stats": self.service.stats_payload(),
+                "families": self.service.metrics.collect(),
+            }
+        )
+
+    # -- main loop -----------------------------------------------------
+
+    def run(self) -> None:
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            daemon=True,
+            name=f"shard-{self.spec.shard_id}-heartbeat",
+        )
+        heartbeat.start()
+        self._send(
+            {
+                "kind": "ready",
+                "shard": self.spec.shard_id,
+                "pid": os.getpid(),
+            }
+        )
+        try:
+            while True:
+                try:
+                    message = self.conn.recv()
+                except (EOFError, OSError, SystemExit):
+                    # Parent died / closed the pipe, or SIGTERM landed:
+                    # drain briefly so in-flight work is not cut
+                    # mid-write, then exit — an orphan must not squat on
+                    # the store partition.
+                    logger.warning(
+                        "shard %d: control pipe lost or terminated; draining",
+                        self.spec.shard_id,
+                    )
+                    self.service.close(
+                        drain=True, drain_timeout=_ORPHAN_DRAIN_TIMEOUT
+                    )
+                    return
+                kind = message.get("kind")
+                if kind == "request":
+                    self._handle_request(message["id"], message["request"])
+                elif kind == "cancel":
+                    self._handle_cancel(message["id"])
+                elif kind == "metrics":
+                    self._send(
+                        {
+                            "kind": "info",
+                            "rid": message["rid"],
+                            "payload": self.service.metrics.collect(),
+                        }
+                    )
+                elif kind == "stats":
+                    self._send(
+                        {
+                            "kind": "info",
+                            "rid": message["rid"],
+                            "payload": self.service.stats_payload(),
+                        }
+                    )
+                elif kind == "drain":
+                    self._handle_drain(
+                        message.get("drain", True), message.get("timeout")
+                    )
+                    return
+                else:
+                    logger.warning(
+                        "shard %d: unknown control message %r",
+                        self.spec.shard_id,
+                        kind,
+                    )
+        finally:
+            self._stop_heartbeat.set()

@@ -48,6 +48,9 @@ STORE_FORMAT_VERSION = 1
 #: Database file name inside a store directory.
 STORE_DB_NAME = "explanations.sqlite"
 
+#: Subdirectory name pattern of one shard's store partition.
+SHARD_DIR_FORMAT = "shard-{:02d}"
+
 #: Milliseconds a connection waits on a locked database before failing.
 _BUSY_TIMEOUT_MS = 5_000
 
@@ -152,6 +155,39 @@ class _StoreInstruments:
 
     def snapshot(self) -> StoreStats:
         return self.build(self.registry.read(*self.instruments()))
+
+
+def shard_store_dir(store_dir: str | Path, shard_id: int) -> Path:
+    """The store partition directory of shard *shard_id*.
+
+    Each shard process opens its own SQLite database under the shared
+    ``store_dir`` — one writer per file, so shards never contend on a
+    database lock and a corrupt partition quarantines without touching
+    its siblings.  The router's consistent hashing keeps a given request
+    key on the same partition across restarts.
+    """
+    if shard_id < 0:
+        raise ServiceError(f"shard_id must be >= 0, got {shard_id}")
+    return Path(store_dir) / SHARD_DIR_FORMAT.format(shard_id)
+
+
+def shard_partitions(store_dir: str | Path) -> list[tuple[int, Path]]:
+    """Existing ``(shard_id, partition_dir)`` pairs under *store_dir*,
+    sorted by shard id — used by operational tooling to inspect or
+    migrate a sharded store."""
+    root = Path(store_dir)
+    if not root.is_dir():
+        return []
+    found: list[tuple[int, Path]] = []
+    for child in root.iterdir():
+        if not child.is_dir() or not child.name.startswith("shard-"):
+            continue
+        try:
+            shard_id = int(child.name.split("-", 1)[1])
+        except ValueError:
+            continue
+        found.append((shard_id, child))
+    return sorted(found)
 
 
 class ExplanationStore:

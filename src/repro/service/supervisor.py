@@ -1,0 +1,813 @@
+"""Multi-process sharded serving: router, shard supervisor, failover.
+
+:class:`ShardedService` fronts N shard processes (:mod:`.shard`) behind
+the public surface the HTTP server and CLI already use — ``submit`` /
+``explain`` / ``cancel`` / ``health`` / ``metrics_text`` /
+``stats_payload`` / ``close`` — so the serving stack above it cannot
+tell one process from eight.  Three cooperating pieces:
+
+**Router.**  Every request is addressed by its content key
+(:func:`~repro.service.request.request_key`) and assigned to a shard by
+the consistent-hash ring (:class:`~repro.service.router.HashRing`) over
+the *live* shard set.  Equal keys land on the same shard, which is what
+lets the per-shard inner service keep coalescing duplicates, batching
+across requests and hitting its own warm store partition.
+
+**Supervisor.**  A monitor thread watches every shard for the two ways a
+process stops serving: death (``Process.is_alive()`` false, or control
+pipe EOF) and wedging (no heartbeat for ``heartbeat_timeout`` seconds —
+the heartbeat rides the same pipe as responses, so a stalled pipe also
+counts).  A wedged shard is SIGKILLed, then both cases restart with
+capped exponential backoff (``base * 2**failures``, capped, counter
+reset after ``backoff_reset_after`` seconds of health).
+
+**Failover.**  Requests in flight on a dead shard are re-dispatched to
+the next live shard in the key's ring preference order, at most
+``max_failovers`` times each — a request that kills every shard it
+touches must not cascade through the fleet — after which the waiter gets
+the retryable :class:`~repro.exceptions.ShardFailedError` (HTTP 503 +
+``Retry-After``).  When *no* shard is live, new submissions fail the
+same way instead of queueing into the void.
+
+Observability rolls up: ``/metrics`` merges every shard's registry (as
+``shard="N"``-labelled families) with the router's own counters, and
+``/healthz`` reports per-shard state — one shard with a tripped breaker
+or mid-restart reads as ``degraded``, not down; only zero live shards
+(or drain) is a 503.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import multiprocessing
+import pickle
+import threading
+import time
+from concurrent.futures import Future
+
+from repro.config import ServiceConfig, ShardConfig, StoreConfig
+from repro.core.engine import EngineConfig
+from repro.core.serialize import matcher_fingerprint
+from repro.exceptions import ServiceError, ShardFailedError
+from repro.obs.export import (
+    families_to_json,
+    families_to_prometheus,
+    merge_families,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.service.request import ExplainRequest, request_key
+from repro.service.router import HashRing
+from repro.service.shard import ShardSpec, shard_main
+from repro.testing.chaos import ShardChaos
+
+__all__ = ["ShardedService"]
+
+logger = logging.getLogger("repro.service.supervisor")
+
+#: Extra seconds past the drain budget before stragglers are killed.
+_DRAIN_GRACE = 2.0
+#: How long a metrics/stats round trip may take per shard.
+_INFO_TIMEOUT = 5.0
+
+_STARTING = "starting"
+_LIVE = "live"
+_DEAD = "dead"
+_STOPPED = "stopped"
+
+
+class _Pending:
+    """One in-flight request the router has committed to a shard."""
+
+    __slots__ = ("future", "request", "key", "shard_id", "failovers")
+
+    def __init__(self, future: Future, request: ExplainRequest, key: str,
+                 shard_id: int) -> None:
+        self.future = future
+        self.request = request
+        self.key = key
+        self.shard_id = shard_id
+        self.failovers = 0
+
+
+class _ShardHandle:
+    """Parent-side state of one shard process."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.process = None
+        self.conn = None
+        self.reader: threading.Thread | None = None
+        self.state = _STOPPED
+        self.pid: int | None = None
+        self.last_heartbeat = 0.0
+        self.last_health: dict = {}
+        self.started_at = 0.0
+        self.restarts = 0
+        self.consecutive_failures = 0
+        self.restart_at = 0.0
+        self.drain_summary: dict | None = None
+        self.drained = threading.Event()
+        # Final counters from the shard's drained message, served after
+        # the process is gone (post-shutdown stats/metrics artifacts).
+        self.final_stats: dict | None = None
+        self.final_families: list | None = None
+
+    @property
+    def shard_id(self) -> int:
+        return self.spec.shard_id
+
+    def heartbeat_age(self, now: float) -> float:
+        reference = self.last_heartbeat or self.started_at
+        return max(0.0, now - reference)
+
+
+class ShardedService:
+    """N supervised shard processes behind the single-service surface.
+
+    Construction pickles the matcher once, spawns ``n_shards`` children
+    and blocks until every one reports ready (``ready_timeout`` bounds
+    model load time).  ``chaos`` maps shard ids to
+    :class:`~repro.testing.chaos.ShardChaos` specs — the fault-injection
+    hook the supervisor tests and ``scripts/shard_drill.py`` use.
+    """
+
+    def __init__(
+        self,
+        matcher,
+        store_dir=None,
+        config: ServiceConfig | None = None,
+        engine_config: EngineConfig | None = None,
+        store_config: StoreConfig | None = None,
+        shard_config: ShardConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        chaos: dict[int, ShardChaos] | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.shard_config = shard_config or ShardConfig()
+        self.fingerprint = matcher_fingerprint(matcher)
+        self.metrics = metrics or MetricsRegistry()
+        # Shard stores live in the children; the router holds none.  The
+        # attribute keeps the front-end surface (precompute's store
+        # check) uniform across both service flavours.
+        self.store = None
+        self._ctx = multiprocessing.get_context(self.shard_config.start_method)
+        self._ring = HashRing(
+            range(self.shard_config.n_shards),
+            virtual_nodes=self.shard_config.virtual_nodes,
+        )
+        self._lock = threading.RLock()
+        self._closed = False
+        self._stop = threading.Event()
+        self._rid = itertools.count(1)
+        self._pending: dict[int, _Pending] = {}
+        self._info_waiters: dict[int, list] = {}
+
+        labels = {"component": "router"}
+        self._m_routed = self.metrics.counter(
+            "repro_router_requests",
+            "Requests routed to shards", **labels,
+        )
+        self._m_failovers = self.metrics.counter(
+            "repro_router_failovers",
+            "In-flight requests re-dispatched after a shard death", **labels,
+        )
+        self._m_failed = self.metrics.counter(
+            "repro_router_requests_failed",
+            "Requests failed with shard_failed after exhausting failovers",
+            **labels,
+        )
+        self._m_deaths = self.metrics.counter(
+            "repro_shard_deaths",
+            "Shard processes that died or were declared hung", **labels,
+        )
+        self._m_restarts = self.metrics.counter(
+            "repro_shard_restarts",
+            "Shard processes restarted by the supervisor", **labels,
+        )
+        self._m_live = self.metrics.gauge(
+            "repro_shards_live", "Shards currently serving", **labels,
+        )
+
+        blob = pickle.dumps(matcher)
+        chaos = chaos or {}
+        self._handles: dict[int, _ShardHandle] = {}
+        for shard_id in range(self.shard_config.n_shards):
+            spec = ShardSpec(
+                shard_id=shard_id,
+                matcher_blob=blob,
+                service_config=self.config,
+                engine_config=engine_config,
+                store_dir=None if store_dir is None else str(store_dir),
+                store_config=store_config,
+                heartbeat_interval=self.shard_config.heartbeat_interval,
+                metrics_enabled=self.metrics.enabled,
+                chaos=chaos.get(shard_id),
+            )
+            self._handles[shard_id] = _ShardHandle(spec)
+
+        try:
+            for handle in self._handles.values():
+                self._start_shard(handle)
+            self._await_ready()
+        except BaseException:
+            self._kill_all()
+            raise
+
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, daemon=True, name="shard-supervisor"
+        )
+        self._monitor.start()
+
+    # -- shard lifecycle -----------------------------------------------
+
+    def _start_shard(self, handle: _ShardHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=shard_main,
+            args=(handle.spec, child_conn),
+            name=f"repro-shard-{handle.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        with self._lock:
+            handle.process = process
+            handle.conn = parent_conn
+            handle.state = _STARTING
+            handle.pid = process.pid
+            handle.started_at = now
+            handle.last_heartbeat = 0.0
+            handle.drain_summary = None
+            handle.drained.clear()
+        reader = threading.Thread(
+            target=self._reader_loop,
+            args=(handle, parent_conn),
+            daemon=True,
+            name=f"shard-{handle.shard_id}-reader",
+        )
+        handle.reader = reader
+        reader.start()
+
+    def _await_ready(self) -> None:
+        deadline = time.monotonic() + self.shard_config.ready_timeout
+        for handle in self._handles.values():
+            while True:
+                with self._lock:
+                    state = handle.state
+                if state == _LIVE:
+                    break
+                if state in (_DEAD, _STOPPED) or time.monotonic() > deadline:
+                    raise ServiceError(
+                        f"shard {handle.shard_id} failed to become ready "
+                        f"within {self.shard_config.ready_timeout:.0f}s"
+                    )
+                time.sleep(0.01)
+
+    def _kill_all(self) -> None:
+        for handle in self._handles.values():
+            process = handle.process
+            if process is not None and process.is_alive():
+                process.kill()
+
+    # -- reader thread (one per shard incarnation) ---------------------
+
+    def _reader_loop(self, handle: _ShardHandle, conn) -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                # Death is handled (and the handle torn down) by the
+                # monitor loop so detection is single-threaded.
+                return
+            kind = message.get("kind")
+            if kind == "response":
+                self._on_response(message)
+            elif kind == "heartbeat":
+                with self._lock:
+                    handle.last_heartbeat = time.monotonic()
+                    handle.last_health = message.get("health", {})
+            elif kind == "ready":
+                with self._lock:
+                    if handle.conn is conn:
+                        handle.state = _LIVE
+                        handle.pid = message.get("pid", handle.pid)
+                        handle.last_heartbeat = time.monotonic()
+                        self._m_live.set(len(self._live_ids()))
+                logger.info(
+                    "shard %d ready (pid %s)", handle.shard_id, handle.pid
+                )
+            elif kind == "info":
+                with self._lock:
+                    waiter = self._info_waiters.pop(message["rid"], None)
+                if waiter is not None:
+                    waiter[1] = message.get("payload")
+                    waiter[0].set()
+            elif kind == "drained":
+                with self._lock:
+                    handle.drain_summary = message
+                    handle.final_stats = message.get("stats")
+                    handle.final_families = message.get("families")
+                handle.drained.set()
+
+    def _on_response(self, message: dict) -> None:
+        with self._lock:
+            entry = self._pending.pop(message["id"], None)
+        if entry is None or entry.future.done():
+            return
+        if message.get("ok"):
+            entry.future.set_result(message["result"])
+        else:
+            entry.future.set_exception(
+                _rebuild_error(
+                    message.get("code", "internal"),
+                    message.get("error", "shard error"),
+                    message.get("retry_after"),
+                )
+            )
+
+    # -- monitor thread ------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        cfg = self.shard_config
+        while not self._stop.wait(cfg.check_interval):
+            now = time.monotonic()
+            for handle in self._handles.values():
+                with self._lock:
+                    state = handle.state
+                if state == _LIVE:
+                    # Backoff amnesty after sustained health.
+                    with self._lock:
+                        if (
+                            handle.consecutive_failures
+                            and now - handle.started_at
+                            >= cfg.backoff_reset_after
+                        ):
+                            handle.consecutive_failures = 0
+                if state in (_STARTING, _LIVE):
+                    dead = not handle.process.is_alive()
+                    hung = (
+                        state == _LIVE
+                        and handle.heartbeat_age(now) > cfg.heartbeat_timeout
+                    ) or (
+                        # A restart wedged during startup (import hang,
+                        # store lock) must be detected too — it never
+                        # reaches _LIVE, so heartbeat rules don't apply.
+                        state == _STARTING
+                        and now - handle.started_at > cfg.ready_timeout
+                    )
+                    if hung and not dead:
+                        logger.error(
+                            "shard %d hung: no heartbeat for %.1fs; killing",
+                            handle.shard_id, handle.heartbeat_age(now),
+                        )
+                        handle.process.kill()
+                        handle.process.join(timeout=5.0)
+                        dead = True
+                    if dead:
+                        self._on_shard_death(handle, now)
+                elif state == _DEAD and not self._closed:
+                    if now >= handle.restart_at:
+                        self._restart_shard(handle)
+
+    def _on_shard_death(self, handle: _ShardHandle, now: float) -> None:
+        cfg = self.shard_config
+        with self._lock:
+            handle.state = _DEAD
+            handle.consecutive_failures += 1
+            backoff = min(
+                cfg.restart_backoff_max,
+                cfg.restart_backoff_base
+                * (2 ** (handle.consecutive_failures - 1)),
+            )
+            handle.restart_at = now + backoff
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            orphaned = [
+                (rid, entry)
+                for rid, entry in self._pending.items()
+                if entry.shard_id == handle.shard_id
+            ]
+            self._m_deaths.inc()
+            self._m_live.set(len(self._live_ids()))
+        exitcode = handle.process.exitcode
+        logger.error(
+            "shard %d died (pid %s, exit %s): %d in-flight request(s), "
+            "restart in %.2fs",
+            handle.shard_id, handle.pid, exitcode, len(orphaned), backoff,
+        )
+        for rid, entry in orphaned:
+            self._failover(rid, entry)
+
+    def _restart_shard(self, handle: _ShardHandle) -> None:
+        with self._lock:
+            # One-shot chaos stays dead across restarts: the drill wants
+            # one crash and one recovery, not a crash loop.
+            handle.spec = handle.spec.without_chaos()
+            handle.restarts += 1
+        self._m_restarts.inc()
+        logger.info(
+            "restarting shard %d (restart #%d)",
+            handle.shard_id, handle.restarts,
+        )
+        self._start_shard(handle)
+
+    # -- routing -------------------------------------------------------
+
+    def _live_ids(self) -> set[int]:
+        return {
+            shard_id
+            for shard_id, handle in self._handles.items()
+            if handle.state == _LIVE
+        }
+
+    def _dispatch(self, rid: int, entry: _Pending) -> bool:
+        """Send *entry* to its shard; False when the pipe is already gone."""
+        handle = self._handles[entry.shard_id]
+        message = {"kind": "request", "id": rid, "request": entry.request}
+        try:
+            handle.conn.send(message)
+            return True
+        except (OSError, ValueError, BrokenPipeError):
+            return False
+
+    def _failover(self, rid: int, entry: _Pending) -> None:
+        """Re-route one orphaned in-flight request or fail it, retryably."""
+        while True:
+            with self._lock:
+                if entry.future.done():
+                    return
+                live = self._live_ids()
+                if (
+                    entry.failovers >= self.shard_config.max_failovers
+                    or not live
+                ):
+                    self._pending.pop(rid, None)
+                    self._m_failed.inc()
+                    give_up = True
+                else:
+                    give_up = False
+                    preference = self._ring.preference(entry.key)
+                    next_id = next(
+                        (sid for sid in preference if sid in live),
+                        None,
+                    )
+                    entry.shard_id = next_id
+                    entry.failovers += 1
+            if give_up:
+                entry.future.set_exception(
+                    ShardFailedError(
+                        f"shard serving request {entry.key[:16]} died "
+                        f"({entry.failovers} failover(s) attempted); "
+                        "safe to retry"
+                    )
+                )
+                return
+            self._m_failovers.inc()
+            logger.warning(
+                "failing request %s over to shard %d (attempt %d)",
+                entry.key[:16], entry.shard_id, entry.failovers,
+            )
+            if self._dispatch(rid, entry):
+                return
+            # The successor died between selection and send; loop and
+            # let the failover budget decide.
+
+    # -- public surface ------------------------------------------------
+
+    def submit(
+        self,
+        request: ExplainRequest,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> Future:
+        """Route *request* to its shard; returns the result future.
+
+        ``block``/``timeout`` are accepted for surface compatibility with
+        :class:`~repro.service.service.ExplanationService`; backpressure
+        is applied inside each shard (admission control runs there), so
+        the router itself never blocks.
+        """
+        del block, timeout
+        key = request_key(self.fingerprint, request)
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed to new requests")
+            live = self._live_ids()
+            shard_id = self._ring.assign(key, live=live)
+            if shard_id is None:
+                raise ShardFailedError(
+                    "no live shard available (all restarting); retry shortly"
+                )
+            rid = next(self._rid)
+            entry = _Pending(future, request, key, shard_id)
+            self._pending[rid] = entry
+            self._m_routed.inc()
+        if not self._dispatch(rid, entry):
+            # Raced a shard death; the monitor hasn't torn it down yet.
+            self._failover(rid, entry)
+        return future
+
+    def explain(self, request: ExplainRequest, timeout: float | None = None):
+        """Synchronous :meth:`submit`: route, wait, return the payload."""
+        return self.submit(request).result(timeout=timeout)
+
+    def cancel(self, request: ExplainRequest) -> bool:
+        """Detach the waiter(s) for *request* across the fleet.
+
+        Returns ``True`` when at least one in-flight entry was dropped.
+        The owning shard is also told, so its inner service can cancel
+        the coalesced ticket if this was the last waiter.
+        """
+        key = request_key(self.fingerprint, request)
+        dropped = []
+        with self._lock:
+            for rid, entry in list(self._pending.items()):
+                if entry.key == key and not entry.future.done():
+                    self._pending.pop(rid)
+                    dropped.append((rid, entry))
+        for rid, entry in dropped:
+            entry.future.cancel()
+            handle = self._handles.get(entry.shard_id)
+            if handle is not None and handle.state == _LIVE:
+                try:
+                    handle.conn.send({"kind": "cancel", "id": rid})
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+        return bool(dropped)
+
+    def key_for(self, request: ExplainRequest) -> str:
+        """The content-addressed key this service assigns to *request*."""
+        return request_key(self.fingerprint, request)
+
+    def shard_for(self, request: ExplainRequest) -> int:
+        """The shard id *request* routes to with every shard live."""
+        return self._ring.owner(self.key_for(request))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- health / metrics / stats --------------------------------------
+
+    def health(self) -> tuple[int, dict]:
+        """Aggregated ``(http_status, payload)`` across the fleet.
+
+        One sick shard — dead and backing off, mid-restart, breaker
+        open, heartbeat stale — marks the service ``degraded`` but still
+        200: the ring routes around it.  Only drain or zero live shards
+        is a 503.
+        """
+        now = time.monotonic()
+        shards: dict[str, dict] = {}
+        degraded: list[str] = []
+        with self._lock:
+            closed = self._closed
+            pending = len(self._pending)
+            for shard_id, handle in sorted(self._handles.items()):
+                inner = handle.last_health
+                breaker = inner.get("breaker", "unknown")
+                entry = {
+                    "state": handle.state,
+                    "pid": handle.pid,
+                    "restarts": handle.restarts,
+                    "heartbeat_age": round(handle.heartbeat_age(now), 3),
+                    "queue_depth": inner.get("queue_depth", 0),
+                    "breaker": breaker,
+                }
+                if "degraded" in inner:
+                    entry["degraded"] = inner["degraded"]
+                shards[str(shard_id)] = entry
+                sick = (
+                    handle.state != _LIVE
+                    or handle.heartbeat_age(now)
+                    > self.shard_config.heartbeat_timeout
+                    or breaker == "open"
+                    or not inner.get("ok", True)
+                )
+                if sick:
+                    degraded.append(str(shard_id))
+            live = len(self._live_ids())
+        ok = not closed and live > 0
+        payload = {
+            "ok": ok,
+            "draining": closed,
+            "shards": shards,
+            "live_shards": live,
+            "pending": pending,
+        }
+        if degraded:
+            payload["degraded"] = degraded
+        if not ok:
+            payload["reason"] = "draining" if closed else "no_live_shards"
+        return (200 if ok else 503), payload
+
+    def _collect_shard(self, handle: _ShardHandle, kind: str):
+        """One metrics/stats round trip; ``None`` on a sick shard."""
+        with self._lock:
+            if handle.state != _LIVE:
+                return None
+            rid = next(self._rid)
+            waiter = [threading.Event(), None]
+            self._info_waiters[rid] = waiter
+            conn = handle.conn
+        try:
+            conn.send({"kind": kind, "rid": rid})
+        except (OSError, ValueError, BrokenPipeError):
+            with self._lock:
+                self._info_waiters.pop(rid, None)
+            return None
+        if not waiter[0].wait(_INFO_TIMEOUT):
+            with self._lock:
+                self._info_waiters.pop(rid, None)
+            return None
+        return waiter[1]
+
+    def _merged_families(self) -> list[dict]:
+        tagged = [({"shard": "router"}, self.metrics.collect())]
+        for shard_id, handle in sorted(self._handles.items()):
+            families = self._collect_shard(handle, "metrics")
+            if families is None:
+                families = handle.final_families
+            if families is not None:
+                tagged.append(({"shard": str(shard_id)}, families))
+        return merge_families(tagged)
+
+    def metrics_text(self) -> str:
+        """Fleet-wide Prometheus exposition (``shard`` label per series)."""
+        return families_to_prometheus(self._merged_families())
+
+    def metrics_json(self) -> dict:
+        """Fleet-wide ``metrics.json`` document."""
+        return families_to_json(self._merged_families())
+
+    @property
+    def stats(self) -> "_FleetStats":
+        """A snapshot matching ``ExplanationService.stats``'s surface."""
+        return _FleetStats(self.stats_payload())
+
+    def stats_payload(self) -> dict:
+        """Router counters plus every live shard's stats payload."""
+        with self._lock:
+            router = {
+                "pending": len(self._pending),
+                "live_shards": len(self._live_ids()),
+                "n_shards": self.shard_config.n_shards,
+                "restarts": {
+                    str(shard_id): handle.restarts
+                    for shard_id, handle in sorted(self._handles.items())
+                },
+            }
+        shards = {}
+        for shard_id, handle in sorted(self._handles.items()):
+            stats = self._collect_shard(handle, "stats")
+            if stats is None:
+                stats = handle.final_stats
+            if stats is not None:
+                shards[str(shard_id)] = stats
+        return {"router": router, "shards": shards}
+
+    # -- shutdown ------------------------------------------------------
+
+    def close(
+        self,
+        wait: bool = True,
+        drain: bool = True,
+        drain_timeout: float | None = None,
+    ) -> dict:
+        """Drain the fleet and stop the supervisor; returns a summary.
+
+        Every live shard gets a drain message and the full budget to
+        finish queued work (all waiters resolve — the per-shard inner
+        drain guarantees terminal responses).  Stragglers past the budget
+        plus a small grace are killed, and any request still pending
+        after that fails with the retryable
+        :class:`~repro.exceptions.ShardFailedError`.
+        """
+        del wait
+        budget = (
+            self.config.drain_timeout if drain_timeout is None
+            else drain_timeout
+        )
+        with self._lock:
+            if self._closed:
+                return {"already_closed": True}
+            self._closed = True
+        self._stop.set()
+        self._monitor.join(timeout=5.0)
+
+        live = []
+        with self._lock:
+            for handle in self._handles.values():
+                if handle.state == _LIVE:
+                    live.append(handle)
+        for handle in live:
+            try:
+                handle.conn.send(
+                    {"kind": "drain", "drain": drain, "timeout": budget}
+                )
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+
+        deadline = time.monotonic() + (budget if drain else 0.0) + _DRAIN_GRACE
+        summaries: dict[str, dict] = {}
+        for handle in live:
+            remaining = max(0.0, deadline - time.monotonic())
+            if handle.drained.wait(remaining):
+                message = handle.drain_summary or {}
+                summaries[str(handle.shard_id)] = message.get("summary", {})
+        for handle in self._handles.values():
+            process = handle.process
+            if process is None:
+                continue
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                logger.warning(
+                    "shard %d did not drain in time; killing",
+                    handle.shard_id,
+                )
+                process.kill()
+                process.join(timeout=5.0)
+            with self._lock:
+                handle.state = _STOPPED
+        self._m_live.set(0)
+
+        with self._lock:
+            leftovers = list(self._pending.items())
+            self._pending.clear()
+        for _rid, entry in leftovers:
+            if not entry.future.done():
+                entry.future.set_exception(
+                    ShardFailedError(
+                        "service shut down before this request completed; "
+                        "safe to retry"
+                    )
+                )
+        return {
+            "drained": drain,
+            "shards": summaries,
+            "abandoned": len(leftovers),
+        }
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _FleetStats:
+    """Fleet-wide counters with the ``.summary()`` the CLI prints."""
+
+    def __init__(self, payload: dict) -> None:
+        self.payload = payload
+
+    def summary(self) -> str:
+        router = self.payload.get("router", {})
+        shards = self.payload.get("shards", {})
+        requests = sum(
+            shard.get("service", {}).get("requests", 0)
+            for shard in shards.values()
+        )
+        restarts = sum(router.get("restarts", {}).values())
+        return (
+            f"fleet: {router.get('live_shards', 0)}/"
+            f"{router.get('n_shards', 0)} shards live, "
+            f"{int(requests)} requests served, "
+            f"{restarts} restart(s), "
+            f"{router.get('pending', 0)} pending"
+        )
+
+
+def _rebuild_error(code: str, message: str, retry_after) -> ServiceError:
+    """Reconstruct a taxonomy error from its wire form.
+
+    The HTTP layer maps errors to statuses by their ``code`` attribute,
+    so the rebuilt exception only needs the right code — not the exact
+    original class — to serve the same response the shard would have.
+    """
+    from repro import exceptions
+
+    for name in exceptions.__all__:
+        candidate = getattr(exceptions, name)
+        if (
+            isinstance(candidate, type)
+            and issubclass(candidate, exceptions.ReproError)
+            and getattr(candidate, "code", None) == code
+        ):
+            if candidate is exceptions.ServiceOverloadedError:
+                return candidate(
+                    message,
+                    retry_after=1.0 if retry_after is None else retry_after,
+                )
+            try:
+                return candidate(message)
+            except TypeError:
+                break
+    error = ServiceError(message)
+    error.code = code
+    return error

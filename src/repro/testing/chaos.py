@@ -23,27 +23,44 @@ Process/network chaos:
   barrier, results and exceptions collected per slot (admission-control
   drills).
 
-Used by ``tests/service/test_lifecycle.py``, the store-recovery tests and
-``scripts/chaos_drill.py`` (the CI chaos job).
+Shard chaos (the supervisor's failure model): a :class:`ShardChaos` spec
+travels inside a shard's spawn arguments and arms one in-process fault:
+
+* :func:`worker_crash` — the shard SIGKILLs *itself* mid-request (after
+  admitting its N-th request, before responding), the exact window where
+  a crash strands in-flight waiters;
+* :func:`heartbeat_stall` — the shard's heartbeat thread goes silent
+  after a delay while the request loop keeps serving, the "wedged but
+  not dead" failure the supervisor must detect by missed heartbeats.
+
+Used by ``tests/service/test_lifecycle.py``, the store-recovery and
+sharded-service tests, ``scripts/chaos_drill.py`` and
+``scripts/shard_drill.py`` (the CI chaos jobs).
 """
 
 from __future__ import annotations
 
+import os
 import random
 import signal
 import socket
 import threading
 import time
+from dataclasses import dataclass
 from pathlib import Path
 
 __all__ = [
+    "ShardChaos",
     "SlowClient",
     "chaos_rng",
+    "crash_self",
     "flip_bytes",
+    "heartbeat_stall",
     "kill_after",
     "overload_burst",
     "overwrite_with_garbage",
     "truncate_file",
+    "worker_crash",
 ]
 
 
@@ -100,6 +117,81 @@ def overwrite_with_garbage(
 ) -> None:
     """Replace *path* with *size* seeded-random bytes (not a database)."""
     Path(path).write_bytes(chaos_rng(seed).randbytes(size))
+
+
+# ---------------------------------------------------------------------------
+# Shard chaos
+# ---------------------------------------------------------------------------
+
+#: Fault modes a :class:`ShardChaos` spec can arm inside a shard process.
+SHARD_CHAOS_MODES = ("worker_crash", "heartbeat_stall")
+
+
+@dataclass(frozen=True)
+class ShardChaos:
+    """A picklable, one-shot fault armed inside a shard process.
+
+    The spec rides the shard's spawn arguments, so the fault fires in the
+    real child process under the real supervisor — no monkeypatching.
+    ``repeat=False`` (the default) makes the supervisor strip the spec
+    when it restarts the shard, so the drill observes one crash and one
+    recovery instead of a crash loop.
+    """
+
+    mode: str
+    #: ``worker_crash``: SIGKILL self upon admitting this many requests.
+    after_requests: int = 1
+    #: ``heartbeat_stall``: stop heartbeating this long after startup.
+    after_seconds: float = 0.0
+    #: Re-arm the fault in the restarted shard too (crash-loop drills).
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in SHARD_CHAOS_MODES:
+            raise ValueError(
+                f"mode must be one of {SHARD_CHAOS_MODES}, got {self.mode!r}"
+            )
+        if self.after_requests < 1:
+            raise ValueError(
+                f"after_requests must be >= 1, got {self.after_requests}"
+            )
+        if self.after_seconds < 0:
+            raise ValueError(
+                f"after_seconds must be >= 0, got {self.after_seconds}"
+            )
+
+
+def worker_crash(after_requests: int = 1, repeat: bool = False) -> ShardChaos:
+    """SIGKILL the shard from inside, mid-request.
+
+    Fires after the shard *admits* its ``after_requests``-th explain
+    request and before it responds — the window where the router has
+    committed the request to this shard and only supervisor failover can
+    save the waiter.
+    """
+    return ShardChaos(
+        mode="worker_crash", after_requests=after_requests, repeat=repeat
+    )
+
+
+def heartbeat_stall(after_seconds: float = 0.0, repeat: bool = False) -> ShardChaos:
+    """Silence the shard's heartbeats without killing it.
+
+    The request loop keeps answering, so only the supervisor's
+    missed-heartbeat detection — not process liveness — can catch it.
+    """
+    return ShardChaos(
+        mode="heartbeat_stall", after_seconds=after_seconds, repeat=repeat
+    )
+
+
+def crash_self() -> None:
+    """SIGKILL the calling process — an un-catchable, un-drainable death.
+
+    Used by the ``worker_crash`` mode; exposed for drills that want the
+    same semantics elsewhere.
+    """
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,102 @@
+"""Consistent-hash router properties the sharded service relies on."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.router import HashRing, key_position
+
+
+def _keys(n: int) -> list[str]:
+    # Shaped like real request keys: SHA-256 hex digests.
+    return [hashlib.sha256(f"key-{i}".encode()).hexdigest() for i in range(n)]
+
+
+def test_ring_is_deterministic():
+    a = HashRing(range(4))
+    b = HashRing(range(4))
+    for key in _keys(200):
+        assert a.owner(key) == b.owner(key)
+
+
+def test_key_position_uses_hex_prefix():
+    key = "ab" * 32
+    assert key_position(key) == int(key[:16], 16)
+    # Non-hex keys still land somewhere stable on the ring.
+    assert key_position("not hex!") == key_position("not hex!")
+
+
+def test_distribution_is_roughly_uniform():
+    ring = HashRing(range(4), virtual_nodes=64)
+    counts = {shard: 0 for shard in range(4)}
+    keys = _keys(4000)
+    for key in keys:
+        counts[ring.owner(key)] += 1
+    for count in counts.values():
+        # Perfect would be 1000 per shard; virtual nodes keep the skew
+        # within a factor of ~2 either way.
+        assert 400 <= count <= 2200, counts
+
+
+def test_equal_keys_always_colocate():
+    ring = HashRing(range(8))
+    key = _keys(1)[0]
+    assert len({ring.owner(key) for _ in range(10)}) == 1
+
+
+def test_minimal_movement_on_resize():
+    before = HashRing(range(4))
+    after = HashRing(range(5))
+    keys = _keys(2000)
+    moved = sum(1 for key in keys if before.owner(key) != after.owner(key))
+    # Consistent hashing moves ~1/5 of the keys when a fifth shard
+    # joins; modulo hashing would move ~4/5.
+    assert moved < len(keys) * 0.45, moved
+
+
+def test_dead_shard_keys_move_to_successor_and_back():
+    ring = HashRing(range(3))
+    keys = _keys(500)
+    owners = {key: ring.owner(key) for key in keys}
+    victim = 1
+    live = {0, 2}
+    for key in keys:
+        reassigned = ring.assign(key, live=live)
+        assert reassigned in live
+        if owners[key] != victim:
+            # Keys of living shards never move on someone else's death.
+            assert reassigned == owners[key]
+    # The shard returns: every key snaps back to its original owner.
+    for key in keys:
+        assert ring.assign(key, live={0, 1, 2}) == owners[key]
+
+
+def test_preference_order_matches_sequential_deaths():
+    ring = HashRing(range(4))
+    for key in _keys(50):
+        preference = ring.preference(key)
+        assert sorted(preference) == [0, 1, 2, 3]
+        assert preference[0] == ring.owner(key)
+        # Killing the shards in preference order realises the same
+        # sequence through assign().
+        live = set(range(4))
+        for expected in preference:
+            assert ring.assign(key, live=live) == expected
+            live.discard(expected)
+
+
+def test_no_live_shard_returns_none():
+    ring = HashRing(range(3))
+    assert ring.assign(_keys(1)[0], live=set()) is None
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigurationError):
+        HashRing([])
+    with pytest.raises(ConfigurationError):
+        HashRing([1, 1])
+    with pytest.raises(ConfigurationError):
+        HashRing([0], virtual_nodes=0)

@@ -1,0 +1,290 @@
+"""Multi-process sharded serving: routing, failover, supervision, drain.
+
+These tests spawn real shard processes (``multiprocessing`` spawn
+context), so each ``ShardedService`` boot costs a couple of seconds of
+child imports.  They stay cheap by sharing one trained matcher (the
+session ``beer_matcher`` fixture pickles cleanly) and tiny perturbation
+budgets.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import ServiceConfig, ShardConfig
+from repro.exceptions import ShardFailedError
+from repro.service import (
+    ExplainRequest,
+    ExplanationService,
+    ShardedService,
+)
+from repro.service.store import shard_store_dir
+from repro.testing.chaos import heartbeat_stall, worker_crash
+
+SAMPLES = 24
+
+#: Fast supervision for tests: heartbeats every 50ms, death declared
+#: after 1.5s of silence, restarts after 0.2s.
+FAST = dict(
+    heartbeat_interval=0.05,
+    heartbeat_timeout=1.5,
+    check_interval=0.05,
+    restart_backoff_base=0.2,
+    restart_backoff_max=1.0,
+)
+
+
+def _request(pair, **overrides) -> ExplainRequest:
+    defaults = dict(pair=pair, method="single", samples=SAMPLES, seed=0)
+    defaults.update(overrides)
+    return ExplainRequest(**defaults)
+
+
+def _request_for_shard(service, dataset, shard_id, **overrides):
+    """A request whose key routes to *shard_id* with every shard live."""
+    for pair in dataset:
+        request = _request(pair, **overrides)
+        if service.shard_for(request) == shard_id:
+            return request
+    raise AssertionError(f"no record routes to shard {shard_id}")
+
+
+def _wait_for(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestBitIdentity:
+    def test_sharded_result_equals_single_process(
+        self, beer_matcher, non_match_pair
+    ):
+        request = _request(non_match_pair, method="both")
+        with ExplanationService(beer_matcher) as single:
+            expected = single.explain(request)
+        with ShardedService(
+            beer_matcher, shard_config=ShardConfig(n_shards=2, **FAST)
+        ) as sharded:
+            got = sharded.explain(request, timeout=120)
+        assert got == expected
+
+    def test_single_shard_mode_serves(self, beer_matcher, match_pair):
+        with ShardedService(
+            beer_matcher, shard_config=ShardConfig(n_shards=1, **FAST)
+        ) as service:
+            payload = service.explain(_request(match_pair), timeout=120)
+        assert payload["duals"]["single"]
+
+
+class TestRoutingAndStores:
+    def test_equal_keys_route_to_one_shard(self, beer_matcher, beer_dataset):
+        with ShardedService(
+            beer_matcher, shard_config=ShardConfig(n_shards=2, **FAST)
+        ) as service:
+            request = _request(beer_dataset[0])
+            owner = service.shard_for(request)
+            futures = [service.submit(request) for _ in range(3)]
+            results = [f.result(timeout=120) for f in futures]
+            assert all(r == results[0] for r in results)
+            stats = service.stats_payload()
+        other = str(1 - owner)
+        assert stats["shards"][str(owner)]["service"]["requests"] == 3
+        assert stats["shards"][other]["service"]["requests"] == 0
+
+    def test_each_shard_owns_its_store_partition(
+        self, beer_matcher, beer_dataset, tmp_path
+    ):
+        store_root = tmp_path / "store"
+        with ShardedService(
+            beer_matcher,
+            store_dir=store_root,
+            shard_config=ShardConfig(n_shards=2, **FAST),
+        ) as service:
+            for shard_id in (0, 1):
+                request = _request_for_shard(service, beer_dataset, shard_id)
+                service.explain(request, timeout=120)
+        for shard_id in (0, 1):
+            partition = shard_store_dir(store_root, shard_id)
+            assert partition.is_dir(), f"shard {shard_id} partition missing"
+
+    def test_metrics_roll_up_with_shard_labels(self, beer_matcher, match_pair):
+        with ShardedService(
+            beer_matcher, shard_config=ShardConfig(n_shards=2, **FAST)
+        ) as service:
+            service.explain(_request(match_pair), timeout=120)
+            text = service.metrics_text()
+            document = service.metrics_json()
+        assert 'shard="router"' in text
+        assert 'shard="0"' in text and 'shard="1"' in text
+        labels = {
+            sample["labels"].get("shard")
+            for family in document["metrics"]
+            for sample in family["samples"]
+        }
+        assert {"router", "0", "1"} <= labels
+
+
+class TestCrashFailover:
+    def test_worker_crash_fails_over_and_restarts(
+        self, beer_matcher, beer_dataset
+    ):
+        with ShardedService(
+            beer_matcher,
+            shard_config=ShardConfig(n_shards=2, **FAST),
+            chaos={0: worker_crash(after_requests=1)},
+        ) as service:
+            request = _request_for_shard(service, beer_dataset, 0)
+            # The crash strands this request on shard 0; the supervisor
+            # must fail it over to shard 1, which serves it.
+            payload = service.submit(request).result(timeout=120)
+            assert payload["duals"]["single"]
+
+            # The supervisor restarts shard 0 (chaos disarmed) and the
+            # fleet reports healthy again.
+            assert _wait_for(
+                lambda: service.health()[1]["shards"]["0"]["state"] == "live"
+            )
+            status, health = service.health()
+            assert status == 200
+            assert health["shards"]["0"]["restarts"] == 1
+
+            # The restarted shard serves its own keys again.
+            again = service.submit(request).result(timeout=120)
+            assert again == payload
+
+    def test_failover_budget_exhausted_is_retryable_503(
+        self, beer_matcher, beer_dataset
+    ):
+        # Both shards crash on their first admitted request and restarts
+        # are slow, so the single failover attempt also dies: the waiter
+        # must get the retryable taxonomy error, never a hang.
+        with ShardedService(
+            beer_matcher,
+            shard_config=ShardConfig(
+                n_shards=2,
+                heartbeat_interval=0.05,
+                heartbeat_timeout=1.5,
+                check_interval=0.05,
+                restart_backoff_base=30.0,
+                max_failovers=1,
+            ),
+            chaos={
+                0: worker_crash(after_requests=1),
+                1: worker_crash(after_requests=1),
+            },
+        ) as service:
+            request = _request(beer_dataset[0])
+            with pytest.raises(ShardFailedError) as excinfo:
+                service.submit(request).result(timeout=120)
+            assert excinfo.value.code == "shard_failed"
+
+    def test_no_live_shards_rejects_submissions_retryably(
+        self, beer_matcher, beer_dataset
+    ):
+        with ShardedService(
+            beer_matcher,
+            shard_config=ShardConfig(
+                n_shards=1,
+                heartbeat_interval=0.05,
+                heartbeat_timeout=1.5,
+                check_interval=0.05,
+                restart_backoff_base=30.0,
+            ),
+            chaos={0: worker_crash(after_requests=1)},
+        ) as service:
+            request = _request(beer_dataset[0])
+            with pytest.raises(ShardFailedError):
+                service.submit(request).result(timeout=120)
+            # The only shard is dead and backing off: health is a 503
+            # (down, not degraded) and new submissions fail fast.
+            assert _wait_for(lambda: service.health()[0] == 503)
+            status, health = service.health()
+            assert health["reason"] == "no_live_shards"
+            with pytest.raises(ShardFailedError):
+                service.submit(_request(beer_dataset[1]))
+
+
+class TestSupervision:
+    def test_heartbeat_stall_is_detected_and_restarted(
+        self, beer_matcher, match_pair
+    ):
+        with ShardedService(
+            beer_matcher,
+            shard_config=ShardConfig(n_shards=1, **FAST),
+            chaos={0: heartbeat_stall(after_seconds=0.0)},
+        ) as service:
+            # The shard never heartbeats, so the supervisor declares it
+            # hung, kills it and restarts it without chaos.
+            assert _wait_for(
+                lambda: service.health()[1]["shards"]["0"]["restarts"] >= 1
+            )
+            assert _wait_for(
+                lambda: service.health()[1]["shards"]["0"]["state"] == "live"
+            )
+            payload = service.explain(_request(match_pair), timeout=120)
+            assert payload["duals"]["single"]
+
+    def test_one_sick_shard_reads_degraded_not_down(
+        self, beer_matcher, beer_dataset
+    ):
+        with ShardedService(
+            beer_matcher,
+            shard_config=ShardConfig(
+                n_shards=2,
+                heartbeat_interval=0.05,
+                heartbeat_timeout=1.5,
+                check_interval=0.05,
+                restart_backoff_base=30.0,
+            ),
+            chaos={0: worker_crash(after_requests=1)},
+        ) as service:
+            request = _request_for_shard(service, beer_dataset, 0)
+            service.submit(request).result(timeout=120)
+            assert _wait_for(
+                lambda: service.health()[1]["shards"]["0"]["state"] != "live"
+            )
+            status, health = service.health()
+            # One dead shard (in restart backoff): degraded, still 200.
+            assert status == 200
+            assert health["ok"] is True
+            assert "0" in health.get("degraded", [])
+            # The live shard keeps serving its keys.
+            other = _request_for_shard(service, beer_dataset, 1)
+            assert service.explain(other, timeout=120)
+
+
+class TestDrain:
+    def test_close_resolves_every_waiter(self, beer_matcher, beer_dataset):
+        config = ServiceConfig(n_workers=1)
+        with ShardedService(
+            beer_matcher,
+            config=config,
+            shard_config=ShardConfig(n_shards=2, **FAST),
+        ) as service:
+            futures = [
+                service.submit(_request(beer_dataset[i])) for i in range(6)
+            ]
+            summary = service.close()
+        assert summary["drained"] is True
+        for future in futures:
+            # Terminal, never hanging: a real payload or a retryable error.
+            assert future.done()
+            error = future.exception(timeout=0)
+            assert error is None or isinstance(error, ShardFailedError)
+        served = [f for f in futures if f.exception(timeout=0) is None]
+        assert served, "drain should finish at least the admitted work"
+
+    def test_closed_service_rejects_new_requests(
+        self, beer_matcher, match_pair
+    ):
+        service = ShardedService(
+            beer_matcher, shard_config=ShardConfig(n_shards=1, **FAST)
+        )
+        service.close()
+        with pytest.raises(Exception):
+            service.submit(_request(match_pair))

@@ -1,0 +1,67 @@
+"""Queue-wait estimation and Retry-After hints, including the
+zero-live-workers window a drain or shard restart opens."""
+
+from __future__ import annotations
+
+import math
+
+from repro.service.service import (
+    MAX_WAIT_ESTIMATE,
+    estimate_queue_wait,
+    retry_after_hint,
+)
+
+
+class TestEstimateQueueWait:
+    def test_steady_state(self):
+        assert estimate_queue_wait(10, 0.5, 2) == 2.5
+
+    def test_empty_queue_is_zero(self):
+        assert estimate_queue_wait(0, 0.5, 2) == 0.0
+
+    def test_no_latency_history_is_zero(self):
+        assert estimate_queue_wait(10, 0.0, 2) == 0.0
+
+    def test_zero_workers_saturates_instead_of_dividing(self):
+        # The drain / shard-restart window: work is pending but no
+        # worker thread is alive.  The estimate must stay finite and
+        # bounded, not raise ZeroDivisionError or return infinity.
+        assert estimate_queue_wait(10, 0.5, 0) == MAX_WAIT_ESTIMATE
+        assert estimate_queue_wait(1, 0.001, -1) == MAX_WAIT_ESTIMATE
+
+    def test_zero_workers_with_empty_queue_is_still_zero(self):
+        assert estimate_queue_wait(0, 0.5, 0) == 0.0
+
+    def test_estimate_is_clamped(self):
+        assert estimate_queue_wait(10_000, 100.0, 1) == MAX_WAIT_ESTIMATE
+
+    def test_hostile_inputs_are_normalised(self):
+        assert estimate_queue_wait(-5, 0.5, 2) == 0.0
+        assert estimate_queue_wait(5, float("nan"), 2) == 0.0
+        assert estimate_queue_wait(5, float("inf"), 2) == 0.0
+        assert estimate_queue_wait(5, -1.0, 2) == 0.0
+
+    def test_always_finite(self):
+        for pending in (0, 1, 10**9):
+            for ema in (0.0, 1e-9, 1e9, float("inf"), float("nan")):
+                for workers in (-1, 0, 1, 64):
+                    value = estimate_queue_wait(pending, ema, workers)
+                    assert math.isfinite(value)
+                    assert 0.0 <= value <= MAX_WAIT_ESTIMATE
+
+
+class TestRetryAfterHint:
+    def test_half_the_estimated_wait(self):
+        assert retry_after_hint(10.0) == 5.0
+
+    def test_floor_of_100ms(self):
+        assert retry_after_hint(0.01) == 0.1
+
+    def test_zero_or_unknown_defaults_to_one_second(self):
+        assert retry_after_hint(0.0) == 1.0
+        assert retry_after_hint(-3.0) == 1.0
+        assert retry_after_hint(float("nan")) == 1.0
+        assert retry_after_hint(float("inf")) == 1.0
+
+    def test_clamped_to_max(self):
+        assert retry_after_hint(1e9) == MAX_WAIT_ESTIMATE
