@@ -19,6 +19,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured comparison of every table.
 """
 
+from repro.backends import (
+    InProcessBackend,
+    MatcherBackend,
+    MatcherServer,
+    RemoteBackend,
+    as_backend,
+)
 from repro.baselines import MojitoCopyExplainer, MojitoDropExplainer
 from repro.blocking import BlockingReport, InvertedIndexBlocker
 from repro.config import (
@@ -118,8 +125,12 @@ __all__ = [
     "GENERATION_DOUBLE",
     "GENERATION_SINGLE",
     "GlobalSummary",
+    "InProcessBackend",
     "InvertedIndexBlocker",
     "KernelShapExplainer",
+    "MatcherBackend",
+    "MatcherServer",
+    "RemoteBackend",
     "ENGINE_OFF",
     "EngineConfig",
     "EngineStats",
@@ -143,6 +154,7 @@ __all__ = [
     "StoreConfig",
     "Tokenizer",
     "anchor_for_landmark",
+    "as_backend",
     "evaluate_matcher",
     "get_preset",
     "greedy_counterfactual",

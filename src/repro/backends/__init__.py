@@ -1,0 +1,43 @@
+"""Matcher backends: where predictions come from, decoupled from where
+explanations are computed.
+
+* :mod:`repro.backends.base` — the :class:`MatcherBackend` protocol,
+  negotiated :class:`BackendCapabilities`, and the
+  :class:`InProcessBackend` adapter over today's matchers;
+* :mod:`repro.backends.protocol` — length-prefixed frames with
+  out-of-order request ids;
+* :mod:`repro.backends.client` — the pipelined, guard-protected
+  :class:`RemoteBackend` socket client;
+* :mod:`repro.backends.server` — the reference :class:`MatcherServer`
+  behind the ``serve-matcher`` CLI.
+"""
+
+from repro.backends.base import (
+    DEFAULT_MAX_BATCH_SIZE,
+    PROTOCOL_VERSION,
+    BackendCapabilities,
+    BackendMatcher,
+    InProcessBackend,
+    MatcherBackend,
+    as_backend,
+)
+from repro.backends.client import (
+    RemoteBackend,
+    RemoteBackendConfig,
+    parse_address,
+)
+from repro.backends.server import MatcherServer
+
+__all__ = [
+    "DEFAULT_MAX_BATCH_SIZE",
+    "PROTOCOL_VERSION",
+    "BackendCapabilities",
+    "BackendMatcher",
+    "InProcessBackend",
+    "MatcherBackend",
+    "MatcherServer",
+    "RemoteBackend",
+    "RemoteBackendConfig",
+    "as_backend",
+    "parse_address",
+]

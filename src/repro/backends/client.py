@@ -1,0 +1,569 @@
+"""The pipelined remote matcher client.
+
+:class:`RemoteBackend` speaks the length-prefixed frame protocol
+(:mod:`repro.backends.protocol`) to a matcher server and presents the
+:class:`~repro.backends.base.MatcherBackend` surface to the engine.
+
+**Pipelining.**  One TCP connection carries many in-flight batches at
+once: a large ``predict_proba`` call is split into server-sized chunks
+that are *all written immediately* (bounded by ``max_in_flight`` window
+slots), and concurrent service workers share the same connection the
+same way.  A dedicated reader thread resolves responses **out of order**
+by request id, so one slow batch never convoys the others and the
+network round-trip overlaps with server compute — this is what keeps
+remote throughput within a small factor of in-process.
+
+**Fault semantics** reuse :class:`~repro.core.guard.MatcherGuard`
+wholesale: the whole multi-chunk round-trip is the guarded unit, so a
+failed attempt (connection refused, mid-frame disconnect, response
+timeout) is retried with deterministic backoff after an automatic
+reconnect, consecutive failures trip the breaker (fail-fast
+:class:`~repro.exceptions.BackendUnavailableError` until the half-open
+probe passes), and the ambient :class:`~repro.core.deadline.Deadline` is
+polled before the call, between retries, inside the backoff sleep and
+while waiting for responses.  Protocol violations
+(:class:`~repro.exceptions.BackendProtocolError`) fail fast without
+burning retries — a peer speaking garbage once is the wrong peer.
+
+The server's model fingerprint is pinned at the first handshake; a
+reconnect that finds a *different* fingerprint refuses to proceed, since
+every cache key downstream was minted under the old identity.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import exceptions
+from repro.backends.base import BackendCapabilities, MatcherBackend, PROTOCOL_VERSION
+from repro.backends.protocol import read_frame, send_frame
+from repro.core.deadline import active_scope, checkpoint
+from repro.core.guard import GuardConfig, GuardStats, MatcherGuard
+from repro.exceptions import (
+    BackendProtocolError,
+    BackendUnavailableError,
+    ConfigurationError,
+    MatcherTimeoutError,
+    MatcherUnavailableError,
+    ReproError,
+)
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["RemoteBackendConfig", "RemoteBackend", "parse_address"]
+
+#: Wait-slice while blocking on a response or a window slot: the longest
+#: a deadline expiry or cancellation goes unnoticed mid-wait.
+_WAIT_SLICE = 0.05
+
+#: Buckets for the per-call round-trip-time histogram (seconds).
+_RTT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Buckets for the batch-width histogram (rows per wire request).
+_WIDTH_BUCKETS = (1.0, 4.0, 16.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0)
+
+
+def parse_address(address) -> tuple[str, int]:
+    """Normalize ``"host:port"`` / ``(host, port)`` to a tuple."""
+    if isinstance(address, tuple) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    if isinstance(address, str):
+        host, separator, port = address.rpartition(":")
+        if separator and host and port.isdigit():
+            return host, int(port)
+    raise ConfigurationError(
+        f"backend address must be 'host:port' or (host, port), got {address!r}"
+    )
+
+
+@dataclass(frozen=True)
+class RemoteBackendConfig:
+    """Knobs of the remote matcher client.
+
+    Picklable by construction: a :class:`~repro.service.shard.ShardSpec`
+    carries one into each shard process so every shard dials the same
+    server with the same policy.
+    """
+
+    #: Seconds to establish the TCP connection + handshake.
+    connect_timeout: float = 10.0
+    #: Seconds one guarded round-trip may wait for its responses;
+    #: ``None`` leaves only the ambient request deadline.
+    call_timeout: float | None = 60.0
+    #: Re-dials/re-sends after a failed attempt (reconnect included).
+    max_retries: int = 2
+    #: Window: wire requests in flight on the connection at once.
+    max_in_flight: int = 8
+    #: Rows per wire request; 0 = the server's advertised max batch.
+    #: Splitting below the server max is what turns one big call into
+    #: multiple pipelined frames.
+    pipeline_chunk_size: int = 0
+    #: Consecutive failed round-trips that trip the breaker.
+    trip_after: int = 5
+    #: Fast-failed calls while open before a half-open probe.
+    cooldown: int = 8
+    #: Backoff base / cap (seconds) between retries, and jitter seed.
+    backoff: float = 0.05
+    backoff_max: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.connect_timeout <= 0:
+            raise ConfigurationError(
+                f"connect_timeout must be > 0, got {self.connect_timeout}"
+            )
+        if self.call_timeout is not None and self.call_timeout <= 0:
+            raise ConfigurationError(
+                f"call_timeout must be > 0, got {self.call_timeout}"
+            )
+        if self.max_in_flight < 1:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.pipeline_chunk_size < 0:
+            raise ConfigurationError(
+                f"pipeline_chunk_size must be >= 0, got "
+                f"{self.pipeline_chunk_size}"
+            )
+
+    def guard_config(self) -> GuardConfig:
+        """The retry/breaker policy, as the guard understands it.
+
+        ``call_timeout`` stays ``None`` here on purpose: the client
+        enforces its own response-wait timeout inline (no sacrificial
+        thread per call), and the guard's thread-based timeout would
+        double-count it.
+        """
+        return GuardConfig(
+            max_retries=self.max_retries,
+            call_timeout=None,
+            trip_after=self.trip_after,
+            cooldown=self.cooldown,
+            backoff=self.backoff,
+            backoff_max=self.backoff_max,
+            seed=self.seed,
+            # A transport fails on its own; the breaker must watch even
+            # when the caller asked for zero retries.
+            always_active=True,
+        )
+
+
+class _Pending:
+    """One in-flight wire request awaiting its response frame."""
+
+    __slots__ = ("event", "message", "error", "sent_at")
+
+    def __init__(self, sent_at: float) -> None:
+        self.event = threading.Event()
+        self.message: dict | None = None
+        self.error: Exception | None = None
+        self.sent_at = sent_at
+
+    def resolve(self, message: dict) -> None:
+        self.message = message
+        self.event.set()
+
+    def fail(self, error: Exception) -> None:
+        self.error = error
+        self.event.set()
+
+
+class _Connection:
+    """One live socket: send lock, reader thread, pending table, window."""
+
+    def __init__(self, sock: socket.socket, capabilities: BackendCapabilities,
+                 window: int) -> None:
+        self.sock = sock
+        self.capabilities = capabilities
+        self.send_lock = threading.Lock()
+        self.lock = threading.Lock()
+        self.pending: dict[int, _Pending] = {}
+        self.window = threading.Semaphore(window)
+        self.dead = False
+        self.death: Exception | None = None
+        self.next_id = 1
+
+    def register(self, sent_at: float) -> tuple[int, _Pending]:
+        with self.lock:
+            if self.dead:
+                raise self.death or ConnectionError("backend connection lost")
+            request_id = self.next_id
+            self.next_id += 1
+            pending = _Pending(sent_at)
+            self.pending[request_id] = pending
+            return request_id, pending
+
+    def pop(self, request_id) -> _Pending | None:
+        with self.lock:
+            return self.pending.pop(request_id, None)
+
+    def fail_all(self, error: Exception) -> list[_Pending]:
+        """Mark the connection dead and fail every waiter; idempotent."""
+        with self.lock:
+            if self.dead:
+                return []
+            self.dead = True
+            self.death = error
+            doomed = list(self.pending.values())
+            self.pending.clear()
+        for pending in doomed:
+            pending.fail(error)
+            self.window.release()
+        return doomed
+
+
+class _BackendInstruments:
+    """The per-backend observability bundle (all no-ops when disabled)."""
+
+    def __init__(self, registry: MetricsRegistry, address: str) -> None:
+        self.registry = registry
+        instance = registry.next_instance("backend")
+        labels = {"component": "backend", "instance": instance,
+                  "address": address}
+        self.inflight = registry.gauge(
+            "repro_backend_inflight",
+            "Wire requests currently awaiting a response", **labels,
+        )
+        self.batch_width = registry.histogram(
+            "repro_backend_batch_width",
+            "Rows per wire request", buckets=_WIDTH_BUCKETS, **labels,
+        )
+        self.rtt = registry.histogram(
+            "repro_backend_rtt_seconds",
+            "Round-trip time of one wire request", buckets=_RTT_BUCKETS,
+            **labels,
+        )
+        self.reconnects = registry.counter(
+            "repro_backend_reconnects_total",
+            "Connections re-established after a loss", **labels,
+        )
+        self.requests = registry.counter(
+            "repro_backend_requests_total",
+            "Wire requests sent", **labels,
+        )
+        self.failures = registry.counter(
+            "repro_backend_failures_total",
+            "Round-trips that raised after all retries", **labels,
+        )
+
+
+class RemoteBackend(MatcherBackend):
+    """A matcher served over a socket, with MatcherGuard fault semantics.
+
+    Thread-safe: service workers and the engine's thread pool may call
+    concurrently; their wire requests interleave on the shared
+    connection and complete out of order.
+    """
+
+    def __init__(
+        self,
+        address,
+        config: RemoteBackendConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.address = parse_address(address)
+        self.config = config or RemoteBackendConfig()
+        registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self._instruments = _BackendInstruments(
+            registry, "%s:%d" % self.address
+        )
+        self.guard_stats = GuardStats()
+        self._guard = MatcherGuard(
+            self._roundtrip,
+            config=self.config.guard_config(),
+            stats=self.guard_stats,
+        )
+        self._conn_lock = threading.Lock()
+        self._conn: _Connection | None = None
+        self._pinned_fingerprint: str | None = None
+        self._ever_connected = False
+        self._reconnects = 0
+        self._closed = False
+
+    # -- MatcherBackend surface ----------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        conn = self._conn
+        if conn is not None and not conn.dead:
+            return conn.capabilities
+        # First contact (or reconnect) goes through the guard so startup
+        # against a still-booting server gets the same retry policy.
+        return self._guarded(("capabilities", None), 0).capabilities
+
+    def predict_proba(self, pairs: Sequence) -> np.ndarray:
+        pairs = list(pairs)
+        if not pairs:
+            return np.zeros(0, dtype=np.float64)
+        return self._guarded(("predict", pairs), len(pairs))
+
+    def predict_proba_columnar(self, batch) -> np.ndarray:
+        return self._guarded(("predict_columnar", batch), batch.n_rows)
+
+    def health(self) -> dict:
+        conn = self._conn
+        state = self._guard.state
+        return {
+            "available": state != "open",
+            "breaker": state,
+            "connected": conn is not None and not conn.dead,
+            "address": "%s:%d" % self.address,
+            "reconnects": self._reconnects,
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        with self._conn_lock:
+            conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.fail_all(BackendUnavailableError("backend client closed"))
+            try:
+                conn.sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    # -- guarded round-trips -------------------------------------------
+
+    def _guarded(self, payload, size: int):
+        try:
+            return self._guard.call_with(self._roundtrip, payload, size)
+        except MatcherUnavailableError as error:
+            # The breaker lives in this client; surface it under the
+            # backend taxonomy so /healthz and clients see the layer
+            # that actually failed.
+            self._instruments.failures.inc()
+            raise BackendUnavailableError(
+                f"matcher backend {self.address[0]}:{self.address[1]} "
+                f"unavailable: {error}"
+            ) from error
+        except (BackendUnavailableError, MatcherTimeoutError,
+                BackendProtocolError):
+            self._instruments.failures.inc()
+            raise
+
+    def _roundtrip(self, payload):
+        op, body = payload
+        if self._closed:
+            raise BackendUnavailableError("backend client is closed")
+        try:
+            conn = self._ensure_connection()
+        except (ConnectionError, OSError, socket.timeout) as error:
+            raise BackendUnavailableError(
+                f"cannot reach matcher backend at "
+                f"{self.address[0]}:{self.address[1]}: {error}"
+            ) from error
+        if op == "capabilities":
+            return conn
+        timeout_at = self._timeout_at()
+        if op == "predict":
+            chunks = self._split(body, conn.capabilities)
+            requests = [("predict", chunk, len(chunk)) for chunk in chunks]
+        else:
+            requests = [("predict_columnar", body, body.n_rows)]
+        try:
+            issued = [self._submit(conn, kind, chunk, rows, timeout_at)
+                      for kind, chunk, rows in requests]
+            parts = [self._await(conn, pending, timeout_at)
+                     for pending in issued]
+        except (ConnectionError, OSError) as error:
+            self._drop_connection(conn, error)
+            raise BackendUnavailableError(
+                f"connection to matcher backend "
+                f"{self.address[0]}:{self.address[1]} lost mid-call: {error}"
+            ) from error
+        except BackendProtocolError as error:
+            self._drop_connection(conn, error)
+            raise
+        except MatcherTimeoutError as error:
+            # A hung server cannot be resynchronized frame-by-frame;
+            # drop the pipe so the retry starts on a fresh connection.
+            self._drop_connection(conn, error)
+            raise
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    # -- connection management -----------------------------------------
+
+    def _ensure_connection(self) -> _Connection:
+        with self._conn_lock:
+            conn = self._conn
+            if conn is not None and not conn.dead:
+                return conn
+            sock = socket.create_connection(
+                self.address, timeout=self.config.connect_timeout
+            )
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                send_frame(sock, {"op": "hello", "id": 0,
+                                  "protocol": PROTOCOL_VERSION})
+                reply = read_frame(sock)
+            except BaseException:
+                sock.close()
+                raise
+            capabilities = self._check_handshake(sock, reply)
+            sock.settimeout(None)
+            conn = _Connection(sock, capabilities, self.config.max_in_flight)
+            reader = threading.Thread(
+                target=self._reader, args=(conn,), daemon=True,
+                name="backend-reader",
+            )
+            reader.start()
+            if self._ever_connected:
+                self._reconnects += 1
+                self._instruments.reconnects.inc()
+            self._ever_connected = True
+            self._conn = conn
+            return conn
+
+    def _check_handshake(self, sock: socket.socket,
+                         reply: dict) -> BackendCapabilities:
+        if not reply.get("ok") or "capabilities" not in reply:
+            sock.close()
+            raise BackendProtocolError(
+                f"backend handshake rejected: {reply.get('error', reply)!r}"
+            )
+        capabilities = BackendCapabilities.from_dict(reply["capabilities"])
+        if capabilities.protocol_version != PROTOCOL_VERSION:
+            sock.close()
+            raise BackendProtocolError(
+                f"backend speaks protocol "
+                f"{capabilities.protocol_version}, this client needs "
+                f"{PROTOCOL_VERSION}"
+            )
+        if (self._pinned_fingerprint is not None
+                and capabilities.fingerprint != self._pinned_fingerprint):
+            sock.close()
+            raise BackendProtocolError(
+                f"backend model changed across reconnect (was "
+                f"{self._pinned_fingerprint[:12]}…, now "
+                f"{capabilities.fingerprint[:12]}…); every cached "
+                f"explanation is keyed by the old model — restart the "
+                f"service against the new model instead"
+            )
+        self._pinned_fingerprint = capabilities.fingerprint
+        return capabilities
+
+    def _drop_connection(self, conn: _Connection, error: Exception) -> None:
+        conn.fail_all(error if isinstance(error, ReproError)
+                      else ConnectionError(str(error)))
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+        with self._conn_lock:
+            if self._conn is conn:
+                self._conn = None
+
+    def _reader(self, conn: _Connection) -> None:
+        """Resolve response frames to their waiters, in arrival order."""
+        instruments = self._instruments
+        try:
+            while True:
+                message = read_frame(conn.sock)
+                pending = conn.pop(message.get("id"))
+                if pending is None:
+                    continue  # waiter timed out / was abandoned
+                instruments.rtt.observe(
+                    max(0.0, time.monotonic() - pending.sent_at)
+                )
+                instruments.inflight.inc(-1)
+                conn.window.release()
+                pending.resolve(message)
+        except BackendProtocolError as error:
+            conn.fail_all(error)
+        except (ConnectionError, OSError) as error:
+            conn.fail_all(ConnectionError(str(error)))
+
+    # -- request plumbing ----------------------------------------------
+
+    def _split(self, pairs: list, capabilities: BackendCapabilities) -> list:
+        chunk = capabilities.max_batch_size
+        if self.config.pipeline_chunk_size:
+            chunk = min(chunk, self.config.pipeline_chunk_size)
+        if len(pairs) <= chunk:
+            return [pairs]
+        return [pairs[i:i + chunk] for i in range(0, len(pairs), chunk)]
+
+    def _timeout_at(self) -> float | None:
+        timeout = self.config.call_timeout
+        at = None if timeout is None else time.monotonic() + timeout
+        deadline, _ = active_scope()
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining is not None:
+                ambient = time.monotonic() + max(0.0, remaining)
+                at = ambient if at is None else min(at, ambient)
+        return at
+
+    def _submit(self, conn: _Connection, op: str, body, rows: int,
+                timeout_at: float | None) -> _Pending:
+        # A window slot bounds in-flight frames; waiting for one polls
+        # the scope so cancellation/deadline interrupts the backpressure.
+        while not conn.window.acquire(timeout=_WAIT_SLICE):
+            checkpoint("backend window")
+            if conn.dead:
+                raise conn.death or ConnectionError("backend connection lost")
+            if timeout_at is not None and time.monotonic() >= timeout_at:
+                raise MatcherTimeoutError(
+                    f"timed out waiting for a backend window slot "
+                    f"({self.config.max_in_flight} in flight)"
+                )
+        try:
+            request_id, pending = conn.register(time.monotonic())
+            key = "batch" if op == "predict_columnar" else "pairs"
+            with conn.send_lock:
+                send_frame(conn.sock, {"op": op, "id": request_id, key: body})
+        except BaseException:
+            conn.window.release()
+            raise
+        self._instruments.requests.inc()
+        self._instruments.batch_width.observe(float(rows))
+        self._instruments.inflight.inc()
+        return pending
+
+    def _await(self, conn: _Connection, pending: _Pending,
+               timeout_at: float | None) -> np.ndarray:
+        while not pending.event.wait(_WAIT_SLICE):
+            checkpoint("backend response")
+            if timeout_at is not None and time.monotonic() >= timeout_at:
+                raise MatcherTimeoutError(
+                    f"backend call exceeded "
+                    f"{self.config.call_timeout:.3g}s"
+                    if self.config.call_timeout is not None
+                    else "backend call exceeded its deadline"
+                )
+        if pending.error is not None:
+            raise pending.error
+        message = pending.message or {}
+        if not message.get("ok"):
+            raise _rebuild_server_error(
+                message.get("code"), message.get("error", "backend error")
+            )
+        result = message.get("result")
+        array = np.asarray(result, dtype=np.float64)
+        return array
+
+
+def _rebuild_server_error(code, message) -> Exception:
+    """Reconstruct a taxonomy error the server reported by wire code."""
+    text = f"matcher server: {message}"
+    if isinstance(code, str):
+        for name in exceptions.__all__:
+            candidate = getattr(exceptions, name, None)
+            if (isinstance(candidate, type)
+                    and issubclass(candidate, ReproError)
+                    and getattr(candidate, "code", None) == code
+                    and candidate.code != ReproError.code):
+                try:
+                    return candidate(text)
+                except TypeError:  # pragma: no cover - exotic signature
+                    break
+    return exceptions.BackendError(text)

@@ -14,13 +14,20 @@ Sub-commands:
   model summary (the paper's future-work direction).
 * ``serve`` — run the long-lived explanation service (JSONL over
   stdin/stdout, or a localhost HTTP endpoint with ``--http``), backed by
-  the persistent explanation store.
+  the persistent explanation store.  With ``--backend HOST:PORT`` the
+  service computes no predictions locally: every matcher call goes to a
+  shared ``serve-matcher`` process.
+* ``serve-matcher`` — run the standalone matcher server one or many
+  service shards dial with ``--backend``.
 * ``precompute`` — warm the explanation store for a dataset split,
   resumable with ``--resume``.
 
 ``train``, ``explain``, ``serve`` and ``precompute`` accept
 ``--model-dir``: trained matchers are persisted there as fingerprinted
-artifacts and reused instead of retraining on every invocation.
+artifacts and reused instead of retraining on every invocation.  On the
+serving paths (``serve-matcher``) artifact loading is *strict*: a
+fingerprint mismatch is :class:`~repro.exceptions.ArtifactMismatchError`,
+never a silent retrain.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import logging
+import os
 import sys
 from pathlib import Path
 
@@ -236,6 +244,13 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         help="times an in-flight request may fail over to another shard "
              "after a crash before returning a retryable 503",
     )
+    parser.add_argument(
+        "--backend", default=None, metavar="HOST:PORT",
+        help="serve predictions from a remote serve-matcher process at "
+             "this address instead of training/loading a matcher locally "
+             "(all shards share the one model; the routing fingerprint "
+             "is taken from its handshake)",
+    )
     _add_engine_arguments(parser)
     _add_obs_arguments(parser)
 
@@ -322,6 +337,32 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--http", default=None, metavar="HOST:PORT",
         help="serve over HTTP on this address instead of stdin/stdout",
+    )
+
+    serve_matcher = subparsers.add_parser(
+        "serve-matcher",
+        help="standalone matcher server shared by service shards",
+    )
+    _add_common_dataset_arguments(serve_matcher)
+    serve_matcher.add_argument(
+        "--matcher", default="logistic", choices=sorted(_MATCHERS)
+    )
+    _add_model_dir_argument(serve_matcher)
+    serve_matcher.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_matcher.add_argument(
+        "--port", type=int, default=7654,
+        help="bind port (0 picks an ephemeral one)",
+    )
+    serve_matcher.add_argument(
+        "--server-workers", type=int, default=4,
+        help="prediction threads serving concurrent in-flight batches",
+    )
+    serve_matcher.add_argument(
+        "--max-batch-size", type=int, default=None,
+        help="largest row count one predict call may carry "
+             "(default: the protocol default, 4096)",
     )
 
     precompute = subparsers.add_parser(
@@ -669,7 +710,10 @@ def _build_service(args: argparse.Namespace, dataset):
     from repro.config import ServiceConfig, ShardConfig, StoreConfig
     from repro.service import ExplanationService, ExplanationStore
 
-    matcher = _resolve_matcher(args, dataset)
+    backend_address = getattr(args, "backend", None)
+    # Backend mode trains nothing: the model lives in the serve-matcher
+    # process and its handshake fingerprint keys every request.
+    matcher = None if backend_address else _resolve_matcher(args, dataset)
     registry = _obs_registry(args)
     service_config = ServiceConfig(
         n_workers=args.workers,
@@ -716,6 +760,7 @@ def _build_service(args: argparse.Namespace, dataset):
                 max_failovers=args.max_failovers,
             ),
             metrics=registry,
+            backend_address=backend_address,
         )
         return service, None, defaults
     store = None
@@ -725,8 +770,13 @@ def _build_service(args: argparse.Namespace, dataset):
             store_config,
             metrics=registry,
         )
+    source = matcher
+    if backend_address is not None:
+        from repro.backends import RemoteBackend
+
+        source = RemoteBackend(backend_address, metrics=registry)
     service = ExplanationService(
-        matcher,
+        source,
         store=store,
         config=service_config,
         engine_config=engine_config,
@@ -827,6 +877,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_matcher(args: argparse.Namespace) -> int:
+    """Run the standalone matcher server behind ``--backend``."""
+    from repro.backends import DEFAULT_MAX_BATCH_SIZE, MatcherServer
+
+    if args.model_dir is not None:
+        # Strict on serving paths: a bad or stale artifact is a startup
+        # failure (ArtifactError / ArtifactMismatchError), never a
+        # silent retrain — shards already minted keys for a fingerprint.
+        from repro.core.serialize import load_matcher
+
+        path = _artifact_path(args.model_dir, args)
+        matcher = load_matcher(path)
+        print(f"loaded matcher artifact {path}", file=sys.stderr)
+    else:
+        dataset = load_dataset(
+            args.dataset, seed=args.seed, size_cap=args.size_cap
+        )
+        matcher = _MATCHERS[args.matcher]().fit(dataset)
+    server = MatcherServer(
+        matcher,
+        host=args.host,
+        port=args.port,
+        max_batch_size=(
+            DEFAULT_MAX_BATCH_SIZE if args.max_batch_size is None
+            else args.max_batch_size
+        ),
+        workers=args.server_workers,
+    )
+    host, port = server.start()
+    capabilities = server.capabilities
+    print(
+        f"serving matcher on {host}:{port} "
+        f"({capabilities.matcher_class}, fingerprint "
+        f"{capabilities.fingerprint[:12]}, pid {os.getpid()})",
+        file=sys.stderr,
+    )
+    _install_drain_handler()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        print("matcher server stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_precompute(args: argparse.Namespace) -> int:
     from repro.service.server import precompute
 
@@ -914,6 +1011,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "compare": _cmd_compare,
     "serve": _cmd_serve,
+    "serve-matcher": _cmd_serve_matcher,
     "precompute": _cmd_precompute,
     "selftest": _cmd_selftest,
 }

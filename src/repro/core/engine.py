@@ -47,6 +47,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.backends.base import InProcessBackend, as_backend
 from repro.core.batching import CrossRequestBatcher
 from repro.core.columnar import ColumnarPairBatch, landmark_batch
 from repro.core.deadline import checkpoint
@@ -428,7 +429,15 @@ class _EngineMatcher(EntityMatcher):
 
 
 class PredictionEngine:
-    """Deduplicating, caching, batching front-end to one matcher.
+    """Deduplicating, caching, batching front-end to one matcher backend.
+
+    *matcher* may be a live :class:`EntityMatcher` (wrapped in an
+    :class:`~repro.backends.base.InProcessBackend`, preserving the
+    historical behaviour bit for bit) or any
+    :class:`~repro.backends.base.MatcherBackend` — the engine itself
+    only ever talks to the backend surface, so a remote matcher slots in
+    without the dedup/cache/batching layers noticing.  The effective
+    chunk width is ``min(config.batch_size, backend max batch)``.
 
     The engine is **thread-safe**: the serving layer's worker pool shares
     one engine so matcher-call dedup spans concurrent requests.  A single
@@ -442,7 +451,7 @@ class PredictionEngine:
 
     def __init__(
         self,
-        matcher: EntityMatcher,
+        matcher,
         config: EngineConfig | None = None,
         tokenizer: Tokenizer | None = None,
         metrics: MetricsRegistry | None = None,
@@ -451,7 +460,11 @@ class PredictionEngine:
         # module-level import would be circular.
         from repro.core.reconstruction import PairReconstructor
 
-        self.matcher = matcher
+        backend = as_backend(matcher)
+        self.backend = backend
+        # Matcher-typed view: the real matcher in-process (identical to
+        # the pre-backend engine), a non-trainable proxy for remote.
+        self.matcher = backend.as_matcher()
         self.config = config or EngineConfig()
         self.reconstructor = PairReconstructor(tokenizer=tokenizer)
         # *metrics* is the registry this engine's instruments live in —
@@ -463,7 +476,7 @@ class PredictionEngine:
         # instrument bundle, so they land in the same registry (and the
         # same run JSON) as the dedup/cache accounting.
         self.guard = MatcherGuard(
-            matcher.predict_proba,
+            backend.predict_proba,
             config=self.config.guard_config(),
             stats=self._instruments,
         )
@@ -471,9 +484,19 @@ class PredictionEngine:
         # Protects the LRU cache; counters live in the metrics registry
         # and are synchronized by its own lock.
         self._lock = threading.Lock()
-        self._supports_columnar = bool(
-            getattr(matcher, "supports_columnar", False)
-        )
+        if isinstance(backend, InProcessBackend):
+            # No capabilities() call here: it would fingerprint the
+            # matcher, which may not be trained yet (the _EngineMatcher
+            # adapter fits through the engine in eval flows).
+            self._supports_columnar = bool(
+                getattr(backend.matcher, "supports_columnar", False)
+            )
+            backend_max = backend.max_batch_size
+        else:
+            capabilities = backend.capabilities()
+            self._supports_columnar = capabilities.supports_columnar
+            backend_max = capabilities.max_batch_size
+        self._chunk_size = min(self.config.batch_size, backend_max)
         # Optional cross-request batch scheduler (serving layer attaches
         # one when ServiceConfig.batch_window_ms is set).
         self._batcher: CrossRequestBatcher | None = None
@@ -764,11 +787,12 @@ class PredictionEngine:
         a serving scope and never changes results.
         """
         config = self.config
+        chunk_size = self._chunk_size
         started = time.perf_counter()
         checkpoint("prediction")
         chunks = [
-            pairs[offset : offset + config.batch_size]
-            for offset in range(0, len(pairs), config.batch_size)
+            pairs[offset : offset + chunk_size]
+            for offset in range(0, len(pairs), chunk_size)
         ]
         instruments = self._instruments
         instruments.batches.inc(len(chunks))
@@ -823,17 +847,18 @@ class PredictionEngine:
         if batch.n_rows == 0:
             return np.empty(0, dtype=np.float64)
         config = self.config
+        chunk_size = self._chunk_size
         started = time.perf_counter()
         checkpoint("prediction")
         chunks = [
-            batch.slice_rows(offset, offset + config.batch_size)
-            for offset in range(0, batch.n_rows, config.batch_size)
+            batch.slice_rows(offset, offset + chunk_size)
+            for offset in range(0, batch.n_rows, chunk_size)
         ]
         instruments = self._instruments
         instruments.batches.inc(len(chunks))
         for chunk in chunks:
             instruments.batch_width.observe(chunk.n_rows)
-        predict_fn = self.matcher.predict_proba_columnar
+        predict_fn = self.backend.predict_proba_columnar
 
         def call(chunk: ColumnarPairBatch) -> np.ndarray:
             return self.guard.call_with(predict_fn, chunk, chunk.n_rows)

@@ -32,7 +32,7 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.core.deadline import checkpoint
+from repro.core.deadline import active_scope, checkpoint
 from repro.exceptions import (
     ConfigurationError,
     MatcherTimeoutError,
@@ -101,6 +101,12 @@ class GuardConfig:
     backoff_max: float = 2.0
     #: Seed of the jitter stream (independent of every science RNG).
     seed: int = 0
+    #: Engage the breaker/accounting even with no retries and no timeout.
+    #: The remote backend client sets this: a transport can fail on its
+    #: own (connection refused, peer gone), so the breaker must observe
+    #: failures even when the caller asked for zero retries — unlike the
+    #: in-process case, where an inactive guard is a pure pass-through.
+    always_active: bool = False
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -123,7 +129,11 @@ class GuardConfig:
     @property
     def active(self) -> bool:
         """Whether any guarding (vs plain pass-through) is requested."""
-        return self.max_retries > 0 or self.call_timeout is not None
+        return (
+            self.always_active
+            or self.max_retries > 0
+            or self.call_timeout is not None
+        )
 
 
 class MatcherGuard:
@@ -216,7 +226,8 @@ class MatcherGuard:
                         f"{config.trip_after} consecutive failures "
                         f"(last: {type(error).__name__}: {error})"
                     ) from error
-                if attempt + 1 < attempts:
+                no_retry = getattr(error, "guard_no_retry", False)
+                if attempt + 1 < attempts and not no_retry:
                     with self._lock:
                         self._bump("guard_retries")
                     self._sleep(attempt)
@@ -303,11 +314,36 @@ class MatcherGuard:
             self._state = _CLOSED
             self._consecutive = 0
 
+    #: Upper bound on one slice of a backoff sleep: the longest an
+    #: expired deadline or a cancellation can go unnoticed mid-backoff.
+    _SLEEP_SLICE = 0.05
+
     def _sleep(self, attempt: int) -> None:
         config = self.config
         delay = min(config.backoff_max, config.backoff * (2.0 ** attempt))
         # Deterministic jitter from the guard's own stream: never touches
         # numpy state, so retrying cannot perturb explanation draws.
         delay *= 0.5 + 0.5 * self._random.random()
-        if delay > 0:
-            time.sleep(delay)
+        if delay <= 0:
+            return
+        # Backoff must not outlive the request: sleeping the full interval
+        # when the ambient deadline expires sooner wastes the waiter's
+        # tail latency, and the retry would be rejected anyway.  Cap the
+        # sleep at the deadline's remaining budget and poll the scope in
+        # slices so cancellation aborts the backoff within _SLEEP_SLICE.
+        deadline, cancel = active_scope()
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining is not None:
+                delay = min(delay, max(0.0, remaining))
+        if deadline is None and cancel is None:
+            if delay > 0:
+                time.sleep(delay)
+            return
+        wake_at = time.monotonic() + delay
+        while True:
+            checkpoint("matcher retry backoff")
+            left = wake_at - time.monotonic()
+            if left <= 0:
+                return
+            time.sleep(min(self._SLEEP_SLICE, left))

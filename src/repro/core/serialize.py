@@ -31,7 +31,11 @@ from repro.core.explanation import DualExplanation, LandmarkExplanation
 from repro.core.generation import GeneratedInstance
 from repro.data.records import RecordPair
 from repro.data.schema import PairSchema
-from repro.exceptions import ArtifactError, ExplanationError
+from repro.exceptions import (
+    ArtifactError,
+    ArtifactMismatchError,
+    ExplanationError,
+)
 from repro.explainers.base import Explanation
 from repro.matchers.base import EntityMatcher
 from repro.text.tokenize import PrefixedToken
@@ -286,12 +290,21 @@ def save_matcher(matcher: EntityMatcher, path: str | Path) -> str:
     return fingerprint
 
 
-def load_matcher(path: str | Path) -> EntityMatcher:
+def load_matcher(
+    path: str | Path,
+    expected_fingerprint: str | None = None,
+) -> EntityMatcher:
     """Load a matcher artifact written by :func:`save_matcher`.
 
     Raises :class:`~repro.exceptions.ArtifactError` when the file is
-    missing, unreadable, from an unsupported format version, or when the
-    recomputed fingerprint disagrees with the one stored at save time.
+    missing, unreadable, or from an unsupported format version, and the
+    sharper :class:`~repro.exceptions.ArtifactMismatchError` when the
+    recomputed fingerprint disagrees with the one stored at save time —
+    the stale/foreign-weights case serving paths must abort on rather
+    than retrain over.  *expected_fingerprint*, when given, additionally
+    pins the artifact to a specific model version (what a shard or
+    backend server was told to serve) and mismatches raise the same
+    :class:`ArtifactMismatchError`.
     """
     path = Path(path)
     if not path.exists():
@@ -311,9 +324,15 @@ def load_matcher(path: str | Path) -> EntityMatcher:
     matcher = envelope["matcher"]
     recomputed = matcher_fingerprint(matcher)
     if recomputed != envelope.get("fingerprint"):
-        raise ArtifactError(
+        raise ArtifactMismatchError(
             f"matcher artifact {path} fails its fingerprint check "
             f"(stored {envelope.get('fingerprint')!r}, recomputed "
             f"{recomputed!r}); refusing to serve from a corrupt model"
+        )
+    if expected_fingerprint is not None and recomputed != expected_fingerprint:
+        raise ArtifactMismatchError(
+            f"matcher artifact {path} holds a different model than "
+            f"requested (artifact {recomputed!r}, expected "
+            f"{expected_fingerprint!r}); refusing to serve stale weights"
         )
     return matcher

@@ -16,9 +16,12 @@ clause while still being able to discriminate finer-grained failures::
     ├── MatcherUnavailableError    # guard: circuit breaker is open
     ├── CheckpointError            # checkpoint journal missing/corrupt/
     │                              #   config mismatch on resume
-    ├── ArtifactError              # saved model artifact missing/corrupt/
-    │                              #   fingerprint mismatch
+    ├── ArtifactError              # saved model artifact missing/corrupt
+    │   └── ArtifactMismatchError  #   fingerprint does not match weights
     ├── DeadlineExceededError      # request deadline passed mid-compute
+    ├── BackendError               # matcher backend (remote or adapted)
+    │   ├── BackendUnavailableError  # connection refused/lost, breaker open
+    │   └── BackendProtocolError   # garbage frame / incompatible peer
     └── ServiceError               # explanation service: bad request,
         │                          #   queue full, or service closed
         ├── ServiceOverloadedError # admission control shed the request
@@ -32,6 +35,11 @@ Every class carries a stable, machine-readable ``code`` (a class
 attribute, also available via :func:`error_code`).  The serving layer
 stamps that code on JSONL / HTTP error responses, so clients dispatch on
 ``code`` — never on the human-readable message, which may change.
+
+Every class also carries ``retryable``: whether an identical retry has a
+reasonable chance of succeeding without operator intervention (the
+failure was load- or liveness-shaped, not a caller bug).  Clients and
+drills use it to decide between retrying and surfacing the error.
 """
 
 from __future__ import annotations
@@ -48,12 +56,17 @@ __all__ = [
     "MatcherUnavailableError",
     "CheckpointError",
     "ArtifactError",
+    "ArtifactMismatchError",
     "DeadlineExceededError",
+    "BackendError",
+    "BackendUnavailableError",
+    "BackendProtocolError",
     "ServiceError",
     "ServiceOverloadedError",
     "RequestCancelledError",
     "ShardFailedError",
     "error_code",
+    "is_retryable",
 ]
 
 
@@ -63,9 +76,14 @@ class ReproError(Exception):
     ``code`` is the stable machine-readable identity of the failure mode;
     subclasses override it.  Wire protocols (JSONL / HTTP) carry it
     verbatim so clients can dispatch without parsing messages.
+
+    ``retryable`` marks failure modes where an identical retry can
+    succeed on its own (a process restarted, load drained, a breaker
+    closed).  Caller bugs and determinism violations are never retryable.
     """
 
     code = "internal"
+    retryable = False
 
 
 class SchemaError(ReproError):
@@ -108,6 +126,7 @@ class MatcherTimeoutError(ReproError):
     """A guarded matcher call did not return within the call timeout."""
 
     code = "matcher_timeout"
+    retryable = True
 
 
 class MatcherUnavailableError(ReproError):
@@ -115,6 +134,7 @@ class MatcherUnavailableError(ReproError):
     instead of hammering a matcher that keeps failing."""
 
     code = "matcher_unavailable"
+    retryable = True
 
 
 class CheckpointError(ReproError):
@@ -129,6 +149,58 @@ class ArtifactError(ReproError):
     fingerprint check."""
 
     code = "artifact_error"
+
+
+class ArtifactMismatchError(ArtifactError):
+    """A persisted model artifact loaded cleanly but its stored
+    ``matcher_fingerprint`` does not match the loaded weights.
+
+    This is the stale/foreign-weights failure mode: the pickle on disk
+    was tampered with, truncated-and-rewritten, or produced by a
+    different code version.  Serving paths (shard startup, the backend
+    server's ``--model-dir`` load) must *abort* on this instead of
+    silently retraining or serving the mismatched weights — request
+    keys, the explanation store and cross-shard routing are all keyed by
+    the fingerprint, so serving under a wrong one corrupts caches.
+    """
+
+    code = "artifact_mismatch"
+
+
+class BackendError(ReproError):
+    """A matcher backend (remote or in-process adapter) failed."""
+
+    code = "backend_error"
+
+
+class BackendUnavailableError(BackendError):
+    """The remote matcher backend cannot be reached: connection refused,
+    the connection died mid-call (and retries with reconnect were
+    exhausted), or the backend's circuit breaker is open.
+
+    Retryable: the reference server is supervised externally and the
+    client reconnects automatically, so by the time a client retries the
+    backend is typically back.
+    """
+
+    code = "backend_unavailable"
+    retryable = True
+
+
+class BackendProtocolError(BackendError):
+    """The remote peer spoke garbage: bad magic, an oversized or
+    truncated frame that decoded to nonsense, or an incompatible
+    protocol version in the handshake.
+
+    *Not* retryable — a peer that violates the framing once is either
+    not a matcher server at all or from an incompatible build; retrying
+    cannot fix a version skew.  The guard still counts the failure
+    against the breaker, but does not burn retry attempts on it.
+    """
+
+    code = "backend_protocol"
+    #: MatcherGuard honours this: fail fast, do not waste retries.
+    guard_no_retry = True
 
 
 class DeadlineExceededError(ReproError):
@@ -160,6 +232,7 @@ class ServiceOverloadedError(ServiceError):
     """
 
     code = "overloaded"
+    retryable = True
 
     def __init__(self, message: str, retry_after: float = 1.0) -> None:
         super().__init__(message)
@@ -171,6 +244,7 @@ class RequestCancelledError(ServiceError):
     the service dropped it without computing."""
 
     code = "cancelled"
+    retryable = True
 
 
 class ShardFailedError(ServiceError):
@@ -185,6 +259,7 @@ class ShardFailedError(ServiceError):
     """
 
     code = "shard_failed"
+    retryable = True
 
 
 def error_code(error: BaseException) -> str:
@@ -193,3 +268,8 @@ def error_code(error: BaseException) -> str:
     if isinstance(code, str) and code:
         return code
     return ReproError.code
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether an identical retry of the failed request can succeed."""
+    return bool(getattr(error, "retryable", False))

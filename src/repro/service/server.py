@@ -82,8 +82,10 @@ ERROR_STATUS = {
     "configuration_error": 400,
     "tokenization_error": 400,
     "overloaded": 429,
+    "backend_protocol": 502,
     "cancelled": 503,
     "matcher_unavailable": 503,
+    "backend_unavailable": 503,
     "shard_failed": 503,
     "matcher_timeout": 504,
     "deadline_exceeded": 504,

@@ -55,6 +55,7 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field, fields
 
+from repro.backends.base import InProcessBackend, MatcherBackend, as_backend
 from repro.config import ServiceConfig
 from repro.core.deadline import CancelToken, Deadline, request_scope
 from repro.core.engine import EngineConfig, PredictionEngine
@@ -312,17 +313,25 @@ class ExplanationService:
     shares the prediction engine, it just cannot answer across restarts.
     *engine_config* configures the shared engine (including the
     :class:`~repro.core.guard.MatcherGuard` retry/timeout knobs).
+
+    *matcher* may be a live :class:`EntityMatcher` **or** any
+    :class:`~repro.backends.base.MatcherBackend` (e.g. a
+    :class:`~repro.backends.client.RemoteBackend` pointing at a
+    ``serve-matcher`` process).  With a remote backend the request-key
+    fingerprint comes from the handshake, so cache keys and store
+    entries stay identical to a local deployment of the same weights.
     """
 
     def __init__(
         self,
-        matcher: EntityMatcher,
+        matcher: EntityMatcher | MatcherBackend,
         store: ExplanationStore | None = None,
         config: ServiceConfig | None = None,
         engine_config: EngineConfig | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
-        self.matcher = matcher
+        self.backend = as_backend(matcher)
+        self.matcher = self.backend.as_matcher()
         self.store = store
         self.config = config or ServiceConfig()
         # One registry for the whole serving stack: default to the
@@ -335,7 +344,7 @@ class ExplanationService:
         else:
             self.metrics = MetricsRegistry()
         self.engine = PredictionEngine(
-            matcher, engine_config, metrics=self.metrics
+            self.backend, engine_config, metrics=self.metrics
         )
         if self.config.batch_window_ms > 0:
             # Cross-request batching: concurrent workers' miss sets merge
@@ -345,7 +354,13 @@ class ExplanationService:
                 self.config.batch_window_ms / 1000.0,
                 self.config.batch_max_size,
             )
-        self.fingerprint = matcher_fingerprint(matcher)
+        # In-process the fingerprint is computed from the live object
+        # (exactly as before backends existed); remote backends pin the
+        # fingerprint their server advertised at handshake.
+        if isinstance(self.backend, InProcessBackend):
+            self.fingerprint = matcher_fingerprint(self.matcher)
+        else:
+            self.fingerprint = self.backend.capabilities().fingerprint
         self._instruments = _ServiceInstruments(self.metrics)
         self._queue: queue.PriorityQueue = queue.PriorityQueue(
             maxsize=self.config.queue_size
@@ -580,7 +595,8 @@ class ExplanationService:
         (``"breaker"``) and live-worker count, not just a boolean —
         aggregators (the shard supervisor, load balancers) distinguish
         "degraded" from "down".  Status is 503 while the service drains,
-        the breaker is open, or admission control would shed.
+        the breaker is open, the matcher backend is unreachable, or
+        admission control would shed.
         """
         depth, estimated_wait = self.queue_estimate()
         payload: dict = {
@@ -590,10 +606,15 @@ class ExplanationService:
             "breaker": self.engine.guard.state,
             "workers": self.live_workers(),
         }
+        backend_health = self.backend.health()
+        if not isinstance(self.backend, InProcessBackend):
+            payload["backend"] = backend_health
         if self.closed:
             degraded = "draining"
         elif payload["breaker"] == "open":
             degraded = "breaker_open"
+        elif not backend_health.get("available", True):
+            degraded = "backend_unavailable"
         elif self.overloaded:
             degraded = "overloaded"
         else:
@@ -671,6 +692,7 @@ class ExplanationService:
                     worker.join()
         if self.store is not None:
             self.store.flush()
+        self.backend.close()
         summary = {
             "pending_at_close": len(pending),
             "cancelled": cancelled if drain else len(pending),

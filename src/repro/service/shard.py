@@ -50,9 +50,16 @@ import threading
 import time
 from dataclasses import dataclass, field, replace
 
+from repro.backends.client import RemoteBackend, RemoteBackendConfig
 from repro.config import ServiceConfig, StoreConfig
 from repro.core.engine import EngineConfig
-from repro.exceptions import ServiceOverloadedError, error_code
+from repro.core.serialize import matcher_fingerprint
+from repro.exceptions import (
+    ArtifactMismatchError,
+    ConfigurationError,
+    ServiceOverloadedError,
+    error_code,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.service.service import ExplanationService, retry_after_hint
 from repro.service.store import ExplanationStore, shard_store_dir
@@ -71,18 +78,32 @@ class ShardSpec:
     The matcher travels as pickle bytes (``matcher_blob``) so spawn-mode
     children — which share no memory with the parent — rebuild the exact
     serving matcher without retraining; the fingerprint, and therefore
-    every request key, is identical on both sides.  ``store_dir`` is the
-    *shared* root; the shard derives its own partition from its id.
+    every request key, is identical on both sides.  Alternatively
+    ``backend_address`` points the shard at a shared ``serve-matcher``
+    process and no blob travels at all — N shards, one model.  Either
+    way, when ``fingerprint`` is set the shard refuses to serve weights
+    whose identity differs from what the parent admitted
+    (:class:`~repro.exceptions.ArtifactMismatchError`): request keys,
+    caches and the store partition are all minted under that
+    fingerprint.  ``store_dir`` is the *shared* root; the shard derives
+    its own partition from its id.
     """
 
     shard_id: int
-    matcher_blob: bytes
+    matcher_blob: bytes | None = None
     service_config: ServiceConfig = field(default_factory=ServiceConfig)
     engine_config: EngineConfig | None = None
     store_dir: str | None = None
     store_config: StoreConfig | None = None
     heartbeat_interval: float = 0.5
     metrics_enabled: bool = True
+    #: ``host:port`` of a shared matcher server; exclusive with
+    #: ``matcher_blob``.
+    backend_address: str | None = None
+    backend_config: RemoteBackendConfig | None = None
+    #: Expected model fingerprint; serving anything else is a startup
+    #: failure, never a silent identity change.
+    fingerprint: str | None = None
     #: Armed in-process fault for supervisor drills (``None`` = healthy).
     chaos: ShardChaos | None = None
 
@@ -114,8 +135,8 @@ def shard_main(spec: ShardSpec, conn) -> None:
         signal.signal(signal.SIGTERM, _on_sigterm)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
-    matcher = pickle.loads(spec.matcher_blob)
     registry = MetricsRegistry(enabled=spec.metrics_enabled)
+    matcher = _build_matcher_source(spec, registry)
     store = None
     if spec.store_dir is not None:
         store = ExplanationStore(
@@ -140,6 +161,50 @@ def shard_main(spec: ShardSpec, conn) -> None:
             conn.close()
         except OSError:
             pass
+
+
+def _build_matcher_source(spec: ShardSpec, registry: MetricsRegistry):
+    """The matcher (or remote backend) this shard serves from.
+
+    Blob mode unpickles the parent's matcher and — when the spec pins a
+    fingerprint — verifies the rebuilt object still *is* that model.
+    Backend mode builds a :class:`RemoteBackend`; the admitted
+    fingerprint is checked against the server's handshake, so a shard
+    can never silently serve a model other than the one the parent
+    routed keys for.
+    """
+    if spec.backend_address is not None:
+        backend = RemoteBackend(
+            spec.backend_address,
+            config=spec.backend_config,
+            metrics=registry,
+        )
+        if spec.fingerprint is not None:
+            served = backend.capabilities().fingerprint
+            if served != spec.fingerprint:
+                backend.close()
+                raise ArtifactMismatchError(
+                    f"backend at {spec.backend_address} serves fingerprint "
+                    f"{served[:12]}…, shard {spec.shard_id} was admitted "
+                    f"for {spec.fingerprint[:12]}…; refusing to serve "
+                    f"stale weights"
+                )
+        return backend
+    if spec.matcher_blob is None:
+        raise ConfigurationError(
+            f"shard {spec.shard_id} has neither a matcher blob nor a "
+            f"backend address"
+        )
+    matcher = pickle.loads(spec.matcher_blob)
+    if spec.fingerprint is not None:
+        rebuilt = matcher_fingerprint(matcher)
+        if rebuilt != spec.fingerprint:
+            raise ArtifactMismatchError(
+                f"shard {spec.shard_id} rebuilt a matcher with fingerprint "
+                f"{rebuilt[:12]}…, expected {spec.fingerprint[:12]}…; "
+                f"refusing to serve stale weights"
+            )
+    return matcher
 
 
 class _ShardWorker:

@@ -46,10 +46,11 @@ import threading
 import time
 from concurrent.futures import Future
 
+from repro.backends.client import RemoteBackend, RemoteBackendConfig
 from repro.config import ServiceConfig, ShardConfig, StoreConfig
 from repro.core.engine import EngineConfig
 from repro.core.serialize import matcher_fingerprint
-from repro.exceptions import ServiceError, ShardFailedError
+from repro.exceptions import ConfigurationError, ServiceError, ShardFailedError
 from repro.obs.export import (
     families_to_json,
     families_to_prometheus,
@@ -127,14 +128,19 @@ class ShardedService:
 
     Construction pickles the matcher once, spawns ``n_shards`` children
     and blocks until every one reports ready (``ready_timeout`` bounds
-    model load time).  ``chaos`` maps shard ids to
+    model load time).  With ``backend_address`` set instead of a
+    matcher, no model travels at all: every shard dials the shared
+    ``serve-matcher`` process, and the routing fingerprint is probed
+    from its handshake up front — each shard re-verifies it at startup
+    (:class:`~repro.exceptions.ArtifactMismatchError` on drift).
+    ``chaos`` maps shard ids to
     :class:`~repro.testing.chaos.ShardChaos` specs — the fault-injection
     hook the supervisor tests and ``scripts/shard_drill.py`` use.
     """
 
     def __init__(
         self,
-        matcher,
+        matcher=None,
         store_dir=None,
         config: ServiceConfig | None = None,
         engine_config: EngineConfig | None = None,
@@ -142,10 +148,28 @@ class ShardedService:
         shard_config: ShardConfig | None = None,
         metrics: MetricsRegistry | None = None,
         chaos: dict[int, ShardChaos] | None = None,
+        backend_address: str | None = None,
+        backend_config: RemoteBackendConfig | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.shard_config = shard_config or ShardConfig()
-        self.fingerprint = matcher_fingerprint(matcher)
+        if (matcher is None) == (backend_address is None):
+            raise ConfigurationError(
+                "ShardedService needs exactly one of a matcher or a "
+                "backend_address"
+            )
+        self.backend_address = backend_address
+        if backend_address is not None:
+            # One throwaway handshake: the router mints every request
+            # key under this fingerprint, and each shard independently
+            # verifies its own connection serves the same model.
+            probe = RemoteBackend(backend_address, config=backend_config)
+            try:
+                self.fingerprint = probe.capabilities().fingerprint
+            finally:
+                probe.close()
+        else:
+            self.fingerprint = matcher_fingerprint(matcher)
         self.metrics = metrics or MetricsRegistry()
         # Shard stores live in the children; the router holds none.  The
         # attribute keeps the front-end surface (precompute's store
@@ -189,7 +213,7 @@ class ShardedService:
             "repro_shards_live", "Shards currently serving", **labels,
         )
 
-        blob = pickle.dumps(matcher)
+        blob = None if matcher is None else pickle.dumps(matcher)
         chaos = chaos or {}
         self._handles: dict[int, _ShardHandle] = {}
         for shard_id in range(self.shard_config.n_shards):
@@ -202,6 +226,9 @@ class ShardedService:
                 store_config=store_config,
                 heartbeat_interval=self.shard_config.heartbeat_interval,
                 metrics_enabled=self.metrics.enabled,
+                backend_address=backend_address,
+                backend_config=backend_config,
+                fingerprint=self.fingerprint,
                 chaos=chaos.get(shard_id),
             )
             self._handles[shard_id] = _ShardHandle(spec)

@@ -33,9 +33,23 @@ travels inside a shard's spawn arguments and arms one in-process fault:
   after a delay while the request loop keeps serving, the "wedged but
   not dead" failure the supervisor must detect by missed heartbeats.
 
+Backend chaos (the remote-matcher failure model): a
+:class:`BackendChaos` spec arms the reference matcher server
+(:class:`repro.backends.server.MatcherServer`) with one network fault:
+
+* :func:`backend_latency` — every response is delayed, to exercise call
+  timeouts and the pipelining window under a slow server;
+* :func:`backend_disconnect` — after serving N requests the server cuts
+  the connection **mid-frame** (a partial header is on the wire), the
+  exact failure a crashed or OOM-killed matcher process produces;
+* :func:`backend_garbage` — after N requests the server answers with
+  bytes that are not a frame at all (bad magic), modelling a proxy
+  mix-up or a corrupted stream the client must fail fast on.
+
 Used by ``tests/service/test_lifecycle.py``, the store-recovery and
-sharded-service tests, ``scripts/chaos_drill.py`` and
-``scripts/shard_drill.py`` (the CI chaos jobs).
+sharded-service tests, the backend failure-taxonomy tests,
+``scripts/chaos_drill.py``, ``scripts/shard_drill.py`` and
+``scripts/backend_drill.py`` (the CI chaos jobs).
 """
 
 from __future__ import annotations
@@ -50,8 +64,12 @@ from dataclasses import dataclass
 from pathlib import Path
 
 __all__ = [
+    "BackendChaos",
     "ShardChaos",
     "SlowClient",
+    "backend_disconnect",
+    "backend_garbage",
+    "backend_latency",
     "chaos_rng",
     "crash_self",
     "flip_bytes",
@@ -192,6 +210,80 @@ def crash_self() -> None:
     same semantics elsewhere.
     """
     os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ---------------------------------------------------------------------------
+# Backend chaos
+# ---------------------------------------------------------------------------
+
+#: Fault modes a :class:`BackendChaos` spec can arm in the matcher server.
+BACKEND_CHAOS_MODES = ("latency", "disconnect", "garbage")
+
+
+@dataclass(frozen=True)
+class BackendChaos:
+    """A picklable network fault armed inside the reference matcher server.
+
+    The spec is handed to :class:`repro.backends.server.MatcherServer`
+    (or the ``serve-matcher`` CLI), so the fault fires in the real server
+    against the real client — reconnect, breaker and protocol-error
+    handling are exercised end to end, not mocked.
+
+    ``latency`` repeats on every request; ``disconnect`` and ``garbage``
+    fire once after ``after_requests`` *served* predict requests unless
+    ``repeat=True`` re-arms the counter, so a drill observes one fault
+    and one recovery instead of a fault loop.
+    """
+
+    mode: str
+    #: ``latency``: seconds each response is delayed.
+    delay_seconds: float = 0.0
+    #: ``disconnect``/``garbage``: predict requests served before firing.
+    after_requests: int = 1
+    #: Re-arm after firing (fault-loop drills).
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in BACKEND_CHAOS_MODES:
+            raise ValueError(
+                f"mode must be one of {BACKEND_CHAOS_MODES}, got {self.mode!r}"
+            )
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+        if self.after_requests < 1:
+            raise ValueError(
+                f"after_requests must be >= 1, got {self.after_requests}"
+            )
+
+
+def backend_latency(delay_seconds: float) -> BackendChaos:
+    """Delay every matcher-server response by *delay_seconds*."""
+    return BackendChaos(mode="latency", delay_seconds=delay_seconds)
+
+
+def backend_disconnect(after_requests: int = 1, repeat: bool = False) -> BackendChaos:
+    """Cut the connection mid-frame after serving *after_requests* calls.
+
+    The server writes a *partial* frame header and hard-closes the
+    socket, stranding the client reader exactly as a crashed matcher
+    process would; the client must reconnect and retry.
+    """
+    return BackendChaos(
+        mode="disconnect", after_requests=after_requests, repeat=repeat
+    )
+
+
+def backend_garbage(after_requests: int = 1, repeat: bool = False) -> BackendChaos:
+    """Answer with non-protocol bytes after *after_requests* calls.
+
+    The client must classify this as a protocol violation (fail fast,
+    no retry burn) rather than a connection loss.
+    """
+    return BackendChaos(
+        mode="garbage", after_requests=after_requests, repeat=repeat
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,169 @@
+"""The backend failure taxonomy, end to end.
+
+Each transport failure mode must map to one exception class, the right
+``retryable`` flag and the right HTTP status — timeouts are not
+connection losses are not protocol violations, because clients retry
+them differently.  The chaos modes drive the *real* client against a
+*really* misbehaving server.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.backends.client import RemoteBackend, RemoteBackendConfig
+from repro.backends.server import MatcherServer
+from repro.exceptions import (
+    BackendProtocolError,
+    BackendUnavailableError,
+    MatcherTimeoutError,
+    is_retryable,
+)
+from repro.service.server import http_status_for
+from repro.testing.chaos import (
+    backend_disconnect,
+    backend_garbage,
+    backend_latency,
+)
+
+from tests.backends.test_remote import RecordingMatcher
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _config(**overrides) -> RemoteBackendConfig:
+    base = dict(
+        connect_timeout=1.0, call_timeout=5.0, max_retries=0,
+        backoff=0.01, backoff_max=0.02, trip_after=100,
+    )
+    base.update(overrides)
+    return RemoteBackendConfig(**base)
+
+
+class TestTaxonomy:
+    def test_connection_refused_is_unavailable(self):
+        backend = RemoteBackend(("127.0.0.1", _free_port()), config=_config())
+        try:
+            with pytest.raises(BackendUnavailableError) as info:
+                backend.predict_proba(["p"])
+        finally:
+            backend.close()
+        assert is_retryable(info.value)
+        assert http_status_for(info.value.code) == 503
+
+    def test_response_timeout_is_matcher_timeout(self):
+        chaos = backend_latency(delay_seconds=5.0)
+        with MatcherServer(RecordingMatcher(), chaos=chaos) as server:
+            backend = RemoteBackend(
+                server.address, config=_config(call_timeout=0.2),
+            )
+            try:
+                with pytest.raises(MatcherTimeoutError) as info:
+                    backend.predict_proba(["p"])
+            finally:
+                backend.close()
+        assert is_retryable(info.value)
+        assert http_status_for(info.value.code) == 504
+
+    def test_mid_frame_disconnect_is_unavailable(self):
+        with MatcherServer(
+            RecordingMatcher(), chaos=backend_disconnect(after_requests=1),
+        ) as server:
+            backend = RemoteBackend(server.address, config=_config())
+            try:
+                with pytest.raises(BackendUnavailableError) as info:
+                    backend.predict_proba(["p"])
+            finally:
+                backend.close()
+        assert is_retryable(info.value)
+        assert http_status_for(info.value.code) == 503
+
+    def test_garbage_frame_is_protocol_error(self):
+        with MatcherServer(
+            RecordingMatcher(), chaos=backend_garbage(after_requests=1),
+        ) as server:
+            backend = RemoteBackend(
+                server.address, config=_config(max_retries=3),
+            )
+            try:
+                with pytest.raises(BackendProtocolError) as info:
+                    backend.predict_proba(["p"])
+                # Fail-fast: a garbage-speaking peer burns no retries.
+                assert backend.guard_stats.guard_retries == 0
+            finally:
+                backend.close()
+        assert not is_retryable(info.value)
+        assert http_status_for(info.value.code) == 502
+
+    def test_retryable_flags_name_the_transient_layer(self):
+        assert BackendUnavailableError.retryable is True
+        assert MatcherTimeoutError.retryable is True
+        assert BackendProtocolError.retryable is False
+
+
+class TestRecovery:
+    def test_disconnect_heals_via_retry_and_reconnect(self):
+        matcher = RecordingMatcher()
+        with MatcherServer(
+            matcher, chaos=backend_disconnect(after_requests=1),
+        ) as server:
+            backend = RemoteBackend(
+                server.address, config=_config(max_retries=2),
+            )
+            try:
+                scores = backend.predict_proba(["p", "q"])
+                np.testing.assert_array_equal(
+                    scores, np.linspace(0.0, 1.0, 2)
+                )
+                assert backend.health()["reconnects"] == 1
+                assert backend.guard_stats.guard_retries == 1
+            finally:
+                backend.close()
+
+    def test_breaker_opens_then_recovers_on_restart(self):
+        port = _free_port()
+        config = _config(max_retries=0, trip_after=2, cooldown=1)
+        backend = RemoteBackend(("127.0.0.1", port), config=config)
+        try:
+            for _ in range(2):
+                with pytest.raises(BackendUnavailableError):
+                    backend.predict_proba(["p"])
+            health = backend.health()
+            assert health["breaker"] == "open"
+            assert health["available"] is False
+            # Fast-fail while open (no dial attempt burns the cooldown).
+            with pytest.raises(BackendUnavailableError):
+                backend.predict_proba(["p"])
+            # The server comes back on the same address: the half-open
+            # probe passes and the breaker closes — automatic recovery.
+            with MatcherServer(RecordingMatcher(), port=port) as _server:
+                scores = backend.predict_proba(["p", "q", "r"])
+                assert scores.shape == (3,)
+                assert backend.health()["available"] is True
+                assert backend.health()["breaker"] == "closed"
+        finally:
+            backend.close()
+
+    def test_restart_with_different_model_is_refused(self, beer_matcher):
+        port = _free_port()
+        config = _config(max_retries=0)
+        backend = RemoteBackend(("127.0.0.1", port), config=config)
+        try:
+            with MatcherServer(RecordingMatcher(), port=port) as _first:
+                backend.predict_proba(["p"])
+            with pytest.raises(BackendUnavailableError):
+                backend.predict_proba(["p"])  # server gone
+            # Same address, different weights: every cache downstream is
+            # keyed by the old fingerprint, so the reconnect must refuse.
+            with MatcherServer(beer_matcher, port=port) as _second:
+                with pytest.raises(BackendProtocolError, match="changed"):
+                    backend.predict_proba(["p"])
+        finally:
+            backend.close()

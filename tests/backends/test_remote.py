@@ -1,0 +1,300 @@
+"""RemoteBackend against a live MatcherServer: parity, pipelining, reuse."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends.base import DEFAULT_MAX_BATCH_SIZE
+from repro.backends.client import (
+    RemoteBackend,
+    RemoteBackendConfig,
+    parse_address,
+)
+from repro.backends.server import MatcherServer
+from repro.core.columnar import ColumnarPairBatch, ValueColumn
+from repro.core.serialize import matcher_fingerprint
+from repro.exceptions import BackendProtocolError, ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+
+#: Client config tuned for tests: fast failure, no long waits.
+FAST_CONFIG = RemoteBackendConfig(
+    connect_timeout=2.0, call_timeout=10.0, max_retries=1,
+    backoff=0.01, backoff_max=0.05,
+)
+
+
+class RecordingMatcher:
+    """A picklable double that records batch sizes and completion order.
+
+    Batches whose first element is the string ``"slow"`` sleep before
+    returning, so concurrent server workers finish out of submission
+    order — the property the pipelined client must tolerate.
+    """
+
+    def __init__(self, delay: float = 0.0) -> None:
+        self.delay = delay
+        self.batches: list[int] = []
+        self.completed: list[str] = []
+        self._lock = threading.Lock()
+
+    def predict_proba(self, pairs):
+        pairs = list(pairs)
+        if pairs and pairs[0] == "slow":
+            time.sleep(self.delay)
+        with self._lock:
+            self.batches.append(len(pairs))
+            self.completed.append(str(pairs[0]) if pairs else "")
+        return np.linspace(0.0, 1.0, len(pairs))
+
+
+def _constant_batch(pair, n_rows: int) -> ColumnarPairBatch:
+    """A columnar batch whose every row is *pair* itself."""
+    columns = {
+        (side, attribute): ValueColumn.constant(
+            getattr(pair, side)[attribute], n_rows
+        )
+        for side in ("left", "right")
+        for attribute in pair.schema.attributes
+    }
+    return ColumnarPairBatch(pair, columns, n_rows)
+
+
+@pytest.fixture(scope="module")
+def served(beer_matcher):
+    with MatcherServer(beer_matcher, workers=2) as server:
+        backend = RemoteBackend(server.address, config=FAST_CONFIG)
+        yield server, backend
+        backend.close()
+
+
+class TestParseAddress:
+    def test_host_port_string(self):
+        assert parse_address("127.0.0.1:7654") == ("127.0.0.1", 7654)
+
+    def test_tuple(self):
+        assert parse_address(("localhost", 99)) == ("localhost", 99)
+
+    def test_rejects_garbage(self):
+        for bad in ("no-port", "host:", ":1234", 17, "host:port"):
+            with pytest.raises(ConfigurationError):
+                parse_address(bad)
+
+
+class TestHandshake:
+    def test_capabilities_come_from_the_server(self, served, beer_matcher):
+        server, backend = served
+        caps = backend.capabilities()
+        assert caps.fingerprint == matcher_fingerprint(beer_matcher)
+        assert caps.supports_columnar is True
+        assert caps.max_batch_size == DEFAULT_MAX_BATCH_SIZE
+        assert caps.matcher_class == type(beer_matcher).__name__
+
+    def test_wrong_protocol_version_is_rejected(self, served, monkeypatch):
+        server, _ = served
+        import repro.backends.client as client_module
+
+        monkeypatch.setattr(client_module, "PROTOCOL_VERSION", 99)
+        probe = RemoteBackend(server.address, config=FAST_CONFIG)
+        try:
+            with pytest.raises(BackendProtocolError):
+                probe.capabilities()
+        finally:
+            probe.close()
+
+
+class TestPredictParity:
+    def test_scores_are_bit_identical(self, served, beer_matcher,
+                                      beer_dataset):
+        _, backend = served
+        pairs = list(beer_dataset)[:40]
+        np.testing.assert_array_equal(
+            backend.predict_proba(pairs),
+            beer_matcher.predict_proba(pairs),
+        )
+
+    def test_empty_batch_short_circuits(self, served):
+        _, backend = served
+        assert backend.predict_proba([]).shape == (0,)
+
+    def test_columnar_is_bit_identical(self, served, beer_matcher,
+                                       match_pair):
+        _, backend = served
+        batch = _constant_batch(match_pair, 13)
+        np.testing.assert_array_equal(
+            backend.predict_proba_columnar(batch),
+            beer_matcher.predict_proba_columnar(batch),
+        )
+
+    def test_health_reports_connected(self, served):
+        _, backend = served
+        backend.capabilities()
+        health = backend.health()
+        assert health["available"] is True
+        assert health["breaker"] == "closed"
+        assert health["connected"] is True
+
+
+class TestPipelining:
+    def test_large_calls_split_into_inflight_chunks(self):
+        matcher = RecordingMatcher()
+        registry = MetricsRegistry()
+        with MatcherServer(matcher, max_batch_size=8, workers=2) as server:
+            backend = RemoteBackend(
+                server.address, config=FAST_CONFIG, metrics=registry,
+            )
+            try:
+                scores = backend.predict_proba([f"p{i}" for i in range(30)])
+            finally:
+                backend.close()
+        # 30 rows over an 8-row server max = 4 wire requests (their
+        # completion order is the server pool's business)...
+        assert sorted(matcher.batches) == [6, 8, 8, 8]
+        # ...reassembled in order on the client.
+        expected = np.concatenate(
+            [np.linspace(0.0, 1.0, n) for n in (8, 8, 8, 6)]
+        )
+        np.testing.assert_array_equal(scores, expected)
+
+    def test_out_of_order_responses_reassemble_in_order(self):
+        matcher = RecordingMatcher(delay=0.3)
+        with MatcherServer(matcher, max_batch_size=4, workers=2) as server:
+            backend = RemoteBackend(server.address, config=FAST_CONFIG)
+            try:
+                # First chunk is slow; the second completes first on the
+                # server (two workers), so its response frame arrives
+                # out of order.
+                pairs = ["slow", "a", "b", "c", "fast", "d", "e", "f"]
+                scores = backend.predict_proba(pairs)
+            finally:
+                backend.close()
+        assert matcher.completed[0] == "fast"  # out-of-order on the wire
+        expected = np.concatenate(
+            [np.linspace(0.0, 1.0, 4), np.linspace(0.0, 1.0, 4)]
+        )
+        np.testing.assert_array_equal(scores, expected)
+
+    def test_pipeline_chunk_size_caps_below_server_max(self):
+        matcher = RecordingMatcher()
+        config = RemoteBackendConfig(
+            connect_timeout=2.0, call_timeout=10.0, pipeline_chunk_size=5,
+        )
+        with MatcherServer(matcher, max_batch_size=64) as server:
+            backend = RemoteBackend(server.address, config=config)
+            try:
+                backend.predict_proba([f"p{i}" for i in range(12)])
+            finally:
+                backend.close()
+        assert sorted(matcher.batches) == [2, 5, 5]
+
+    def test_concurrent_callers_share_one_connection(self, served,
+                                                     beer_matcher,
+                                                     beer_dataset):
+        _, backend = served
+        pairs = list(beer_dataset)[:16]
+        expected = beer_matcher.predict_proba(pairs)
+        results: dict[int, np.ndarray] = {}
+        errors: list[BaseException] = []
+
+        def call(slot: int) -> None:
+            try:
+                results[slot] = backend.predict_proba(pairs)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for got in results.values():
+            np.testing.assert_array_equal(got, expected)
+
+
+class TestServerSurface:
+    """Raw-socket conversations: the wire contract beyond the client."""
+
+    @staticmethod
+    def _dial(server):
+        import socket as socket_module
+
+        from repro.backends.base import PROTOCOL_VERSION
+        from repro.backends.protocol import read_frame, send_frame
+
+        sock = socket_module.create_connection(server.address, timeout=5.0)
+        send_frame(sock, {"op": "hello", "id": 0,
+                          "protocol": PROTOCOL_VERSION})
+        hello = read_frame(sock)
+        assert hello["ok"] is True
+        return sock, send_frame, read_frame
+
+    def test_oversized_batch_is_refused(self):
+        matcher = RecordingMatcher()
+        with MatcherServer(matcher, max_batch_size=4) as server:
+            sock, send_frame, read_frame = self._dial(server)
+            try:
+                # Bypass the client's splitting to hit the server check.
+                send_frame(sock, {"op": "predict", "id": 1,
+                                  "pairs": list(range(9))})
+                reply = read_frame(sock)
+            finally:
+                sock.close()
+        assert reply["ok"] is False
+        assert "exceeds the advertised max" in reply["error"]
+        assert matcher.batches == []  # never reached the model
+
+    def test_ping_pongs(self, served):
+        server, _ = served
+        sock, send_frame, read_frame = self._dial(server)
+        try:
+            send_frame(sock, {"op": "ping", "id": 5})
+            reply = read_frame(sock)
+        finally:
+            sock.close()
+        assert reply == {"id": 5, "ok": True, "result": "pong"}
+
+    def test_unknown_op_is_bad_request(self, served):
+        server, _ = served
+        sock, send_frame, read_frame = self._dial(server)
+        try:
+            send_frame(sock, {"op": "train", "id": 6})
+            reply = read_frame(sock)
+        finally:
+            sock.close()
+        assert reply["ok"] is False
+        assert reply["code"] == "bad_request"
+
+    def test_stale_protocol_hello_is_refused(self, served):
+        import socket as socket_module
+
+        from repro.backends.protocol import read_frame, send_frame
+
+        server, _ = served
+        sock = socket_module.create_connection(server.address, timeout=5.0)
+        try:
+            send_frame(sock, {"op": "hello", "id": 0, "protocol": 0})
+            reply = read_frame(sock)
+        finally:
+            sock.close()
+        assert reply["ok"] is False
+        assert reply["code"] == "backend_protocol"
+
+    def test_columnar_refused_without_support(self, match_pair):
+        matcher = RecordingMatcher()  # no predict_proba_columnar
+        with MatcherServer(matcher) as server:
+            backend = RemoteBackend(server.address, config=FAST_CONFIG)
+            try:
+                from repro.exceptions import ServiceError
+
+                with pytest.raises(ServiceError, match="columnar"):
+                    backend.predict_proba_columnar(
+                        _constant_batch(match_pair, 3)
+                    )
+            finally:
+                backend.close()

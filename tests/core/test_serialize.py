@@ -170,3 +170,42 @@ class TestMatcherArtifacts:
         path.write_bytes(pickle.dumps(envelope, protocol=4))
         with pytest.raises(ArtifactError, match="version"):
             load_matcher(path)
+
+    def test_tampered_state_raises_the_mismatch_subclass(
+        self, beer_matcher, tmp_path
+    ):
+        import pickle
+
+        from repro.core.serialize import load_matcher, save_matcher
+        from repro.exceptions import ArtifactMismatchError
+
+        path = tmp_path / "matcher.pkl"
+        save_matcher(beer_matcher, path)
+        envelope = pickle.loads(path.read_bytes())
+        envelope["matcher"].coef_ = envelope["matcher"].coef_ + 1.0
+        path.write_bytes(pickle.dumps(envelope, protocol=4))
+        # The sharper subclass, so serving paths can abort on exactly the
+        # stale/foreign-weights case without catching broad ArtifactError.
+        with pytest.raises(ArtifactMismatchError):
+            load_matcher(path)
+
+    def test_expected_fingerprint_pins_the_model(
+        self, beer_matcher, beer_dataset, tmp_path
+    ):
+        from repro.core.serialize import (
+            load_matcher,
+            matcher_fingerprint,
+            save_matcher,
+        )
+        from repro.exceptions import ArtifactMismatchError
+        from repro.matchers.neural import MLPMatcher
+
+        path = tmp_path / "matcher.pkl"
+        fingerprint = save_matcher(beer_matcher, path)
+        loaded = load_matcher(path, expected_fingerprint=fingerprint)
+        assert matcher_fingerprint(loaded) == fingerprint
+        # A healthy artifact of the *wrong* model must be refused too:
+        # it is exactly the stale-weights deployment mistake.
+        other = matcher_fingerprint(MLPMatcher().fit(beer_dataset))
+        with pytest.raises(ArtifactMismatchError, match="stale weights"):
+            load_matcher(path, expected_fingerprint=other)

@@ -479,3 +479,73 @@ class TestCheckpointResume:
     def test_missing_journal_raises(self, tmp_path):
         with pytest.raises(CheckpointError, match="no checkpoint"):
             load_checkpoint(tmp_path)
+
+
+class TestGuardBackoffScope:
+    """The backoff sleep must respect the ambient request scope.
+
+    A retry delay is time *charged to the waiting request*: sleeping the
+    full backoff after the deadline already expired (or after every
+    waiter left) burns tail latency on work nobody can use.
+    """
+
+    @staticmethod
+    def _always_failing_guard(backoff: float) -> MatcherGuard:
+        def fn(pairs):
+            raise RuntimeError("transient")
+
+        return MatcherGuard(
+            fn,
+            GuardConfig(
+                max_retries=3, trip_after=100,
+                backoff=backoff, backoff_max=backoff,
+            ),
+        )
+
+    def test_expired_deadline_aborts_backoff_immediately(self):
+        from repro.core.deadline import Deadline, request_scope
+        from repro.exceptions import DeadlineExceededError
+
+        guard = self._always_failing_guard(backoff=30.0)
+        started = time.monotonic()
+        with request_scope(Deadline.after(0.05)):
+            with pytest.raises(DeadlineExceededError):
+                guard.call([0])
+        elapsed = time.monotonic() - started
+        # The naive behaviour sleeps the full 30s backoff before the
+        # post-sleep checkpoint notices.  The capped sleep returns within
+        # the deadline budget (plus one poll slice of slack).
+        assert elapsed < 2.0
+        assert guard.stats.guard_retries >= 1
+
+    def test_cancellation_interrupts_backoff_mid_sleep(self):
+        import threading
+
+        from repro.core.deadline import CancelToken, request_scope
+        from repro.exceptions import RequestCancelledError
+
+        guard = self._always_failing_guard(backoff=30.0)
+        token = CancelToken()
+        timer = threading.Timer(0.15, token.cancel)
+        timer.start()
+        started = time.monotonic()
+        try:
+            with request_scope(cancel=token):
+                with pytest.raises(RequestCancelledError):
+                    guard.call([0])
+        finally:
+            timer.cancel()
+        elapsed = time.monotonic() - started
+        # Cancellation lands mid-sleep; the sliced backoff notices within
+        # _SLEEP_SLICE instead of finishing the 30s interval.
+        assert elapsed < 2.0
+
+    def test_unscoped_backoff_still_sleeps(self):
+        guard = self._always_failing_guard(backoff=0.05)
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="transient"):
+            guard.call([0])
+        elapsed = time.monotonic() - started
+        # Three retries, each backing off ~0.05s (jitter halves at most).
+        assert elapsed >= 0.05
+        assert guard.stats.guard_retries == 3
