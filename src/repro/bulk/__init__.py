@@ -1,0 +1,48 @@
+"""``repro.bulk`` — dataset-scale bulk explanation jobs.
+
+The serving stack (:mod:`repro.service`) answers one explanation at a
+time; this package answers *"explain the whole dataset"*:
+
+* :mod:`repro.bulk.source` — deterministic pair streams: dataset rows
+  (:class:`DatasetSource`), blocker candidates (:class:`BlockedSource`),
+  or an explicit pair-list file (:class:`PairListSource`), all sharing
+  :func:`select_pairs` with the ``precompute`` warmer;
+* :mod:`repro.bulk.job` — the chunked :class:`BulkJob` runner: store
+  dedup per chunk, streaming :class:`~repro.core.summarize.GlobalSummary`
+  aggregation, journaled resume that reproduces an uninterrupted run
+  byte-for-byte, and ``repro_bulk_*`` progress metrics;
+* :mod:`repro.bulk.warm` — the store-only warming job behind the
+  ``precompute`` CLI command.
+"""
+
+from repro.bulk.job import (
+    BULK_FORMAT_VERSION,
+    BULK_JOURNAL,
+    BULK_PRIORITY,
+    BulkJob,
+    BulkJobSpec,
+    BulkReport,
+)
+from repro.bulk.source import (
+    BlockedSource,
+    DatasetSource,
+    PairListSource,
+    select_pairs,
+)
+from repro.bulk.warm import PRECOMPUTE_JOURNAL, PrecomputeReport, precompute
+
+__all__ = [
+    "BULK_FORMAT_VERSION",
+    "BULK_JOURNAL",
+    "BULK_PRIORITY",
+    "BlockedSource",
+    "BulkJob",
+    "BulkJobSpec",
+    "BulkReport",
+    "DatasetSource",
+    "PRECOMPUTE_JOURNAL",
+    "PairListSource",
+    "PrecomputeReport",
+    "precompute",
+    "select_pairs",
+]

@@ -20,7 +20,14 @@ Sub-commands:
 * ``serve-matcher`` — run the standalone matcher server one or many
   service shards dial with ``--backend``.
 * ``precompute`` — warm the explanation store for a dataset split,
-  resumable with ``--resume``.
+  resumable with ``--resume`` (the store-only bulk job in
+  :mod:`repro.bulk.warm`).
+* ``bulk`` — dataset-scale bulk explanation job: stream a pair source
+  (dataset rows, blocker candidates, an explicit pair list, or an
+  external CSV via ``--input``) through the prediction engine in chunks,
+  deduplicate against the explanation store, fold every explanation into
+  a streaming global aggregation report, and journal completed chunks so
+  ``--resume`` reproduces an uninterrupted run byte-for-byte.
 
 ``train``, ``explain``, ``serve`` and ``precompute`` accept
 ``--model-dir``: trained matchers are persisted there as fingerprinted
@@ -383,6 +390,89 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip keys journaled by a previous precompute that are still "
              "servable from the store",
     )
+
+    bulk = subparsers.add_parser(
+        "bulk",
+        help="dataset-scale bulk explanation job with streaming "
+             "aggregation and resumable chunk journaling",
+    )
+    _add_common_dataset_arguments(bulk)
+    bulk.add_argument(
+        "--input", type=Path, default=None, metavar="CSV",
+        help="explain pairs from this CSV instead of a synthetic "
+             "benchmark; ill-formed rows are ledgered per record and "
+             "skipped, never fatal",
+    )
+    bulk.add_argument(
+        "--matcher", default="logistic", choices=sorted(_MATCHERS)
+    )
+    _add_model_dir_argument(bulk)
+    bulk.add_argument(
+        "--source", default="rows", choices=("rows", "block"),
+        help="'rows' explains the dataset's own pairs; 'block' re-blocks "
+             "the two entity tables with the inverted-index blocker and "
+             "explains every candidate",
+    )
+    bulk.add_argument(
+        "--pairs-file", type=Path, default=None,
+        help="explicit pair list (one row index or 'left,right' per "
+             "line); overrides --source",
+    )
+    bulk.add_argument(
+        "--per-label", type=int, default=None,
+        help="with --source rows: records per label (default: all rows)",
+    )
+    bulk.add_argument(
+        "--min-shared-tokens", type=int, default=1,
+        help="blocker threshold for --source block",
+    )
+    bulk.add_argument(
+        "--max-token-frequency", type=float, default=0.25,
+        help="blocker stop-token cutoff for --source block",
+    )
+    bulk.add_argument(
+        "--method", default="both",
+        choices=("single", "double", "auto", "both"),
+    )
+    bulk.add_argument("--samples", type=int, default=128)
+    bulk.add_argument(
+        "--explainer", default="lime", choices=("lime", "shap")
+    )
+    bulk.add_argument(
+        "--chunk-size", type=int, default=64,
+        help="pairs per chunk (one store transaction and one journal "
+             "event per chunk; results are identical for any size)",
+    )
+    bulk.add_argument(
+        "--run-dir", type=Path, default=None,
+        help="journal completed chunks here so --resume can continue",
+    )
+    bulk.add_argument(
+        "--resume", action="store_true",
+        help="resume the job journaled in --run-dir; the finished report "
+             "is byte-identical to an uninterrupted run's",
+    )
+    bulk.add_argument(
+        "--report", type=Path, default=None,
+        help="write the JSON aggregation report here",
+    )
+    bulk.add_argument(
+        "--store-dir", type=Path, default=None,
+        help="deduplicate against (and warm) this explanation store",
+    )
+    bulk.add_argument("--store-max-entries", type=int, default=10_000)
+    bulk.add_argument("--store-ttl", type=float, default=None)
+    bulk.add_argument(
+        "--max-retries", type=int, default=0,
+        help="retry failing matcher calls up to N times (guard)",
+    )
+    bulk.add_argument(
+        "--call-timeout", type=float, default=None,
+        help="abandon a matcher call after this many seconds (guard)",
+    )
+    bulk.add_argument("--top", type=int, default=15)
+    _add_engine_arguments(bulk)
+    _add_obs_arguments(bulk)
 
     selftest = subparsers.add_parser(
         "selftest", help="end-to-end installation check (~10 s)"
@@ -956,6 +1046,136 @@ def _cmd_precompute(args: argparse.Namespace) -> int:
     return 0 if report.n_failed == 0 else 1
 
 
+def _cmd_bulk(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bulk import (
+        BlockedSource,
+        BulkJob,
+        BulkJobSpec,
+        DatasetSource,
+        PairListSource,
+    )
+    from repro.config import StoreConfig
+    from repro.data.io import read_csv
+    from repro.evaluation.ledger import (
+        KIND_SKIPPED,
+        FailureEntry,
+        FailureLedger,
+    )
+    from repro.service import ExplanationStore
+
+    if args.resume and args.run_dir is None:
+        print("error: --resume requires --run-dir", file=sys.stderr)
+        return 2
+
+    input_ledger = FailureLedger()
+    if args.input is not None:
+        dataset = read_csv(
+            args.input,
+            name=args.input.stem,
+            on_row_error=lambda row, error: input_ledger.add(
+                FailureEntry.from_exception(
+                    dataset=args.input.stem,
+                    label=-1,
+                    method="read_csv",
+                    record_id=row,
+                    error=error,
+                    kind=KIND_SKIPPED,
+                )
+            ),
+        )
+        if len(input_ledger):
+            print(
+                f"input: skipped {len(input_ledger)} ill-formed row(s) of "
+                f"{args.input}",
+                file=sys.stderr,
+            )
+    else:
+        dataset = load_dataset(
+            args.dataset, seed=args.seed, size_cap=args.size_cap
+        )
+    matcher = _resolve_matcher(args, dataset)
+    registry = _obs_registry(args)
+
+    if args.pairs_file is not None:
+        source = PairListSource(dataset, args.pairs_file)
+    elif args.source == "block":
+        source = BlockedSource(
+            dataset,
+            min_shared_tokens=args.min_shared_tokens,
+            max_token_frequency=args.max_token_frequency,
+        )
+    else:
+        source = DatasetSource(dataset, per_label=args.per_label,
+                               seed=args.seed)
+
+    store = None
+    if args.store_dir is not None:
+        store = ExplanationStore(
+            args.store_dir,
+            StoreConfig(
+                max_entries=args.store_max_entries,
+                ttl_seconds=args.store_ttl,
+            ),
+            metrics=registry,
+        )
+    job = BulkJob(
+        matcher,
+        source,
+        spec=BulkJobSpec(
+            method=args.method,
+            samples=args.samples,
+            explainer=args.explainer,
+            seed=args.seed,
+            chunk_size=args.chunk_size,
+        ),
+        store=store,
+        run_dir=args.run_dir,
+        engine_config=EngineConfig(
+            cache=not args.no_cache,
+            n_jobs=args.n_jobs,
+            vectorize=not args.no_vectorize,
+            max_retries=args.max_retries,
+            call_timeout=args.call_timeout,
+        ),
+        metrics=registry,
+    )
+    try:
+        report = job.run(resume=args.resume)
+    finally:
+        if store is not None:
+            store.close()
+    report.ledger.extend(input_ledger)
+    print(report.render(args.top))
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(
+            json.dumps(
+                report.report_payload(
+                    job.spec, source.describe(), job.fingerprint
+                ),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.report}", file=sys.stderr)
+    metrics_path = None
+    if args.run_dir is not None:
+        stats_path = Path(args.run_dir) / "stats.json"
+        stats_path.write_text(
+            json.dumps(report.stats_payload(), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {stats_path}", file=sys.stderr)
+        metrics_path = Path(args.run_dir) / "metrics.json"
+    _obs_finish(args, registry, metrics_path)
+    return 0 if report.n_failed == 0 else 1
+
+
 def _cmd_selftest(args: argparse.Namespace) -> int:
     """A fast end-to-end exercise of every major subsystem."""
     from repro.core.counterfactual import greedy_counterfactual
@@ -1013,6 +1233,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "serve-matcher": _cmd_serve_matcher,
     "precompute": _cmd_precompute,
+    "bulk": _cmd_bulk,
     "selftest": _cmd_selftest,
 }
 

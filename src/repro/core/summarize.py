@@ -10,6 +10,16 @@ For every word we track how often it appeared, its mean signed weight and
 its mean absolute weight; attributes aggregate the same over their tokens.
 The result answers questions like "which words does the model treat as
 match evidence across the whole dataset?".
+
+The summary is a *streaming* accumulator: it holds per-token aggregates,
+never the explanations themselves, so memory is bounded by the vocabulary
+regardless of how many explanations flow through.  Partial summaries are
+**mergeable** (:meth:`GlobalSummary.merge` is associative) and round-trip
+through JSON (:meth:`~GlobalSummary.to_payload` /
+:meth:`~GlobalSummary.from_payload`) without losing a bit — floats
+survive the trip exactly — which is what lets the bulk runner
+(:mod:`repro.bulk`) journal one partial per completed chunk and rebuild
+the dataset-wide report bit-identically on ``--resume``.
 """
 
 from __future__ import annotations
@@ -18,6 +28,23 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.explanation import DualExplanation
+from repro.exceptions import ExplanationError
+
+#: Canonical fold order of a result payload's generations.
+_CANONICAL_GENERATIONS = ("single", "double")
+
+
+def _generation_order(duals: dict) -> list[str]:
+    """Keys of *duals* in canonical fold order.
+
+    JSON round trips (``sort_keys=True`` in the store) reorder dict
+    keys; folding in a fixed order instead keeps the arithmetic — and
+    therefore the summary bits — independent of where a payload has
+    been.
+    """
+    known = [g for g in _CANONICAL_GENERATIONS if g in duals]
+    extra = sorted(set(duals) - set(_CANONICAL_GENERATIONS))
+    return known + extra
 
 
 @dataclass
@@ -30,6 +57,11 @@ class _Accumulator:
         self.count += 1
         self.total_weight += weight
         self.total_abs_weight += abs(weight)
+
+    def merge(self, other: "_Accumulator") -> None:
+        self.count += other.count
+        self.total_weight += other.total_weight
+        self.total_abs_weight += other.total_abs_weight
 
     @property
     def mean_weight(self) -> float:
@@ -56,6 +88,82 @@ class GlobalSummary:
             self.attributes.setdefault(entry.attribute, _Accumulator()).add(
                 entry.weight
             )
+
+    def add_result_payload(self, payload: dict) -> None:
+        """Fold a service/bulk result payload (its ``duals`` section).
+
+        The payload shape is what :class:`~repro.service.service.
+        ExplanationService` stores and returns.  Generations fold in the
+        *canonical* order (single, then double, then anything unknown
+        alphabetically) — never the dict's own order, because a
+        ``sort_keys`` JSON round trip through the store reorders keys
+        and float addition is order-sensitive.  Canonical order is what
+        makes a store-served payload fold bit-identically to the freshly
+        computed one.
+        """
+        from repro.core.serialize import dual_from_dict
+
+        duals = payload.get("duals")
+        if not isinstance(duals, dict):
+            raise ExplanationError(
+                "result payload has no 'duals' section to summarize"
+            )
+        for generation in _generation_order(duals):
+            self.add(dual_from_dict(duals[generation]))
+
+    def merge(self, other: "GlobalSummary") -> "GlobalSummary":
+        """Fold *other* into this summary in place (and return ``self``).
+
+        Counts merge exactly; weight totals are float sums, so a merge
+        of chunk partials agrees with a one-pass fold only up to float
+        regrouping noise (identical rendered reports, ~1e-16 totals).
+        Merging the *same* partials in the *same* order is always
+        bit-reproducible.  For bit-identical ``--resume`` the bulk
+        runner therefore journals the cumulative summary after each
+        chunk — restoring it via :meth:`from_payload` and continuing
+        the fold replays the uninterrupted arithmetic exactly.
+        """
+        self.n_explanations += other.n_explanations
+        for word, acc in other.words.items():
+            self.words.setdefault(word, _Accumulator()).merge(acc)
+        for attribute, acc in other.attributes.items():
+            self.attributes.setdefault(attribute, _Accumulator()).merge(acc)
+        return self
+
+    def to_payload(self) -> dict:
+        """A JSON-serializable snapshot (exact float round-trip)."""
+        return {
+            "n_explanations": self.n_explanations,
+            "words": {
+                word: [acc.count, acc.total_weight, acc.total_abs_weight]
+                for word, acc in sorted(self.words.items())
+            },
+            "attributes": {
+                attribute: [acc.count, acc.total_weight, acc.total_abs_weight]
+                for attribute, acc in sorted(self.attributes.items())
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "GlobalSummary":
+        """Rebuild a summary written by :meth:`to_payload`."""
+        try:
+            summary = cls(n_explanations=int(payload["n_explanations"]))
+            for section, target in (
+                ("words", summary.words),
+                ("attributes", summary.attributes),
+            ):
+                for name, (count, total, total_abs) in payload[section].items():
+                    target[name] = _Accumulator(
+                        count=int(count),
+                        total_weight=float(total),
+                        total_abs_weight=float(total_abs),
+                    )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ExplanationError(
+                f"malformed summary payload: {error}"
+            ) from error
+        return summary
 
     def top_words(
         self, k: int = 20, min_count: int = 2, sign: str | None = None
@@ -108,3 +216,11 @@ def summarize_explanations(
     for dual in explanations:
         summary.add(dual)
     return summary
+
+
+def merge_summaries(partials: Iterable[GlobalSummary]) -> GlobalSummary:
+    """Merge shard/chunk partials, in iteration order, into one summary."""
+    merged = GlobalSummary()
+    for partial in partials:
+        merged.merge(partial)
+    return merged

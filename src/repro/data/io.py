@@ -12,6 +12,7 @@ which is what the DeepMatcher / Magellan dataset releases use (modulo the
 from __future__ import annotations
 
 import csv
+from collections.abc import Callable
 from pathlib import Path
 
 from repro.data.records import EMDataset, RecordPair
@@ -32,14 +33,61 @@ def write_csv(dataset: EMDataset, path: str | Path) -> None:
             writer.writerow(row)
 
 
-def read_csv(path: str | Path, name: str | None = None) -> EMDataset:
+def _parse_row(
+    path: Path, schema: PairSchema, row_index: int, row: dict
+) -> RecordPair:
+    """Parse one CSV row into a :class:`RecordPair` (raises DatasetError)."""
+    try:
+        label = int(str(row["label"]).strip())
+    except (TypeError, ValueError, KeyError) as exc:
+        raise DatasetError(
+            f"{path}: row {row_index}: bad label {row.get('label')!r}"
+        ) from exc
+    pair_id = row_index
+    if "pair_id" in row and row["pair_id"] not in (None, ""):
+        try:
+            pair_id = int(str(row["pair_id"]).strip())
+        except ValueError as exc:
+            raise DatasetError(
+                f"{path}: row {row_index}: bad pair_id {row['pair_id']!r}"
+            ) from exc
+    left = {
+        attribute: row.get(schema.left_column(attribute)) or ""
+        for attribute in schema.attributes
+    }
+    right = {
+        attribute: row.get(schema.right_column(attribute)) or ""
+        for attribute in schema.attributes
+    }
+    return RecordPair(
+        schema=schema, left=left, right=right, label=label, pair_id=pair_id
+    )
+
+
+def read_csv(
+    path: str | Path,
+    name: str | None = None,
+    on_row_error: Callable[[int, DatasetError], None] | None = None,
+) -> EMDataset:
     """Read an EM dataset from a flat-layout CSV file.
 
     The schema is inferred from the header; ``label`` is required,
-    ``pair_id`` is optional (row order is used when absent).
+    ``pair_id`` is optional (row order is used when absent).  A UTF-8
+    BOM is tolerated, and rows whose every cell is blank (trailing
+    newlines, spreadsheet export padding) are skipped silently.
+
+    By default any malformed row aborts the read with
+    :class:`~repro.exceptions.DatasetError`.  Bulk jobs instead pass
+    ``on_row_error``: each bad row is reported as
+    ``on_row_error(row_index, error)`` and skipped, so one corrupt
+    record becomes a ledgered per-record failure rather than a job
+    abort.  Header-level problems (empty file, missing ``label``
+    column) always raise — without a schema there is nothing to read.
     """
     path = Path(path)
-    with path.open("r", newline="", encoding="utf-8") as handle:
+    # utf-8-sig strips a leading BOM when present and reads plain
+    # UTF-8 unchanged otherwise.
+    with path.open("r", newline="", encoding="utf-8-sig") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None:
             raise DatasetError(f"{path}: empty CSV file")
@@ -48,36 +96,16 @@ def read_csv(path: str | Path, name: str | None = None) -> EMDataset:
         schema = PairSchema.from_flat_columns(reader.fieldnames)
         pairs: list[RecordPair] = []
         for row_index, row in enumerate(reader):
+            if all(
+                value is None or str(value).strip() == ""
+                for key, value in row.items()
+                if key is not None
+            ):
+                continue
             try:
-                label = int(row["label"])
-            except (TypeError, ValueError) as exc:
-                raise DatasetError(
-                    f"{path}: row {row_index}: bad label {row.get('label')!r}"
-                ) from exc
-            pair_id = row_index
-            if "pair_id" in row and row["pair_id"] not in (None, ""):
-                try:
-                    pair_id = int(row["pair_id"])
-                except ValueError as exc:
-                    raise DatasetError(
-                        f"{path}: row {row_index}: bad pair_id "
-                        f"{row['pair_id']!r}"
-                    ) from exc
-            left = {
-                attribute: row.get(schema.left_column(attribute)) or ""
-                for attribute in schema.attributes
-            }
-            right = {
-                attribute: row.get(schema.right_column(attribute)) or ""
-                for attribute in schema.attributes
-            }
-            pairs.append(
-                RecordPair(
-                    schema=schema,
-                    left=left,
-                    right=right,
-                    label=label,
-                    pair_id=pair_id,
-                )
-            )
+                pairs.append(_parse_row(path, schema, row_index, row))
+            except DatasetError as error:
+                if on_row_error is None:
+                    raise
+                on_row_error(row_index, error)
     return EMDataset(name=name or path.stem, schema=schema, pairs=pairs)

@@ -27,6 +27,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     global_registry,
 )
+from repro.obs.progress import ProgressTracker
 from repro.obs.tracing import (
     DEFAULT_RING_SIZE,
     TRACE_FORMAT_VERSION,
@@ -44,6 +45,7 @@ __all__ = [
     "Histogram",
     "METRICS_FORMAT_VERSION",
     "MetricsRegistry",
+    "ProgressTracker",
     "Span",
     "TRACE_FORMAT_VERSION",
     "Tracer",

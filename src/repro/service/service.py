@@ -90,6 +90,70 @@ _LATENCY_EMA_ALPHA = 0.2
 MAX_WAIT_ESTIMATE = 60.0
 
 
+def build_landmark_explainer(
+    matcher: EntityMatcher,
+    engine: PredictionEngine,
+    request: ExplainRequest,
+) -> LandmarkExplainer:
+    """A per-request explanation pipeline sharing a long-lived engine.
+
+    One definition serves both workload shapes — the online service's
+    worker threads and the bulk runner's chunk loop — so the two paths
+    cannot drift in explainer construction (and therefore in weights).
+    """
+    if request.explainer == "shap":
+        from repro.explainers.kernel_shap import KernelShapExplainer
+
+        return LandmarkExplainer(
+            matcher,
+            explainer=KernelShapExplainer(
+                n_samples=request.samples, seed=request.seed
+            ),
+            seed=request.seed,
+            engine=engine,
+        )
+    return LandmarkExplainer(
+        matcher,
+        lime_config=LimeConfig(n_samples=request.samples, seed=request.seed),
+        seed=request.seed,
+        engine=engine,
+    )
+
+
+def compute_explanation_payload(
+    matcher: EntityMatcher,
+    engine: PredictionEngine,
+    fingerprint: str,
+    key: str,
+    request: ExplainRequest,
+) -> dict:
+    """Compute one request's result payload (the stored/served shape).
+
+    This is THE explanation computation — the service's workers and the
+    bulk runner both call it, so a bulk-path payload is bit-identical to
+    the service-path payload for the same request and matcher.
+    """
+    explainer = build_landmark_explainer(matcher, engine, request)
+    duals: dict[str, dict] = {}
+    digests: dict[str, str] = {}
+    for generation in request.generations():
+        dual = explainer.explain(request.pair, generation=generation)
+        duals[generation] = dual_to_dict(dual)
+        digests[generation] = dual_digest(dual)
+    return {
+        "format_version": RESULT_FORMAT_VERSION,
+        "key": key,
+        "matcher_fingerprint": fingerprint,
+        "pair_id": request.pair.pair_id,
+        "method": request.method,
+        "samples": request.samples,
+        "explainer": request.explainer,
+        "seed": request.seed,
+        "duals": duals,
+        "digests": digests,
+    }
+
+
 def estimate_queue_wait(pending: int, latency_ema: float, workers: int) -> float:
     """The ``pending × EMA / workers`` wait estimate, made total.
 
@@ -830,45 +894,13 @@ class ExplanationService:
         ticket.future.set_exception(error)
 
     def _compute(self, key: str, request: ExplainRequest) -> dict:
-        explainer = self._landmark_explainer(request)
-        duals: dict[str, dict] = {}
-        digests: dict[str, str] = {}
-        for generation in request.generations():
-            dual = explainer.explain(request.pair, generation=generation)
-            duals[generation] = dual_to_dict(dual)
-            digests[generation] = dual_digest(dual)
-        return {
-            "format_version": RESULT_FORMAT_VERSION,
-            "key": key,
-            "matcher_fingerprint": self.fingerprint,
-            "pair_id": request.pair.pair_id,
-            "method": request.method,
-            "samples": request.samples,
-            "explainer": request.explainer,
-            "seed": request.seed,
-            "duals": duals,
-            "digests": digests,
-        }
+        return compute_explanation_payload(
+            self.matcher, self.engine, self.fingerprint, key, request
+        )
 
     def _landmark_explainer(self, request: ExplainRequest) -> LandmarkExplainer:
         """A per-request pipeline sharing the service-wide engine."""
-        if request.explainer == "shap":
-            from repro.explainers.kernel_shap import KernelShapExplainer
-
-            return LandmarkExplainer(
-                self.matcher,
-                explainer=KernelShapExplainer(
-                    n_samples=request.samples, seed=request.seed
-                ),
-                seed=request.seed,
-                engine=self.engine,
-            )
-        return LandmarkExplainer(
-            self.matcher,
-            lime_config=LimeConfig(n_samples=request.samples, seed=request.seed),
-            seed=request.seed,
-            engine=self.engine,
-        )
+        return build_landmark_explainer(self.matcher, self.engine, request)
 
 
 def duals_from_result(payload: dict):

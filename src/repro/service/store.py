@@ -327,6 +327,74 @@ class ExplanationStore:
                         f"recovery: {error}"
                     ) from error
 
+    def put_many(self, items: list[tuple[str, dict]]) -> int:
+        """Write a batch of ``(key, payload)`` entries in ONE transaction.
+
+        The bulk runner calls this once per completed chunk: all inserts
+        share a single ``executemany`` + one LRU eviction pass + one
+        commit instead of a commit per record.  The final state is the
+        same as sequential :meth:`put` calls under the same clock —
+        eviction orders purely by the final ``(accessed, key)`` set, and
+        the eviction counter advances by the same total excess — it just
+        costs one fsync instead of *n*.  Returns the number written.
+        """
+        now = self._clock()
+        rows = []
+        for key, payload in items:
+            text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            checksum = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            rows.append((key, STORE_FORMAT_VERSION, checksum, now, now, text))
+        if not rows:
+            return 0
+        with self._lock:
+            try:
+                self._put_rows(rows)
+            except _CORRUPTION_ERRORS:
+                self._recover()
+                try:
+                    self._put_rows(rows)
+                except sqlite3.Error as error:
+                    raise ServiceError(
+                        f"explanation store batch write failed even after "
+                        f"recovery: {error}"
+                    ) from error
+        return len(rows)
+
+    def get_many(self, keys: list[str]) -> dict[str, dict]:
+        """Servable payloads for *keys*, under one lock hold + one commit.
+
+        Returns ``{key: payload}`` for every servable entry; absent,
+        expired, stale-format or corrupt keys are simply missing from the
+        result (the caller recomputes them).  Hit/miss counters advance
+        exactly as per-key :meth:`get` calls would — this is the bulk
+        runner's cross-job dedup probe, so its accounting must match the
+        serving path's.
+        """
+        found: dict[str, dict] = {}
+        misses = 0
+        with self._lock:
+            for key in keys:
+                try:
+                    payload = self._validated_payload(
+                        key, touch=True, commit=False
+                    )
+                except _CORRUPTION_ERRORS:
+                    self._record_failure()
+                    payload = None
+                if payload is None:
+                    misses += 1
+                else:
+                    found[key] = payload
+            try:
+                self._conn.commit()
+            except sqlite3.Error:
+                pass  # recency touches are best-effort; payloads are valid
+            if misses:
+                self._instruments.misses.inc(misses)
+            if found:
+                self._instruments.hits.inc(len(found))
+        return found
+
     def _put_row(self, row: tuple) -> None:
         self._conn.execute(
             "INSERT OR REPLACE INTO explanations "
@@ -335,6 +403,18 @@ class ExplanationStore:
             row,
         )
         self._instruments.puts.inc()
+        self._evict_over_capacity()
+        self._conn.commit()
+        self._failure_streak = 0
+
+    def _put_rows(self, rows: list[tuple]) -> None:
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO explanations "
+            "(key, format_version, checksum, created, accessed, payload) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._instruments.puts.inc(len(rows))
         self._evict_over_capacity()
         self._conn.commit()
         self._failure_streak = 0
@@ -399,7 +479,9 @@ class ExplanationStore:
     # Internals (caller holds self._lock)
     # ------------------------------------------------------------------
 
-    def _validated_payload(self, key: str, touch: bool) -> dict | None:
+    def _validated_payload(
+        self, key: str, touch: bool, commit: bool = True
+    ) -> dict | None:
         row = self._conn.execute(
             "SELECT format_version, checksum, created, payload "
             "FROM explanations WHERE key = ?",
@@ -433,7 +515,8 @@ class ExplanationStore:
                 "UPDATE explanations SET accessed = ? WHERE key = ?",
                 (now, key),
             )
-            self._conn.commit()
+            if commit:
+                self._conn.commit()
         self._failure_streak = 0
         return payload
 

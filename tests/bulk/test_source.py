@@ -1,0 +1,122 @@
+"""Tests for :mod:`repro.bulk.source` — deterministic pair streams."""
+
+import pytest
+
+from repro.bulk.source import (
+    BlockedSource,
+    DatasetSource,
+    PairListSource,
+    _cross_pair,
+    select_pairs,
+)
+from repro.data.splits import sample_per_label
+from repro.exceptions import DatasetError
+
+
+class TestSelectPairs:
+    def test_all_rows_in_dataset_order(self, beer_dataset):
+        pairs = select_pairs(beer_dataset)
+        assert pairs == list(beer_dataset.pairs)
+
+    def test_per_label_matches_protocol_sample(self, beer_dataset):
+        pairs = select_pairs(beer_dataset, per_label=5, seed=3)
+        expected = list(sample_per_label(beer_dataset, 5, seed=3).pairs)
+        assert pairs == expected
+
+    def test_deterministic(self, beer_dataset):
+        first = select_pairs(beer_dataset, per_label=4, seed=1)
+        second = select_pairs(beer_dataset, per_label=4, seed=1)
+        assert [p.pair_id for p in first] == [p.pair_id for p in second]
+
+
+class TestCrossPair:
+    def test_combines_sides_and_encodes_pair_id(self, beer_dataset):
+        pair = _cross_pair(beer_dataset, 3, 42)
+        assert pair.left == dict(beer_dataset.pairs[3].left)
+        assert pair.right == dict(beer_dataset.pairs[42].right)
+        assert pair.label == 0
+        assert pair.pair_id == 3 * len(beer_dataset) + 42
+
+    def test_out_of_range_rejected(self, beer_dataset):
+        with pytest.raises(DatasetError):
+            _cross_pair(beer_dataset, len(beer_dataset), 0)
+        with pytest.raises(DatasetError):
+            _cross_pair(beer_dataset, 0, -1)
+
+
+class TestDatasetSource:
+    def test_pairs_and_describe(self, beer_dataset):
+        source = DatasetSource(beer_dataset, per_label=4, seed=2)
+        assert source.pairs() == select_pairs(beer_dataset, 4, seed=2)
+        assert source.describe() == {
+            "kind": "rows",
+            "dataset": beer_dataset.name,
+            "n_rows": len(beer_dataset),
+            "per_label": 4,
+            "seed": 2,
+        }
+
+
+class TestBlockedSource:
+    def test_candidates_are_deterministic_cross_pairs(self, beer_dataset):
+        source = BlockedSource(beer_dataset, min_shared_tokens=2)
+        first = source.pairs()
+        second = source.pairs()
+        assert [p.pair_id for p in first] == [p.pair_id for p in second]
+        assert first, "blocker should surface at least one candidate"
+        n = len(beer_dataset)
+        for pair in first[:10]:
+            left_row, right_row = divmod(pair.pair_id, n)
+            assert pair.left == dict(beer_dataset.pairs[left_row].left)
+            assert pair.right == dict(beer_dataset.pairs[right_row].right)
+
+    def test_describe_names_blocker_parameters(self, beer_dataset):
+        source = BlockedSource(
+            beer_dataset, min_shared_tokens=2, max_token_frequency=0.5
+        )
+        described = source.describe()
+        assert described["kind"] == "block"
+        assert described["min_shared_tokens"] == 2
+        assert described["max_token_frequency"] == 0.5
+
+
+class TestPairListSource:
+    def test_row_and_cross_lines(self, beer_dataset, tmp_path):
+        listing = tmp_path / "pairs.txt"
+        listing.write_text("# comment\n2\n\n0,5\n", encoding="utf-8")
+        source = PairListSource(beer_dataset, listing)
+        pairs = source.pairs()
+        assert len(pairs) == 2
+        assert pairs[0] is beer_dataset.pairs[2]
+        assert pairs[1].pair_id == 0 * len(beer_dataset) + 5
+
+    def test_bom_tolerated(self, beer_dataset, tmp_path):
+        listing = tmp_path / "pairs.txt"
+        listing.write_bytes(b"\xef\xbb\xbf1\n")
+        assert PairListSource(beer_dataset, listing).pairs() == [
+            beer_dataset.pairs[1]
+        ]
+
+    def test_malformed_line_names_line_number(self, beer_dataset, tmp_path):
+        listing = tmp_path / "pairs.txt"
+        listing.write_text("0\nnot-a-number\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="line 1"):
+            PairListSource(beer_dataset, listing).pairs()
+
+    def test_out_of_range_row_rejected(self, beer_dataset, tmp_path):
+        listing = tmp_path / "pairs.txt"
+        listing.write_text(f"{len(beer_dataset)}\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="out of"):
+            PairListSource(beer_dataset, listing).pairs()
+
+    def test_missing_file_rejected(self, beer_dataset, tmp_path):
+        source = PairListSource(beer_dataset, tmp_path / "absent.txt")
+        with pytest.raises(DatasetError, match="does not exist"):
+            source.pairs()
+
+    def test_describe_names_file(self, beer_dataset, tmp_path):
+        listing = tmp_path / "pairs.txt"
+        listing.write_text("0\n", encoding="utf-8")
+        assert PairListSource(beer_dataset, listing).describe()["path"] == (
+            "pairs.txt"
+        )

@@ -98,3 +98,102 @@ class TestReadErrors:
         )
         loaded = read_csv(path)
         assert [p.pair_id for p in loaded] == [0, 1]
+
+
+class TestIllFormedInputs:
+    """Hardening for real-world exports: BOM, blank rows, bad cells."""
+
+    def test_utf8_bom_is_stripped(self, tmp_path):
+        path = tmp_path / "bom.csv"
+        path.write_bytes(
+            b"\xef\xbb\xbfpair_id,label,left_name,right_name\n7,1,a,a\n"
+        )
+        loaded = read_csv(path)
+        assert loaded.schema.attributes == ("name",)
+        assert loaded.pairs[0].pair_id == 7
+
+    def test_blank_rows_skipped_silently(self, tmp_path):
+        path = tmp_path / "blanks.csv"
+        path.write_text(
+            "label,left_name,right_name\n0,a,b\n,,\n\n1,c,c\n   , ,\n",
+            encoding="utf-8",
+        )
+        loaded = read_csv(path)
+        assert [p.label for p in loaded] == [0, 1]
+
+    def test_missing_cells_default_to_empty(self, tmp_path):
+        # Short row: the right_price cell is absent entirely.
+        path = tmp_path / "short.csv"
+        path.write_text(
+            "label,left_name,left_price,right_name,right_price\n1,a,9,b\n",
+            encoding="utf-8",
+        )
+        loaded = read_csv(path)
+        assert loaded.pairs[0].right["price"] == ""
+
+    def test_extra_cells_ignored(self, tmp_path):
+        path = tmp_path / "long.csv"
+        path.write_text(
+            "label,left_name,right_name\n1,a,b,STRAY,STRAY2\n",
+            encoding="utf-8",
+        )
+        loaded = read_csv(path)
+        assert dict(loaded.pairs[0].left) == {"name": "a"}
+
+    def test_mixed_dtype_cells_read_as_text(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text(
+            "label,left_price,right_price\n1,9.99,free\n0,10,10.0\n",
+            encoding="utf-8",
+        )
+        loaded = read_csv(path)
+        assert loaded.pairs[0].left["price"] == "9.99"
+        assert loaded.pairs[0].right["price"] == "free"
+
+    def test_whitespace_label_and_pair_id_parse(self, tmp_path):
+        path = tmp_path / "ws.csv"
+        path.write_text(
+            "pair_id,label,left_name,right_name\n 3 , 1 ,a,a\n",
+            encoding="utf-8",
+        )
+        loaded = read_csv(path)
+        assert loaded.pairs[0].pair_id == 3
+        assert loaded.pairs[0].label == 1
+
+    def test_strict_mode_still_aborts(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "label,left_name,right_name\n1,a,b\nWAT,c,d\n", encoding="utf-8"
+        )
+        with pytest.raises(DatasetError, match="bad label"):
+            read_csv(path)
+
+    def test_on_row_error_skips_and_reports(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "pair_id,label,left_name,right_name\n"
+            "0,1,a,a\n"
+            "1,WAT,b,b\n"
+            "zzz,0,c,d\n"
+            "3,0,e,f\n",
+            encoding="utf-8",
+        )
+        failures = []
+        loaded = read_csv(
+            path, on_row_error=lambda index, error: failures.append((index, error))
+        )
+        assert [p.pair_id for p in loaded] == [0, 3]
+        assert [index for index, _ in failures] == [1, 2]
+        assert all(isinstance(error, DatasetError) for _, error in failures)
+        assert "bad label" in str(failures[0][1])
+        assert "pair_id" in str(failures[1][1])
+
+    def test_header_errors_raise_even_in_lenient_mode(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_csv(path, on_row_error=lambda *a: None)
+        path2 = tmp_path / "nolabel.csv"
+        path2.write_text("left_name,right_name\na,b\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="label"):
+            read_csv(path2, on_row_error=lambda *a: None)

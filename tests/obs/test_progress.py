@@ -1,0 +1,104 @@
+"""Tests for :class:`repro.obs.progress.ProgressTracker`."""
+
+import pytest
+
+from repro.obs import ProgressTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+class TestProgressTracker:
+    def test_fraction_and_done(self):
+        tracker = ProgressTracker(10, clock=FakeClock())
+        assert tracker.fraction == 0.0
+        tracker.advance(4)
+        assert tracker.done == 4
+        assert tracker.fraction == pytest.approx(0.4)
+
+    def test_empty_total_is_complete(self):
+        tracker = ProgressTracker(0, clock=FakeClock())
+        assert tracker.fraction == 1.0
+        assert tracker.eta_seconds() == 0.0
+
+    def test_rate_from_single_sample(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(100, clock=clock)
+        clock.tick(2.0)
+        tracker.advance(10)  # 5 items/s
+        assert tracker.rate() == pytest.approx(5.0)
+
+    def test_rate_smooths_with_ema(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(100, clock=clock)
+        clock.tick(1.0)
+        tracker.advance(10)  # 10/s seeds the EMA
+        clock.tick(1.0)
+        tracker.advance(20)  # 20/s sample
+        assert 10.0 < tracker.rate() < 20.0
+
+    def test_eta_none_before_any_sample(self):
+        tracker = ProgressTracker(10, clock=FakeClock())
+        assert tracker.eta_seconds() is None
+
+    def test_eta_from_rate(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(100, clock=clock)
+        clock.tick(2.0)
+        tracker.advance(20)  # 10/s, 80 remaining
+        assert tracker.eta_seconds() == pytest.approx(8.0)
+
+    def test_eta_zero_when_done(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(4, clock=clock)
+        clock.tick(1.0)
+        tracker.advance(4)
+        assert tracker.eta_seconds() == 0.0
+
+    def test_elapsed_tracks_clock(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(10, clock=clock)
+        clock.tick(3.5)
+        assert tracker.elapsed() == pytest.approx(3.5)
+
+    def test_render_includes_counts_rate_and_eta(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(100, clock=clock)
+        clock.tick(1.0)
+        tracker.advance(25)
+        text = tracker.render()
+        assert "25/100" in text
+        assert "25.0%" in text
+        assert "25.0/s" in text
+        assert "ETA 3s" in text
+
+    def test_render_before_samples_has_no_rate(self):
+        tracker = ProgressTracker(10, clock=FakeClock())
+        assert tracker.render() == "0/10 (0.0%)"
+
+    def test_zero_advance_keeps_rate(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(10, clock=clock)
+        clock.tick(1.0)
+        tracker.advance(5)
+        rate = tracker.rate()
+        clock.tick(1.0)
+        tracker.advance(0)
+        assert tracker.rate() == rate
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressTracker(-1)
+
+    def test_negative_advance_rejected(self):
+        tracker = ProgressTracker(10, clock=FakeClock())
+        with pytest.raises(ValueError):
+            tracker.advance(-1)

@@ -167,6 +167,113 @@ class TestCorruption:
         assert store.get("k1") == payload_for(1)
 
 
+class TestBatchWrites:
+    """put_many/get_many: one transaction per chunk, unchanged semantics."""
+
+    def test_put_many_round_trip(self, store):
+        n = store.put_many([(f"k{i}", payload_for(i)) for i in range(4)])
+        assert n == 4
+        assert store.stats.puts == 4
+        for i in range(4):
+            assert store.get(f"k{i}") == payload_for(i)
+
+    def test_put_many_empty_is_noop(self, store):
+        assert store.put_many([]) == 0
+        assert store.stats.puts == 0
+
+    def test_batch_eviction_matches_sequential(self, tmp_path):
+        """Same clock, same keys: batch and sequential puts leave the
+        identical surviving set and identical eviction count."""
+        config = StoreConfig(max_entries=3)
+        clock_a, clock_b = FakeClock(), FakeClock()
+        sequential = ExplanationStore(
+            tmp_path / "seq", config, clock=clock_a
+        )
+        batch = ExplanationStore(tmp_path / "batch", config, clock=clock_b)
+        items = [(f"k{i}", payload_for(i)) for i in range(7)]
+        for key, payload in items:
+            sequential.put(key, payload)
+        batch.put_many(items)
+        assert sorted(batch.keys()) == sorted(sequential.keys())
+        assert len(batch) == len(sequential) == 3
+        assert batch.stats.evictions == sequential.stats.evictions == 4
+        assert batch.stats.puts == sequential.stats.puts == 7
+        sequential.close()
+        batch.close()
+
+    def test_batch_ttl_matches_sequential(self, tmp_path):
+        """Rows written by put_many expire on the same schedule as put."""
+        clock = FakeClock()
+        store = ExplanationStore(
+            tmp_path / "store", StoreConfig(ttl_seconds=60.0), clock=clock
+        )
+        store.put("seq", payload_for(0))
+        store.put_many([("bat", payload_for(1))])
+        clock.advance(30)
+        assert store.get("seq") is not None
+        assert store.get("bat") is not None
+        clock.advance(61)
+        assert store.get("seq") is None
+        assert store.get("bat") is None
+        assert store.stats.expirations == 2
+        store.close()
+
+    def test_get_many_hits_and_misses(self, store):
+        store.put_many([("a", payload_for(1)), ("b", payload_for(2))])
+        found = store.get_many(["a", "b", "absent", "gone"])
+        assert found == {"a": payload_for(1), "b": payload_for(2)}
+        assert store.stats.hits == 2
+        assert store.stats.misses == 2
+
+    def test_get_many_refreshes_recency(self, tmp_path):
+        clock = FakeClock()
+        store = ExplanationStore(
+            tmp_path / "store", StoreConfig(max_entries=2), clock=clock
+        )
+        clock.advance(1)
+        store.put("old", payload_for(0))
+        clock.advance(1)
+        store.put("new", payload_for(1))
+        clock.advance(1)
+        assert "old" in store.get_many(["old"])  # touch refreshes LRU
+        clock.advance(1)
+        store.put("newest", payload_for(2))
+        assert store.get("old") is not None
+        assert store.get("new") is None
+        store.close()
+
+    def test_get_many_skips_expired(self, tmp_path):
+        clock = FakeClock()
+        store = ExplanationStore(
+            tmp_path / "store", StoreConfig(ttl_seconds=10.0), clock=clock
+        )
+        store.put("k", payload_for(1))
+        clock.advance(11)
+        assert store.get_many(["k"]) == {}
+        assert store.stats.expirations == 1
+        store.close()
+
+    def test_put_many_persists_across_reopen(self, tmp_path):
+        with ExplanationStore(tmp_path / "store") as first:
+            first.put_many([("k1", payload_for(1)), ("k2", payload_for(2))])
+        with ExplanationStore(tmp_path / "store") as second:
+            assert second.get("k2") == payload_for(2)
+
+    def test_put_many_recovers_from_corrupt_file(self, tmp_path):
+        store = ExplanationStore(tmp_path / "store")
+        store.put("k0", payload_for(0))
+        # Simulate mid-run file damage: swap the connection for one whose
+        # backing file has been replaced by garbage.
+        store._conn.close()
+        store.path.write_bytes(b"this is not a database")
+        store._conn = sqlite3.connect(str(store.path))
+        store.put_many([("k1", payload_for(1))])
+        assert store.stats.recoveries == 1
+        assert store.get("k1") == payload_for(1)
+        assert list(tmp_path.glob("store/*.corrupt-*"))
+        store.close()
+
+
 class TestIntrospection:
     def test_keys_most_recent_first(self, tmp_path):
         clock = FakeClock()

@@ -363,3 +363,69 @@ class TestPrecomputeCommand:
         payload = json.loads((store_dir / "service_stats.json").read_text())
         assert payload["service"]["computed"] == 2
         assert payload["store"]["puts"] == 2
+
+
+class TestBulkCommand:
+    def test_bulk_run_report_and_warm_dedup(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        base = [
+            "bulk", "--dataset", "S-BR", "--size-cap", "150",
+            "--per-label", "2", "--samples", "16", "--chunk-size", "2",
+            "--store-dir", str(tmp_path / "store"),
+            "--model-dir", str(tmp_path / "models"),
+            "--report", str(report_path),
+        ]
+        assert main([*base, "--run-dir", str(tmp_path / "run1")]) == 0
+        out = capsys.readouterr().out
+        assert "bulk job: 4 pairs in 2 chunks" in out
+        assert "4 computed, 0 dedup hits" in out
+        assert "global summary over 8 explanations" in out
+        first_report = report_path.read_bytes()
+        assert (tmp_path / "run1" / "bulk.jsonl").exists()
+        assert (tmp_path / "run1" / "stats.json").exists()
+        assert (tmp_path / "run1" / "metrics.json").exists()
+
+        # Warm store: everything dedups, same report bytes.
+        assert main([*base, "--run-dir", str(tmp_path / "run2")]) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 4 dedup hits" in out
+        assert report_path.read_bytes() == first_report
+
+    def test_bulk_resume_requires_run_dir(self, capsys):
+        assert main(["bulk", "--resume"]) == 2
+
+    def test_bulk_from_csv_ledgers_bad_rows(self, tmp_path, capsys):
+        csv_path = tmp_path / "pairs.csv"
+        csv_path.write_text(
+            "pair_id,label,left_name,right_name\n"
+            "0,1,ipa beer,ipa beer\n"
+            "1,0,stout,lager\n"
+            "2,WAT,pilsner,pilsner\n"
+            "3,1,porter ale,porter ale\n"
+            "4,0,saison,kolsch\n",
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "bulk", "--input", str(csv_path), "--samples", "16",
+                "--chunk-size", "2",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 ill-formed row(s)" in captured.err
+        assert "bulk job: 4 pairs" in captured.out
+        assert "failure ledger: 1 entries" in captured.out
+
+    def test_bulk_pairs_file(self, tmp_path, capsys):
+        listing = tmp_path / "pairs.txt"
+        listing.write_text("0\n1\n", encoding="utf-8")
+        code = main(
+            [
+                "bulk", "--dataset", "S-BR", "--size-cap", "150",
+                "--samples", "16", "--chunk-size", "2",
+                "--pairs-file", str(listing),
+            ]
+        )
+        assert code == 0
+        assert "bulk job: 2 pairs in 1 chunks" in capsys.readouterr().out
