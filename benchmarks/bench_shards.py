@@ -18,6 +18,12 @@ On machines with fewer cores than shards (e.g. a 1-CPU container) the
 speedup is *reported* but not gated — there is nothing to scale onto —
 so the benchmark still exercises the full sharded path everywhere.
 
+``--transport tcp`` additionally runs the same N-shard workload through
+the cross-host fleet path — real ``serve-shard`` host processes on
+localhost, dialed over TCP — asserts its results are bit-identical to
+both pipe runs, and reports the TCP transport overhead (fleet seconds
+vs pipe seconds) in the run JSON.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_shards.py --smoke
@@ -30,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -38,14 +45,53 @@ from repro.config import ServiceConfig, ShardConfig
 from repro.data.synthetic.magellan import load_dataset
 from repro.matchers.logistic import LogisticRegressionMatcher
 from repro.service import ExplainRequest, ShardedService
+from repro.service.transport import FleetConfig, FleetShard
 
 
-def run_fleet(matcher, requests, n_shards: int, workers: int):
+def spawn_shard_hosts(n: int) -> list[tuple]:
+    """*n* real ``serve-shard`` processes; [(process, host, port), ...]."""
+    hosts = []
+    for _ in range(n):
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve-shard", "--port", "0"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+        )
+        address = None
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            line = process.stderr.readline()
+            if line.startswith("serving shard on "):
+                address = line.split()[3]
+                break
+            if not line and process.poll() is not None:
+                break
+        if address is None:
+            for host_process, _, _ in hosts:
+                host_process.kill()
+            raise SystemExit("serve-shard host did not come up")
+        host, port = address.rsplit(":", 1)
+        hosts.append((process, host, int(port)))
+    return hosts
+
+
+def run_fleet(matcher, requests, n_shards: int, workers: int,
+              transport: str = "pipe"):
     """The workload through *n_shards* shards; returns (results, seconds)."""
+    hosts = []
+    fleet = None
+    if transport == "tcp":
+        hosts = spawn_shard_hosts(n_shards)
+        fleet = FleetConfig(
+            shards=tuple(
+                FleetShard(shard_id=i, host=host, port=port)
+                for i, (_, host, port) in enumerate(hosts)
+            ),
+        )
     service = ShardedService(
         matcher,
         config=ServiceConfig(n_workers=workers, queue_size=4096),
         shard_config=ShardConfig(n_shards=n_shards),
+        fleet=fleet,
     )
     try:
         started = time.perf_counter()
@@ -55,6 +101,12 @@ def run_fleet(matcher, requests, n_shards: int, workers: int):
         stats = service.stats_payload()
     finally:
         service.close()
+        for process, _, _ in hosts:  # drained on close; reap stragglers
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
     return payloads, seconds, stats
 
 
@@ -76,6 +128,12 @@ def main(argv=None):
         "--min-speedup", type=float, default=2.5,
         help="required N-shard/1-shard throughput ratio (exit 1 below "
              "it; only gated when the machine has >= --shards cores)",
+    )
+    parser.add_argument(
+        "--transport", choices=("pipe", "tcp"), default="pipe",
+        help="tcp: also run the N-shard workload through serve-shard "
+             "hosts over TCP, assert bit-identity and report the "
+             "transport overhead",
     )
     parser.add_argument("--output", default=None,
                         help="write the run JSON (timings + stats) here")
@@ -140,6 +198,29 @@ def main(argv=None):
             f"on a {cores}-core machine"
         )
 
+    tcp_seconds = None
+    tcp_overhead = None
+    if args.transport == "tcp":
+        tcp_fleet, tcp_seconds, _ = run_fleet(
+            matcher, requests, args.shards, args.workers, transport="tcp"
+        )
+        tcp_overhead = tcp_seconds / fleet_seconds - 1.0
+        print(
+            f"{args.shards} shards over TCP: {tcp_seconds:.2f}s "
+            f"({len(requests) / tcp_seconds:.2f} req/s, "
+            f"{tcp_overhead:+.1%} vs pipe)"
+        )
+        tcp_mismatched = sum(a != b for a, b in zip(fleet, tcp_fleet))
+        if tcp_mismatched:
+            failures.append(
+                f"{tcp_mismatched} TCP-fleet results differ from pipe"
+            )
+        else:
+            print(
+                f"results: all {len(tcp_fleet)} bit-identical across "
+                f"transports"
+            )
+
     if args.output:
         output = Path(args.output)
         output.parent.mkdir(parents=True, exist_ok=True)
@@ -161,6 +242,14 @@ def main(argv=None):
                     "speedup": round(speedup, 3),
                     "per_shard_requests": per_shard,
                     "fleet_stats": fleet_stats,
+                    "transport": args.transport,
+                    "tcp_fleet_seconds": (
+                        None if tcp_seconds is None else round(tcp_seconds, 4)
+                    ),
+                    "tcp_transport_overhead": (
+                        None if tcp_overhead is None
+                        else round(tcp_overhead, 4)
+                    ),
                 },
                 indent=2,
                 sort_keys=True,

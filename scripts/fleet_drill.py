@@ -1,0 +1,334 @@
+#!/usr/bin/env python
+"""Cross-host fleet chaos drill: kill a host AND partition another (CI).
+
+The full partition-tolerance scenario on one machine, with nothing
+mocked: three real ``serve-shard`` host processes plus one standby, a
+``serve --fleet --http`` supervisor dialing them over TCP (shard 1
+through an in-drill :class:`~repro.testing.chaos.ChaosProxy`), and an
+unharmed ``--shards 3`` pipe run as the control.  Asserted contract:
+
+1. **zero lost admitted requests** — through a SIGKILLed host *and* a
+   network partition, every admitted request gets a terminal response;
+   retryable 503s (``shard_failed`` / ``host_lost``) retried by the
+   client all succeed;
+2. **host loss ≠ crash** — the killed host is declared lost (reconnects
+   refused, not just dropped) and its shard id is replaced onto the
+   standby, which rebuilds its store partition cold;
+3. **partition ≠ death** — the partitioned shard is detected by
+   heartbeat silence (its sockets never reset), reads degraded-not-down
+   while one host is out, and *reconnects warm* after the partition
+   heals;
+4. **quorum honesty** — with the partition and a second host kill in
+   flight simultaneously, ``/healthz`` flips to 503 ``quorum_lost``;
+   after the heal it returns to degraded-200 with the dead host listed
+   in ``lost_hosts``;
+5. **byte identity** — explanation weights served by the mangled TCP
+   fleet equal the unharmed pipe run's byte for byte;
+6. **clean drain** — SIGTERM drains the supervisor (exit 0) and every
+   surviving shard host process exits on its own.
+
+Run locally with::
+
+    PYTHONPATH=src python scripts/fleet_drill.py
+
+Pass ``--artifacts-dir DIR`` to keep the supervisor log, health
+snapshots and the weight comparison for CI upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from shard_drill import (  # noqa: E402 - sibling script, not a package
+    LoadResult,
+    boot_http,
+    get_json,
+    post_explain,
+    run_load,
+    spawn_fleet,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from repro.testing.chaos import ChaosProxy  # noqa: E402
+
+N_SHARDS = 3
+CONTROL_RECORDS = list(range(10))
+
+
+def weights_for(url: str, records: list[int]) -> dict[int, dict]:
+    """The full explanation result for *records*, keyed by record.
+
+    The whole ``result`` payload — landmark dual weights included — must
+    be byte-identical across transports, so the comparison is wholesale.
+    """
+    weights = {}
+    for record in records:
+        for attempt in range(6):
+            status, body = post_explain(
+                url, {"record": record, "method": "single"}
+            )
+            if status == 200:
+                weights[record] = body["result"]
+                break
+            time.sleep(0.3 * (attempt + 1))
+        else:
+            raise SystemExit(f"record {record} never served: {status} {body}")
+    return weights
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts-dir", type=Path, default=None,
+        help="keep logs, health snapshots and weight comparisons here",
+    )
+    parser.add_argument("--requests", type=int, default=30)
+    args = parser.parse_args(argv)
+    failures: list[str] = []
+    transcript: list[str] = []
+    health_snapshots: dict[str, dict] = {}
+
+    def check(condition: bool, what: str) -> None:
+        line = f"  [{'ok' if condition else 'FAIL'}] {what}"
+        print(line, flush=True)
+        transcript.append(line)
+        if not condition:
+            failures.append(what)
+
+    def wait_health(predicate, timeout: float = 30.0):
+        deadline = time.monotonic() + timeout
+        status, health = get_json(url + "/healthz")
+        while time.monotonic() < deadline:
+            status, health = get_json(url + "/healthz")
+            if predicate(status, health):
+                return True, status, health
+            time.sleep(0.1)
+        return False, status, health
+
+    started = time.monotonic()
+    with tempfile.TemporaryDirectory() as root_text:
+        root = Path(root_text)
+
+        print("drill: control run — unharmed pipe fleet")
+        control_process, control_url, _ = boot_http(
+            root / "control-store", root / "models"
+        )
+        try:
+            control_weights = weights_for(control_url, CONTROL_RECORDS)
+        finally:
+            control_process.send_signal(signal.SIGTERM)
+            try:
+                control_process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                control_process.kill()
+                control_process.wait()
+
+        print(f"drill: spawning {N_SHARDS} serve-shard hosts + 1 standby, "
+              f"shard 1 behind a chaos proxy")
+        hosts, fleet_path = spawn_fleet(root, N_SHARDS, standbys=1)
+        shard1_host, shard1_port = hosts[1][1].rsplit(":", 1)
+        proxy = ChaosProxy(shard1_host, int(shard1_port))
+        proxy.start()
+        document = json.loads(fleet_path.read_text())
+        document["shards"][1]["host"] = proxy.host
+        document["shards"][1]["port"] = proxy.port
+        fleet_path.write_text(json.dumps(document, indent=2))
+
+        process, url, server_log = boot_http(
+            root / "store", root / "models", fleet_path
+        )
+        try:
+            status, health = get_json(url + "/healthz")
+            check(
+                status == 200 and len(health.get("shards", {})) == N_SHARDS,
+                "fleet up: healthz 200 with every shard adopted over TCP",
+            )
+            health_snapshots["healthy"] = health
+
+            # ---- phase A: kill a whole host under load ---------------
+            print(f"drill: sustained load, SIGKILL host 0 "
+                  f"(pid {hosts[0][0].pid})")
+            result = LoadResult()
+            pool = run_load(url, args.requests, result)
+            time.sleep(0.5)
+            os.kill(hosts[0][0].pid, signal.SIGKILL)
+
+            ok, status, health = wait_health(
+                lambda s, h: s == 200 and "0" in h.get("degraded", [])
+                or h.get("shards", {}).get("0", {}).get("restarts", 0) >= 1
+            )
+            degraded_seen = "0" in health.get("degraded", [])
+            health_snapshots["host0_killed"] = health
+            for thread in pool:
+                thread.join(timeout=300)
+            check(
+                result.completed == args.requests,
+                f"zero lost requests through the host kill: "
+                f"{result.completed}/{args.requests} completed "
+                f"({result.retried} retried, {len(result.lost)} lost: "
+                f"{result.lost[:3]})",
+            )
+            if degraded_seen:
+                check(True, "one killed host read degraded, not down")
+
+            ok, status, health = wait_health(
+                lambda s, h: s == 200
+                and h.get("shards", {}).get("0", {}).get("state") == "live"
+                and hosts[0][1] in h.get("lost_hosts", [])
+            )
+            check(ok, "killed host declared lost; shard 0 replaced onto "
+                      "the standby")
+            check(
+                health.get("shards", {}).get("0", {}).get("host")
+                == hosts[-1][1],
+                "healthz maps shard 0 to the standby host",
+            )
+            health_snapshots["standby_replaced"] = health
+
+            # ---- phase B: partition + second kill = quorum loss ------
+            print("drill: partitioning shard 1, then SIGKILL host 2")
+            proxy.partition()
+            ok, status, health = wait_health(
+                lambda s, h: h.get("shards", {}).get("1", {}).get("state")
+                != "live"
+            )
+            check(ok, "partition detected by heartbeat silence alone")
+            check(
+                proxy.dropped_chunks > 0,
+                f"the partition really dropped bytes "
+                f"({proxy.dropped_chunks} chunks)",
+            )
+            health_snapshots["partitioned"] = health
+
+            os.kill(hosts[2][0].pid, signal.SIGKILL)
+            ok, status, health = wait_health(
+                lambda s, h: s == 503 and h.get("reason") == "quorum_lost"
+            )
+            check(ok, "partition + second host kill reads 503 quorum_lost")
+            health_snapshots["quorum_lost"] = health
+
+            print("drill: healing the partition")
+            proxy.heal()
+            ok, status, health = wait_health(
+                lambda s, h: s == 200
+                and h.get("shards", {}).get("1", {}).get("state") == "live",
+                timeout=60.0,
+            )
+            check(ok, "healed partition: shard 1 reconnected and quorum "
+                      "restored")
+            check(
+                health.get("shards", {}).get("1", {}).get("restarts", 0) >= 1,
+                "the reconnect is counted as a restart",
+            )
+            # Declaring host 2 lost takes host_loss_after failed connect
+            # cycles; give the supervisor time to finish knocking.
+            ok, status, health = wait_health(
+                lambda s, h: s == 200 and hosts[2][1] in h.get("lost_hosts", [])
+            )
+            check(
+                ok,
+                "the second dead host stays listed as lost (no standby "
+                "left) while the fleet reads degraded-not-down",
+            )
+            health_snapshots["healed"] = health
+
+            # The partitioned host kept its service warm: re-adoption
+            # must not have rebuilt it.
+            load_b = LoadResult()
+            pool = run_load(url, args.requests, load_b)
+            for thread in pool:
+                thread.join(timeout=300)
+            check(
+                load_b.completed == args.requests,
+                f"zero lost requests after the heal: "
+                f"{load_b.completed}/{args.requests} "
+                f"({load_b.retried} retried, {len(load_b.lost)} lost)",
+            )
+
+            # ---- byte identity vs the unharmed control ---------------
+            print("drill: comparing explanation weights with the control")
+            try:
+                fleet_weights = weights_for(url, CONTROL_RECORDS)
+            except SystemExit as stop:
+                check(False, f"fleet refused to serve weights: {stop}")
+                fleet_weights = {}
+            mismatched = [
+                record for record in CONTROL_RECORDS
+                if fleet_weights.get(record) != control_weights[record]
+            ]
+            check(
+                not mismatched,
+                f"weights byte-identical to the unharmed pipe run "
+                f"({len(CONTROL_RECORDS)} records"
+                + (f"; mismatched: {mismatched}" if mismatched else "")
+                + ")",
+            )
+
+            # ---- drain -----------------------------------------------
+            print("drill: SIGTERM drains the fleet")
+            process.send_signal(signal.SIGTERM)
+            try:
+                code = process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+                code = None
+            check(code == 0, f"SIGTERM: clean exit code (got {code})")
+            survivors = [hosts[1], hosts[3]]  # hosts 0 and 2 were killed
+            drained = 0
+            for host_process, _, _ in survivors:
+                try:
+                    host_process.wait(timeout=30)
+                    drained += 1
+                except subprocess.TimeoutExpired:
+                    pass
+            check(
+                drained == len(survivors),
+                f"drain shut down {drained}/{len(survivors)} surviving "
+                f"shard hosts",
+            )
+        finally:
+            proxy.close()
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+            for host_process, _, _ in hosts:
+                if host_process.poll() is None:
+                    host_process.kill()
+                    host_process.wait()
+
+        if args.artifacts_dir is not None:
+            args.artifacts_dir.mkdir(parents=True, exist_ok=True)
+            (args.artifacts_dir / "fleet_transcript.txt").write_text(
+                "\n".join(transcript) + "\n"
+            )
+            (args.artifacts_dir / "fleet_supervisor_log.txt").write_text(
+                "".join(server_log)
+            )
+            (args.artifacts_dir / "fleet_health_snapshots.json").write_text(
+                json.dumps(health_snapshots, indent=2, sort_keys=True)
+            )
+            (args.artifacts_dir / "fleet_weights.json").write_text(
+                json.dumps(
+                    {"control": control_weights, "fleet": fleet_weights},
+                    indent=2, sort_keys=True, default=str,
+                )
+            )
+            print(f"artifacts kept in {args.artifacts_dir}")
+
+    elapsed = time.monotonic() - started
+    print(f"fleet_drill {'FAILED' if failures else 'passed'} in {elapsed:.0f}s")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

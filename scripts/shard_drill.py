@@ -26,6 +26,14 @@ locally with::
 
     PYTHONPATH=src python scripts/shard_drill.py
 
+``--transport tcp`` runs the identical drill over the cross-host fleet
+path instead of spawned pipe shards: real ``serve-shard`` host processes
+on localhost, a ``--fleet`` supervisor dialing them over TCP, and a
+standby host that must adopt the victim's shard id after the SIGKILL
+(host loss, not crash-restart).  The two transports must behave
+identically from the outside — same zero-lost-request contract, same
+degraded-not-down reading, same clean drain.
+
 Pass ``--artifacts-dir DIR`` to keep the supervisor log and the final
 metrics JSON for CI upload.
 """
@@ -58,43 +66,99 @@ SHARD_ARGS = [
     "--restart-backoff", "0.2",
     "--drain-timeout", "30",
 ]
+FLEET_ARGS = [
+    "--connect-timeout", "1.0",
+    "--connect-budget", "2.0",
+    "--host-loss-after", "2",
+]
 #: Retryable wire codes: the drill retries these, and the retries must
 #: succeed — anything else is a lost request.
-RETRYABLE = {"shard_failed", "overloaded", "cancelled"}
+RETRYABLE = {"shard_failed", "host_lost", "overloaded", "cancelled"}
 
 
-def boot_http(store_dir: Path, model_dir: Path) -> tuple:
-    """Boot the sharded server on an ephemeral port; (process, url, stderr)."""
-    process = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.cli", "serve", *DATASET_ARGS,
-            "--store-dir", str(store_dir), "--model-dir", str(model_dir),
-            "--http", "127.0.0.1:0", *SHARD_ARGS,
-        ],
-        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
-    )
+def _await_banner(process, prefix: str, what: str, timeout: float = 180.0):
+    """Read stderr until the startup banner; returns (address, lines)."""
     stderr_lines: list[str] = []
     address = None
-    deadline = time.monotonic() + 180
+    deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
         line = process.stderr.readline()
         stderr_lines.append(line)
-        if line.startswith("serving on "):
-            address = line.split()[2]
+        if line.startswith(prefix):
+            address = line[len(prefix):].split()[0]
             break
         if not line and process.poll() is not None:
             break
     if address is None:
         print("".join(stderr_lines), file=sys.stderr)
-        raise SystemExit("serve --http --shards did not come up")
-    collected: list[str] = stderr_lines
+        raise SystemExit(f"{what} did not come up")
 
     def pump() -> None:  # keep draining so the server never blocks on stderr
         for line in process.stderr:
-            collected.append(line)
+            stderr_lines.append(line)
 
     threading.Thread(target=pump, daemon=True).start()
+    return address, stderr_lines
+
+
+def boot_http(store_dir: Path, model_dir: Path, fleet_path: Path | None = None):
+    """Boot the sharded server on an ephemeral port; (process, url, stderr)."""
+    shard_args = list(SHARD_ARGS)
+    if fleet_path is not None:
+        shard_args += ["--fleet", str(fleet_path), *FLEET_ARGS]
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", *DATASET_ARGS,
+            "--store-dir", str(store_dir), "--model-dir", str(model_dir),
+            "--http", "127.0.0.1:0", *shard_args,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    address, collected = _await_banner(
+        process, "serving on ", "serve --http --shards"
+    )
     return process, address, collected
+
+
+def spawn_shard_host(store_dir: Path | None = None):
+    """One ``serve-shard`` host process; (process, "host:port", stderr)."""
+    command = [sys.executable, "-m", "repro.cli", "serve-shard", "--port", "0"]
+    if store_dir is not None:
+        command += ["--store-dir", str(store_dir)]
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    address, collected = _await_banner(
+        process, "serving shard on ", "serve-shard"
+    )
+    return process, address, collected
+
+
+def spawn_fleet(root: Path, n_shards: int, standbys: int = 1):
+    """*n_shards* + *standbys* shard hosts and their fleet.json."""
+    hosts = []
+    for index in range(n_shards + standbys):
+        hosts.append(spawn_shard_host(root / f"host{index}-store"))
+    document = {
+        "shards": [
+            {
+                "id": index,
+                "host": hosts[index][1].rsplit(":", 1)[0],
+                "port": int(hosts[index][1].rsplit(":", 1)[1]),
+            }
+            for index in range(n_shards)
+        ],
+        "standbys": [
+            {
+                "host": hosts[index][1].rsplit(":", 1)[0],
+                "port": int(hosts[index][1].rsplit(":", 1)[1]),
+            }
+            for index in range(n_shards, n_shards + standbys)
+        ],
+    }
+    fleet_path = root / "fleet.json"
+    fleet_path.write_text(json.dumps(document, indent=2))
+    return hosts, fleet_path
 
 
 def get_json(url: str, timeout: float = 30.0) -> tuple[int, dict]:
@@ -183,6 +247,12 @@ def main(argv=None) -> int:
         help="keep the supervisor log and metrics JSON here for CI upload",
     )
     parser.add_argument("--requests", type=int, default=40)
+    parser.add_argument(
+        "--transport", choices=("pipe", "tcp"), default="pipe",
+        help="pipe: spawned shard processes (default); tcp: serve-shard "
+             "host processes behind --fleet, with a standby replacing "
+             "the killed host",
+    )
     args = parser.parse_args(argv)
     failures: list[str] = []
     transcript: list[str] = []
@@ -198,7 +268,14 @@ def main(argv=None) -> int:
     metrics_document: dict = {}
     with tempfile.TemporaryDirectory() as root_text:
         root = Path(root_text)
-        process, url, server_log = boot_http(root / "store", root / "models")
+        hosts: list = []
+        fleet_path = None
+        if args.transport == "tcp":
+            print(f"drill: spawning {N_SHARDS} serve-shard hosts + 1 standby")
+            hosts, fleet_path = spawn_fleet(root, N_SHARDS, standbys=1)
+        process, url, server_log = boot_http(
+            root / "store", root / "models", fleet_path
+        )
         try:
             print("drill: sharded server up; priming and reading /healthz")
             status, body = post_explain(url, {"record": 0, "method": "single"})
@@ -210,8 +287,19 @@ def main(argv=None) -> int:
                 f"healthz reports {N_SHARDS} shards",
             )
             victim_id = "0"
-            victim_pid = health["shards"][victim_id]["pid"]
-            check(bool(victim_pid), "healthz exposes the victim shard's pid")
+            if args.transport == "tcp":
+                # The victim is the whole host process, whose pid the
+                # drill owns; health instead names its host address.
+                victim_pid = hosts[0][0].pid
+                check(
+                    health["shards"][victim_id]["host"] == hosts[0][1],
+                    "healthz maps the victim shard to its fleet host",
+                )
+            else:
+                victim_pid = health["shards"][victim_id]["pid"]
+                check(
+                    bool(victim_pid), "healthz exposes the victim shard's pid"
+                )
 
             print(f"drill: sustained load, then SIGKILL shard {victim_id} "
                   f"(pid {victim_pid})")
@@ -261,6 +349,20 @@ def main(argv=None) -> int:
                     break
                 time.sleep(0.1)
             check(recovered, "killed shard restarted and healthz fully healthy")
+            if args.transport == "tcp":
+                status, health = get_json(url + "/healthz")
+                check(
+                    hosts[0][1] in health.get("lost_hosts", []),
+                    "healthz lists the killed host as lost",
+                )
+                check(
+                    health["shards"][victim_id]["host"] == hosts[-1][1],
+                    "victim shard id was replaced onto the standby host",
+                )
+                check(
+                    health.get("standbys_available") == 0,
+                    "the standby pool is spent",
+                )
             status, body = post_explain(url, {"record": 0, "method": "single"})
             check(status == 200, "post-recovery request succeeds")
 
@@ -274,6 +376,11 @@ def main(argv=None) -> int:
                 "repro_shard_restarts" in metrics_text,
                 "metrics count the supervisor restart",
             )
+            if args.transport == "tcp":
+                check(
+                    'host="' in metrics_text,
+                    "remote shard series carry host labels",
+                )
             status, body = post_explain(url, {"op": "metrics"})
             check(status == 200, "metrics op returns the fleet JSON document")
             metrics_document = body.get("metrics", {})
@@ -289,10 +396,29 @@ def main(argv=None) -> int:
             check(code == 0, f"SIGTERM: clean exit code (got {code})")
             log_text = "".join(server_log)
             check("drain:" in log_text, "drain summary printed")
+            if args.transport == "tcp":
+                # The supervisor's drain decommissions every adopted
+                # host: their processes must exit on their own.
+                drained_hosts = 0
+                for host_process, _, _ in hosts[1:]:
+                    try:
+                        host_process.wait(timeout=30)
+                        drained_hosts += 1
+                    except subprocess.TimeoutExpired:
+                        pass
+                check(
+                    drained_hosts == len(hosts) - 1,
+                    f"drain shut down {drained_hosts}/{len(hosts) - 1} "
+                    f"surviving shard hosts",
+                )
         finally:
             if process.poll() is None:
                 process.kill()
                 process.wait()
+            for host_process, _, _ in hosts:
+                if host_process.poll() is None:
+                    host_process.kill()
+                    host_process.wait()
 
         if args.artifacts_dir is not None:
             args.artifacts_dir.mkdir(parents=True, exist_ok=True)
@@ -308,7 +434,10 @@ def main(argv=None) -> int:
             print(f"artifacts kept in {args.artifacts_dir}")
 
     elapsed = time.monotonic() - started
-    print(f"shard_drill {'FAILED' if failures else 'passed'} in {elapsed:.0f}s")
+    print(
+        f"shard_drill ({args.transport}) "
+        f"{'FAILED' if failures else 'passed'} in {elapsed:.0f}s"
+    )
     return 1 if failures else 0
 
 

@@ -48,11 +48,16 @@ MAX_FRAME_BYTES = 256 * 1024 * 1024
 _HEADER = struct.Struct("!4sI")
 
 
-def send_frame(sock: socket.socket, message: dict) -> None:
+def send_frame(
+    sock: socket.socket, message: dict, magic: bytes = FRAME_MAGIC
+) -> None:
     """Serialize *message* and write one frame (single ``sendall``).
 
     Callers serialize concurrent senders with their own lock; a single
-    ``sendall`` keeps a frame contiguous on the wire even then.
+    ``sendall`` keeps a frame contiguous on the wire even then.  *magic*
+    names the sub-protocol (matcher backend by default; the shard fleet
+    transport passes its own) so a shard dialled as a matcher — or vice
+    versa — is rejected at the first frame, not after unpickling.
     """
     payload = pickle.dumps(message, protocol=4)
     if len(payload) > MAX_FRAME_BYTES:
@@ -60,7 +65,7 @@ def send_frame(sock: socket.socket, message: dict) -> None:
             f"refusing to send a {len(payload)}-byte frame "
             f"(cap {MAX_FRAME_BYTES})"
         )
-    sock.sendall(_HEADER.pack(FRAME_MAGIC, len(payload)) + payload)
+    sock.sendall(_HEADER.pack(magic, len(payload)) + payload)
 
 
 def _read_exact(sock: socket.socket, n: int) -> bytes:
@@ -78,7 +83,7 @@ def _read_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def read_frame(sock: socket.socket) -> dict:
+def read_frame(sock: socket.socket, magic: bytes = FRAME_MAGIC) -> dict:
     """Read one frame; returns the decoded message dict.
 
     Raises :class:`ConnectionError` on a clean EOF *between* frames too —
@@ -87,11 +92,11 @@ def read_frame(sock: socket.socket) -> dict:
     reconnect material).
     """
     header = _read_exact(sock, _HEADER.size)
-    magic, length = _HEADER.unpack(header)
-    if magic != FRAME_MAGIC:
+    got_magic, length = _HEADER.unpack(header)
+    if got_magic != magic:
         raise BackendProtocolError(
-            f"bad frame magic {magic!r}: peer is not a matcher backend "
-            f"(or the stream is corrupt)"
+            f"bad frame magic {got_magic!r} (expected {magic!r}): peer "
+            f"speaks a different protocol, or the stream is corrupt"
         )
     if length > MAX_FRAME_BYTES:
         raise BackendProtocolError(

@@ -19,6 +19,10 @@ Sub-commands:
   shared ``serve-matcher`` process.
 * ``serve-matcher`` — run the standalone matcher server one or many
   service shards dial with ``--backend``.
+* ``serve-shard`` — run one standing shard host of a cross-host fleet;
+  a ``serve --fleet fleet.json`` supervisor adopts it over TCP and it
+  keeps its engines and store partition warm across supervisor
+  disconnects (partitions).
 * ``precompute`` — warm the explanation store for a dataset split,
   resumable with ``--resume`` (the store-only bulk job in
   :mod:`repro.bulk.warm`).
@@ -252,11 +256,33 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
              "after a crash before returning a retryable 503",
     )
     parser.add_argument(
+        "--connect-timeout", type=float, default=5.0,
+        help="per-attempt TCP dial timeout to a fleet shard host "
+             "(only with --fleet)",
+    )
+    parser.add_argument(
+        "--connect-budget", type=float, default=30.0,
+        help="total seconds of dial-with-retry per launch cycle before "
+             "it counts as a failed connect (only with --fleet)",
+    )
+    parser.add_argument(
+        "--host-loss-after", type=int, default=3,
+        help="consecutive failed connect cycles before a fleet host is "
+             "declared lost and replaced by a standby (only with --fleet)",
+    )
+    parser.add_argument(
         "--backend", default=None, metavar="HOST:PORT",
         help="serve predictions from a remote serve-matcher process at "
              "this address instead of training/loading a matcher locally "
              "(all shards share the one model; the routing fingerprint "
              "is taken from its handshake)",
+    )
+    parser.add_argument(
+        "--fleet", type=Path, default=None, metavar="FLEET.JSON",
+        help="run the shards on standing serve-shard hosts described by "
+             "this fleet file ({\"shards\": [{\"id\", \"host\", \"port\"}], "
+             "\"standbys\": [...], \"quorum\": N}) instead of spawning "
+             "local processes; the file's shard count overrides --shards",
     )
     _add_engine_arguments(parser)
     _add_obs_arguments(parser)
@@ -370,6 +396,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-batch-size", type=int, default=None,
         help="largest row count one predict call may carry "
              "(default: the protocol default, 4096)",
+    )
+
+    serve_shard = subparsers.add_parser(
+        "serve-shard",
+        help="standing shard host adopted by a --fleet supervisor",
+    )
+    serve_shard.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_shard.add_argument(
+        "--port", type=int, default=9301,
+        help="bind port (0 picks an ephemeral one)",
+    )
+    serve_shard.add_argument(
+        "--store-dir", type=Path, default=None,
+        help="host-local directory for this shard's store partition "
+             "(default: serve without a persistent store)",
+    )
+    serve_shard.add_argument(
+        "--store-max-entries", type=int, default=10_000,
+        help="LRU capacity of the store partition",
+    )
+    serve_shard.add_argument(
+        "--store-ttl", type=float, default=None,
+        help="seconds before a stored explanation expires",
     )
 
     precompute = subparsers.add_parser(
@@ -832,7 +883,12 @@ def _build_service(args: argparse.Namespace, dataset):
         "explainer": args.explainer,
         "seed": args.seed,
     }
-    if getattr(args, "shards", 1) > 1:
+    fleet = None
+    if getattr(args, "fleet", None) is not None:
+        from repro.service import load_fleet_config
+
+        fleet = load_fleet_config(args.fleet)
+    if fleet is not None or getattr(args, "shards", 1) > 1:
         from repro.service import ShardedService
 
         service = ShardedService(
@@ -842,15 +898,19 @@ def _build_service(args: argparse.Namespace, dataset):
             engine_config=engine_config,
             store_config=store_config if args.store_dir is not None else None,
             shard_config=ShardConfig(
-                n_shards=args.shards,
+                n_shards=max(args.shards, 1),
                 virtual_nodes=args.virtual_nodes,
                 heartbeat_interval=args.heartbeat_interval,
                 heartbeat_timeout=args.heartbeat_timeout,
                 restart_backoff_base=args.restart_backoff,
                 max_failovers=args.max_failovers,
+                connect_timeout=args.connect_timeout,
+                connect_budget=args.connect_budget,
+                host_loss_after=args.host_loss_after,
             ),
             metrics=registry,
             backend_address=backend_address,
+            fleet=fleet,
         )
         return service, None, defaults
     store = None
@@ -880,6 +940,9 @@ def _write_service_stats(service, store_dir: Path | None) -> None:
         return
     from repro.evaluation.persistence import save_service_stats
 
+    # In fleet mode the store partitions live on the shard hosts, so
+    # nothing has created the local store_dir yet.
+    Path(store_dir).mkdir(parents=True, exist_ok=True)
     path = Path(store_dir) / "service_stats.json"
     save_service_stats(service.stats_payload(), path)
     print(f"wrote {path}", file=sys.stderr)
@@ -1011,6 +1074,38 @@ def _cmd_serve_matcher(args: argparse.Namespace) -> int:
     finally:
         server.close()
         print("matcher server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_shard(args: argparse.Namespace) -> int:
+    """Run one standing shard host for a ``--fleet`` supervisor."""
+    from repro.config import StoreConfig
+    from repro.service import ShardServer
+
+    store_config = None
+    if args.store_dir is not None:
+        store_config = StoreConfig(
+            max_entries=args.store_max_entries,
+            ttl_seconds=args.store_ttl,
+        )
+    server = ShardServer(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store_dir,
+        store_config=store_config,
+    )
+    print(
+        f"serving shard on {server.host}:{server.port} (pid {os.getpid()})",
+        file=sys.stderr,
+    )
+    _install_drain_handler()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        print("shard host stopped", file=sys.stderr)
     return 0
 
 
@@ -1232,6 +1327,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "serve": _cmd_serve,
     "serve-matcher": _cmd_serve_matcher,
+    "serve-shard": _cmd_serve_shard,
     "precompute": _cmd_precompute,
     "bulk": _cmd_bulk,
     "selftest": _cmd_selftest,

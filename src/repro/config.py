@@ -255,7 +255,24 @@ class ShardConfig:
     from a thread, and forking a threaded process can inherit held locks
     (logging, BLAS) into the child — a deadlock class this subsystem
     exists to remove.  ``ready_timeout`` bounds how long a spawned shard
-    may take to import, load its matcher and report ready.
+    may take to import, load its matcher and report ready — applied
+    *per shard* from its own launch, so one slow starter cannot eat the
+    whole fleet's budget.
+
+    The remote-fleet knobs only matter when shards live on other hosts
+    (``--fleet``); the pipe path ignores them:
+
+    * ``connect_timeout`` bounds one TCP connect attempt to a remote
+      shard; ``connect_budget`` bounds the whole capped-jittered-retry
+      cycle of one launch before the launch is declared failed;
+    * ``host_loss_after`` consecutive failed launch cycles against the
+      same address reclassify the failure from *shard crash* (keep
+      reconnecting with backoff) to *host loss* — the supervisor then
+      replaces the shard id onto the next configured standby host;
+    * ``quorum`` is the minimum number of live shards for ``health()``
+      to report ok/degraded instead of 503 (``None`` = majority of the
+      fleet for remote fleets, ``1`` for pipe fleets — matching the
+      pre-fleet "any live shard serves" behaviour).
     """
 
     n_shards: int = 1
@@ -269,6 +286,10 @@ class ShardConfig:
     backoff_reset_after: float = 60.0
     max_failovers: int = 1
     start_method: str = "spawn"
+    connect_timeout: float = 5.0
+    connect_budget: float = 30.0
+    host_loss_after: int = 3
+    quorum: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -317,6 +338,23 @@ class ShardConfig:
             raise ConfigurationError(
                 f"start_method must be spawn, fork or forkserver, "
                 f"got {self.start_method!r}"
+            )
+        if self.connect_timeout <= 0:
+            raise ConfigurationError(
+                f"connect_timeout must be > 0, got {self.connect_timeout}"
+            )
+        if self.connect_budget < self.connect_timeout:
+            raise ConfigurationError(
+                f"connect_budget ({self.connect_budget}) must be >= "
+                f"connect_timeout ({self.connect_timeout})"
+            )
+        if self.host_loss_after < 1:
+            raise ConfigurationError(
+                f"host_loss_after must be >= 1, got {self.host_loss_after}"
+            )
+        if self.quorum is not None and self.quorum < 1:
+            raise ConfigurationError(
+                f"quorum must be >= 1, got {self.quorum}"
             )
 
 

@@ -27,7 +27,9 @@ clause while still being able to discriminate finer-grained failures::
         ├── ServiceOverloadedError # admission control shed the request
         ├── RequestCancelledError  # every waiter abandoned the request
         └── ShardFailedError       # the shard computing the request died
-                                   #   and no live shard could absorb it
+            │                      #   and no live shard could absorb it
+            └── HostLostError      # the whole host behind a shard is gone
+                                   #   (replacement onto a standby pending)
 
 Error taxonomy
 --------------
@@ -65,6 +67,7 @@ __all__ = [
     "ServiceOverloadedError",
     "RequestCancelledError",
     "ShardFailedError",
+    "HostLostError",
     "error_code",
     "is_retryable",
 ]
@@ -259,6 +262,23 @@ class ShardFailedError(ServiceError):
     """
 
     code = "shard_failed"
+    retryable = True
+
+
+class HostLostError(ShardFailedError):
+    """The machine hosting a remote shard is unreachable: reconnect
+    attempts (per-attempt timeout, capped jittered backoff) were
+    exhausted, so the supervisor is replacing the shard id onto a
+    configured standby host.
+
+    Retryable like its parent — by the time the client retries, either
+    the standby has adopted the shard or the partition healed and the
+    supervisor reconnected.  The HTTP front-end maps this to 503 too,
+    but with its own ``host_lost`` code so operators can tell a process
+    crash from a machine loss in client-side logs.
+    """
+
+    code = "host_lost"
     retryable = True
 
 

@@ -20,7 +20,13 @@ reproduction into that shape:
   :class:`ExplanationService` with its own store partition) behind a
   consistent-hash router (:class:`HashRing`) and a supervising shard
   manager with heartbeat monitoring, capped-backoff crash restarts and
-  in-flight failover.
+  in-flight failover;
+* :mod:`repro.service.transport` / :mod:`repro.service.fleet` —
+  cross-host fleets: a pluggable shard transport (in-process pipes, or
+  ``RSF1`` frames over TCP to standing ``serve-shard`` hosts described
+  by a :class:`FleetConfig`), plus the :class:`ShardServer` those hosts
+  run; the supervisor gains host-loss replacement onto standby hosts
+  and partition-tolerant, receiver-clock heartbeat liveness.
 
 Quickstart::
 
@@ -65,9 +71,21 @@ from repro.service.store import (
     StoreStats,
     shard_store_dir,
 )
+from repro.service.fleet import ShardServer
 from repro.service.supervisor import ShardedService
+from repro.service.transport import (
+    FleetConfig,
+    FleetShard,
+    load_fleet_config,
+    parse_fleet_config,
+)
 
 __all__ = [
+    "FleetConfig",
+    "FleetShard",
+    "ShardServer",
+    "load_fleet_config",
+    "parse_fleet_config",
     "ERROR_STATUS",
     "ExplainRequest",
     "ExplanationService",

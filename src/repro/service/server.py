@@ -79,6 +79,7 @@ ERROR_STATUS = {
     "matcher_unavailable": 503,
     "backend_unavailable": 503,
     "shard_failed": 503,
+    "host_lost": 503,
     "matcher_timeout": 504,
     "deadline_exceeded": 504,
 }

@@ -31,9 +31,17 @@ child  →   info        reply to a metrics/stats round trip
 child  →   drained     drain summary + final stats; the process exits next
 ========== =========== ==================================================
 
-Crash semantics: the shard never tries to outlive a broken pipe — when
-the parent disappears (EOF on the control pipe) the shard drains quickly
-and exits, so an orphaned shard cannot hold the store partition open.
+The same message protocol runs unchanged over a framed TCP connection
+when the shard is a standing ``serve-shard`` process on another host
+(:mod:`repro.service.fleet` / :mod:`repro.service.transport`); only the
+disconnect policy differs — see :class:`_ShardWorker`.
+
+Crash semantics: a *spawned* shard never tries to outlive a broken pipe —
+when the parent disappears (EOF on the control pipe) the shard drains
+quickly and exits, so an orphaned shard cannot hold the store partition
+open.  A *standing* shard host instead keeps its service warm across a
+lost supervisor connection, because across machines a disconnect is as
+likely a network partition as a dead supervisor.
 Chaos specs (:class:`~repro.testing.chaos.ShardChaos`) arm real
 in-process faults for the supervisor drills: ``worker_crash`` SIGKILLs
 the shard mid-request, ``heartbeat_stall`` silences heartbeats while the
@@ -114,6 +122,36 @@ class ShardSpec:
         return replace(self, chaos=None)
 
 
+def build_shard_service(
+    spec: ShardSpec,
+) -> tuple[ExplanationService, "ExplanationStore | None"]:
+    """Build one shard's complete serving stack from its spec.
+
+    Shared by the spawned pipe shard (:func:`shard_main`) and the
+    standing ``serve-shard`` host (:class:`~repro.service.fleet.ShardServer`)
+    so the two deployment shapes cannot drift: same matcher
+    construction + fingerprint verification, same store partition
+    layout, same inner :class:`ExplanationService`.
+    """
+    registry = MetricsRegistry(enabled=spec.metrics_enabled)
+    matcher = _build_matcher_source(spec, registry)
+    store = None
+    if spec.store_dir is not None:
+        store = ExplanationStore(
+            shard_store_dir(spec.store_dir, spec.shard_id),
+            spec.store_config,
+            metrics=registry,
+        )
+    service = ExplanationService(
+        matcher,
+        store=store,
+        config=spec.service_config,
+        engine_config=spec.engine_config,
+        metrics=registry,
+    )
+    return service, store
+
+
 def shard_main(spec: ShardSpec, conn) -> None:
     """Entry point of a shard process (the ``Process`` target).
 
@@ -135,22 +173,7 @@ def shard_main(spec: ShardSpec, conn) -> None:
         signal.signal(signal.SIGTERM, _on_sigterm)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
-    registry = MetricsRegistry(enabled=spec.metrics_enabled)
-    matcher = _build_matcher_source(spec, registry)
-    store = None
-    if spec.store_dir is not None:
-        store = ExplanationStore(
-            shard_store_dir(spec.store_dir, spec.shard_id),
-            spec.store_config,
-            metrics=registry,
-        )
-    service = ExplanationService(
-        matcher,
-        store=store,
-        config=spec.service_config,
-        engine_config=spec.engine_config,
-        metrics=registry,
-    )
+    service, store = build_shard_service(spec)
     worker = _ShardWorker(spec, conn, service)
     try:
         worker.run()
@@ -208,12 +231,29 @@ def _build_matcher_source(spec: ShardSpec, registry: MetricsRegistry):
 
 
 class _ShardWorker:
-    """The shard-side pipe loop around one inner service."""
+    """The shard-side control loop around one inner service.
 
-    def __init__(self, spec: ShardSpec, conn, service: ExplanationService):
+    Transport-agnostic: ``conn`` is either the child end of a duplex
+    pipe or a :class:`~repro.service.transport.FrameConnection` — both
+    speak ``send``/``recv``/``EOFError``.  ``on_disconnect`` decides
+    what a lost supervisor means: a spawned pipe shard ``"drain"``\\ s
+    and exits (an orphan must not squat on the store partition), while a
+    standing ``serve-shard`` host ``"keep"``\\ s the warm service for the
+    supervisor's reconnect — that is what makes a healed network
+    partition cheap.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        conn,
+        service: ExplanationService,
+        on_disconnect: str = "drain",
+    ):
         self.spec = spec
         self.conn = conn
         self.service = service
+        self.on_disconnect = on_disconnect
         self._send_lock = threading.Lock()
         self._started_at = time.monotonic()
         self._requests_admitted = 0
@@ -250,6 +290,12 @@ class _ShardWorker:
                     "shard": self.spec.shard_id,
                     "status": status,
                     "health": health,
+                    # Sender wall clock, for *skew diagnostics only*.
+                    # Liveness is judged by the supervisor's own arrival
+                    # clock — hosts do not share a clock, and monotonic
+                    # clocks are not even comparable across processes on
+                    # one machine.
+                    "sent_at": time.time(),
                 }
             )
 
@@ -336,7 +382,15 @@ class _ShardWorker:
 
     # -- main loop -----------------------------------------------------
 
-    def run(self) -> None:
+    def run(self) -> str:
+        """Serve the control channel; returns why the loop ended.
+
+        ``"drained"`` — the supervisor decommissioned this shard with a
+        drain message (the service is closed).  ``"disconnect"`` — the
+        channel died; in ``"drain"`` mode the service was drained and
+        closed, in ``"keep"`` mode it is still warm and serving-ready
+        for the next adoption.
+        """
         heartbeat = threading.Thread(
             target=self._heartbeat_loop,
             daemon=True,
@@ -348,6 +402,10 @@ class _ShardWorker:
                 "kind": "ready",
                 "shard": self.spec.shard_id,
                 "pid": os.getpid(),
+                # Echoed so the supervisor re-verifies the model identity
+                # on every (re)connect — a standby host that adopted the
+                # shard must serve the exact weights keys were minted for.
+                "fingerprint": self.spec.fingerprint,
             }
         )
         try:
@@ -355,6 +413,16 @@ class _ShardWorker:
                 try:
                     message = self.conn.recv()
                 except (EOFError, OSError, SystemExit):
+                    if self.on_disconnect == "keep":
+                        # A standing shard host: the supervisor may be
+                        # mid-partition and will reconnect; keep the
+                        # service (caches, store handle, warm engine) up.
+                        logger.warning(
+                            "shard %d: supervisor connection lost; "
+                            "keeping service warm for re-adoption",
+                            self.spec.shard_id,
+                        )
+                        return "disconnect"
                     # Parent died / closed the pipe, or SIGTERM landed:
                     # drain briefly so in-flight work is not cut
                     # mid-write, then exit — an orphan must not squat on
@@ -366,7 +434,7 @@ class _ShardWorker:
                     self.service.close(
                         drain=True, drain_timeout=_ORPHAN_DRAIN_TIMEOUT
                     )
-                    return
+                    return "disconnect"
                 kind = message.get("kind")
                 if kind == "request":
                     self._handle_request(message["id"], message["request"])
@@ -392,7 +460,7 @@ class _ShardWorker:
                     self._handle_drain(
                         message.get("drain", True), message.get("timeout")
                     )
-                    return
+                    return "drained"
                 else:
                     logger.warning(
                         "shard %d: unknown control message %r",

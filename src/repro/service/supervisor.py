@@ -30,14 +30,39 @@ the retryable :class:`~repro.exceptions.ShardFailedError` (HTTP 503 +
 same way instead of queueing into the void.
 
 Observability rolls up: ``/metrics`` merges every shard's registry (as
-``shard="N"``-labelled families) with the router's own counters, and
-``/healthz`` reports per-shard state — one shard with a tripped breaker
-or mid-restart reads as ``degraded``, not down; only zero live shards
-(or drain) is a 503.
+``shard="N"``-labelled families, plus ``host=`` for remote shards) with
+the router's own counters, and ``/healthz`` reports per-shard state —
+one shard with a tripped breaker or mid-restart reads as ``degraded``,
+not down; only drain or losing the health quorum is a 503.
+
+**Transports and the fleet.**  Where a shard *runs* is a
+:class:`~repro.service.transport.ShardTransport`: the default pipe
+transport spawns local child processes (bit-identical to the pre-fleet
+behaviour), while a :class:`~repro.service.transport.FleetConfig` puts
+every shard behind a TCP transport dialling standing ``serve-shard``
+hosts.  Cross-host supervision adds three behaviours on top of the
+local rules, none of which touch the pipe path:
+
+* *Receiver-clock liveness.*  Heartbeat staleness is judged by the
+  supervisor's own arrival clock (:meth:`_ShardHandle.record_heartbeat`);
+  the sender's wall time rides along for skew diagnostics only.
+* *Launch retry.*  Connecting to a remote shard uses per-attempt
+  timeouts inside a capped jittered-retry budget (``connect_timeout`` /
+  ``connect_budget``), and every shard gets its *own* ready deadline —
+  one slow-starting host cannot eat the fleet's startup budget.
+* *Replace on host loss.*  A shard that keeps failing to *connect*
+  (``host_loss_after`` consecutive launch cycles) is distinguished from
+  one that merely crashed: its host is declared lost and the shard id is
+  moved onto the next configured standby host, fingerprint re-verified
+  on adoption, store partition rebuilt from warm misses.  In-flight
+  requests follow the normal bounded failover; give-ups surface as the
+  retryable ``host_lost`` (a :class:`~repro.exceptions.ShardFailedError`
+  subclass) so operators can tell a machine loss from a process crash.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import logging
 import multiprocessing
@@ -50,7 +75,12 @@ from repro.backends.client import RemoteBackend, RemoteBackendConfig
 from repro.config import ServiceConfig, ShardConfig, StoreConfig
 from repro.core.engine import EngineConfig
 from repro.core.serialize import matcher_fingerprint
-from repro.exceptions import ConfigurationError, ServiceError, ShardFailedError
+from repro.exceptions import (
+    ConfigurationError,
+    HostLostError,
+    ServiceError,
+    ShardFailedError,
+)
 from repro.obs.export import (
     families_to_json,
     families_to_prometheus,
@@ -59,7 +89,13 @@ from repro.obs.export import (
 from repro.obs.metrics import MetricsRegistry
 from repro.service.request import ExplainRequest, request_key
 from repro.service.router import HashRing
-from repro.service.shard import ShardSpec, shard_main
+from repro.service.shard import ShardSpec
+from repro.service.transport import (
+    FleetConfig,
+    PipeShardTransport,
+    ShardTransport,
+    TcpShardTransport,
+)
 from repro.testing.chaos import ShardChaos
 
 __all__ = ["ShardedService"]
@@ -92,21 +128,31 @@ class _Pending:
 
 
 class _ShardHandle:
-    """Parent-side state of one shard process."""
+    """Parent-side state of one shard (local process or remote host)."""
 
-    def __init__(self, spec: ShardSpec) -> None:
+    def __init__(self, spec: ShardSpec, transport: ShardTransport) -> None:
         self.spec = spec
-        self.process = None
+        self.transport = transport
         self.conn = None
         self.reader: threading.Thread | None = None
         self.state = _STOPPED
+        #: True while a launcher thread is spawning/connecting; the
+        #: monitor must not read transport liveness in that window.
+        self.launching = False
         self.pid: int | None = None
         self.last_heartbeat = 0.0
+        #: Sender wall clock minus ours at the last heartbeat — a
+        #: diagnostic only, never an input to liveness.
+        self.clock_skew: float | None = None
         self.last_health: dict = {}
         self.started_at = 0.0
         self.restarts = 0
         self.consecutive_failures = 0
+        #: Consecutive failed launch cycles since the last successful
+        #: connect; ``host_loss_after`` of these flips crash → host loss.
+        self.connect_failures = 0
         self.restart_at = 0.0
+        self.last_error: str | None = None
         self.drain_summary: dict | None = None
         self.drained = threading.Event()
         # Final counters from the shard's drained message, served after
@@ -117,6 +163,26 @@ class _ShardHandle:
     @property
     def shard_id(self) -> int:
         return self.spec.shard_id
+
+    def record_heartbeat(
+        self,
+        now: float,
+        sent_at: float | None = None,
+        wall_now: float | None = None,
+    ) -> None:
+        """Record shard liveness from the *arrival* of a heartbeat.
+
+        ``now`` is the supervisor's own monotonic clock at the moment
+        the message arrived — the only clock liveness may trust:
+        machines do not share wall clocks, and monotonic clocks are not
+        comparable across processes even on one machine.  The sender's
+        wall time (``sent_at``), when present, feeds nothing but the
+        ``clock_skew`` diagnostic.
+        """
+        self.last_heartbeat = now
+        if sent_at is not None:
+            wall = time.time() if wall_now is None else wall_now
+            self.clock_skew = wall - sent_at
 
     def heartbeat_age(self, now: float) -> float:
         reference = self.last_heartbeat or self.started_at
@@ -136,6 +202,12 @@ class ShardedService:
     ``chaos`` maps shard ids to
     :class:`~repro.testing.chaos.ShardChaos` specs — the fault-injection
     hook the supervisor tests and ``scripts/shard_drill.py`` use.
+
+    With a ``fleet`` config the same construction runs cross-host: no
+    process is spawned; each shard id dials its standing ``serve-shard``
+    address from the fleet file and is adopted over TCP.  The fleet file
+    overrides ``shard_config.n_shards``, and its ``standbys`` feed the
+    supervisor's replace-on-host-loss policy.
     """
 
     def __init__(
@@ -150,9 +222,21 @@ class ShardedService:
         chaos: dict[int, ShardChaos] | None = None,
         backend_address: str | None = None,
         backend_config: RemoteBackendConfig | None = None,
+        fleet: FleetConfig | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.shard_config = shard_config or ShardConfig()
+        self._fleet = fleet
+        if fleet is not None:
+            # The fleet file is the authority on shard count; the ring,
+            # specs and handles below all follow it.
+            self.shard_config = dataclasses.replace(
+                self.shard_config, n_shards=fleet.n_shards
+            )
+        self._standbys = list(fleet.standbys) if fleet is not None else []
+        #: Addresses declared lost (replaced, or unreachable past the
+        #: host-loss threshold with no standby left).
+        self._lost_hosts: set[str] = set()
         if (matcher is None) == (backend_address is None):
             raise ConfigurationError(
                 "ShardedService needs exactly one of a matcher or a "
@@ -212,9 +296,25 @@ class ShardedService:
         self._m_live = self.metrics.gauge(
             "repro_shards_live", "Shards currently serving", **labels,
         )
+        self._m_connect_failures = self.metrics.counter(
+            "repro_shard_connect_failures",
+            "Failed shard launch/connect cycles", **labels,
+        )
+        self._m_reconnects = self.metrics.counter(
+            "repro_shard_reconnects",
+            "Remote shards re-adopted after a lost connection", **labels,
+        )
+        self._m_hosts_lost = self.metrics.counter(
+            "repro_hosts_lost",
+            "Shard hosts declared lost and replaced by a standby", **labels,
+        )
 
         blob = None if matcher is None else pickle.dumps(matcher)
         chaos = chaos or {}
+        fleet_by_id = (
+            {} if fleet is None
+            else {entry.shard_id: entry for entry in fleet.shards}
+        )
         self._handles: dict[int, _ShardHandle] = {}
         for shard_id in range(self.shard_config.n_shards):
             spec = ShardSpec(
@@ -231,72 +331,184 @@ class ShardedService:
                 fingerprint=self.fingerprint,
                 chaos=chaos.get(shard_id),
             )
-            self._handles[shard_id] = _ShardHandle(spec)
+            if fleet is None:
+                transport: ShardTransport = PipeShardTransport(self._ctx)
+            else:
+                entry = fleet_by_id[shard_id]
+                transport = TcpShardTransport(
+                    entry.host,
+                    entry.port,
+                    connect_timeout=self.shard_config.connect_timeout,
+                    connect_budget=self.shard_config.connect_budget,
+                )
+            self._handles[shard_id] = _ShardHandle(spec, transport)
 
+        self._monitor: threading.Thread | None = None
         try:
             for handle in self._handles.values():
                 self._start_shard(handle)
+            # The monitor runs during startup on purpose: a remote shard
+            # whose first connect cycle fails gets retried with backoff
+            # inside its own ready budget instead of failing the fleet.
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, daemon=True,
+                name="shard-supervisor",
+            )
+            self._monitor.start()
             self._await_ready()
         except BaseException:
+            self._stop.set()
+            if self._monitor is not None:
+                self._monitor.join(timeout=5.0)
             self._kill_all()
             raise
-
-        self._monitor = threading.Thread(
-            target=self._monitor_loop, daemon=True, name="shard-supervisor"
-        )
-        self._monitor.start()
 
     # -- shard lifecycle -----------------------------------------------
 
     def _start_shard(self, handle: _ShardHandle) -> None:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=shard_main,
-            args=(handle.spec, child_conn),
-            name=f"repro-shard-{handle.shard_id}",
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
+        """Begin one launch cycle; the launcher thread finishes it.
+
+        Launching happens off the monitor thread because a remote
+        connect can legitimately take a whole ``connect_budget`` —
+        serializing that behind every other shard's health checks would
+        turn one slow host into fleet-wide detection latency.
+        """
         now = time.monotonic()
         with self._lock:
-            handle.process = process
-            handle.conn = parent_conn
             handle.state = _STARTING
-            handle.pid = process.pid
+            handle.launching = True
+            handle.conn = None
+            handle.pid = None
             handle.started_at = now
             handle.last_heartbeat = 0.0
             handle.drain_summary = None
             handle.drained.clear()
+        launcher = threading.Thread(
+            target=self._launch_shard,
+            args=(handle,),
+            daemon=True,
+            name=f"shard-{handle.shard_id}-launch",
+        )
+        launcher.start()
+
+    def _launch_shard(self, handle: _ShardHandle) -> None:
+        try:
+            conn = handle.transport.launch(handle.spec, stop=self._stop)
+        except Exception as error:  # noqa: BLE001 - launch failures retry
+            self._on_launch_failure(handle, error)
+            return
+        with self._lock:
+            handle.conn = conn
+            handle.launching = False
+            handle.connect_failures = 0
+            handle.pid = handle.transport.pid
+            # The ready clock starts at connection, not at dial time: a
+            # remote shard should not inherit its host's connect retries
+            # against its model-load budget.
+            handle.started_at = time.monotonic()
+            self._lost_hosts.discard(getattr(handle.transport, "address", ""))
         reader = threading.Thread(
             target=self._reader_loop,
-            args=(handle, parent_conn),
+            args=(handle, conn),
             daemon=True,
             name=f"shard-{handle.shard_id}-reader",
         )
         handle.reader = reader
         reader.start()
 
+    def _on_launch_failure(self, handle: _ShardHandle, error: Exception) -> None:
+        cfg = self.shard_config
+        now = time.monotonic()
+        with self._lock:
+            handle.launching = False
+            handle.state = _DEAD
+            handle.last_error = str(error)
+            handle.connect_failures += 1
+            handle.consecutive_failures += 1
+            backoff = min(
+                cfg.restart_backoff_max,
+                cfg.restart_backoff_base
+                * (2 ** (handle.consecutive_failures - 1)),
+            )
+            handle.restart_at = now + backoff
+            connect_failures = handle.connect_failures
+            self._m_connect_failures.inc()
+            self._m_live.set(len(self._live_ids()))
+        logger.error(
+            "shard %d failed to launch (%s, consecutive failure %d): %s; "
+            "retry in %.2fs",
+            handle.shard_id, handle.transport.describe(), connect_failures,
+            error, backoff,
+        )
+        if (
+            handle.transport.remote
+            and connect_failures >= cfg.host_loss_after
+            and not self._closed
+        ):
+            self._declare_host_lost(handle)
+
+    def _declare_host_lost(self, handle: _ShardHandle) -> None:
+        """Flip a repeatedly-unreachable shard from *crash* to *host loss*.
+
+        With a standby available the shard id is replaced onto it
+        immediately (the standby adopts the spec, re-verifies the
+        fingerprint, and rebuilds its store partition from warm misses);
+        without one, the host is only *marked* lost — health reports it,
+        ``host_lost`` errors surface, and the supervisor keeps knocking
+        on the dead address with backoff in case it returns.
+        """
+        with self._lock:
+            lost = handle.transport.address
+            if not self._standbys:
+                if lost not in self._lost_hosts:
+                    self._lost_hosts.add(lost)
+                    self._m_hosts_lost.inc()
+                    logger.error(
+                        "host %s (shard %d) is lost and no standby is "
+                        "configured; will keep retrying",
+                        lost, handle.shard_id,
+                    )
+                return
+            standby = self._standbys.pop(0)
+            self._lost_hosts.add(lost)
+            handle.transport.move_to(standby.host, standby.port)
+            handle.connect_failures = 0
+            handle.consecutive_failures = 0
+            handle.restart_at = 0.0  # replace now, no backoff
+            self._m_hosts_lost.inc()
+        logger.error(
+            "host %s is lost: replacing shard %d onto standby %s:%d",
+            lost, handle.shard_id, standby.host, standby.port,
+        )
+
     def _await_ready(self) -> None:
-        deadline = time.monotonic() + self.shard_config.ready_timeout
+        cfg = self.shard_config
         for handle in self._handles.values():
+            # Per-shard deadline: remote shards additionally get their
+            # connect budget, so a slow accept on one host cannot starve
+            # another shard's model-load time.
+            budget = cfg.ready_timeout + (
+                cfg.connect_budget if handle.transport.remote else 0.0
+            )
+            deadline = time.monotonic() + budget
             while True:
                 with self._lock:
                     state = handle.state
+                    last_error = handle.last_error
                 if state == _LIVE:
                     break
-                if state in (_DEAD, _STOPPED) or time.monotonic() > deadline:
+                if state == _STOPPED or time.monotonic() > deadline:
+                    detail = f" ({last_error})" if last_error else ""
                     raise ServiceError(
-                        f"shard {handle.shard_id} failed to become ready "
-                        f"within {self.shard_config.ready_timeout:.0f}s"
+                        f"shard {handle.shard_id} "
+                        f"[{handle.transport.describe()}] failed to become "
+                        f"ready within {budget:.0f}s{detail}"
                     )
                 time.sleep(0.01)
 
     def _kill_all(self) -> None:
         for handle in self._handles.values():
-            process = handle.process
-            if process is not None and process.is_alive():
-                process.kill()
+            handle.transport.kill()
 
     # -- reader thread (one per shard incarnation) ---------------------
 
@@ -313,17 +525,55 @@ class ShardedService:
                 self._on_response(message)
             elif kind == "heartbeat":
                 with self._lock:
-                    handle.last_heartbeat = time.monotonic()
+                    handle.record_heartbeat(
+                        time.monotonic(), message.get("sent_at")
+                    )
                     handle.last_health = message.get("health", {})
             elif kind == "ready":
+                served = message.get("fingerprint")
+                if served is not None and served != self.fingerprint:
+                    # A (standby) host serving different weights must
+                    # never go live: request keys, caches and store
+                    # partitions are minted under our fingerprint.
+                    logger.error(
+                        "shard %d [%s] reports fingerprint %s…, router "
+                        "expects %s…; severing",
+                        handle.shard_id, handle.transport.describe(),
+                        served[:12], self.fingerprint[:12],
+                    )
+                    with self._lock:
+                        handle.last_error = (
+                            f"fingerprint mismatch: shard serves "
+                            f"{served[:12]}…"
+                        )
+                    handle.transport.kill()
+                    continue  # next recv raises; monitor handles death
+                reconnected = False
                 with self._lock:
                     if handle.conn is conn:
+                        reconnected = (
+                            handle.transport.remote and handle.restarts > 0
+                        )
                         handle.state = _LIVE
                         handle.pid = message.get("pid", handle.pid)
-                        handle.last_heartbeat = time.monotonic()
+                        handle.record_heartbeat(time.monotonic())
                         self._m_live.set(len(self._live_ids()))
+                if reconnected:
+                    self._m_reconnects.inc()
                 logger.info(
-                    "shard %d ready (pid %s)", handle.shard_id, handle.pid
+                    "shard %d ready (%s, pid %s)",
+                    handle.shard_id, handle.transport.describe(), handle.pid,
+                )
+            elif kind == "fatal":
+                # A shard host refused the adoption (bad handshake,
+                # fingerprint drift, build failure).  It closes the
+                # connection next; record why for the launch error.
+                with self._lock:
+                    handle.last_error = message.get("error")
+                logger.error(
+                    "shard %d host refused adoption [%s]: %s",
+                    handle.shard_id, message.get("code"),
+                    message.get("error"),
                 )
             elif kind == "info":
                 with self._lock:
@@ -363,6 +613,11 @@ class ShardedService:
             for handle in self._handles.values():
                 with self._lock:
                     state = handle.state
+                    launching = handle.launching
+                if launching:
+                    # A launcher thread owns this shard: it enforces its
+                    # own connect budget and reports failure itself.
+                    continue
                 if state == _LIVE:
                     # Backoff amnesty after sustained health.
                     with self._lock:
@@ -373,7 +628,7 @@ class ShardedService:
                         ):
                             handle.consecutive_failures = 0
                 if state in (_STARTING, _LIVE):
-                    dead = not handle.process.is_alive()
+                    dead = not handle.transport.alive()
                     hung = (
                         state == _LIVE
                         and handle.heartbeat_age(now) > cfg.heartbeat_timeout
@@ -386,11 +641,13 @@ class ShardedService:
                     )
                     if hung and not dead:
                         logger.error(
-                            "shard %d hung: no heartbeat for %.1fs; killing",
+                            "shard %d hung: no heartbeat for %.1fs; "
+                            "severing %s",
                             handle.shard_id, handle.heartbeat_age(now),
+                            handle.transport.describe(),
                         )
-                        handle.process.kill()
-                        handle.process.join(timeout=5.0)
+                        handle.transport.kill()
+                        handle.transport.join(timeout=5.0)
                         dead = True
                     if dead:
                         self._on_shard_death(handle, now)
@@ -409,10 +666,11 @@ class ShardedService:
                 * (2 ** (handle.consecutive_failures - 1)),
             )
             handle.restart_at = now + backoff
-            try:
-                handle.conn.close()
-            except OSError:
-                pass
+            if handle.conn is not None:
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
             orphaned = [
                 (rid, entry)
                 for rid, entry in self._pending.items()
@@ -420,11 +678,12 @@ class ShardedService:
             ]
             self._m_deaths.inc()
             self._m_live.set(len(self._live_ids()))
-        exitcode = handle.process.exitcode
+        exitcode = handle.transport.exitcode
         logger.error(
-            "shard %d died (pid %s, exit %s): %d in-flight request(s), "
-            "restart in %.2fs",
-            handle.shard_id, handle.pid, exitcode, len(orphaned), backoff,
+            "shard %d died (%s, pid %s, exit %s): %d in-flight "
+            "request(s), restart in %.2fs",
+            handle.shard_id, handle.transport.describe(), handle.pid,
+            exitcode, len(orphaned), backoff,
         )
         for rid, entry in orphaned:
             self._failover(rid, entry)
@@ -452,14 +711,35 @@ class ShardedService:
         }
 
     def _dispatch(self, rid: int, entry: _Pending) -> bool:
-        """Send *entry* to its shard; False when the pipe is already gone."""
+        """Send *entry* to its shard; False when the channel is gone."""
         handle = self._handles[entry.shard_id]
+        conn = handle.conn
+        if conn is None:
+            return False
         message = {"kind": "request", "id": rid, "request": entry.request}
         try:
-            handle.conn.send(message)
+            conn.send(message)
             return True
         except (OSError, ValueError, BrokenPipeError):
             return False
+
+    def _unroutable_error(self, key: str, detail: str) -> ShardFailedError:
+        """The give-up error for *key*: ``host_lost`` when its owner's
+        host is currently declared lost, ``shard_failed`` otherwise."""
+        owner = self._ring.owner(key)
+        handle = self._handles.get(owner)
+        if (
+            handle is not None
+            and handle.transport.remote
+            and getattr(handle.transport, "address", None) in self._lost_hosts
+        ):
+            return HostLostError(
+                f"host {handle.transport.address} owning request "
+                f"{key[:16]} is lost; {detail}; safe to retry"
+            )
+        return ShardFailedError(
+            f"shard serving request {key[:16]} died; {detail}; safe to retry"
+        )
 
     def _failover(self, rid: int, entry: _Pending) -> None:
         """Re-route one orphaned in-flight request or fail it, retryably."""
@@ -475,6 +755,10 @@ class ShardedService:
                     self._pending.pop(rid, None)
                     self._m_failed.inc()
                     give_up = True
+                    error = self._unroutable_error(
+                        entry.key,
+                        f"{entry.failovers} failover(s) attempted",
+                    )
                 else:
                     give_up = False
                     preference = self._ring.preference(entry.key)
@@ -485,13 +769,7 @@ class ShardedService:
                     entry.shard_id = next_id
                     entry.failovers += 1
             if give_up:
-                entry.future.set_exception(
-                    ShardFailedError(
-                        f"shard serving request {entry.key[:16]} died "
-                        f"({entry.failovers} failover(s) attempted); "
-                        "safe to retry"
-                    )
-                )
+                entry.future.set_exception(error)
                 return
             self._m_failovers.inc()
             logger.warning(
@@ -527,8 +805,8 @@ class ShardedService:
             live = self._live_ids()
             shard_id = self._ring.assign(key, live=live)
             if shard_id is None:
-                raise ShardFailedError(
-                    "no live shard available (all restarting); retry shortly"
+                raise self._unroutable_error(
+                    key, "no live shard available (all restarting)"
                 )
             rid = next(self._rid)
             entry = _Pending(future, request, key, shard_id)
@@ -581,20 +859,44 @@ class ShardedService:
 
     # -- health / metrics / stats --------------------------------------
 
+    def _effective_quorum(self) -> int:
+        """Live shards required for the service to count as up.
+
+        Pipe fleets keep the pre-fleet rule — any live shard serves
+        (quorum 1) — because a local process crash is always transient.
+        Remote fleets default to a majority: with half the hosts gone
+        the supervisor may be the partitioned one, and serving a sliver
+        of the ring as "healthy" would mask a real outage.
+        """
+        if self.shard_config.quorum is not None:
+            return self.shard_config.quorum
+        if self._fleet is None:
+            return 1
+        if self._fleet.quorum is not None:
+            return self._fleet.quorum
+        return self.shard_config.n_shards // 2 + 1
+
     def health(self) -> tuple[int, dict]:
         """Aggregated ``(http_status, payload)`` across the fleet.
 
         One sick shard — dead and backing off, mid-restart, breaker
         open, heartbeat stale — marks the service ``degraded`` but still
-        200: the ring routes around it.  Only drain or zero live shards
-        is a 503.
+        200: the ring routes around it.  The same holds for one *lost
+        host* in a remote fleet (its shard is mid-replacement onto a
+        standby).  Only drain or falling below the health quorum is a
+        503 (``quorum_lost`` when some shards still serve,
+        ``no_live_shards`` when none do).
         """
         now = time.monotonic()
+        fleet_mode = self._fleet is not None
         shards: dict[str, dict] = {}
+        hosts: dict[str, dict] = {}
         degraded: list[str] = []
         with self._lock:
             closed = self._closed
             pending = len(self._pending)
+            lost_hosts = sorted(self._lost_hosts)
+            standbys_left = len(self._standbys)
             for shard_id, handle in sorted(self._handles.items()):
                 inner = handle.last_health
                 breaker = inner.get("breaker", "unknown")
@@ -608,6 +910,13 @@ class ShardedService:
                 }
                 if "degraded" in inner:
                     entry["degraded"] = inner["degraded"]
+                if fleet_mode:
+                    # Host identity is the fleet entry's host:port — on
+                    # one machine (localhost drills) the port is what
+                    # distinguishes hosts.
+                    entry["host"] = handle.transport.address
+                    if handle.clock_skew is not None:
+                        entry["clock_skew"] = round(handle.clock_skew, 3)
                 shards[str(shard_id)] = entry
                 sick = (
                     handle.state != _LIVE
@@ -618,8 +927,16 @@ class ShardedService:
                 )
                 if sick:
                     degraded.append(str(shard_id))
+                if fleet_mode:
+                    bucket = hosts.setdefault(
+                        handle.transport.address, {"shards": [], "live": 0}
+                    )
+                    bucket["shards"].append(shard_id)
+                    if handle.state == _LIVE:
+                        bucket["live"] += 1
             live = len(self._live_ids())
-        ok = not closed and live > 0
+        quorum = self._effective_quorum()
+        ok = not closed and live >= quorum
         payload = {
             "ok": ok,
             "draining": closed,
@@ -627,10 +944,22 @@ class ShardedService:
             "live_shards": live,
             "pending": pending,
         }
+        if fleet_mode:
+            for bucket in hosts.values():
+                bucket["state"] = "up" if bucket["live"] else "down"
+            payload["hosts"] = hosts
+            payload["lost_hosts"] = lost_hosts
+            payload["standbys_available"] = standbys_left
+            payload["quorum"] = quorum
         if degraded:
             payload["degraded"] = degraded
         if not ok:
-            payload["reason"] = "draining" if closed else "no_live_shards"
+            if closed:
+                payload["reason"] = "draining"
+            elif live == 0:
+                payload["reason"] = "no_live_shards"
+            else:
+                payload["reason"] = "quorum_lost"
         return (200 if ok else 503), payload
 
     def _collect_shard(self, handle: _ShardHandle, kind: str):
@@ -661,7 +990,12 @@ class ShardedService:
             if families is None:
                 families = handle.final_families
             if families is not None:
-                tagged.append(({"shard": str(shard_id)}, families))
+                labels = {"shard": str(shard_id)}
+                if handle.transport.remote:
+                    # Only remote shards carry a host label; the pipe
+                    # path's exposition stays byte-compatible.
+                    labels["host"] = handle.transport.address
+                tagged.append((labels, families))
         return merge_families(tagged)
 
     def metrics_text(self) -> str:
@@ -689,6 +1023,10 @@ class ShardedService:
                     for shard_id, handle in sorted(self._handles.items())
                 },
             }
+            if self._fleet is not None:
+                router["transport"] = "tcp"
+                router["lost_hosts"] = sorted(self._lost_hosts)
+                router["standbys_available"] = len(self._standbys)
         shards = {}
         for shard_id, handle in sorted(self._handles.items()):
             stats = self._collect_shard(handle, "stats")
@@ -730,7 +1068,7 @@ class ShardedService:
         live = []
         with self._lock:
             for handle in self._handles.values():
-                if handle.state == _LIVE:
+                if handle.state == _LIVE and handle.conn is not None:
                     live.append(handle)
         for handle in live:
             try:
@@ -748,17 +1086,18 @@ class ShardedService:
                 message = handle.drain_summary or {}
                 summaries[str(handle.shard_id)] = message.get("summary", {})
         for handle in self._handles.values():
-            process = handle.process
-            if process is None:
-                continue
-            process.join(timeout=max(0.0, deadline - time.monotonic()))
-            if process.is_alive():
+            transport = handle.transport
+            transport.join(timeout=max(0.0, deadline - time.monotonic()))
+            if transport.alive() and not handle.drained.is_set():
                 logger.warning(
-                    "shard %d did not drain in time; killing",
-                    handle.shard_id,
+                    "shard %d did not drain in time; severing %s",
+                    handle.shard_id, transport.describe(),
                 )
-                process.kill()
-                process.join(timeout=5.0)
+            # For a local process this is kill+reap of a straggler (a
+            # no-op after a clean exit); for a remote shard it just
+            # drops the connection — the drained host exits on its own.
+            transport.kill()
+            transport.join(timeout=5.0)
             with self._lock:
                 handle.state = _STOPPED
         self._m_live.set(0)

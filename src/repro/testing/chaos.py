@@ -46,10 +46,27 @@ Backend chaos (the remote-matcher failure model): a
   bytes that are not a frame at all (bad magic), modelling a proxy
   mix-up or a corrupted stream the client must fail fast on.
 
+Network chaos (the cross-host fleet's failure model): a
+:class:`ChaosProxy` sits between the supervisor and one ``serve-shard``
+host and mangles the TCP stream in-flight:
+
+* ``partition`` — both directions are silently dropped while the sockets
+  stay established (the classic network partition: neither side sees an
+  error, only silence);
+* ``slow`` — every chunk is delayed (a saturated or lossy link);
+* ``half_open`` — supervisor→shard bytes flow, shard→supervisor bytes
+  vanish (asymmetric routing failure: the shard serves into the void);
+* ``corrupt_frame`` — one bad-magic frame is injected toward the
+  supervisor (middlebox mix-up), which must classify it as a connection
+  loss and reconnect;
+* :meth:`ChaosProxy.heal` — back to transparent forwarding; the fleet
+  must reconnect and resume.
+
 Used by ``tests/service/test_lifecycle.py``, the store-recovery and
-sharded-service tests, the backend failure-taxonomy tests,
-``scripts/chaos_drill.py``, ``scripts/shard_drill.py`` and
-``scripts/backend_drill.py`` (the CI chaos jobs).
+sharded-service tests, the backend failure-taxonomy tests, the fleet
+tests, ``scripts/chaos_drill.py``, ``scripts/shard_drill.py``,
+``scripts/backend_drill.py`` and ``scripts/fleet_drill.py`` (the CI
+chaos jobs).
 """
 
 from __future__ import annotations
@@ -65,6 +82,7 @@ from pathlib import Path
 
 __all__ = [
     "BackendChaos",
+    "ChaosProxy",
     "ShardChaos",
     "SlowClient",
     "backend_disconnect",
@@ -370,6 +388,196 @@ class SlowClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+#: Stream-mangling modes a :class:`ChaosProxy` can switch between live.
+PROXY_MODES = ("forward", "partition", "slow", "half_open", "corrupt_frame")
+
+
+class ChaosProxy:
+    """A mode-switchable TCP proxy between a supervisor and a shard host.
+
+    Point the supervisor's fleet entry at the proxy's address and the
+    proxy at the real ``serve-shard`` port; then flip modes mid-drill::
+
+        proxy = ChaosProxy(shard_host, shard_port)
+        host, port = proxy.start()
+        ...  # fleet config points shard N at (host, port)
+        proxy.partition()   # silence both directions, sockets stay open
+        ...                 # supervisor must detect via missed heartbeats
+        proxy.heal()        # transparent again; fleet must reconnect
+
+    The mode is read per forwarded chunk, so a switch takes effect on
+    in-flight connections, not just new ones.  ``partition`` and
+    ``half_open`` drop bytes while keeping the TCP sockets established —
+    neither endpoint gets a reset, which is what distinguishes a
+    partition from a crash and forces heartbeat-based detection.
+    ``corrupt_frame`` (armed via :meth:`corrupt_next_frame`) injects one
+    bad-magic frame toward the supervisor and severs that connection,
+    modelling a middlebox corrupting the stream.
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        *,
+        host: str = "127.0.0.1",
+        delay_seconds: float = 0.2,
+    ) -> None:
+        self.target_host = target_host
+        self.target_port = target_port
+        self.delay_seconds = delay_seconds
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(8)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._mode = "forward"
+        self._corrupt_armed = False
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._sockets: list[socket.socket] = []
+        self._thread: threading.Thread | None = None
+        #: Chunks dropped while partitioned / half-open (drill assertions).
+        self.dropped_chunks = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def mode(self) -> str:
+        with self._lock:
+            return self._mode
+
+    def set_mode(self, mode: str) -> None:
+        if mode not in PROXY_MODES:
+            raise ValueError(
+                f"mode must be one of {PROXY_MODES}, got {mode!r}"
+            )
+        with self._lock:
+            self._mode = mode
+
+    def partition(self) -> None:
+        """Silence both directions; sockets stay established."""
+        self.set_mode("partition")
+
+    def heal(self) -> None:
+        """Return to transparent forwarding."""
+        self.set_mode("forward")
+
+    def corrupt_next_frame(self) -> None:
+        """Arm a one-shot bad-magic frame toward the supervisor."""
+        with self._lock:
+            self._mode = "corrupt_frame"
+            self._corrupt_armed = True
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Begin accepting; returns the (host, port) to dial."""
+        self._thread = threading.Thread(
+            target=self._accept_loop,
+            daemon=True,
+            name=f"chaos-proxy-{self.port}",
+        )
+        self._thread.start()
+        return self.host, self.port
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            sockets, self._sockets = self._sockets, []
+        for sock in sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the data plane -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            try:
+                upstream = socket.create_connection(
+                    (self.target_host, self.target_port), timeout=10.0
+                )
+            except OSError:
+                client.close()
+                continue
+            with self._lock:
+                self._sockets += [client, upstream]
+            for src, dst, direction in (
+                (client, upstream, "c2s"),
+                (upstream, client, "s2c"),
+            ):
+                threading.Thread(
+                    target=self._pump,
+                    args=(src, dst, direction),
+                    daemon=True,
+                    name=f"chaos-proxy-{self.port}-{direction}",
+                ).start()
+
+    def _take_corrupt(self) -> bool:
+        with self._lock:
+            armed, self._corrupt_armed = self._corrupt_armed, False
+            return armed
+
+    def _pump(self, src: socket.socket, dst: socket.socket, direction: str) -> None:
+        while not self._stop.is_set():
+            try:
+                data = src.recv(65536)
+            except OSError:
+                break
+            if not data:
+                break
+            mode = self.mode
+            if mode == "partition" or (
+                mode == "half_open" and direction == "s2c"
+            ):
+                # Swallow the bytes; the sockets stay open so neither
+                # side sees a reset — only heartbeat silence.
+                self.dropped_chunks += 1
+                continue
+            if mode == "corrupt_frame" and direction == "s2c":
+                if self._take_corrupt():
+                    try:
+                        # A frame with a magic no sub-protocol uses: the
+                        # supervisor must treat it as a connection loss.
+                        dst.sendall(b"XXXX" + (0).to_bytes(4, "big"))
+                    except OSError:
+                        break
+                    break  # sever: the stream is garbage from here on
+            if mode == "slow":
+                time.sleep(self.delay_seconds)
+            try:
+                dst.sendall(data)
+            except OSError:
+                break
+        # Half-close so the peer's reader sees EOF once we stop pumping
+        # (unless partitioned, where lingering open sockets are the point).
+        if self.mode not in ("partition", "half_open"):
+            for sock in (src, dst):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
 
 
 def overload_burst(make_call, n: int, timeout: float = 120.0) -> list:

@@ -1,0 +1,365 @@
+"""Cross-host fleet serving: TCP adoption, partitions, host loss, quorum.
+
+The shard hosts here are real :class:`ShardServer` instances serving the
+real ``RSF1`` TCP protocol — but they run as threads *inside* the test
+process, so a whole fleet boots in milliseconds with no child imports.
+The supervisor still dials them over real sockets (through a
+:class:`ChaosProxy` where the drill needs a partition), so everything
+from the adopt handshake to heartbeat silence detection is exercised on
+the wire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.config import ShardConfig
+from repro.exceptions import HostLostError, ShardFailedError
+from repro.service import (
+    ExplainRequest,
+    ExplanationService,
+    ShardedService,
+    ShardServer,
+)
+from repro.service.transport import (
+    SHARD_PROTOCOL_VERSION,
+    FleetConfig,
+    FleetShard,
+    FrameConnection,
+    connect_with_retry,
+)
+from repro.testing.chaos import ChaosProxy
+
+SAMPLES = 24
+
+#: Fast supervision for fleet tests: quick heartbeats, short connect
+#: budgets so a dead host is declared lost within a couple of seconds.
+FAST_FLEET = dict(
+    heartbeat_interval=0.05,
+    heartbeat_timeout=1.5,
+    check_interval=0.05,
+    restart_backoff_base=0.2,
+    restart_backoff_max=0.5,
+    connect_timeout=0.5,
+    connect_budget=0.5,
+    host_loss_after=2,
+)
+
+
+def _request(pair, **overrides) -> ExplainRequest:
+    defaults = dict(pair=pair, method="single", samples=SAMPLES, seed=0)
+    defaults.update(overrides)
+    return ExplainRequest(**defaults)
+
+
+def _request_for_shard(service, dataset, shard_id, **overrides):
+    for pair in dataset:
+        request = _request(pair, **overrides)
+        if service.shard_for(request) == shard_id:
+            return request
+    raise AssertionError(f"no record routes to shard {shard_id}")
+
+
+def _wait_for(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _start_servers(n: int, store_root=None) -> list[ShardServer]:
+    servers = []
+    for index in range(n):
+        server = ShardServer(
+            store_dir=(
+                None if store_root is None else store_root / f"host{index}"
+            )
+        )
+        threading.Thread(
+            target=server.serve_forever,
+            daemon=True,
+            name=f"test-shard-host-{index}",
+        ).start()
+        servers.append(server)
+    return servers
+
+
+def _fleet(shards: list[ShardServer], standbys=(), quorum=None) -> FleetConfig:
+    return FleetConfig(
+        shards=tuple(
+            FleetShard(shard_id=i, host=s.host, port=s.port)
+            for i, s in enumerate(shards)
+        ),
+        standbys=tuple(
+            FleetShard(shard_id=-1, host=s.host, port=s.port)
+            for s in standbys
+        ),
+        quorum=quorum,
+    )
+
+
+class TestTcpAdoption:
+    def test_tcp_fleet_matches_pipe_bit_for_bit(
+        self, beer_matcher, non_match_pair
+    ):
+        request = _request(non_match_pair, method="both")
+        with ExplanationService(beer_matcher) as single:
+            expected = single.explain(request)
+        servers = _start_servers(2)
+        try:
+            with ShardedService(
+                beer_matcher,
+                shard_config=ShardConfig(n_shards=2, **FAST_FLEET),
+                fleet=_fleet(servers),
+            ) as fleet_service:
+                got = fleet_service.explain(request, timeout=120)
+                # Fleet-mode health carries the per-host view; the
+                # clock-skew diagnostic appears with the first heartbeat.
+                assert _wait_for(
+                    lambda: all(
+                        "clock_skew" in s
+                        for s in fleet_service.health()[1]["shards"].values()
+                    )
+                )
+                status, health = fleet_service.health()
+            assert got == expected
+            assert status == 200
+            assert set(health["hosts"]) == {s.address for s in servers}
+            for shard in health["shards"].values():
+                assert "host" in shard and "clock_skew" in shard
+            assert health["quorum"] == 2  # majority of 2
+        finally:
+            for server in servers:
+                server.close()
+
+    def test_drain_on_close_shuts_down_the_hosts(
+        self, beer_matcher, match_pair
+    ):
+        servers = _start_servers(1)
+        try:
+            with ShardedService(
+                beer_matcher,
+                shard_config=ShardConfig(n_shards=1, **FAST_FLEET),
+                fleet=_fleet(servers, quorum=1),
+            ) as service:
+                assert service.explain(_request(match_pair), timeout=120)
+            # The supervisor's drain decommissions the host: its process
+            # (here: thread) exits instead of lingering warm.
+            assert _wait_for(lambda: servers[0]._stop.is_set(), timeout=10.0)
+        finally:
+            for server in servers:
+                server.close()
+
+    def test_non_adopt_first_frame_is_refused_with_fatal(self):
+        servers = _start_servers(1)
+        try:
+            sock = connect_with_retry(
+                servers[0].host, servers[0].port, attempt_timeout=2.0,
+                budget=10.0,
+            )
+            conn = FrameConnection(sock)
+            conn.send({"kind": "request", "protocol": SHARD_PROTOCOL_VERSION})
+            reply = conn.recv()
+            assert reply["kind"] == "fatal"
+            assert reply["code"] == "bad_request"
+            with pytest.raises(EOFError):
+                conn.recv()
+            conn.close()
+        finally:
+            for server in servers:
+                server.close()
+
+
+class TestPartitionTolerance:
+    def test_partition_is_detected_and_heal_reconnects_warm(
+        self, beer_matcher, beer_dataset
+    ):
+        servers = _start_servers(2)
+        proxy = ChaosProxy(servers[0].host, servers[0].port)
+        proxy.start()
+        proxied = FleetConfig(
+            shards=(
+                FleetShard(shard_id=0, host=proxy.host, port=proxy.port),
+                FleetShard(
+                    shard_id=1, host=servers[1].host, port=servers[1].port
+                ),
+            ),
+            quorum=1,
+        )
+        try:
+            with ShardedService(
+                beer_matcher,
+                shard_config=ShardConfig(n_shards=2, **FAST_FLEET),
+                fleet=proxied,
+            ) as service:
+                request = _request_for_shard(service, beer_dataset, 0)
+                before = service.explain(request, timeout=120)
+
+                proxy.partition()
+                # Silence, not resets: only missed heartbeats can catch
+                # it.  One partitioned host reads degraded, not down.
+                assert _wait_for(
+                    lambda: service.health()[1]["shards"]["0"]["state"]
+                    != "live"
+                )
+                status, health = service.health()
+                assert status == 200 and health["ok"] is True
+                assert proxy.dropped_chunks > 0
+
+                proxy.heal()
+                assert _wait_for(
+                    lambda: service.health()[1]["shards"]["0"]["state"]
+                    == "live"
+                )
+                after = service.explain(request, timeout=120)
+                assert after == before
+            # The host was re-adopted (preempting the half-open zombie
+            # connection) and reused its warm service: same spec, no
+            # rebuild.
+            assert servers[0].adoptions >= 2
+            assert servers[0].warm_reuses >= 1
+        finally:
+            proxy.close()
+            for server in servers:
+                server.close()
+
+    def test_inflight_requests_survive_reroute_and_stay_coalesced(
+        self, beer_matcher, beer_dataset
+    ):
+        """Satellite: preference-order re-route without duplicate work.
+
+        Three identical requests are stranded on a partitioned shard;
+        the supervisor must fail them over to the ring's *predicted*
+        next-preference shard, where they coalesce onto one computation.
+        """
+        servers = _start_servers(2)
+        proxy = ChaosProxy(servers[0].host, servers[0].port)
+        proxy.start()
+        proxied = FleetConfig(
+            shards=(
+                FleetShard(shard_id=0, host=proxy.host, port=proxy.port),
+                FleetShard(
+                    shard_id=1, host=servers[1].host, port=servers[1].port
+                ),
+            ),
+        )
+        try:
+            with ShardedService(
+                beer_matcher,
+                shard_config=ShardConfig(n_shards=2, **FAST_FLEET),
+                fleet=proxied,
+            ) as service:
+                request = _request_for_shard(service, beer_dataset, 0)
+                key = service.key_for(request)
+                assert service._ring.preference(key)[1] == 1
+
+                proxy.partition()
+                futures = [service.submit(request) for _ in range(3)]
+                results = [f.result(timeout=120) for f in futures]
+                assert all(r == results[0] for r in results)
+
+                stats = service.stats_payload()
+                shard1 = stats["shards"]["1"]["service"]
+                # All three re-routed to the predicted fallback (shard 0
+                # is partitioned and absent from live stats)...
+                assert shard1["requests"] == 3
+                assert "0" not in stats["shards"]
+                # ...and coalesced there instead of recomputing.
+                assert shard1["coalesced"] >= 1
+        finally:
+            proxy.close()
+            for server in servers:
+                server.close()
+
+
+class TestHostLoss:
+    def test_lost_host_is_replaced_by_a_standby(
+        self, beer_matcher, beer_dataset
+    ):
+        servers = _start_servers(3)  # 2 shards + 1 standby
+        shard_servers, standby = servers[:2], servers[2]
+        lost_address = shard_servers[1].address
+        try:
+            with ShardedService(
+                beer_matcher,
+                shard_config=ShardConfig(n_shards=2, **FAST_FLEET),
+                fleet=_fleet(shard_servers, standbys=[standby]),
+            ) as service:
+                request = _request_for_shard(service, beer_dataset, 1)
+                before = service.explain(request, timeout=120)
+
+                # The whole host dies: connection drops AND reconnects
+                # are refused, which is what distinguishes host loss
+                # from a shard crash.
+                shard_servers[1].close()
+                assert _wait_for(lambda: standby.adoptions >= 1)
+                assert _wait_for(
+                    lambda: service.health()[1]["shards"]["1"]["state"]
+                    == "live"
+                )
+                status, health = service.health()
+                assert status == 200
+                assert lost_address in health["lost_hosts"]
+                assert health["standbys_available"] == 0
+                assert health["shards"]["1"]["host"] == standby.address
+
+                # The replacement built cold and serves shard 1's keys
+                # with byte-identical results.
+                assert standby.rebuilds >= 1
+                after = service.explain(request, timeout=120)
+                assert after == before
+        finally:
+            for server in servers:
+                server.close()
+
+    def test_quorum_loss_is_503_and_one_host_down_is_degraded(
+        self, beer_matcher
+    ):
+        servers = _start_servers(2)
+        try:
+            with ShardedService(
+                beer_matcher,
+                shard_config=ShardConfig(n_shards=2, **FAST_FLEET),
+                fleet=_fleet(servers, quorum=2),
+            ) as service:
+                status, _ = service.health()
+                assert status == 200
+                servers[1].close()
+                # Below quorum: the fleet reports down, not degraded.
+                assert _wait_for(lambda: service.health()[0] == 503)
+                status, health = service.health()
+                assert health["reason"] == "quorum_lost"
+                assert health["shards"]["1"]["state"] != "live"
+        finally:
+            for server in servers:
+                server.close()
+
+    def test_unreplaceable_lost_host_fails_requests_as_host_lost(
+        self, beer_matcher, beer_dataset
+    ):
+        servers = _start_servers(1)
+        try:
+            with ShardedService(
+                beer_matcher,
+                shard_config=ShardConfig(n_shards=1, **FAST_FLEET),
+                fleet=_fleet(servers, quorum=1),
+            ) as service:
+                servers[0].close()
+                # No standby: the host is declared lost but the shard
+                # keeps retrying.  Waiters get the host-loss taxonomy
+                # (retryable 503), never a generic crash or a hang.
+                assert _wait_for(
+                    lambda: service.health()[1].get("lost_hosts")
+                )
+                with pytest.raises(HostLostError) as excinfo:
+                    service.submit(_request(beer_dataset[0]))
+                assert excinfo.value.code == "host_lost"
+                assert isinstance(excinfo.value, ShardFailedError)
+        finally:
+            for server in servers:
+                server.close()
